@@ -1,0 +1,65 @@
+//! Criterion micro-bench counterpart of Figure 12: iRQ latency across the
+//! paper's parameter axes on a reduced world (full-scale sweeps live in
+//! the `fig12` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idq_bench::build_world;
+use idq_query::range_query;
+
+fn bench_irq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_irq");
+    g.sample_size(10);
+
+    // (a) object-count axis.
+    for objects in [1_000usize, 2_000, 3_000] {
+        let world = build_world(4, objects, 10.0, 5, 7);
+        g.bench_with_input(BenchmarkId::new("objects", objects), &world, |b, w| {
+            b.iter(|| {
+                for &q in &w.queries {
+                    std::hint::black_box(
+                        range_query(&w.building.space, &w.index, &w.store, q, 100.0, &w.options)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+
+    // (c) uncertainty axis.
+    for radius in [5.0f64, 10.0, 15.0] {
+        let world = build_world(4, 2_000, radius, 5, 7);
+        g.bench_with_input(
+            BenchmarkId::new("radius", radius as u64),
+            &world,
+            |b, w| {
+                b.iter(|| {
+                    for &q in &w.queries {
+                        std::hint::black_box(
+                            range_query(&w.building.space, &w.index, &w.store, q, 100.0, &w.options)
+                                .unwrap(),
+                        );
+                    }
+                })
+            },
+        );
+    }
+
+    // (d) partition axis.
+    for floors in [2u16, 4, 6] {
+        let world = build_world(floors, 2_000, 10.0, 5, 7);
+        g.bench_with_input(BenchmarkId::new("floors", floors), &world, |b, w| {
+            b.iter(|| {
+                for &q in &w.queries {
+                    std::hint::black_box(
+                        range_query(&w.building.space, &w.index, &w.store, q, 100.0, &w.options)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_irq);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-bench counterpart of Figure 13: ikNNQ latency across
+//! object count, k, and partition axes on a reduced world.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idq_bench::build_world;
+use idq_query::knn_query;
+
+fn bench_iknn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_iknn");
+    g.sample_size(10);
+
+    for objects in [1_000usize, 2_000, 3_000] {
+        let world = build_world(4, objects, 10.0, 5, 7);
+        g.bench_with_input(BenchmarkId::new("objects", objects), &world, |b, w| {
+            b.iter(|| {
+                for &q in &w.queries {
+                    std::hint::black_box(
+                        knn_query(&w.building.space, &w.index, &w.store, q, 25, &w.options)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+
+    for k in [10usize, 25, 50] {
+        let world = build_world(4, 2_000, 10.0, 5, 7);
+        g.bench_with_input(BenchmarkId::new("k", k), &world, |b, w| {
+            b.iter(|| {
+                for &q in &w.queries {
+                    std::hint::black_box(
+                        knn_query(&w.building.space, &w.index, &w.store, q, k, &w.options)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+
+    for floors in [2u16, 4, 6] {
+        let world = build_world(floors, 2_000, 10.0, 5, 7);
+        g.bench_with_input(BenchmarkId::new("floors", floors), &world, |b, w| {
+            b.iter(|| {
+                for &q in &w.queries {
+                    std::hint::black_box(
+                        knn_query(&w.building.space, &w.index, &w.store, q, 25, &w.options)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_iknn);
+criterion_main!(benches);

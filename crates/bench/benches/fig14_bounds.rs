@@ -1,0 +1,44 @@
+//! Criterion micro-bench counterpart of Figure 14: the pruning-phase
+//! ablation for both query types (the bound family's payoff).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idq_bench::build_world;
+use idq_query::{knn_query, range_query};
+
+fn bench_pruning_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_bounds");
+    g.sample_size(10);
+    let world = build_world(4, 2_000, 10.0, 5, 7);
+
+    for (name, pruning) in [("withPruning", true), ("withoutPruning", false)] {
+        let opts = if pruning {
+            world.options
+        } else {
+            world.options.without_pruning()
+        };
+        g.bench_with_input(BenchmarkId::new("irq", name), &opts, |b, o| {
+            b.iter(|| {
+                for &q in &world.queries {
+                    std::hint::black_box(
+                        range_query(&world.building.space, &world.index, &world.store, q, 100.0, o)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("iknn", name), &opts, |b, o| {
+            b.iter(|| {
+                for &q in &world.queries {
+                    std::hint::black_box(
+                        knn_query(&world.building.space, &world.index, &world.store, q, 25, o)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pruning_ablation);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-bench counterpart of Figure 15: index construction,
+//! skeleton ablation in RangeSearch, dynamic operations, and the
+//! pre-computation baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idq_bench::build_world;
+use idq_index::{CompositeIndex, IndexConfig};
+use idq_objects::ObjectId;
+use idq_query::PrecomputedD2D;
+use idq_workloads::sample_one;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_index");
+    g.sample_size(10);
+
+    // (a) RangeSearch with and without the skeleton tier.
+    let world = build_world(4, 2_000, 10.0, 5, 7);
+    for (name, skeleton) in [("withSkeleton", true), ("withoutSkeleton", false)] {
+        g.bench_with_input(BenchmarkId::new("range_search", name), &skeleton, |b, &s| {
+            b.iter(|| {
+                for &q in &world.queries {
+                    std::hint::black_box(world.index.range_search(&world.building.space, q, 100.0, s));
+                }
+            })
+        });
+    }
+
+    // (b) full index construction.
+    for floors in [2u16, 4] {
+        let w = build_world(floors, 1_000, 10.0, 2, 7);
+        g.bench_with_input(BenchmarkId::new("build", floors), &w, |b, w| {
+            b.iter(|| {
+                std::hint::black_box(
+                    CompositeIndex::build(&w.building.space, &w.store, IndexConfig::default())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+
+    // (c) object insert+delete round trip.
+    {
+        let mut w = build_world(3, 1_000, 10.0, 2, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let obj = sample_one(&w.building, ObjectId(999_999), 10.0, 100, &mut rng).unwrap();
+        g.bench_function("object_update_roundtrip", |b| {
+            b.iter(|| {
+                w.index.insert_object(&w.building.space, &obj).unwrap();
+                w.index.remove_object(obj.id).unwrap();
+            })
+        });
+    }
+
+    // (d) the pre-computation baseline (small world; the full-scale number
+    // comes from the fig15 binary).
+    {
+        let w = build_world(2, 100, 10.0, 2, 7);
+        g.bench_function("precompute_d2d", |b| {
+            b.iter(|| {
+                std::hint::black_box(PrecomputedD2D::build(
+                    &w.building.space,
+                    w.index.doors_graph(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

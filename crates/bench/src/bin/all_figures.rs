@@ -1,0 +1,15 @@
+//! Runs every figure harness in sequence (Fig. 12–15). Respects
+//! `IDQ_SCALE` like the individual binaries.
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for fig in ["fig12", "fig13", "fig14", "fig15"] {
+        let path = dir.join(fig);
+        println!("==== {fig} ====");
+        let status = std::process::Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("running {path:?}: {e}"));
+        assert!(status.success(), "{fig} failed");
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared harness for the figure binaries and Criterion benches: world
+//! construction at paper scale (§V-A) and workload-averaged query timing.
+//!
+//! Scale control: the environment variable `IDQ_SCALE` (a float, default
+//! `1.0`) multiplies the object counts and floor counts of every
+//! experiment, so `IDQ_SCALE=0.1 cargo run --release -p idq-bench --bin
+//! fig12` gives a fast smoke run while the default regenerates the paper's
+//! exact parameter grid.
+
+use idq_index::{CompositeIndex, IndexConfig};
+use idq_model::IndoorPoint;
+use idq_objects::ObjectStore;
+use idq_query::{knn_query, range_query, QueryOptions, QueryStats};
+use idq_workloads::{
+    generate_building, generate_objects, generate_query_points, BuildingConfig, GeneratedBuilding,
+    ObjectConfig, PaperDefaults, QueryPointConfig,
+};
+
+/// A fully built experimental world.
+pub struct World {
+    /// The generated building.
+    pub building: GeneratedBuilding,
+    /// The object population.
+    pub store: ObjectStore,
+    /// The composite index over both.
+    pub index: CompositeIndex,
+    /// The query workload (50 random points at paper scale).
+    pub queries: Vec<IndoorPoint>,
+    /// Query options sized for the population's uncertainty radii.
+    pub options: QueryOptions,
+}
+
+/// Experiment scale multiplier from `IDQ_SCALE` (default 1.0, clamped to
+/// `[0.01, 10]`).
+pub fn scale_from_env() -> f64 {
+    std::env::var("IDQ_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.01, 10.0)
+}
+
+/// Applies the scale to an object count (at least 100).
+pub fn scaled_objects(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale) as usize).max(100)
+}
+
+/// Applies the scale to a floor count (at least 2).
+pub fn scaled_floors(f: u16, scale: f64) -> u16 {
+    ((f as f64 * scale).round() as u16).max(2)
+}
+
+/// Builds a world with the paper's defaults except where overridden.
+pub fn build_world(floors: u16, objects: usize, radius: f64, query_count: usize, seed: u64) -> World {
+    let defaults = PaperDefaults::default();
+    let building = generate_building(&BuildingConfig::with_floors(floors))
+        .expect("generator invariants hold");
+    let store = generate_objects(
+        &building,
+        &ObjectConfig {
+            count: objects,
+            radius,
+            instances: defaults.instances,
+            seed,
+        },
+    )
+    .expect("population fits the building");
+    let index = CompositeIndex::build(
+        &building.space,
+        &store,
+        IndexConfig {
+            fanout: defaults.fanout,
+            t_shape: defaults.t_shape,
+            bulk_load: true,
+        },
+    )
+    .expect("index builds");
+    let queries = generate_query_points(
+        &building,
+        &QueryPointConfig { count: query_count, seed: seed ^ 0xBEEF },
+    );
+    let options = QueryOptions::for_max_radius(radius);
+    World { building, store, index, queries, options }
+}
+
+/// Average iRQ wall time (ms) and averaged stats over the query workload.
+pub fn mean_irq(world: &World, r: f64, options: &QueryOptions) -> (f64, QueryStats) {
+    let mut acc = QueryStats::default();
+    let t = std::time::Instant::now();
+    for &q in &world.queries {
+        let out = range_query(&world.building.space, &world.index, &world.store, q, r, options)
+            .expect("query succeeds");
+        acc.accumulate(&out.stats);
+    }
+    let n = world.queries.len().max(1);
+    let total_ms = t.elapsed().as_secs_f64() * 1e3 / n as f64;
+    (total_ms, acc.scale_down(n))
+}
+
+/// Average ikNNQ wall time (ms) and averaged stats.
+pub fn mean_knn(world: &World, k: usize, options: &QueryOptions) -> (f64, QueryStats) {
+    let mut acc = QueryStats::default();
+    let t = std::time::Instant::now();
+    for &q in &world.queries {
+        let out = knn_query(&world.building.space, &world.index, &world.store, q, k, options)
+            .expect("query succeeds");
+        acc.accumulate(&out.stats);
+    }
+    let n = world.queries.len().max(1);
+    let total_ms = t.elapsed().as_secs_f64() * 1e3 / n as f64;
+    (total_ms, acc.scale_down(n))
+}
+
+/// Pretty count label: `20000` → `"20K"`.
+pub fn klabel(n: usize) -> String {
+    if n.is_multiple_of(1000) && n >= 1000 {
+        format!("{}K", n / 1000)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_helpers() {
+        assert_eq!(scaled_objects(10_000, 0.01), 100);
+        assert_eq!(scaled_floors(20, 0.1), 2);
+        assert_eq!(klabel(20_000), "20K");
+        assert_eq!(klabel(123), "123");
+    }
+
+    #[test]
+    fn tiny_world_round_trips() {
+        let w = build_world(2, 150, 5.0, 3, 1);
+        assert_eq!(w.store.len(), 150);
+        let (ms, stats) = mean_irq(&w, 50.0, &w.options);
+        assert!(ms >= 0.0);
+        assert_eq!(stats.total_objects, 150);
+        let (ms, stats) = mean_knn(&w, 10, &w.options);
+        assert!(ms >= 0.0);
+        assert!(stats.refined > 0);
+    }
+}

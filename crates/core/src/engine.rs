@@ -1,0 +1,370 @@
+//! The engine: space + objects + index, kept consistent.
+
+use crate::error::EngineError;
+use idq_distance::{indoor_distance, shortest_path, IndoorPoint};
+use idq_geom::Point2;
+use idq_index::{CompositeIndex, IndexConfig};
+use idq_model::{
+    Direction, DoorId, Floor, IndoorSpace, PartitionId, PartitionSpec, SplitLine, TopologyEvent,
+};
+use idq_objects::{GaussianSampler, ObjectId, ObjectStore, UncertainObject};
+use idq_query::{
+    knn_query, range_query, KnnResult, QueryOptions, RangeResult,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Engine configuration: index layout plus default query options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfig {
+    /// Composite-index parameters (fanout, `T_shape`, bulk load).
+    pub index: IndexConfig,
+    /// Default query options (ablation switches, subgraph slack).
+    pub query: QueryOptions,
+}
+
+/// The integrated engine: one consistent view of the indoor world.
+#[derive(Debug)]
+pub struct IndoorEngine {
+    space: IndoorSpace,
+    store: ObjectStore,
+    index: CompositeIndex,
+    options: QueryOptions,
+    /// Largest uncertainty radius seen, used to widen the subgraph slack.
+    max_radius: f64,
+}
+
+impl IndoorEngine {
+    /// Builds an engine over a space with no objects yet.
+    pub fn new(space: IndoorSpace, config: EngineConfig) -> Result<Self, EngineError> {
+        Self::with_objects(space, ObjectStore::new(), config)
+    }
+
+    /// Builds an engine over a space and an existing object population.
+    pub fn with_objects(
+        space: IndoorSpace,
+        store: ObjectStore,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let index = CompositeIndex::build(&space, &store, config.index)?;
+        let max_radius = store
+            .iter()
+            .map(|o| o.region.radius)
+            .fold(0.0f64, f64::max);
+        Ok(IndoorEngine { space, store, index, options: config.query, max_radius })
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    /// The indoor space.
+    pub fn space(&self) -> &IndoorSpace {
+        &self.space
+    }
+
+    /// The object population.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The composite index.
+    pub fn index(&self) -> &CompositeIndex {
+        &self.index
+    }
+
+    /// The effective default query options (slack widened to the largest
+    /// uncertainty region inserted so far).
+    pub fn query_options(&self) -> QueryOptions {
+        let by_radius = QueryOptions::for_max_radius(self.max_radius);
+        QueryOptions {
+            subgraph_slack: self.options.subgraph_slack.max(by_radius.subgraph_slack),
+            ..self.options
+        }
+    }
+
+    // ---- object management (§III-C.2) --------------------------------------
+
+    /// Inserts a fully-formed uncertain object.
+    pub fn insert_object(&mut self, object: UncertainObject) -> Result<(), EngineError> {
+        self.index.insert_object(&self.space, &object)?;
+        self.max_radius = self.max_radius.max(object.region.radius);
+        if let Err(e) = self.store.insert(object) {
+            // Roll the index back so layers stay consistent.
+            // (Duplicate ids are the only failure mode here.)
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Samples and inserts an object: Gaussian instances in a circular
+    /// region, per the paper's object model (§V-A).
+    pub fn insert_object_at(
+        &mut self,
+        center: Point2,
+        floor: Floor,
+        radius: f64,
+        instances: usize,
+        seed: u64,
+    ) -> Result<ObjectId, EngineError> {
+        let id = self.store.allocate_id();
+        let sampler = GaussianSampler {
+            instances: instances.max(1),
+            ..GaussianSampler::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ id.0);
+        let object = sampler.sample(id, center, floor, radius, &self.space, &mut rng)?;
+        self.insert_object(object)?;
+        Ok(id)
+    }
+
+    /// Removes an object, returning it.
+    pub fn remove_object(&mut self, id: ObjectId) -> Result<UncertainObject, EngineError> {
+        self.index.remove_object(id)?;
+        Ok(self.store.remove(id)?)
+    }
+
+    /// Moves an object: deletion followed by insertion with a re-sampled
+    /// uncertainty region at the new position (§III-C.2's update flow).
+    pub fn move_object(
+        &mut self,
+        id: ObjectId,
+        center: Point2,
+        floor: Floor,
+        seed: u64,
+    ) -> Result<(), EngineError> {
+        let old = self.store.get(id)?;
+        let radius = old.region.radius;
+        let instances = old.len();
+        let sampler = GaussianSampler {
+            instances,
+            ..GaussianSampler::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ id.0);
+        let object = sampler.sample(id, center, floor, radius, &self.space, &mut rng)?;
+        self.store.remove(id)?;
+        self.store.insert(object)?;
+        self.index.update_object(&self.space, self.store.get(id)?)?;
+        Ok(())
+    }
+
+    // ---- queries (§IV) -------------------------------------------------------
+
+    /// `iRQ(q, r)` with the engine's default options.
+    pub fn range_query(&self, q: IndoorPoint, r: f64) -> Result<RangeResult, EngineError> {
+        self.range_query_with(q, r, &self.query_options())
+    }
+
+    /// `iRQ(q, r)` with explicit options (ablations, exact refinement…).
+    pub fn range_query_with(
+        &self,
+        q: IndoorPoint,
+        r: f64,
+        options: &QueryOptions,
+    ) -> Result<RangeResult, EngineError> {
+        Ok(range_query(&self.space, &self.index, &self.store, q, r, options)?)
+    }
+
+    /// `ikNNQ(q, k)` with the engine's default options.
+    pub fn knn(&self, q: IndoorPoint, k: usize) -> Result<KnnResult, EngineError> {
+        self.knn_with(q, k, &self.query_options())
+    }
+
+    /// `ikNNQ(q, k)` with explicit options.
+    pub fn knn_with(
+        &self,
+        q: IndoorPoint,
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<KnnResult, EngineError> {
+        Ok(knn_query(&self.space, &self.index, &self.store, q, k, options)?)
+    }
+
+    /// Point-to-point indoor distance `|q,p|_I`.
+    pub fn indoor_distance(&self, q: IndoorPoint, p: IndoorPoint) -> Result<f64, EngineError> {
+        Ok(indoor_distance(&self.space, self.index.doors_graph(), q, p)?)
+    }
+
+    /// Shortest indoor path `q ⇝δ p`: length plus the door sequence.
+    pub fn shortest_path(
+        &self,
+        q: IndoorPoint,
+        p: IndoorPoint,
+    ) -> Result<Option<(f64, Vec<DoorId>)>, EngineError> {
+        Ok(shortest_path(&self.space, self.index.doors_graph(), q, p)?)
+    }
+
+    // ---- topology updates (§III-C.1) --------------------------------------------
+
+    /// Closes a door and updates the index layers.
+    pub fn close_door(&mut self, d: DoorId) -> Result<(), EngineError> {
+        let ev = self.space.close_door(d)?;
+        self.apply(&[ev])
+    }
+
+    /// Re-opens a door.
+    pub fn open_door(&mut self, d: DoorId) -> Result<(), EngineError> {
+        let ev = self.space.open_door(d)?;
+        self.apply(&[ev])
+    }
+
+    /// Adds a temporary door between two partitions.
+    pub fn insert_door(
+        &mut self,
+        a: PartitionId,
+        b: PartitionId,
+        position: Point2,
+        floor: Floor,
+        direction: Direction,
+    ) -> Result<DoorId, EngineError> {
+        let (id, ev) = self.space.insert_door(a, b, position, floor, direction)?;
+        self.apply(&[ev])?;
+        Ok(id)
+    }
+
+    /// Inserts a partition with its doors.
+    pub fn insert_partition(
+        &mut self,
+        spec: PartitionSpec,
+    ) -> Result<(PartitionId, Vec<DoorId>), EngineError> {
+        let (pid, doors, events) = self.space.insert_partition(spec)?;
+        self.apply(&events)?;
+        Ok((pid, doors))
+    }
+
+    /// Deletes a partition and its doors.
+    pub fn delete_partition(&mut self, pid: PartitionId) -> Result<(), EngineError> {
+        let events = self.space.delete_partition(pid)?;
+        self.apply(&events)
+    }
+
+    /// Splits a rectangular partition with a sliding wall.
+    pub fn split_partition(
+        &mut self,
+        pid: PartitionId,
+        line: SplitLine,
+        connecting_door: Option<Point2>,
+    ) -> Result<[PartitionId; 2], EngineError> {
+        let (halves, events) = self.space.split_partition(pid, line, connecting_door)?;
+        self.apply(&events)?;
+        Ok(halves)
+    }
+
+    /// Merges two partitions (dismounts a sliding wall).
+    pub fn merge_partitions(
+        &mut self,
+        a: PartitionId,
+        b: PartitionId,
+    ) -> Result<PartitionId, EngineError> {
+        let (merged, events) = self.space.merge_partitions(a, b)?;
+        self.apply(&events)?;
+        Ok(merged)
+    }
+
+    fn apply(&mut self, events: &[TopologyEvent]) -> Result<(), EngineError> {
+        for ev in events {
+            self.index.apply_topology(&self.space, &self.store, ev)?;
+        }
+        Ok(())
+    }
+
+    /// Validates cross-layer invariants (test/diagnostic support).
+    pub fn validate(&self) {
+        self.index.validate();
+        self.index
+            .check_fresh(&self.space)
+            .expect("index is current with the space");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::Rect2;
+    use idq_model::FloorPlanBuilder;
+
+    fn three_rooms() -> IndoorSpace {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let r0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        let r1 = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let r2 = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0)).unwrap();
+        b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
+        b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_insert_query_remove() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let o1 = e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1).unwrap();
+        let o2 = e.insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 8, 2).unwrap();
+        e.validate();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let knn = e.knn(q, 2).unwrap();
+        assert_eq!(knn.results.len(), 2);
+        assert_eq!(knn.results[0].object, o1);
+        assert_eq!(knn.results[1].object, o2);
+        let within = e.range_query(q, 16.0).unwrap();
+        assert_eq!(within.results.len(), 1);
+        e.remove_object(o1).unwrap();
+        let knn = e.knn(q, 2).unwrap();
+        assert_eq!(knn.results.len(), 1);
+        assert_eq!(knn.results[0].object, o2);
+        e.validate();
+    }
+
+    #[test]
+    fn move_object_changes_ranking() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let o1 = e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1).unwrap();
+        let o2 = e.insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 8, 2).unwrap();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        assert_eq!(e.knn(q, 1).unwrap().results[0].object, o1);
+        // Move o1 to the far room and o2 near the query.
+        e.move_object(o1, Point2::new(28.0, 5.0), 0, 9).unwrap();
+        e.move_object(o2, Point2::new(12.0, 5.0), 0, 9).unwrap();
+        assert_eq!(e.knn(q, 1).unwrap().results[0].object, o2);
+        e.validate();
+    }
+
+    #[test]
+    fn door_closure_reroutes_distance() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let p = IndoorPoint::new(Point2::new(28.0, 5.0), 0);
+        let before = e.indoor_distance(q, p).unwrap();
+        assert!(before.is_finite());
+        let (_, doors) = e.shortest_path(q, p).unwrap().unwrap();
+        assert_eq!(doors.len(), 2);
+        e.close_door(doors[1]).unwrap();
+        assert!(e.indoor_distance(q, p).unwrap().is_infinite());
+        e.open_door(doors[1]).unwrap();
+        assert!((e.indoor_distance(q, p).unwrap() - before).abs() < 1e-9);
+        e.validate();
+    }
+
+    #[test]
+    fn split_and_merge_keep_queries_working() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let o = e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 3).unwrap();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mid = e.space().partition_at(IndoorPoint::new(Point2::new(15.0, 2.0), 0)).unwrap();
+        let halves = e
+            .split_partition(mid, SplitLine::AtX(15.5), Some(Point2::new(15.5, 5.0)))
+            .unwrap();
+        e.validate();
+        let hits = e.range_query(q, 30.0).unwrap();
+        assert!(hits.results.iter().any(|h| h.object == o));
+        let merged = e.merge_partitions(halves[0], halves[1]).unwrap();
+        e.validate();
+        assert!(e.space().partition(merged).is_ok());
+        let hits = e.range_query(q, 30.0).unwrap();
+        assert!(hits.results.iter().any(|h| h.object == o));
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected_consistently() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let id = e.insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 1).unwrap();
+        let dup = UncertainObject::point_object(id, IndoorPoint::new(Point2::new(5.0, 5.0), 0));
+        assert!(e.insert_object(dup).is_err());
+    }
+}

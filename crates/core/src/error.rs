@@ -1,0 +1,70 @@
+//! Engine-level error type unifying the layer errors.
+
+/// Any error surfaced by [`crate::IndoorEngine`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// Indoor-space model error.
+    Model(idq_model::ModelError),
+    /// Object-layer error.
+    Object(idq_objects::ObjectError),
+    /// Index maintenance error.
+    Index(idq_index::IndexError),
+    /// Distance evaluation error.
+    Distance(idq_distance::DistanceError),
+    /// Query evaluation error.
+    Query(idq_query::QueryError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Model(e) => write!(f, "{e}"),
+            EngineError::Object(e) => write!(f, "{e}"),
+            EngineError::Index(e) => write!(f, "{e}"),
+            EngineError::Distance(e) => write!(f, "{e}"),
+            EngineError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<idq_model::ModelError> for EngineError {
+    fn from(e: idq_model::ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+impl From<idq_objects::ObjectError> for EngineError {
+    fn from(e: idq_objects::ObjectError) -> Self {
+        EngineError::Object(e)
+    }
+}
+impl From<idq_index::IndexError> for EngineError {
+    fn from(e: idq_index::IndexError) -> Self {
+        EngineError::Index(e)
+    }
+}
+impl From<idq_distance::DistanceError> for EngineError {
+    fn from(e: idq_distance::DistanceError) -> Self {
+        EngineError::Distance(e)
+    }
+}
+impl From<idq_query::QueryError> for EngineError {
+    fn from(e: idq_query::QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = idq_query::QueryError::ZeroK.into();
+        assert!(e.to_string().contains('1'));
+        let e: EngineError =
+            idq_model::ModelError::UnknownPartition(idq_model::PartitionId(2)).into();
+        assert!(e.to_string().contains("P2"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `IndoorEngine` — the integrated public API of the reproduction.
+//!
+//! The engine owns the three mutable parts of the system — the
+//! [`idq_model::IndoorSpace`], the [`idq_objects::ObjectStore`] and the
+//! [`idq_index::CompositeIndex`] — and
+//! keeps them consistent across object updates and topology updates, so a
+//! downstream application only talks to one object:
+//!
+//! ```
+//! use idq_core::{EngineConfig, IndoorEngine};
+//! use idq_geom::{Point2, Rect2};
+//! use idq_model::{FloorPlanBuilder, IndoorPoint};
+//!
+//! let mut b = FloorPlanBuilder::new(4.0);
+//! let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+//! let c = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+//! b.add_door_between(a, c, Point2::new(10.0, 5.0)).unwrap();
+//!
+//! let mut engine = IndoorEngine::new(b.finish().unwrap(), EngineConfig::default()).unwrap();
+//! let id = engine.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 42).unwrap();
+//! let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+//! let out = engine.range_query(q, 30.0).unwrap();
+//! assert_eq!(out.results[0].object, id);
+//! let knn = engine.knn(q, 1).unwrap();
+//! assert_eq!(knn.results[0].object, id);
+//! ```
+
+pub mod engine;
+pub mod error;
+
+pub use engine::{EngineConfig, IndoorEngine};
+pub use error::EngineError;

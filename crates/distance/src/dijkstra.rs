@@ -1,0 +1,291 @@
+//! Multi-source Dijkstra over the doors graph — the *subgraph phase* engine.
+//!
+//! The query pipeline computes single-source shortest indoor paths from the
+//! query point `q` to doors: every exit door of `P(q)` is seeded with its
+//! intra-partition distance `|q, d_q|_E`, then edges of the doors graph are
+//! relaxed. The search can be restricted to a candidate partition set (the
+//! `Rp` produced by the filtering phase): only edges routed through allowed
+//! partitions are expanded, exactly as the paper's Phase 2 prescribes
+//! ("the distance calculation only involves the partitions in Rp").
+
+use crate::error::DistanceError;
+use idq_geom::OrdF64;
+use idq_model::{DoorId, DoorsGraph, IndoorPoint, IndoorSpace, PartitionId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Sentinel for "no predecessor" in the shortest-path tree.
+const NO_PREV: u32 = u32::MAX;
+
+/// Shortest indoor distances from a query point to every reachable door,
+/// with predecessor links for path reconstruction.
+#[derive(Clone, Debug)]
+pub struct DoorDistances {
+    /// The query point the distances originate from.
+    pub query: IndoorPoint,
+    /// The partition containing the query point — `P(q)`.
+    pub source_partition: PartitionId,
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    restricted: bool,
+}
+
+impl DoorDistances {
+    /// Runs Dijkstra from `q` over the full doors graph.
+    pub fn compute(
+        space: &IndoorSpace,
+        graph: &DoorsGraph,
+        q: IndoorPoint,
+    ) -> Result<Self, DistanceError> {
+        Self::compute_inner(space, graph, q, None)
+    }
+
+    /// Runs Dijkstra from `q`, expanding only edges routed through
+    /// partitions in `allowed` (the candidate set `Rp`). The source
+    /// partition is implicitly allowed.
+    pub fn compute_restricted(
+        space: &IndoorSpace,
+        graph: &DoorsGraph,
+        q: IndoorPoint,
+        allowed: &HashSet<PartitionId>,
+    ) -> Result<Self, DistanceError> {
+        Self::compute_inner(space, graph, q, Some(allowed))
+    }
+
+    fn compute_inner(
+        space: &IndoorSpace,
+        graph: &DoorsGraph,
+        q: IndoorPoint,
+        allowed: Option<&HashSet<PartitionId>>,
+    ) -> Result<Self, DistanceError> {
+        if graph.door_slots() < space.door_slots() {
+            return Err(DistanceError::StaleGraph {
+                graph_slots: graph.door_slots(),
+                space_slots: space.door_slots(),
+            });
+        }
+        let source_partition = space
+            .partition_at(q)
+            .ok_or(DistanceError::QueryOutsideSpace(q))?;
+
+        let n = space.door_slots();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![NO_PREV; n];
+        let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+
+        // Seeds: doors one can leave P(q) through.
+        for &d in space.doors_of(source_partition).unwrap_or(&[]) {
+            if !space.can_leave(d, source_partition) {
+                continue;
+            }
+            let w = space
+                .point_to_door(q, d)
+                .expect("door of the source partition");
+            if w < dist[d.index()] {
+                dist[d.index()] = w;
+                heap.push(Reverse((OrdF64(w), d.0)));
+            }
+        }
+
+        while let Some(Reverse((OrdF64(du), u))) = heap.pop() {
+            if du > dist[u as usize] {
+                continue; // stale heap entry
+            }
+            for e in graph.edges_from(DoorId(u)) {
+                if let Some(allowed) = allowed {
+                    if e.via != source_partition && !allowed.contains(&e.via) {
+                        continue;
+                    }
+                }
+                let nd = du + e.weight;
+                let v = e.to.index();
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u;
+                    heap.push(Reverse((OrdF64(nd), e.to.0)));
+                }
+            }
+        }
+
+        Ok(DoorDistances {
+            query: q,
+            source_partition,
+            dist,
+            prev,
+            restricted: allowed.is_some(),
+        })
+    }
+
+    /// The shortest indoor distance from the query point to door `d`
+    /// (`∞` if unreachable).
+    #[inline]
+    pub fn door_distance(&self, d: DoorId) -> f64 {
+        self.dist.get(d.index()).copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Whether door `d` was reached.
+    #[inline]
+    pub fn reachable(&self, d: DoorId) -> bool {
+        self.door_distance(d).is_finite()
+    }
+
+    /// Whether the search was restricted to a candidate partition set
+    /// (restricted distances over-estimate true distances for doors whose
+    /// shortest path leaves the candidate set).
+    #[inline]
+    pub fn is_restricted(&self) -> bool {
+        self.restricted
+    }
+
+    /// The door sequence of the shortest path from the query point through
+    /// door `d` (inclusive), or `None` if `d` is unreachable. This is the
+    /// `δ` of the paper's `q ⇝δ p` notation.
+    pub fn path_to(&self, d: DoorId) -> Option<Vec<DoorId>> {
+        if !self.reachable(d) {
+            return None;
+        }
+        let mut seq = vec![d];
+        let mut cur = d.index();
+        while self.prev[cur] != NO_PREV {
+            let p = self.prev[cur];
+            seq.push(DoorId(p));
+            cur = p as usize;
+        }
+        seq.reverse();
+        Some(seq)
+    }
+
+    /// Number of doors with a finite distance.
+    pub fn reached_count(&self) -> usize {
+        self.dist.iter().filter(|d| d.is_finite()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::{Point2, Rect2};
+    use idq_model::FloorPlanBuilder;
+
+    /// A 1×4 corridor of rooms: R0 - R1 - R2 - R3, 10 m each, doors at the
+    /// shared walls' midpoints.
+    fn corridor() -> (IndoorSpace, DoorsGraph, Vec<PartitionId>, Vec<DoorId>) {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let rooms: Vec<PartitionId> = (0..4)
+            .map(|i| {
+                b.add_room(
+                    0,
+                    Rect2::from_bounds(10.0 * i as f64, 0.0, 10.0 * (i + 1) as f64, 10.0),
+                )
+                .unwrap()
+            })
+            .collect();
+        let doors: Vec<DoorId> = (0..3)
+            .map(|i| {
+                b.add_door_between(
+                    rooms[i],
+                    rooms[i + 1],
+                    Point2::new(10.0 * (i + 1) as f64, 5.0),
+                )
+                .unwrap()
+            })
+            .collect();
+        let s = b.finish().unwrap();
+        let g = DoorsGraph::build(&s);
+        (s, g, rooms, doors)
+    }
+
+    #[test]
+    fn distances_accumulate_along_the_corridor() {
+        let (s, g, _, doors) = corridor();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let dd = DoorDistances::compute(&s, &g, q).unwrap();
+        assert!((dd.door_distance(doors[0]) - 8.0).abs() < 1e-9);
+        assert!((dd.door_distance(doors[1]) - 18.0).abs() < 1e-9);
+        assert!((dd.door_distance(doors[2]) - 28.0).abs() < 1e-9);
+        assert_eq!(dd.reached_count(), 3);
+    }
+
+    #[test]
+    fn path_reconstruction_matches_topology() {
+        let (s, g, _, doors) = corridor();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let dd = DoorDistances::compute(&s, &g, q).unwrap();
+        assert_eq!(dd.path_to(doors[2]).unwrap(), doors);
+        assert_eq!(dd.path_to(doors[0]).unwrap(), vec![doors[0]]);
+    }
+
+    #[test]
+    fn restriction_prunes_far_partitions() {
+        let (s, g, rooms, doors) = corridor();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        // Allow only R0 (source, implicit) and R1: door d1 is reachable
+        // (it borders R1), d2 is not (its only incoming edge runs via R2).
+        let allowed: HashSet<PartitionId> = [rooms[1]].into_iter().collect();
+        let dd = DoorDistances::compute_restricted(&s, &g, q, &allowed).unwrap();
+        assert!(dd.is_restricted());
+        assert!(dd.reachable(doors[0]));
+        assert!(dd.reachable(doors[1]));
+        assert!(!dd.reachable(doors[2]));
+    }
+
+    #[test]
+    fn query_outside_space_errors() {
+        let (s, g, _, _) = corridor();
+        let q = IndoorPoint::new(Point2::new(-50.0, 5.0), 0);
+        assert!(matches!(
+            DoorDistances::compute(&s, &g, q),
+            Err(DistanceError::QueryOutsideSpace(_))
+        ));
+    }
+
+    #[test]
+    fn one_way_door_blocks_reverse_reachability() {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        let c = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let d = b.add_one_way_door(a, c, Point2::new(10.0, 5.0)).unwrap();
+        let s = b.finish().unwrap();
+        let g = DoorsGraph::build(&s);
+        // From A: can leave through the one-way door.
+        let dd = DoorDistances::compute(&s, &g, IndoorPoint::new(Point2::new(5.0, 5.0), 0)).unwrap();
+        assert!(dd.reachable(d));
+        // From C: cannot.
+        let dd = DoorDistances::compute(&s, &g, IndoorPoint::new(Point2::new(15.0, 5.0), 0)).unwrap();
+        assert!(!dd.reachable(d));
+        assert_eq!(dd.reached_count(), 0);
+    }
+
+    #[test]
+    fn closed_door_stops_search_after_rebuild() {
+        let (mut s, _, _, doors) = corridor();
+        let ev = s.close_door(doors[1]).unwrap();
+        let mut g = DoorsGraph::build(&s);
+        g.apply(&s, &ev); // no-op consistency; built after close anyway
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let dd = DoorDistances::compute(&s, &g, q).unwrap();
+        assert!(dd.reachable(doors[0]));
+        assert!(!dd.reachable(doors[1]));
+        assert!(!dd.reachable(doors[2]));
+    }
+
+    #[test]
+    fn stale_graph_is_rejected() {
+        let (mut s, g, rooms, _) = corridor();
+        // Mutate the space so it has more door slots than the graph knows.
+        let (_, _ev) = s
+            .insert_door(
+                rooms[0],
+                rooms[1],
+                Point2::new(10.0, 2.0),
+                0,
+                idq_model::Direction::Bidirectional,
+            )
+            .unwrap();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        assert!(matches!(
+            DoorDistances::compute(&s, &g, q),
+            Err(DistanceError::StaleGraph { .. })
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! Distance-layer errors.
+
+use idq_model::IndoorPoint;
+
+/// Errors from indoor distance evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DistanceError {
+    /// The query point lies in no partition (outside the building).
+    QueryOutsideSpace(IndoorPoint),
+    /// The doors graph does not cover the space's doors (stale graph).
+    StaleGraph {
+        /// Door slots in the graph.
+        graph_slots: usize,
+        /// Door slots in the space.
+        space_slots: usize,
+    },
+}
+
+impl std::fmt::Display for DistanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistanceError::QueryOutsideSpace(p) => {
+                write!(f, "query point {p} lies outside every partition")
+            }
+            DistanceError::StaleGraph { graph_slots, space_slots } => write!(
+                f,
+                "doors graph covers {graph_slots} door slots but space has {space_slots}; rebuild or apply events"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::Point2;
+
+    #[test]
+    fn errors_render() {
+        let e = DistanceError::QueryOutsideSpace(IndoorPoint::new(Point2::new(1.0, 2.0), 0));
+        assert!(e.to_string().contains("outside"));
+    }
+}

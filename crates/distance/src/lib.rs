@@ -1,0 +1,37 @@
+//! Indoor distances for uncertain objects (§II of the paper) and the
+//! shortest-path machinery that evaluates them **without pre-computed
+//! door-to-door distances**.
+//!
+//! * [`DoorDistances`] — single/multi-source Dijkstra over the doors graph
+//!   from a query point, optionally restricted to a candidate partition set
+//!   (the query pipeline's *subgraph phase*);
+//! * [`point_distance`] / [`indoor_distance`] / [`shortest_path`] — the
+//!   point-to-point indoor distance `|q,p|_I` of Eq. 1 and its witness
+//!   door sequence `q ⇝ p`;
+//! * [`expected`] — the expected indoor distance `|q,O|_I` (Def. 1) with
+//!   the paper's three cases: single-partition single-path (Eq. 3, via
+//!   additive-weighted bisectors), single-partition multi-path (Eq. 4) and
+//!   multi-partition (Eq. 6);
+//! * [`bounds`] — the pruning-bound family: topological upper/lower bounds
+//!   (Lemmas 1–2 / Eq. 7), the topological looser upper bound (Lemma 3),
+//!   the Markov lower bound (Lemma 4), probabilistic bounds (Lemma 5 /
+//!   Eq. 8) and the Table III dispatch.
+
+pub mod bounds;
+pub mod dijkstra;
+pub mod error;
+pub mod expected;
+pub mod point_dist;
+
+pub use bounds::{
+    lemma5_bounds, markov_lower, object_bounds, some_path_upper, subregion_bounds, BoundKind,
+    ObjectBounds, SharedPathUpper, SubregionBounds,
+};
+pub use dijkstra::DoorDistances;
+pub use error::DistanceError;
+pub use expected::{expected_indoor_distance, DistanceCase, ExpectedDistance};
+pub use point_dist::{indoor_distance, point_distance, point_distance_via, shortest_path};
+
+// Re-exported for convenience: the indoor position type used by every API
+// in this crate.
+pub use idq_model::IndoorPoint;

@@ -1,0 +1,641 @@
+//! The composite index (§III): all three layers plus `RangeSearch`
+//! (Algorithm 4) and incremental maintenance (§III-C).
+
+use crate::error::IndexError;
+use crate::object_layer::ObjectLayer;
+use crate::rtree::{LeafEntry, RTree, SearchStats};
+use crate::skeleton::SkeletonTier;
+use crate::units::{UnitId, UnitStore};
+use idq_geom::{DecomposeConfig, Mbr3, Rect2};
+use idq_model::{
+    DoorKind, DoorsGraph, IndoorPoint, IndoorSpace, PartitionId, TopologyEvent,
+};
+use idq_objects::{ObjectId, ObjectStore, UncertainObject};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Configuration of the composite index.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// indR-tree fanout (paper: 20).
+    pub fanout: usize,
+    /// Decomposition threshold `T_shape` (paper: 0.5).
+    pub t_shape: f64,
+    /// Bulk-load ("packed") construction vs incremental inserts.
+    pub bulk_load: bool,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig { fanout: 20, t_shape: 0.5, bulk_load: true }
+    }
+}
+
+/// Per-layer construction times (Fig. 15(b)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    /// Tree tier: decomposition + packing, milliseconds.
+    pub tree_ms: f64,
+    /// Skeleton tier, milliseconds.
+    pub skeleton_ms: f64,
+    /// Topological layer (doors graph + links), milliseconds.
+    pub topo_ms: f64,
+    /// Object layer, milliseconds.
+    pub object_ms: f64,
+    /// Number of index units produced.
+    pub units: usize,
+}
+
+/// Result of `RangeSearch` (Algorithm 4): candidate objects `Ro` and
+/// candidate partitions `Rp`, with retrieval counters.
+#[derive(Clone, Debug, Default)]
+pub struct RangeSearchOutcome {
+    /// Candidate objects (no false negatives, Lemma 6).
+    pub objects: Vec<ObjectId>,
+    /// Candidate partitions.
+    pub partitions: Vec<PartitionId>,
+    /// Tree traversal counters.
+    pub stats: SearchStats,
+    /// Bucket entries scanned.
+    pub objects_checked: usize,
+}
+
+/// The three-layer composite index.
+#[derive(Clone, Debug)]
+pub struct CompositeIndex {
+    config: IndexConfig,
+    units: UnitStore,
+    rtree: RTree,
+    skeleton: SkeletonTier,
+    graph: DoorsGraph,
+    objects: ObjectLayer,
+    space_version: u64,
+    /// Construction timing, for the Fig. 15(b) experiment.
+    pub build_stats: BuildStats,
+}
+
+impl CompositeIndex {
+    /// Builds the index over the space and the current object population.
+    pub fn build(
+        space: &IndoorSpace,
+        store: &ObjectStore,
+        config: IndexConfig,
+    ) -> Result<Self, IndexError> {
+        let mut stats = BuildStats::default();
+        let decomp = DecomposeConfig { t_shape: config.t_shape, ..DecomposeConfig::default() };
+
+        // Tree tier.
+        let t = Instant::now();
+        let mut units = UnitStore::new();
+        let partitions: Vec<_> = space.partitions().cloned().collect();
+        for p in &partitions {
+            units.add_partition(space, p, &decomp);
+        }
+        let entries: Vec<LeafEntry> = units
+            .iter()
+            .map(|u| LeafEntry { unit: u.id, mbr: u.mbr })
+            .collect();
+        stats.units = entries.len();
+        let rtree = if config.bulk_load {
+            RTree::bulk_load(entries, config.fanout)
+        } else {
+            let mut t = RTree::new(config.fanout);
+            for e in entries {
+                t.insert(e);
+            }
+            t
+        };
+        stats.tree_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Skeleton tier.
+        let t = Instant::now();
+        let skeleton = SkeletonTier::build(space);
+        stats.skeleton_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Topological layer.
+        let t = Instant::now();
+        let graph = DoorsGraph::build(space);
+        stats.topo_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Object layer.
+        let t = Instant::now();
+        let mut index = CompositeIndex {
+            config,
+            units,
+            rtree,
+            skeleton,
+            graph,
+            objects: ObjectLayer::new(),
+            space_version: space.version(),
+            build_stats: stats,
+        };
+        for id in store.ids_sorted() {
+            index.insert_object(space, store.get(id)?)?;
+        }
+        index.build_stats.object_ms = t.elapsed().as_secs_f64() * 1e3;
+        Ok(index)
+    }
+
+    // ---- accessors -----------------------------------------------------------
+
+    /// The topological layer: the doors graph integrated in the index.
+    pub fn doors_graph(&self) -> &DoorsGraph {
+        &self.graph
+    }
+
+    /// The skeleton tier.
+    pub fn skeleton(&self) -> &SkeletonTier {
+        &self.skeleton
+    }
+
+    /// The unit store (h-table).
+    pub fn units(&self) -> &UnitStore {
+        &self.units
+    }
+
+    /// The object layer (buckets + o-table).
+    pub fn object_layer(&self) -> &ObjectLayer {
+        &self.objects
+    }
+
+    /// The tree tier.
+    pub fn rtree(&self) -> &RTree {
+        &self.rtree
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> IndexConfig {
+        self.config
+    }
+
+    /// Errors if the index has not seen all space mutations.
+    pub fn check_fresh(&self, space: &IndoorSpace) -> Result<(), IndexError> {
+        if self.space_version != space.version() {
+            return Err(IndexError::StaleIndex {
+                index_version: self.space_version,
+                space_version: space.version(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Minimum skeleton distance from `q` to an MBR (Eq. 10) — the
+    /// geometric lower bound used by `RangeSearch`.
+    pub fn min_skeleton_distance(&self, space: &IndoorSpace, q: IndoorPoint, mbr: &Mbr3) -> f64 {
+        self.skeleton
+            .min_skeleton_distance(q, space.floor_height(), mbr)
+    }
+
+    // ---- RangeSearch (Algorithm 4) --------------------------------------------
+
+    /// Retrieves all objects and partitions whose geometric lower-bound
+    /// distance from `q` is at most `r`. With `use_skeleton = false` the
+    /// plain 3D Euclidean lower bound is used instead (the paper's
+    /// "withoutSkeleton" ablation, Fig. 15(a)).
+    pub fn range_search(
+        &self,
+        space: &IndoorSpace,
+        q: IndoorPoint,
+        r: f64,
+        use_skeleton: bool,
+    ) -> RangeSearchOutcome {
+        self.range_search_dual(space, q, r, r, use_skeleton)
+    }
+
+    /// `RangeSearch` with separate radii: objects are collected within
+    /// `r_objects` while partitions are collected within `r_partitions ≥
+    /// r_objects`. The wider partition radius is the *subgraph slack*: it
+    /// guarantees the restricted Dijkstra of Phase 2 sees every partition a
+    /// relevant shortest path can traverse (see the soundness note in
+    /// `idq_distance::bounds`).
+    pub fn range_search_dual(
+        &self,
+        space: &IndoorSpace,
+        q: IndoorPoint,
+        r_objects: f64,
+        r_partitions: f64,
+        use_skeleton: bool,
+    ) -> RangeSearchOutcome {
+        let r_partitions = r_partitions.max(r_objects);
+        let fh = space.floor_height();
+        let q3 = q.at_elevation(fh);
+        let metric = |m: &Mbr3| -> f64 {
+            if use_skeleton {
+                self.skeleton.min_skeleton_distance(q, fh, m)
+            } else {
+                m.min_dist(q3)
+            }
+        };
+        let mut partitions: HashSet<PartitionId> = HashSet::new();
+        let mut object_set: HashSet<ObjectId> = HashSet::new();
+        let mut objects = Vec::new();
+        let mut objects_checked = 0usize;
+        let stats = self.rtree.range_search(|m| metric(m), r_partitions, |entry| {
+            if let Some(p) = self.units.partition_of(entry.unit) {
+                partitions.insert(p);
+            }
+            for &o in self.objects.objects_in(entry.unit) {
+                objects_checked += 1;
+                if object_set.contains(&o) {
+                    continue;
+                }
+                let Ok(mbr) = self.objects.object_mbr(o) else { continue };
+                if metric(&mbr) <= r_objects {
+                    object_set.insert(o);
+                    objects.push(o);
+                }
+            }
+        });
+        let mut partitions: Vec<PartitionId> = partitions.into_iter().collect();
+        partitions.sort_unstable();
+        objects.sort_unstable();
+        RangeSearchOutcome { objects, partitions, stats, objects_checked }
+    }
+
+    // ---- object layer maintenance (§III-C.2) ------------------------------------
+
+    /// Units overlapped by an object's uncertainty footprint, plus its
+    /// search MBR (region ∪ instances).
+    pub fn object_footprint(
+        &self,
+        space: &IndoorSpace,
+        object: &UncertainObject,
+    ) -> (Vec<UnitId>, Mbr3) {
+        let rect: Rect2 = object.region.bbox().union(&object.instance_bbox());
+        let mbr = Mbr3::planar(rect, object.floor, space.elevation(object.floor));
+        let mut found = Vec::new();
+        self.rtree.range_search(
+            |m| if m.intersects(&mbr) { 0.0 } else { 1.0 },
+            0.5,
+            |entry| found.push(entry.unit),
+        );
+        found.sort_unstable();
+        (found, mbr)
+    }
+
+    /// Indexes a new object.
+    pub fn insert_object(
+        &mut self,
+        space: &IndoorSpace,
+        object: &UncertainObject,
+    ) -> Result<(), IndexError> {
+        let (units, mbr) = self.object_footprint(space, object);
+        self.objects.insert(object.id, units, mbr)
+    }
+
+    /// Removes an object from the index.
+    pub fn remove_object(&mut self, id: ObjectId) -> Result<(), IndexError> {
+        self.objects.remove(id).map(|_| ())
+    }
+
+    /// Object update = deletion followed by insertion (§III-C.2).
+    pub fn update_object(
+        &mut self,
+        space: &IndoorSpace,
+        object: &UncertainObject,
+    ) -> Result<(), IndexError> {
+        self.objects.remove(object.id)?;
+        self.insert_object(space, object)
+    }
+
+    // ---- topology maintenance (§III-C.1) ------------------------------------------
+
+    /// Applies one topology event to every affected layer. `store` supplies
+    /// object geometry for re-bucketing objects displaced by partition
+    /// changes.
+    pub fn apply_topology(
+        &mut self,
+        space: &IndoorSpace,
+        store: &ObjectStore,
+        event: &TopologyEvent,
+    ) -> Result<(), IndexError> {
+        match event {
+            TopologyEvent::PartitionInserted(p) => {
+                self.index_partition(space, *p)?;
+            }
+            TopologyEvent::PartitionRemoved(p) => {
+                self.unindex_partition(space, store, *p)?;
+            }
+            TopologyEvent::PartitionSplit { old, new } => {
+                self.unindex_partition(space, store, *old)?;
+                for p in new {
+                    self.index_partition(space, *p)?;
+                }
+                // Objects previously bucketed in the old partition's units
+                // were re-footprinted by unindex_partition, which ran before
+                // the new units existed — re-run them now.
+                self.refresh_objects_near(space, store, *old)?;
+            }
+            TopologyEvent::PartitionsMerged { old, new } => {
+                for p in old {
+                    self.unindex_partition(space, store, *p)?;
+                }
+                self.index_partition(space, *new)?;
+                for p in old {
+                    self.refresh_objects_near(space, store, *p)?;
+                }
+            }
+            TopologyEvent::DoorInserted(d)
+            | TopologyEvent::DoorRemoved(d)
+            | TopologyEvent::DoorStateChanged(d)
+            | TopologyEvent::DoorRetargeted(d) => {
+                if let Ok(door) = space.door_raw(*d) {
+                    if door.kind == DoorKind::StaircaseEntrance {
+                        self.skeleton = SkeletonTier::build(space);
+                    }
+                }
+            }
+        }
+        self.graph.apply(space, event);
+        self.space_version = space.version();
+        Ok(())
+    }
+
+    fn index_partition(&mut self, space: &IndoorSpace, p: PartitionId) -> Result<(), IndexError> {
+        let partition = space.partition(p)?;
+        let decomp = DecomposeConfig { t_shape: self.config.t_shape, ..DecomposeConfig::default() };
+        let ids = self.units.add_partition(space, partition, &decomp);
+        for u in ids {
+            let unit = self.units.get(u).expect("freshly added");
+            self.rtree.insert(LeafEntry { unit: u, mbr: unit.mbr });
+        }
+        self.objects.grow(self.units.slots());
+        if partition.kind == idq_model::PartitionKind::Staircase {
+            self.skeleton = SkeletonTier::build(space);
+        }
+        Ok(())
+    }
+
+    fn unindex_partition(
+        &mut self,
+        space: &IndoorSpace,
+        store: &ObjectStore,
+        p: PartitionId,
+    ) -> Result<(), IndexError> {
+        // Collect objects bucketed in the removed units before tearing
+        // them down.
+        let removed_units = self.units.units_of(p).to_vec();
+        let displaced = self
+            .objects
+            .objects_in_units(removed_units.iter());
+        for u in &removed_units {
+            if let Some(unit) = self.units.get(*u) {
+                let mbr = unit.mbr;
+                self.rtree.remove(*u, &mbr);
+            }
+        }
+        self.units.remove_partition(p);
+        // Re-footprint displaced objects against the remaining units.
+        for id in displaced {
+            if let Ok(obj) = store.get(id) {
+                self.objects.remove(id)?;
+                self.insert_object(space, obj)?;
+            } else {
+                // The object is gone from the store too: drop it.
+                let _ = self.objects.remove(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-footprints objects whose stored MBR intersects the bbox of a
+    /// (former) partition — used after split/merge so objects land in the
+    /// successor units.
+    fn refresh_objects_near(
+        &mut self,
+        space: &IndoorSpace,
+        store: &ObjectStore,
+        former: PartitionId,
+    ) -> Result<(), IndexError> {
+        let Ok(partition) = space.partition_raw(former) else { return Ok(()) };
+        let area = Mbr3::spanning(
+            partition.bbox,
+            (partition.floor_lo, partition.floor_hi),
+            (
+                space.elevation(partition.floor_lo),
+                space.elevation(partition.floor_hi),
+            ),
+        );
+        let ids: Vec<ObjectId> = store
+            .iter()
+            .filter(|o| {
+                self.objects
+                    .object_mbr(o.id)
+                    .map(|m| m.intersects(&area))
+                    .unwrap_or(false)
+            })
+            .map(|o| o.id)
+            .collect();
+        for id in ids {
+            let obj = store.get(id)?;
+            self.objects.remove(id)?;
+            self.insert_object(space, obj)?;
+        }
+        Ok(())
+    }
+
+    /// Test/maintenance helper: validates cross-layer invariants.
+    pub fn validate(&self) {
+        self.rtree.validate();
+        self.objects.validate();
+        assert_eq!(self.rtree.len(), self.units.len(), "tree entries == active units");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::{Circle, Point2};
+    use idq_model::{FloorPlanBuilder, SplitLine};
+    use idq_objects::UncertainObject;
+
+    /// Two floors, two rooms each, one staircase; a handful of objects.
+    fn setup() -> (IndoorSpace, ObjectStore, CompositeIndex) {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let r00 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 20.0, 10.0)).unwrap();
+        let r01 = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 40.0, 10.0)).unwrap();
+        let r10 = b.add_room(1, Rect2::from_bounds(0.0, 0.0, 20.0, 10.0)).unwrap();
+        let r11 = b.add_room(1, Rect2::from_bounds(20.0, 0.0, 40.0, 10.0)).unwrap();
+        let st = b.add_staircase((0, 1), Rect2::from_bounds(40.0, 0.0, 44.0, 10.0)).unwrap();
+        b.add_door_between(r00, r01, Point2::new(20.0, 5.0)).unwrap();
+        b.add_door_between(r10, r11, Point2::new(20.0, 5.0)).unwrap();
+        b.add_staircase_entrance(st, r01, 0, Point2::new(40.0, 5.0)).unwrap();
+        b.add_staircase_entrance(st, r11, 1, Point2::new(40.0, 5.0)).unwrap();
+        let space = b.finish().unwrap();
+
+        let mut store = ObjectStore::new();
+        let mk = |id: u64, x: f64, floor: u16| {
+            UncertainObject::with_uniform_weights(
+                ObjectId(id),
+                Circle::new(Point2::new(x, 5.0), 2.0),
+                floor,
+                vec![Point2::new(x - 1.0, 5.0), Point2::new(x + 1.0, 5.0)],
+            )
+            .unwrap()
+        };
+        store.insert(mk(1, 5.0, 0)).unwrap();
+        store.insert(mk(2, 30.0, 0)).unwrap();
+        store.insert(mk(3, 5.0, 1)).unwrap();
+        let index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
+        (space, store, index)
+    }
+
+    #[test]
+    fn build_populates_all_layers() {
+        let (space, store, index) = setup();
+        index.validate();
+        index.check_fresh(&space).unwrap();
+        assert_eq!(index.object_layer().len(), store.len());
+        assert!(index.build_stats.units >= space.partition_count());
+        assert!(index.skeleton().entrance_count() == 2);
+        assert!(index.doors_graph().edge_count() > 0);
+    }
+
+    #[test]
+    fn range_search_same_floor_finds_near_object() {
+        let (space, _, index) = setup();
+        let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
+        let out = index.range_search(&space, q, 10.0, true);
+        assert!(out.objects.contains(&ObjectId(1)));
+        // Object 3 sits directly overhead: planar distance ~0 but the
+        // skeleton route is ~ 35+8+35 — it must be pruned...
+        assert!(!out.objects.contains(&ObjectId(3)), "skeleton prunes the floor above");
+        // ...whereas without the skeleton the Euclidean bound (4 m up)
+        // admits it (Fig. 15(a)'s effect).
+        let out = index.range_search(&space, q, 10.0, false);
+        assert!(out.objects.contains(&ObjectId(3)));
+    }
+
+    #[test]
+    fn range_search_partitions_no_false_negatives() {
+        let (space, _, index) = setup();
+        let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
+        let out = index.range_search(&space, q, 100.0, true);
+        // Everything is within 100 m of indoor distance in this tiny
+        // space: all partitions and objects retrieved.
+        assert_eq!(out.partitions.len(), space.partition_count());
+        assert_eq!(out.objects.len(), 3);
+    }
+
+    #[test]
+    fn object_updates_maintain_layers() {
+        let (space, mut store, mut index) = setup();
+        // Move object 1 to the other room: delete + insert (§III-C.2).
+        let moved = UncertainObject::with_uniform_weights(
+            ObjectId(1),
+            Circle::new(Point2::new(30.0, 5.0), 2.0),
+            0,
+            vec![Point2::new(29.0, 5.0), Point2::new(31.0, 5.0)],
+        )
+        .unwrap();
+        store.remove(ObjectId(1)).unwrap();
+        store.insert(moved.clone()).unwrap();
+        index.update_object(&space, &moved).unwrap();
+        index.validate();
+        let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
+        let out = index.range_search(&space, q, 10.0, true);
+        assert!(!out.objects.contains(&ObjectId(1)));
+        let out = index.range_search(&space, q, 40.0, true);
+        assert!(out.objects.contains(&ObjectId(1)));
+        // Remove entirely.
+        index.remove_object(ObjectId(1)).unwrap();
+        assert!(!index.object_layer().contains(ObjectId(1)));
+        assert!(matches!(
+            index.remove_object(ObjectId(1)),
+            Err(IndexError::ObjectNotIndexed(_))
+        ));
+    }
+
+    #[test]
+    fn topology_split_rebuckets_objects() {
+        let (mut space, store, mut index) = setup();
+        // Split room r00 (objects 1 lives there).
+        let r00 = space
+            .partition_at(IndoorPoint::new(Point2::new(5.0, 5.0), 0))
+            .unwrap();
+        let (_, events) = space
+            .split_partition(r00, SplitLine::AtX(10.0), Some(Point2::new(10.0, 5.0)))
+            .unwrap();
+        for ev in &events {
+            index.apply_topology(&space, &store, ev).unwrap();
+        }
+        index.check_fresh(&space).unwrap();
+        index.validate();
+        // Object 1 straddles x=5±1: all in the left half; still findable.
+        let q = IndoorPoint::new(Point2::new(1.0, 5.0), 0);
+        let out = index.range_search(&space, q, 10.0, true);
+        assert!(out.objects.contains(&ObjectId(1)));
+    }
+
+    #[test]
+    fn topology_delete_partition_drops_units() {
+        let (mut space, store, mut index) = setup();
+        let r11 = space
+            .partition_at(IndoorPoint::new(Point2::new(30.0, 5.0), 1))
+            .unwrap();
+        let events = space.delete_partition(r11).unwrap();
+        for ev in &events {
+            index.apply_topology(&space, &store, ev).unwrap();
+        }
+        index.validate();
+        assert!(index.units().units_of(r11).is_empty());
+        // Units gone from the tree: a broad search sees fewer partitions.
+        let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
+        let out = index.range_search(&space, q, 1000.0, false);
+        assert!(!out.partitions.contains(&r11));
+    }
+
+    #[test]
+    fn closing_staircase_entrance_rebuilds_skeleton() {
+        let (mut space, store, mut index) = setup();
+        assert_eq!(index.skeleton().entrance_count(), 2);
+        // Close the floor-1 staircase entrance: the skeleton must drop it,
+        // making floor 1 unreachable through the skeleton metric.
+        let entrance = space
+            .doors()
+            .find(|d| d.kind == idq_model::DoorKind::StaircaseEntrance && d.floor == 1)
+            .unwrap()
+            .id;
+        let ev = space.close_door(entrance).unwrap();
+        index.apply_topology(&space, &store, &ev).unwrap();
+        assert_eq!(index.skeleton().entrance_count(), 1);
+        let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
+        let up = IndoorPoint::new(Point2::new(5.0, 5.0), 1);
+        assert!(index.skeleton().skeleton_distance(q, up).is_infinite());
+        // Re-opening restores it.
+        let ev = space.open_door(entrance).unwrap();
+        index.apply_topology(&space, &store, &ev).unwrap();
+        assert_eq!(index.skeleton().entrance_count(), 2);
+        assert!(index.skeleton().skeleton_distance(q, up).is_finite());
+    }
+
+    #[test]
+    fn stale_index_detected() {
+        let (mut space, _, index) = setup();
+        let d = space.doors().next().unwrap().id;
+        space.close_door(d).unwrap();
+        assert!(matches!(
+            index.check_fresh(&space),
+            Err(IndexError::StaleIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_build_matches_bulk_search() {
+        let (space, store, bulk) = setup();
+        let incremental = CompositeIndex::build(
+            &space,
+            &store,
+            IndexConfig { bulk_load: false, ..IndexConfig::default() },
+        )
+        .unwrap();
+        incremental.validate();
+        let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
+        for r in [5.0, 20.0, 100.0] {
+            let a = bulk.range_search(&space, q, r, true);
+            let b = incremental.range_search(&space, q, r, true);
+            assert_eq!(a.objects, b.objects);
+            assert_eq!(a.partitions, b.partitions);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The object layer (§III-A.3): per-unit buckets plus the `o-table`.
+//!
+//! Every leaf index unit carries a bucket of the objects overlapping it;
+//! the `o-table` maps each object to all units it overlaps (an uncertain
+//! object may straddle several partitions, hence several buckets). Both
+//! directions are maintained under object and topology updates.
+
+use crate::error::IndexError;
+use crate::units::UnitId;
+use idq_geom::Mbr3;
+use idq_objects::ObjectId;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+struct ObjEntry {
+    units: Vec<UnitId>,
+    mbr: Mbr3,
+}
+
+/// Buckets + o-table.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectLayer {
+    buckets: Vec<Vec<ObjectId>>,
+    o_table: HashMap<ObjectId, ObjEntry>,
+}
+
+impl ObjectLayer {
+    /// Empty layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures bucket slots exist for `slots` units.
+    pub fn grow(&mut self, slots: usize) {
+        if self.buckets.len() < slots {
+            self.buckets.resize(slots, Vec::new());
+        }
+    }
+
+    /// Registers an object in the given units with its search MBR.
+    pub fn insert(
+        &mut self,
+        id: ObjectId,
+        units: Vec<UnitId>,
+        mbr: Mbr3,
+    ) -> Result<(), IndexError> {
+        if self.o_table.contains_key(&id) {
+            return Err(IndexError::ObjectAlreadyIndexed(id));
+        }
+        for &u in &units {
+            self.grow(u.index() + 1);
+            self.buckets[u.index()].push(id);
+        }
+        self.o_table.insert(id, ObjEntry { units, mbr });
+        Ok(())
+    }
+
+    /// Unregisters an object, returning the units it occupied.
+    pub fn remove(&mut self, id: ObjectId) -> Result<Vec<UnitId>, IndexError> {
+        let entry = self.o_table.remove(&id).ok_or(IndexError::ObjectNotIndexed(id))?;
+        for &u in &entry.units {
+            if let Some(bucket) = self.buckets.get_mut(u.index()) {
+                bucket.retain(|&o| o != id);
+            }
+        }
+        Ok(entry.units)
+    }
+
+    /// The bucket of one unit.
+    pub fn objects_in(&self, u: UnitId) -> &[ObjectId] {
+        self.buckets.get(u.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The units an object overlaps — the `o-table` lookup.
+    pub fn units_of(&self, id: ObjectId) -> Result<&[UnitId], IndexError> {
+        self.o_table
+            .get(&id)
+            .map(|e| e.units.as_slice())
+            .ok_or(IndexError::ObjectNotIndexed(id))
+    }
+
+    /// The search MBR stored for an object (uncertainty region ∪
+    /// instances).
+    pub fn object_mbr(&self, id: ObjectId) -> Result<Mbr3, IndexError> {
+        self.o_table
+            .get(&id)
+            .map(|e| e.mbr)
+            .ok_or(IndexError::ObjectNotIndexed(id))
+    }
+
+    /// Whether the object is indexed.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.o_table.contains_key(&id)
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.o_table.len()
+    }
+
+    /// `true` iff no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.o_table.is_empty()
+    }
+
+    /// All object ids registered in any of the given units (deduplicated).
+    pub fn objects_in_units<'a>(
+        &self,
+        units: impl Iterator<Item = &'a UnitId>,
+    ) -> Vec<ObjectId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for &u in units {
+            for &o in self.objects_in(u) {
+                if seen.insert(o) {
+                    out.push(o);
+                }
+            }
+        }
+        out
+    }
+
+    /// Test/maintenance helper: verifies bucket ↔ o-table consistency.
+    /// Panics on violation.
+    pub fn validate(&self) {
+        for (id, entry) in &self.o_table {
+            for u in &entry.units {
+                assert!(
+                    self.objects_in(*u).contains(id),
+                    "o-table says {id} in {u} but bucket disagrees"
+                );
+            }
+        }
+        for (u, bucket) in self.buckets.iter().enumerate() {
+            for id in bucket {
+                let entry = self.o_table.get(id).expect("bucket object in o-table");
+                assert!(
+                    entry.units.iter().any(|x| x.index() == u),
+                    "bucket {u} holds {id} but o-table disagrees"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::Rect2;
+
+    fn mbr() -> Mbr3 {
+        Mbr3::planar(Rect2::from_bounds(0.0, 0.0, 5.0, 5.0), 0, 0.0)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut l = ObjectLayer::new();
+        l.insert(ObjectId(1), vec![UnitId(0), UnitId(2)], mbr()).unwrap();
+        assert_eq!(l.units_of(ObjectId(1)).unwrap(), &[UnitId(0), UnitId(2)]);
+        assert_eq!(l.objects_in(UnitId(0)), &[ObjectId(1)]);
+        assert_eq!(l.objects_in(UnitId(1)), &[] as &[ObjectId]);
+        l.validate();
+        let units = l.remove(ObjectId(1)).unwrap();
+        assert_eq!(units, vec![UnitId(0), UnitId(2)]);
+        assert!(l.is_empty());
+        assert!(l.objects_in(UnitId(0)).is_empty());
+        l.validate();
+    }
+
+    #[test]
+    fn duplicate_and_missing_are_errors() {
+        let mut l = ObjectLayer::new();
+        l.insert(ObjectId(1), vec![UnitId(0)], mbr()).unwrap();
+        assert!(matches!(
+            l.insert(ObjectId(1), vec![UnitId(1)], mbr()),
+            Err(IndexError::ObjectAlreadyIndexed(_))
+        ));
+        assert!(matches!(l.remove(ObjectId(9)), Err(IndexError::ObjectNotIndexed(_))));
+        assert!(matches!(l.units_of(ObjectId(9)), Err(IndexError::ObjectNotIndexed(_))));
+    }
+
+    #[test]
+    fn dedup_across_buckets() {
+        let mut l = ObjectLayer::new();
+        l.insert(ObjectId(1), vec![UnitId(0), UnitId(1)], mbr()).unwrap();
+        l.insert(ObjectId(2), vec![UnitId(1)], mbr()).unwrap();
+        let units = [UnitId(0), UnitId(1)];
+        let got = l.objects_in_units(units.iter());
+        assert_eq!(got.len(), 2);
+    }
+}

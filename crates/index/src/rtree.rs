@@ -1,0 +1,625 @@
+//! The indR-tree tier (§III-A.2): an R\*-style tree over index units.
+//!
+//! Adaptation points from the paper:
+//!
+//! * entries are *planar* MBRs placed in 3D; construction heuristics pad
+//!   the vertical side by 1 cm ([`Mbr3::build_volume`]) while query-phase
+//!   distances ignore the pad — the paper's trick to keep volume-based
+//!   splits meaningful without distorting distances;
+//! * construction uses Sort-Tile-Recursive packing (the paper uses a
+//!   *packed* R\*-tree, §V-A) grouped floor-first, so same-floor units
+//!   share subtrees;
+//! * dynamic inserts descend by least volume enlargement and split
+//!   overflowing nodes on the axis of largest centre spread at the median
+//!   (an STR-consistent split; R\*'s forced reinsertion is intentionally
+//!   omitted — documented deviation, irrelevant to the measured update
+//!   costs which are dominated by bucket moves);
+//! * deletions tolerate underfull nodes (MBRs are recomputed, empty nodes
+//!   pruned), which keeps `deletePartition` O(height) as the paper's
+//!   Fig. 15(c) expects.
+
+use crate::units::UnitId;
+use idq_geom::{Mbr3, OrdF64};
+
+/// A leaf entry: one index unit.
+#[derive(Clone, Copy, Debug)]
+pub struct LeafEntry {
+    /// The unit.
+    pub unit: UnitId,
+    /// Its 3D MBR.
+    pub mbr: Mbr3,
+}
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Leaf(Vec<LeafEntry>),
+    Inner(Vec<usize>),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    mbr: Mbr3,
+    kind: NodeKind,
+}
+
+/// Statistics of one tree search (feeds the Fig. 15(a) experiment).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Tree nodes visited.
+    pub nodes_visited: usize,
+    /// Leaf entries whose MBR metric was evaluated.
+    pub entries_checked: usize,
+}
+
+/// The indR-tree.
+#[derive(Clone, Debug)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: usize,
+    fanout: usize,
+    len: usize,
+}
+
+impl RTree {
+    /// An empty tree with the given fanout (paper default: 20).
+    pub fn new(fanout: usize) -> Self {
+        let fanout = fanout.max(2);
+        RTree {
+            nodes: vec![Node { mbr: Mbr3::empty_sentinel(), kind: NodeKind::Leaf(Vec::new()) }],
+            root: 0,
+            fanout,
+            len: 0,
+        }
+    }
+
+    /// Sort-Tile-Recursive bulk load ("packed" construction, §V-A).
+    pub fn bulk_load(mut entries: Vec<LeafEntry>, fanout: usize) -> Self {
+        let fanout = fanout.max(2);
+        if entries.is_empty() {
+            return Self::new(fanout);
+        }
+        let mut tree = RTree { nodes: Vec::new(), root: 0, fanout, len: entries.len() };
+        // Pack leaves: floor-first, then STR tiles in x, then runs in y.
+        let leaf_groups = str_tiles(&mut entries, fanout, |e| &e.mbr);
+        let mut level: Vec<usize> = leaf_groups
+            .into_iter()
+            .map(|group| {
+                let mbr = union_of(group.iter().map(|e| &e.mbr));
+                tree.push(Node { mbr, kind: NodeKind::Leaf(group) })
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut items: Vec<(usize, Mbr3)> =
+                level.iter().map(|&i| (i, tree.nodes[i].mbr)).collect();
+            let groups = str_tiles(&mut items, fanout, |x| &x.1);
+            level = groups
+                .into_iter()
+                .map(|group| {
+                    let mbr = union_of(group.iter().map(|x| &x.1));
+                    let children = group.into_iter().map(|x| x.0).collect();
+                    tree.push(Node { mbr, kind: NodeKind::Inner(children) })
+                })
+                .collect();
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    fn push(&mut self, n: Node) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    /// Number of unit entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the tree holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur].kind {
+                NodeKind::Leaf(_) => return h,
+                NodeKind::Inner(c) => {
+                    h += 1;
+                    cur = c[0];
+                }
+            }
+        }
+    }
+
+    /// Number of allocated tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Root MBR (sentinel when empty).
+    pub fn root_mbr(&self) -> Mbr3 {
+        self.nodes[self.root].mbr
+    }
+
+    // ---- search -----------------------------------------------------------
+
+    /// `RangeSearch` over the tree (Algorithm 4's tree walk): visits every
+    /// leaf entry whose `metric` is at most `r`, pruning subtrees whose
+    /// node MBR metric exceeds `r`. The metric is injected so callers can
+    /// search by the skeleton distance (Eq. 10) or plain Euclidean
+    /// distance (the paper's "withoutSkeleton" ablation).
+    pub fn range_search<M, V>(&self, metric: M, r: f64, mut visit: V) -> SearchStats
+    where
+        M: Fn(&Mbr3) -> f64,
+        V: FnMut(&LeafEntry),
+    {
+        let mut stats = SearchStats::default();
+        if self.len == 0 {
+            return stats;
+        }
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            stats.nodes_visited += 1;
+            match &self.nodes[idx].kind {
+                NodeKind::Leaf(entries) => {
+                    for e in entries {
+                        stats.entries_checked += 1;
+                        if metric(&e.mbr) <= r {
+                            visit(e);
+                        }
+                    }
+                }
+                NodeKind::Inner(children) => {
+                    for &c in children {
+                        if metric(&self.nodes[c].mbr) <= r {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    // ---- insertion ----------------------------------------------------------
+
+    /// Inserts one entry (dynamic maintenance, §III-C.1 *Insertion*).
+    pub fn insert(&mut self, entry: LeafEntry) {
+        if let Some(sibling) = self.insert_rec(self.root, entry) {
+            let old_root = self.root;
+            let mbr = self.nodes[old_root].mbr.union(&self.nodes[sibling].mbr);
+            self.root = self.push(Node { mbr, kind: NodeKind::Inner(vec![old_root, sibling]) });
+        }
+        self.len += 1;
+    }
+
+    fn insert_rec(&mut self, idx: usize, entry: LeafEntry) -> Option<usize> {
+        let split = match &self.nodes[idx].kind {
+            NodeKind::Leaf(_) => {
+                if let NodeKind::Leaf(entries) = &mut self.nodes[idx].kind {
+                    entries.push(entry);
+                }
+                (self.leaf_len(idx) > self.fanout).then(|| self.split_leaf(idx))
+            }
+            NodeKind::Inner(children) => {
+                let child = choose_child(&self.nodes, children, &entry.mbr);
+                let new_sibling = self.insert_rec(child, entry);
+                if let Some(sib) = new_sibling {
+                    if let NodeKind::Inner(children) = &mut self.nodes[idx].kind {
+                        children.push(sib);
+                    }
+                    (self.inner_len(idx) > self.fanout).then(|| self.split_inner(idx))
+                } else {
+                    None
+                }
+            }
+        };
+        self.recompute_mbr(idx);
+        if let Some(sib) = split {
+            self.recompute_mbr(sib);
+        }
+        split
+    }
+
+    fn leaf_len(&self, idx: usize) -> usize {
+        match &self.nodes[idx].kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Inner(_) => 0,
+        }
+    }
+
+    fn inner_len(&self, idx: usize) -> usize {
+        match &self.nodes[idx].kind {
+            NodeKind::Inner(c) => c.len(),
+            NodeKind::Leaf(_) => 0,
+        }
+    }
+
+    fn split_leaf(&mut self, idx: usize) -> usize {
+        let NodeKind::Leaf(mut entries) = std::mem::replace(
+            &mut self.nodes[idx].kind,
+            NodeKind::Leaf(Vec::new()),
+        ) else {
+            unreachable!("split_leaf on inner node")
+        };
+        sort_by_widest_axis(&mut entries, |e| &e.mbr);
+        let right = entries.split_off(entries.len() / 2);
+        self.nodes[idx].kind = NodeKind::Leaf(entries);
+        self.recompute_mbr(idx);
+        let mbr = union_of(right.iter().map(|e| &e.mbr));
+        self.push(Node { mbr, kind: NodeKind::Leaf(right) })
+    }
+
+    fn split_inner(&mut self, idx: usize) -> usize {
+        let NodeKind::Inner(children) = std::mem::replace(
+            &mut self.nodes[idx].kind,
+            NodeKind::Inner(Vec::new()),
+        ) else {
+            unreachable!("split_inner on leaf node")
+        };
+        let mut items: Vec<(usize, Mbr3)> =
+            children.into_iter().map(|c| (c, self.nodes[c].mbr)).collect();
+        sort_by_widest_axis(&mut items, |x| &x.1);
+        let right = items.split_off(items.len() / 2);
+        self.nodes[idx].kind = NodeKind::Inner(items.into_iter().map(|x| x.0).collect());
+        self.recompute_mbr(idx);
+        let mbr = union_of(right.iter().map(|x| &x.1));
+        let right_children = right.into_iter().map(|x| x.0).collect();
+        self.push(Node { mbr, kind: NodeKind::Inner(right_children) })
+    }
+
+    // ---- removal -------------------------------------------------------------
+
+    /// Removes one entry by unit id, guided by its MBR. Returns whether it
+    /// was found.
+    pub fn remove(&mut self, unit: UnitId, mbr: &Mbr3) -> bool {
+        let found = self.remove_rec(self.root, unit, mbr);
+        if found {
+            self.len -= 1;
+            // Collapse a chain of single-child inner roots.
+            while let NodeKind::Inner(c) = &self.nodes[self.root].kind {
+                if c.len() == 1 {
+                    self.root = c[0];
+                } else {
+                    break;
+                }
+            }
+            if self.len == 0 {
+                // Reset to a single empty leaf.
+                self.nodes[self.root].kind = NodeKind::Leaf(Vec::new());
+                self.nodes[self.root].mbr = Mbr3::empty_sentinel();
+            }
+        }
+        found
+    }
+
+    fn remove_rec(&mut self, idx: usize, unit: UnitId, mbr: &Mbr3) -> bool {
+        let found = match &self.nodes[idx].kind {
+            NodeKind::Leaf(entries) => {
+                let pos = entries.iter().position(|e| e.unit == unit);
+                match pos {
+                    Some(p) => {
+                        if let NodeKind::Leaf(entries) = &mut self.nodes[idx].kind {
+                            entries.swap_remove(p);
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            }
+            NodeKind::Inner(children) => {
+                let candidates: Vec<usize> = children
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.nodes[c].mbr.intersects(mbr))
+                    .collect();
+                let mut hit = false;
+                for c in candidates {
+                    if self.remove_rec(c, unit, mbr) {
+                        hit = true;
+                        // Prune emptied children.
+                        let empty = match &self.nodes[c].kind {
+                            NodeKind::Leaf(e) => e.is_empty(),
+                            NodeKind::Inner(cc) => cc.is_empty(),
+                        };
+                        if empty {
+                            if let NodeKind::Inner(children) = &mut self.nodes[idx].kind {
+                                children.retain(|&x| x != c);
+                            }
+                        }
+                        break;
+                    }
+                }
+                hit
+            }
+        };
+        if found {
+            self.recompute_mbr(idx);
+        }
+        found
+    }
+
+    fn recompute_mbr(&mut self, idx: usize) {
+        let mbr = match &self.nodes[idx].kind {
+            NodeKind::Leaf(entries) => union_of(entries.iter().map(|e| &e.mbr)),
+            NodeKind::Inner(children) => {
+                union_of(children.iter().map(|&c| &self.nodes[c].mbr))
+            }
+        };
+        self.nodes[idx].mbr = mbr;
+    }
+
+    // ---- invariants (test support) --------------------------------------------
+
+    /// Validates structural invariants: MBR containment, fanout caps, and
+    /// that exactly `len` entries are reachable. Panics on violation.
+    pub fn validate(&self) {
+        let mut count = 0;
+        self.validate_rec(self.root, &mut count);
+        assert_eq!(count, self.len, "reachable entries == len");
+    }
+
+    fn validate_rec(&self, idx: usize, count: &mut usize) {
+        let node = &self.nodes[idx];
+        match &node.kind {
+            NodeKind::Leaf(entries) => {
+                assert!(entries.len() <= self.fanout, "leaf fanout");
+                for e in entries {
+                    assert!(node.mbr.rect.contains_rect(&e.mbr.rect), "leaf MBR containment");
+                    *count += 1;
+                }
+            }
+            NodeKind::Inner(children) => {
+                assert!(children.len() <= self.fanout, "inner fanout");
+                assert!(!children.is_empty(), "inner node non-empty");
+                for &c in children {
+                    assert!(
+                        node.mbr.rect.contains_rect(&self.nodes[c].mbr.rect),
+                        "inner MBR containment"
+                    );
+                    self.validate_rec(c, count);
+                }
+            }
+        }
+    }
+}
+
+/// Least-volume-enlargement child choice (ties: smaller volume).
+fn choose_child(nodes: &[Node], children: &[usize], mbr: &Mbr3) -> usize {
+    let mut best = children[0];
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for &c in children {
+        let cur = nodes[c].mbr;
+        let grown = cur.union(mbr);
+        let key = (grown.build_volume() - cur.build_volume(), cur.build_volume());
+        if key < best_key {
+            best_key = key;
+            best = c;
+        }
+    }
+    best
+}
+
+fn union_of<'a>(mbrs: impl Iterator<Item = &'a Mbr3>) -> Mbr3 {
+    let mut acc = Mbr3::empty_sentinel();
+    for m in mbrs {
+        acc = acc.union(m);
+    }
+    acc
+}
+
+/// Sorts items by centre along the axis with the widest centre spread
+/// (z, i.e. floor, included — multi-floor separation first is what the
+/// paper's floor-aware layout wants).
+fn sort_by_widest_axis<T>(items: &mut [T], mbr_of: impl Fn(&T) -> &Mbr3) {
+    const EMPTY: (f64, f64) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut sx, mut sy, mut sz) = (EMPTY, EMPTY, EMPTY);
+    for it in items.iter() {
+        let m = mbr_of(it);
+        let c = m.rect.center();
+        let z = (m.z_lo + m.z_hi) / 2.0;
+        sx = (sx.0.min(c.x), sx.1.max(c.x));
+        sy = (sy.0.min(c.y), sy.1.max(c.y));
+        sz = (sz.0.min(z), sz.1.max(z));
+    }
+    let spread = |s: (f64, f64)| s.1 - s.0;
+    let (dx, dy, dz) = (spread(sx), spread(sy), spread(sz));
+    if dz >= dx && dz >= dy {
+        items.sort_by_key(|it| {
+            let m = mbr_of(it);
+            OrdF64((m.z_lo + m.z_hi) / 2.0)
+        });
+    } else if dx >= dy {
+        items.sort_by_key(|it| OrdF64(mbr_of(it).rect.center().x));
+    } else {
+        items.sort_by_key(|it| OrdF64(mbr_of(it).rect.center().y));
+    }
+}
+
+/// Groups items into STR tiles of at most `fanout` items: sort by floor
+/// (z), slice into floor runs, tile each run by x slabs then y runs.
+fn str_tiles<T>(items: &mut Vec<T>, fanout: usize, mbr_of: impl Fn(&T) -> &Mbr3 + Copy) -> Vec<Vec<T>> {
+    let n = items.len();
+    if n <= fanout {
+        return vec![std::mem::take(items)];
+    }
+    // Sort by (floor, x); slice into x-slabs of ~sqrt(n/fanout) per floor
+    // run, then chunk each slab by y.
+    items.sort_by(|a, b| {
+        let (ma, mb) = (mbr_of(a), mbr_of(b));
+        ma.floor_lo
+            .cmp(&mb.floor_lo)
+            .then(OrdF64(ma.rect.center().x).cmp(&OrdF64(mb.rect.center().x)))
+    });
+    let leaf_count = n.div_ceil(fanout);
+    let slab_count = (leaf_count as f64).sqrt().ceil() as usize;
+    let slab_size = n.div_ceil(slab_count);
+    let mut out = Vec::with_capacity(leaf_count);
+    let mut rest = std::mem::take(items);
+    while !rest.is_empty() {
+        let take = slab_size.min(rest.len());
+        let mut slab: Vec<T> = rest.drain(..take).collect();
+        slab.sort_by_key(|it| OrdF64(mbr_of(it).rect.center().y));
+        while !slab.is_empty() {
+            let take = fanout.min(slab.len());
+            out.push(slab.drain(..take).collect());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::{Point3, Rect2};
+
+    fn entry(i: u32, x: f64, y: f64, floor: u16) -> LeafEntry {
+        LeafEntry {
+            unit: UnitId(i),
+            mbr: Mbr3::planar(Rect2::from_bounds(x, y, x + 5.0, y + 5.0), floor, floor as f64 * 4.0),
+        }
+    }
+
+    fn grid_entries(nx: u32, ny: u32, floors: u16) -> Vec<LeafEntry> {
+        let mut v = Vec::new();
+        let mut id = 0;
+        for f in 0..floors {
+            for i in 0..nx {
+                for j in 0..ny {
+                    v.push(entry(id, i as f64 * 10.0, j as f64 * 10.0, f));
+                    id += 1;
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn bulk_load_reaches_everything() {
+        let entries = grid_entries(10, 10, 3);
+        let t = RTree::bulk_load(entries.clone(), 20);
+        assert_eq!(t.len(), 300);
+        t.validate();
+        assert!(t.height() >= 2);
+        let q = Point3::new(0.0, 0.0, 0.0);
+        let mut seen = Vec::new();
+        t.range_search(|m| m.min_dist(q), f64::INFINITY, |e| seen.push(e.unit));
+        assert_eq!(seen.len(), 300);
+    }
+
+    #[test]
+    fn range_search_prunes_far_nodes() {
+        let entries = grid_entries(10, 10, 3);
+        let t = RTree::bulk_load(entries, 20);
+        let q = Point3::new(2.5, 2.5, 0.0);
+        let mut seen = Vec::new();
+        let stats = t.range_search(|m| m.min_dist(q), 12.0, |e| seen.push(e.unit));
+        // Brute-force oracle.
+        let oracle = grid_entries(10, 10, 3)
+            .into_iter()
+            .filter(|e| e.mbr.min_dist(q) <= 12.0)
+            .count();
+        assert_eq!(seen.len(), oracle);
+        assert!(oracle > 0);
+        assert!(stats.nodes_visited < t.node_count(), "pruning happened");
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk_semantics() {
+        let entries = grid_entries(8, 8, 2);
+        let mut t = RTree::new(8);
+        for e in &entries {
+            t.insert(*e);
+        }
+        assert_eq!(t.len(), entries.len());
+        t.validate();
+        let q = Point3::new(35.0, 35.0, 4.0);
+        let mut a = Vec::new();
+        t.range_search(|m| m.min_dist(q), 15.0, |e| a.push(e.unit));
+        let mut oracle: Vec<UnitId> = entries
+            .iter()
+            .filter(|e| e.mbr.min_dist(q) <= 15.0)
+            .map(|e| e.unit)
+            .collect();
+        a.sort();
+        oracle.sort();
+        assert_eq!(a, oracle);
+    }
+
+    #[test]
+    fn remove_then_search_consistent() {
+        let entries = grid_entries(6, 6, 2);
+        let mut t = RTree::bulk_load(entries.clone(), 6);
+        for e in entries.iter().take(30) {
+            assert!(t.remove(e.unit, &e.mbr), "must find {e:?}");
+        }
+        assert_eq!(t.len(), entries.len() - 30);
+        t.validate();
+        let q = Point3::new(0.0, 0.0, 0.0);
+        let mut seen = Vec::new();
+        t.range_search(|m| m.min_dist(q), f64::INFINITY, |e| seen.push(e.unit));
+        assert_eq!(seen.len(), entries.len() - 30);
+        // Removed units are gone.
+        for e in entries.iter().take(30) {
+            assert!(!seen.contains(&e.unit));
+        }
+        // Removing again fails cleanly.
+        assert!(!t.remove(entries[0].unit, &entries[0].mbr));
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let mut t = RTree::new(20);
+        assert!(t.is_empty());
+        let stats = t.range_search(|m| m.min_dist(Point3::new(0.0, 0.0, 0.0)), 10.0, |_| {
+            panic!("nothing to visit")
+        });
+        assert_eq!(stats.entries_checked, 0);
+        assert!(!t.remove(UnitId(0), &Mbr3::planar(Rect2::from_bounds(0.0, 0.0, 1.0, 1.0), 0, 0.0)));
+        // Insert into empty then drain to empty again.
+        let e = entry(0, 0.0, 0.0, 0);
+        t.insert(e);
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(e.unit, &e.mbr));
+        assert!(t.is_empty());
+        t.validate();
+    }
+
+    #[test]
+    fn floors_separate_in_bulk_load() {
+        // Units of different floors should rarely share a leaf.
+        let entries = grid_entries(5, 5, 4);
+        let t = RTree::bulk_load(entries, 25);
+        t.validate();
+        let q = Point3::new(25.0, 25.0, 0.0);
+        // Searching exactly floor 0's plane within a planar radius should
+        // check far fewer entries than the whole tree.
+        let stats = t.range_search(|m| m.min_dist(q), 5.0, |_| {});
+        assert!(stats.entries_checked <= 50, "checked {}", stats.entries_checked);
+    }
+
+    #[test]
+    fn mixed_insert_remove_stress_keeps_invariants() {
+        let mut t = RTree::new(4);
+        let entries = grid_entries(7, 7, 2);
+        for (i, e) in entries.iter().enumerate() {
+            t.insert(*e);
+            if i % 3 == 0 {
+                assert!(t.remove(e.unit, &e.mbr));
+            }
+        }
+        t.validate();
+        let expected = entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .count();
+        assert_eq!(t.len(), expected);
+    }
+}

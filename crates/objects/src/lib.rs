@@ -1,0 +1,27 @@
+//! Uncertain indoor moving objects (§II-B of the paper).
+//!
+//! Indoor positioning (RFID, Wi-Fi, Bluetooth) reports object locations as
+//! regions, not points. Following the paper we represent a moving object
+//! `O` by a circular uncertainty region plus a discrete instance set
+//! `{(s_i, p_i)}` with `Σ p_i = 1` — the instance representation is general
+//! for arbitrary distributions (§II-B).
+//!
+//! * [`UncertainObject`] / [`Instance`] — the objects themselves;
+//! * [`Subregions`] — the partition-aligned decomposition `O = ∪ S[j]`
+//!   that the distance cases and the probabilistic bounds operate on;
+//! * [`GaussianSampler`] — the paper's instance generator (§V-A: 100
+//!   samples, Gaussian around the region centre, σ = diameter/6);
+//! * [`ObjectStore`] — the mutable population of objects, the ground truth
+//!   beneath the index's object layer.
+
+pub mod error;
+pub mod object;
+pub mod sampler;
+pub mod store;
+pub mod subregion;
+
+pub use error::ObjectError;
+pub use object::{Instance, ObjectId, UncertainObject};
+pub use sampler::GaussianSampler;
+pub use store::ObjectStore;
+pub use subregion::{Subregion, Subregions};

@@ -1,0 +1,136 @@
+//! The object store: the mutable ground-truth population of uncertain
+//! objects beneath the index's object layer.
+
+use crate::error::ObjectError;
+use crate::object::{ObjectId, UncertainObject};
+use std::collections::HashMap;
+
+/// Owns all live uncertain objects, addressed by [`ObjectId`].
+///
+/// The store is deliberately index-agnostic: the composite index's object
+/// layer (buckets + o-table) references objects by id and is maintained by
+/// the engine on every store mutation (the paper's §III-C.2 update flow:
+/// an object update is a deletion followed by an insertion).
+#[derive(Clone, Debug, Default)]
+pub struct ObjectStore {
+    objects: HashMap<ObjectId, UncertainObject>,
+    next_id: u64,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh object id (never reused).
+    pub fn allocate_id(&mut self) -> ObjectId {
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts an object; the id must be unused.
+    pub fn insert(&mut self, object: UncertainObject) -> Result<(), ObjectError> {
+        let id = object.id;
+        if self.objects.contains_key(&id) {
+            return Err(ObjectError::DuplicateObject(id));
+        }
+        // Keep the id allocator ahead of externally minted ids.
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.objects.insert(id, object);
+        Ok(())
+    }
+
+    /// Removes an object, returning it.
+    pub fn remove(&mut self, id: ObjectId) -> Result<UncertainObject, ObjectError> {
+        self.objects.remove(&id).ok_or(ObjectError::UnknownObject(id))
+    }
+
+    /// Looks up an object.
+    pub fn get(&self, id: ObjectId) -> Result<&UncertainObject, ObjectError> {
+        self.objects.get(&id).ok_or(ObjectError::UnknownObject(id))
+    }
+
+    /// Returns `true` if `id` is present.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Iterates over all objects (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &UncertainObject> {
+        self.objects.values()
+    }
+
+    /// Object ids, sorted (deterministic iteration for tests/benches).
+    pub fn ids_sorted(&self) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self.objects.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` iff no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::Point2;
+    use idq_model::IndoorPoint;
+
+    fn point_obj(id: u64) -> UncertainObject {
+        UncertainObject::point_object(ObjectId(id), IndoorPoint::new(Point2::new(0.0, 0.0), 0))
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = ObjectStore::new();
+        s.insert(point_obj(1)).unwrap();
+        assert!(s.contains(ObjectId(1)));
+        assert_eq!(s.get(ObjectId(1)).unwrap().id, ObjectId(1));
+        assert_eq!(s.len(), 1);
+        let o = s.remove(ObjectId(1)).unwrap();
+        assert_eq!(o.id, ObjectId(1));
+        assert!(s.is_empty());
+        assert!(matches!(s.get(ObjectId(1)), Err(ObjectError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut s = ObjectStore::new();
+        s.insert(point_obj(1)).unwrap();
+        assert!(matches!(
+            s.insert(point_obj(1)),
+            Err(ObjectError::DuplicateObject(_))
+        ));
+    }
+
+    #[test]
+    fn id_allocation_skips_external_ids() {
+        let mut s = ObjectStore::new();
+        s.insert(point_obj(10)).unwrap();
+        let id = s.allocate_id();
+        assert!(id.0 > 10);
+        assert!(!s.contains(id));
+    }
+
+    #[test]
+    fn sorted_ids_deterministic() {
+        let mut s = ObjectStore::new();
+        for i in [5, 1, 9, 3] {
+            s.insert(point_obj(i)).unwrap();
+        }
+        assert_eq!(
+            s.ids_sorted(),
+            vec![ObjectId(1), ObjectId(3), ObjectId(5), ObjectId(9)]
+        );
+    }
+}

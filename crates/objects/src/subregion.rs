@@ -1,0 +1,285 @@
+//! Partition-aligned decomposition of an uncertain object: `O = ∪ S[j]`
+//! (§II-B).
+//!
+//! An object's uncertainty region may overlap several partitions; its
+//! instances are grouped by the partition containing them. Each group is an
+//! *uncertainty subregion* `S[j]` carrying its probability mass and a tight
+//! bounding box — the unit the distance cases (§II-C) and the probabilistic
+//! bounds (§II-D.3) operate on.
+
+use crate::error::ObjectError;
+use crate::object::UncertainObject;
+use idq_geom::{Point2, Rect2};
+use idq_model::{IndoorSpace, PartitionId};
+
+/// One uncertainty subregion `S[j]`: the instances of an object falling
+/// into a single partition.
+#[derive(Clone, Debug)]
+pub struct Subregion {
+    /// The partition hosting these instances — `P(S[j])`.
+    pub partition: PartitionId,
+    /// Indices into the object's instance slice.
+    pub instance_indices: Vec<u32>,
+    /// Probability mass `Σ_{s_i ∈ S[j]} p_i`.
+    pub prob: f64,
+    /// Tight bounding box of the member instance positions.
+    pub bbox: Rect2,
+}
+
+impl Subregion {
+    /// Minimum planar distance from `q` to the subregion's bounding box —
+    /// a valid lower bound on `|d, S[j]|_minE`.
+    #[inline]
+    pub fn min_dist_bbox(&self, q: Point2) -> f64 {
+        self.bbox.min_dist(q)
+    }
+
+    /// Maximum planar distance from `q` to the subregion's bounding box —
+    /// a valid upper bound on `|d, S[j]|_maxE`.
+    #[inline]
+    pub fn max_dist_bbox(&self, q: Point2) -> f64 {
+        self.bbox.max_dist(q)
+    }
+}
+
+/// The full decomposition of one object, sorted by descending probability
+/// mass (deterministic; ties broken by partition id).
+#[derive(Clone, Debug)]
+pub struct Subregions {
+    subs: Vec<Subregion>,
+}
+
+impl Subregions {
+    /// Computes the subregions of `object` against the current topology.
+    ///
+    /// Instance-to-partition assignment:
+    /// 1. the partition containing the instance point (normal case);
+    /// 2. otherwise — an instance numerically outside every footprint
+    ///    (sampler clamping, wall sliver after a topology change) — the
+    ///    nearest active partition on the instance's floor by bounding-box
+    ///    distance.
+    ///
+    /// Errors with [`ObjectError::NoHostPartition`] only if a floor has no
+    /// partitions at all.
+    pub fn compute(object: &UncertainObject, space: &IndoorSpace) -> Result<Self, ObjectError> {
+        Self::compute_with_hint(object, space, &[])
+    }
+
+    /// Like [`Subregions::compute`], but tries `hint` partitions first.
+    ///
+    /// Callers that already know which partitions the object overlaps (the
+    /// composite index's o-table) pass them here, turning per-instance
+    /// point location from a floor-wide scan into a handful of containment
+    /// checks — the assignment result is identical because partitions do
+    /// not overlap (up to shared boundaries, where the hint may pick the
+    /// other co-boundary partition; distances are unaffected as boundary
+    /// points belong to both).
+    pub fn compute_with_hint(
+        object: &UncertainObject,
+        space: &IndoorSpace,
+        hint: &[PartitionId],
+    ) -> Result<Self, ObjectError> {
+        let mut by_partition: std::collections::HashMap<PartitionId, Vec<u32>> =
+            std::collections::HashMap::new();
+        for (idx, inst) in object.instances().iter().enumerate() {
+            let hinted = hint.iter().copied().find(|&pid| {
+                space
+                    .partition(pid)
+                    .map(|p| p.contains(inst.position, inst.floor))
+                    .unwrap_or(false)
+            });
+            let pid = match hinted {
+                Some(p) => p,
+                None => match space.partition_at(inst.indoor_point()) {
+                    Some(p) => p,
+                    None => nearest_partition(space, inst.position, inst.floor)
+                        .ok_or(ObjectError::NoHostPartition)?,
+                },
+            };
+            by_partition.entry(pid).or_default().push(idx as u32);
+        }
+        let mut subs: Vec<Subregion> = by_partition
+            .into_iter()
+            .map(|(partition, instance_indices)| {
+                let mut prob = 0.0;
+                let mut bbox = Rect2::empty_sentinel();
+                for &i in &instance_indices {
+                    let inst = &object.instances()[i as usize];
+                    prob += inst.weight;
+                    bbox = bbox.union(&Rect2::new(inst.position, inst.position));
+                }
+                Subregion { partition, instance_indices, prob, bbox }
+            })
+            .collect();
+        subs.sort_by(|a, b| {
+            b.prob
+                .total_cmp(&a.prob)
+                .then_with(|| a.partition.cmp(&b.partition))
+        });
+        Ok(Subregions { subs })
+    }
+
+    /// The subregions, descending by probability mass.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &Subregion> {
+        self.subs.iter()
+    }
+
+    /// As a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Subregion] {
+        &self.subs
+    }
+
+    /// Number of subregions — the paper's `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// `true` iff there are no subregions (cannot happen for valid objects).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Returns `true` when the whole object lies in one partition — the
+    /// boundary between the single-partition (§II-C.1/2) and
+    /// multi-partition (§II-C.3) distance cases.
+    #[inline]
+    pub fn single_partition(&self) -> bool {
+        self.subs.len() == 1
+    }
+
+    /// The partitions overlapped by the object — the paper's `P(O)`.
+    pub fn partitions(&self) -> Vec<PartitionId> {
+        self.subs.iter().map(|s| s.partition).collect()
+    }
+}
+
+/// Nearest active partition on `floor` to `p` by bounding-box distance.
+fn nearest_partition(space: &IndoorSpace, p: Point2, floor: u16) -> Option<PartitionId> {
+    space
+        .partitions_on_floor(floor)
+        .iter()
+        .copied()
+        .filter(|&pid| space.partition(pid).is_ok())
+        .min_by(|&a, &b| {
+            let da = space.partition(a).map(|x| x.bbox.min_dist(p)).unwrap_or(f64::INFINITY);
+            let db = space.partition(b).map(|x| x.bbox.min_dist(p)).unwrap_or(f64::INFINITY);
+            da.total_cmp(&db).then(a.cmp(&b))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{ObjectId, UncertainObject};
+    use idq_geom::{Circle, Rect2 as R};
+    use idq_model::FloorPlanBuilder;
+
+    /// Two rooms with a door; object instances straddle the wall.
+    fn setup() -> (IndoorSpace, UncertainObject) {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let a = b.add_room(0, R::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        let c = b.add_room(0, R::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        b.add_door_between(a, c, Point2::new(10.0, 5.0)).unwrap();
+        let s = b.finish().unwrap();
+        let o = UncertainObject::with_uniform_weights(
+            ObjectId(1),
+            Circle::new(Point2::new(10.0, 5.0), 3.0),
+            0,
+            vec![
+                Point2::new(8.0, 5.0),  // room a
+                Point2::new(9.0, 4.0),  // room a
+                Point2::new(12.0, 5.0), // room c
+                Point2::new(11.5, 6.0), // room c
+            ],
+        )
+        .unwrap();
+        (s, o)
+    }
+
+    #[test]
+    fn instances_group_by_partition() {
+        let (s, o) = setup();
+        let subs = Subregions::compute(&o, &s).unwrap();
+        assert_eq!(subs.len(), 2);
+        assert!(!subs.single_partition());
+        let total: f64 = subs.iter().map(|x| x.prob).sum();
+        assert!((total - 1.0).abs() < 1e-9, "probability mass preserved");
+        // Every instance appears exactly once.
+        let mut seen: Vec<u32> = subs.iter().flat_map(|x| x.instance_indices.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        // Sorted by descending mass (tie → partition id asc), both 0.5 here.
+        assert!(subs.as_slice()[0].prob >= subs.as_slice()[1].prob);
+    }
+
+    #[test]
+    fn bbox_distances_bound_instance_distances() {
+        let (s, o) = setup();
+        let subs = Subregions::compute(&o, &s).unwrap();
+        let q = Point2::new(0.0, 0.0);
+        for sub in subs.iter() {
+            let exact_min = sub
+                .instance_indices
+                .iter()
+                .map(|&i| o.instances()[i as usize].position.dist(q))
+                .fold(f64::INFINITY, f64::min);
+            let exact_max = sub
+                .instance_indices
+                .iter()
+                .map(|&i| o.instances()[i as usize].position.dist(q))
+                .fold(0.0, f64::max);
+            assert!(sub.min_dist_bbox(q) <= exact_min + 1e-9);
+            assert!(sub.max_dist_bbox(q) >= exact_max - 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_partition_object() {
+        let (s, _) = setup();
+        let o = UncertainObject::with_uniform_weights(
+            ObjectId(2),
+            Circle::new(Point2::new(5.0, 5.0), 1.0),
+            0,
+            vec![Point2::new(4.5, 5.0), Point2::new(5.5, 5.2)],
+        )
+        .unwrap();
+        let subs = Subregions::compute(&o, &s).unwrap();
+        assert!(subs.single_partition());
+        assert_eq!(subs.partitions().len(), 1);
+    }
+
+    #[test]
+    fn stray_instance_snaps_to_nearest_partition() {
+        let (s, _) = setup();
+        // Instance slightly outside the building (x = -0.5).
+        let o = UncertainObject::with_uniform_weights(
+            ObjectId(3),
+            Circle::new(Point2::new(0.0, 5.0), 1.0),
+            0,
+            vec![Point2::new(-0.5, 5.0), Point2::new(0.5, 5.0)],
+        )
+        .unwrap();
+        let subs = Subregions::compute(&o, &s).unwrap();
+        assert_eq!(subs.len(), 1, "stray instance joins room a");
+    }
+
+    #[test]
+    fn no_partitions_on_floor_errors() {
+        let (s, _) = setup();
+        let o = UncertainObject::with_uniform_weights(
+            ObjectId(4),
+            Circle::new(Point2::new(5.0, 5.0), 1.0),
+            7, // no such floor
+            vec![Point2::new(5.0, 5.0)],
+        )
+        .unwrap();
+        assert!(matches!(
+            Subregions::compute(&o, &s),
+            Err(ObjectError::NoHostPartition)
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! Distance-aware query evaluation on indoor moving objects (§IV).
+//!
+//! Two query types over uncertain objects, both defined on the *expected
+//! indoor distance* (Def. 3 / Def. 4):
+//!
+//! * [`range_query`] — `iRQ(q, r)`: objects with `|q,O|_I ≤ r`
+//!   (Algorithm 1);
+//! * [`knn_query`] — `ikNNQ(q, k)`: the `k` objects with the smallest
+//!   `|q,O|_I` (Algorithm 2, seeded by `kSeedsSelection`, Algorithm 5).
+//!
+//! Both run the paper's four-phase pipeline — **filtering** (geometric
+//! lower bounds through the composite index), **subgraph** (restricted
+//! Dijkstra over candidate partitions), **pruning** (topological /
+//! probabilistic bounds) and **refinement** (exact expected distances) —
+//! and record per-phase timings plus pruning counters in [`QueryStats`]
+//! (the raw material of the paper's Figures 12–14).
+//!
+//! [`QueryOptions`] exposes the evaluation's ablation switches
+//! (`use_skeleton`, `use_pruning`) and the exactness controls discussed in
+//! `bounds`' soundness note. The [`naive`] module provides the brute-force
+//! oracle, and [`precomputed`] the door-to-door pre-computation baseline
+//! the paper compares maintenance costs against (Fig. 15(d)).
+
+pub mod error;
+pub mod iknn;
+pub mod irq;
+pub mod monitor;
+pub mod naive;
+pub mod options;
+pub mod pipeline;
+pub mod precomputed;
+pub mod seeds;
+pub mod selectivity;
+pub mod stats;
+
+pub use error::QueryError;
+pub use iknn::{knn_query, KnnHit, KnnResult};
+pub use irq::{range_query, RangeHit, RangeResult};
+pub use monitor::{MonitorChange, RangeMonitor};
+pub use naive::{naive_knn, naive_range};
+pub use options::QueryOptions;
+pub use precomputed::PrecomputedD2D;
+pub use seeds::k_seeds_selection;
+pub use selectivity::SelectivityEstimator;
+pub use stats::QueryStats;

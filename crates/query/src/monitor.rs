@@ -1,0 +1,307 @@
+//! Continuous range monitoring with computation reuse.
+//!
+//! The paper's future-work list (§VII) proposes reusing computational
+//! effort when related queries arrive in a short period. The dominant
+//! reusable artefact of the pipeline is the single-source door-distance
+//! tree from the query point: for a *standing* range query (the airport
+//! perimeter of §I), the query point never moves — only objects do. A
+//! [`RangeMonitor`] therefore caches full-graph [`DoorDistances`] for its
+//! query point and re-evaluates **only the updated object** on each object
+//! update, falling back to a full refresh when the topology changes
+//! (which invalidates cached distances).
+
+use crate::error::QueryError;
+use crate::options::QueryOptions;
+use crate::pipeline::object_partition_hint;
+use idq_distance::{expected_indoor_distance, object_bounds, DoorDistances, IndoorPoint};
+use idq_index::CompositeIndex;
+use idq_model::IndoorSpace;
+use idq_objects::{ObjectId, ObjectStore, Subregions};
+use std::collections::BTreeSet;
+
+/// A standing `iRQ(q, r)` kept current under object updates.
+#[derive(Debug)]
+pub struct RangeMonitor {
+    q: IndoorPoint,
+    r: f64,
+    options: QueryOptions,
+    /// Cached single-source door distances from `q` (full graph).
+    dd: Option<DoorDistances>,
+    /// Space version the cache is valid for.
+    cached_version: u64,
+    /// Current result set.
+    inside: BTreeSet<ObjectId>,
+}
+
+/// Outcome of feeding one object update to the monitor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonitorChange {
+    /// The object entered the range.
+    Entered,
+    /// The object left the range.
+    Left,
+    /// Membership did not change.
+    Unchanged,
+}
+
+impl RangeMonitor {
+    /// Creates a monitor; call [`RangeMonitor::refresh`] to initialise the
+    /// result set.
+    pub fn new(q: IndoorPoint, r: f64, options: QueryOptions) -> Result<Self, QueryError> {
+        if !r.is_finite() || r < 0.0 {
+            return Err(QueryError::BadRange(r));
+        }
+        Ok(RangeMonitor {
+            q,
+            r,
+            options,
+            dd: None,
+            cached_version: u64::MAX,
+            inside: BTreeSet::new(),
+        })
+    }
+
+    /// The standing query point.
+    pub fn query_point(&self) -> IndoorPoint {
+        self.q
+    }
+
+    /// The standing radius.
+    pub fn radius(&self) -> f64 {
+        self.r
+    }
+
+    /// Objects currently inside the range, ascending by id.
+    pub fn current(&self) -> Vec<ObjectId> {
+        self.inside.iter().copied().collect()
+    }
+
+    /// Whether an object is currently inside.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.inside.contains(&id)
+    }
+
+    fn ensure_dd(
+        &mut self,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+    ) -> Result<&DoorDistances, QueryError> {
+        if self.dd.is_none() || self.cached_version != space.version() {
+            self.dd = Some(DoorDistances::compute(space, index.doors_graph(), self.q)?);
+            self.cached_version = space.version();
+        }
+        Ok(self.dd.as_ref().expect("just ensured"))
+    }
+
+    /// Full re-evaluation through the indexed pipeline (used at start-up
+    /// and after topology changes). Returns the objects inside.
+    pub fn refresh(
+        &mut self,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+    ) -> Result<Vec<ObjectId>, QueryError> {
+        let out = crate::irq::range_query(space, index, store, self.q, self.r, &self.options)?;
+        self.inside = out.results.iter().map(|h| h.object).collect();
+        // Re-arm the distance cache for subsequent incremental updates.
+        self.dd = None;
+        self.ensure_dd(space, index)?;
+        Ok(self.current())
+    }
+
+    /// Processes one object update (insert, move or re-sample): evaluates
+    /// **only** that object against the cached distance tree — bounds
+    /// first, exact expected distance only when they straddle `r`.
+    pub fn on_object_update(
+        &mut self,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+        id: ObjectId,
+    ) -> Result<MonitorChange, QueryError> {
+        self.ensure_dd(space, index)?;
+        let dd = self.dd.as_ref().expect("ensured above");
+        let was_inside = self.inside.contains(&id);
+        let obj = store.get(id)?;
+        let hint = object_partition_hint(index, id);
+        let subs = Subregions::compute_with_hint(obj, space, &hint)?;
+
+        let inside_now = if self.options.use_pruning {
+            let b = object_bounds(space, dd, obj, &subs);
+            if b.upper <= self.r {
+                true
+            } else if b.lower > self.r {
+                false
+            } else {
+                expected_indoor_distance(space, dd, obj, &subs).value <= self.r
+            }
+        } else {
+            expected_indoor_distance(space, dd, obj, &subs).value <= self.r
+        };
+
+        Ok(match (was_inside, inside_now) {
+            (false, true) => {
+                self.inside.insert(id);
+                MonitorChange::Entered
+            }
+            (true, false) => {
+                self.inside.remove(&id);
+                MonitorChange::Left
+            }
+            _ => MonitorChange::Unchanged,
+        })
+    }
+
+    /// Processes an object removal.
+    pub fn on_object_removed(&mut self, id: ObjectId) -> MonitorChange {
+        if self.inside.remove(&id) {
+            MonitorChange::Left
+        } else {
+            MonitorChange::Unchanged
+        }
+    }
+
+    /// Invalidate after a topology change: the cached distance tree no
+    /// longer reflects the space. Callers should [`RangeMonitor::refresh`]
+    /// afterwards (cheap relative to re-pre-computing door-to-door
+    /// distances, which this design never does).
+    pub fn invalidate(&mut self) {
+        self.dd = None;
+        self.cached_version = u64::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::{Point2, Rect2};
+    use idq_index::IndexConfig;
+    use idq_model::FloorPlanBuilder;
+    use idq_objects::UncertainObject;
+
+    fn setup() -> (IndoorSpace, ObjectStore, CompositeIndex) {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let r0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        let r1 = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let r2 = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0)).unwrap();
+        b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
+        b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
+        let space = b.finish().unwrap();
+        let store = ObjectStore::new();
+        let index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
+        (space, store, index)
+    }
+
+    fn point_obj(id: u64, x: f64) -> UncertainObject {
+        UncertainObject::point_object(
+            ObjectId(id),
+            idq_model::IndoorPoint::new(Point2::new(x, 5.0), 0),
+        )
+    }
+
+    fn move_to(
+        store: &mut ObjectStore,
+        index: &mut CompositeIndex,
+        space: &IndoorSpace,
+        id: u64,
+        x: f64,
+    ) {
+        let obj = point_obj(id, x);
+        if store.contains(ObjectId(id)) {
+            store.remove(ObjectId(id)).unwrap();
+            store.insert(obj).unwrap();
+            index.update_object(space, store.get(ObjectId(id)).unwrap()).unwrap();
+        } else {
+            index.insert_object(space, &obj).unwrap();
+            store.insert(obj).unwrap();
+        }
+    }
+
+    #[test]
+    fn incremental_tracking_matches_fresh_queries() {
+        let (space, mut store, mut index) = setup();
+        let q = idq_model::IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut mon = RangeMonitor::new(q, 15.0, QueryOptions::default()).unwrap();
+        mon.refresh(&space, &index, &store).unwrap();
+        assert!(mon.current().is_empty());
+
+        // Object appears inside the range.
+        move_to(&mut store, &mut index, &space, 1, 12.0);
+        let c = mon.on_object_update(&space, &index, &store, ObjectId(1)).unwrap();
+        assert_eq!(c, MonitorChange::Entered);
+        assert!(mon.contains(ObjectId(1)));
+
+        // It wanders out.
+        move_to(&mut store, &mut index, &space, 1, 28.0);
+        let c = mon.on_object_update(&space, &index, &store, ObjectId(1)).unwrap();
+        assert_eq!(c, MonitorChange::Left);
+
+        // Cross-check against a fresh range query after a series of moves.
+        for (id, x) in [(2u64, 5.0), (3, 16.0), (4, 25.0)] {
+            move_to(&mut store, &mut index, &space, id, x);
+            mon.on_object_update(&space, &index, &store, ObjectId(id)).unwrap();
+        }
+        let fresh = crate::irq::range_query(
+            &space,
+            &index,
+            &store,
+            q,
+            15.0,
+            &QueryOptions::default(),
+        )
+        .unwrap();
+        let fresh_ids: Vec<ObjectId> = fresh.results.iter().map(|h| h.object).collect();
+        assert_eq!(mon.current(), fresh_ids);
+    }
+
+    #[test]
+    fn removal_and_topology_invalidation() {
+        let (mut space, mut store, mut index) = setup();
+        let q = idq_model::IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut mon = RangeMonitor::new(q, 25.0, QueryOptions::default()).unwrap();
+        move_to(&mut store, &mut index, &space, 1, 15.0);
+        mon.refresh(&space, &index, &store).unwrap();
+        assert!(mon.contains(ObjectId(1)));
+
+        // Removal.
+        index.remove_object(ObjectId(1)).unwrap();
+        store.remove(ObjectId(1)).unwrap();
+        assert_eq!(mon.on_object_removed(ObjectId(1)), MonitorChange::Left);
+        assert_eq!(mon.on_object_removed(ObjectId(1)), MonitorChange::Unchanged);
+
+        // Topology change: close the first door, refresh, and verify the
+        // monitor agrees with a fresh query (nothing reachable anymore).
+        move_to(&mut store, &mut index, &space, 2, 15.0);
+        mon.on_object_update(&space, &index, &store, ObjectId(2)).unwrap();
+        assert!(mon.contains(ObjectId(2)));
+        let d = space.doors().next().unwrap().id;
+        let ev = space.close_door(d).unwrap();
+        index.apply_topology(&space, &store, &ev).unwrap();
+        mon.invalidate();
+        let now = mon.refresh(&space, &index, &store).unwrap();
+        assert!(now.is_empty(), "door closed: nothing in range");
+    }
+
+    #[test]
+    fn stale_cache_is_detected_via_version() {
+        let (mut space, mut store, mut index) = setup();
+        let q = idq_model::IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut mon = RangeMonitor::new(q, 25.0, QueryOptions::default()).unwrap();
+        mon.refresh(&space, &index, &store).unwrap();
+        // A topology change bumps the version; the next update recomputes
+        // the cached tree automatically (no invalidate() needed).
+        let d = space.doors().next().unwrap().id;
+        let ev = space.close_door(d).unwrap();
+        index.apply_topology(&space, &store, &ev).unwrap();
+        move_to(&mut store, &mut index, &space, 9, 15.0);
+        let c = mon.on_object_update(&space, &index, &store, ObjectId(9)).unwrap();
+        assert_eq!(c, MonitorChange::Unchanged, "unreachable after door close");
+    }
+
+    #[test]
+    fn bad_radius_rejected() {
+        let q = idq_model::IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        assert!(RangeMonitor::new(q, f64::NAN, QueryOptions::default()).is_err());
+        assert!(RangeMonitor::new(q, -1.0, QueryOptions::default()).is_err());
+    }
+}

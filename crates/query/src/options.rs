@@ -1,0 +1,80 @@
+//! Query evaluation options and ablation switches.
+
+/// Tuning knobs of the four-phase pipeline. The defaults reproduce the
+/// paper's full method; the switches implement its ablations:
+///
+/// * `use_skeleton = false` → filtering falls back to the plain Euclidean
+///   lower bound ("withoutSkeleton", Fig. 15(a));
+/// * `use_pruning = false` → Phase 3 is skipped and every filtered
+///   candidate is refined ("withoutPruning", Fig. 14(b)/(d)).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryOptions {
+    /// Use the skeleton tier's geometric lower bound in filtering.
+    pub use_skeleton: bool,
+    /// Apply the topological/probabilistic bounds in Phase 3.
+    pub use_pruning: bool,
+    /// Extra metres added to the *partition* retrieval radius of the
+    /// filtering phase so the subgraph Dijkstra sees every partition a
+    /// relevant shortest path can traverse. Covers the spread of an
+    /// uncertainty region (instances reach up to a region diameter beyond
+    /// the closest instance, plus indoor detours); see the soundness note
+    /// in `idq_distance::bounds`.
+    pub subgraph_slack: f64,
+    /// Refine with full-graph door distances instead of the restricted
+    /// subgraph (slower per query, immune to subgraph truncation; the
+    /// restricted mode already falls back per-object when truncation is
+    /// detectable).
+    pub exact_refinement: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            use_skeleton: true,
+            use_pruning: true,
+            subgraph_slack: 60.0,
+            exact_refinement: false,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Options with a slack adequate for a maximum uncertainty-region
+    /// radius (2× diameter + detour headroom).
+    pub fn for_max_radius(max_radius: f64) -> Self {
+        QueryOptions {
+            subgraph_slack: (4.0 * max_radius + 20.0).max(60.0),
+            ..Self::default()
+        }
+    }
+
+    /// Disables the skeleton tier (Fig. 15(a) ablation).
+    pub fn without_skeleton(self) -> Self {
+        QueryOptions { use_skeleton: false, ..self }
+    }
+
+    /// Disables bound pruning (Fig. 14(b)/(d) ablation).
+    pub fn without_pruning(self) -> Self {
+        QueryOptions { use_pruning: false, ..self }
+    }
+
+    /// Forces full-graph refinement.
+    pub fn with_exact_refinement(self) -> Self {
+        QueryOptions { exact_refinement: true, ..self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let o = QueryOptions::default().without_skeleton().without_pruning();
+        assert!(!o.use_skeleton);
+        assert!(!o.use_pruning);
+        let o = QueryOptions::for_max_radius(15.0);
+        assert!(o.subgraph_slack >= 80.0);
+        assert!(QueryOptions::default().with_exact_refinement().exact_refinement);
+    }
+}

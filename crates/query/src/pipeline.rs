@@ -1,0 +1,233 @@
+//! Shared evaluation machinery of the four-phase pipeline: the candidate
+//! evaluation context caching subregions, restricted door distances and
+//! the lazy full-graph fallback.
+
+use crate::error::QueryError;
+use crate::options::QueryOptions;
+use idq_distance::{
+    expected_indoor_distance, object_bounds, DoorDistances, IndoorPoint, ObjectBounds,
+};
+use idq_index::CompositeIndex;
+use idq_model::{IndoorSpace, PartitionId};
+use idq_objects::{ObjectId, ObjectStore, Subregions};
+use std::collections::{HashMap, HashSet};
+
+/// Per-query evaluation context.
+///
+/// Holds the restricted door distances of the subgraph phase and computes
+/// bounds and exact expected distances per object, caching subregion
+/// decompositions and lazily falling back to full-graph distances when the
+/// restriction truncates a needed path.
+pub(crate) struct EvalContext<'a> {
+    pub space: &'a IndoorSpace,
+    pub store: &'a ObjectStore,
+    pub index: &'a CompositeIndex,
+    pub q: IndoorPoint,
+    pub dd: DoorDistances,
+    full_dd: Option<DoorDistances>,
+    subregions: HashMap<ObjectId, Subregions>,
+    /// Number of refinements that needed the full-graph fallback.
+    pub fallbacks: usize,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Builds the context, running the subgraph-phase Dijkstra restricted
+    /// to `allowed` (or the full graph when `None`).
+    pub fn new(
+        space: &'a IndoorSpace,
+        store: &'a ObjectStore,
+        index: &'a CompositeIndex,
+        q: IndoorPoint,
+        allowed: Option<&HashSet<PartitionId>>,
+    ) -> Result<Self, QueryError> {
+        let graph = index.doors_graph();
+        let dd = match allowed {
+            Some(a) => DoorDistances::compute_restricted(space, graph, q, a)?,
+            None => DoorDistances::compute(space, graph, q)?,
+        };
+        Ok(EvalContext {
+            space,
+            store,
+            index,
+            q,
+            dd,
+            full_dd: None,
+            subregions: HashMap::new(),
+            fallbacks: 0,
+        })
+    }
+
+    /// Pre-seeds the subregion cache (used by `ikNNQ`, whose seed phase
+    /// already decomposed the seed objects).
+    pub fn preseed_subregions(&mut self, cache: HashMap<ObjectId, Subregions>) {
+        self.subregions.extend(cache);
+    }
+
+    fn ensure_subregions(&mut self, id: ObjectId) -> Result<(), QueryError> {
+        if !self.subregions.contains_key(&id) {
+            let obj = self.store.get(id)?;
+            // The o-table already knows which partitions the object
+            // overlaps: point location per instance becomes a handful of
+            // containment checks.
+            let hint = object_partition_hint(self.index, id);
+            let subs = Subregions::compute_with_hint(obj, self.space, &hint)?;
+            self.subregions.insert(id, subs);
+        }
+        Ok(())
+    }
+
+    /// Decomposition of one object (cached).
+    #[allow(dead_code)] // part of the crate-internal evaluation API
+    pub fn subregions_of(&mut self, id: ObjectId) -> Result<&Subregions, QueryError> {
+        self.ensure_subregions(id)?;
+        Ok(&self.subregions[&id])
+    }
+
+    /// Phase-3 bounds for one object (Table III dispatch).
+    pub fn bounds(&mut self, id: ObjectId) -> Result<ObjectBounds, QueryError> {
+        self.ensure_subregions(id)?;
+        let obj = self.store.get(id)?;
+        Ok(object_bounds(self.space, &self.dd, obj, &self.subregions[&id]))
+    }
+
+    fn full_dd(&mut self) -> Result<&DoorDistances, QueryError> {
+        if self.full_dd.is_none() {
+            self.full_dd = Some(DoorDistances::compute(
+                self.space,
+                self.index.doors_graph(),
+                self.q,
+            )?);
+        }
+        Ok(self.full_dd.as_ref().expect("just set"))
+    }
+
+    /// Exact expected indoor distance against the full graph.
+    pub fn refine_full(&mut self, id: ObjectId) -> Result<f64, QueryError> {
+        self.ensure_subregions(id)?;
+        self.full_dd()?;
+        let obj = self.store.get(id)?;
+        let dd = self.full_dd.as_ref().expect("computed above");
+        Ok(expected_indoor_distance(self.space, dd, obj, &self.subregions[&id]).value)
+    }
+
+    /// Refinement with a decision threshold: computes the expected
+    /// distance against the restricted subgraph; when the result *exceeds*
+    /// the threshold (so a truncated path could have inflated it past the
+    /// accept boundary) it is recomputed against the full graph, making
+    /// iRQ membership decisions exact (see the soundness argument in
+    /// `idq_distance::bounds`).
+    pub fn refine_with_threshold(
+        &mut self,
+        id: ObjectId,
+        threshold: f64,
+        options: &QueryOptions,
+    ) -> Result<f64, QueryError> {
+        if options.exact_refinement || !self.dd.is_restricted() {
+            return self.refine_full_or_direct(id);
+        }
+        self.ensure_subregions(id)?;
+        let obj = self.store.get(id)?;
+        let v = expected_indoor_distance(self.space, &self.dd, obj, &self.subregions[&id]).value;
+        if v <= threshold {
+            return Ok(v); // restricted ≥ true, so acceptance is safe
+        }
+        self.fallbacks += 1;
+        self.refine_full(id)
+    }
+
+    fn refine_full_or_direct(&mut self, id: ObjectId) -> Result<f64, QueryError> {
+        if self.dd.is_restricted() {
+            self.refine_full(id)
+        } else {
+            self.ensure_subregions(id)?;
+            let obj = self.store.get(id)?;
+            Ok(expected_indoor_distance(self.space, &self.dd, obj, &self.subregions[&id]).value)
+        }
+    }
+}
+
+/// The partitions an object overlaps according to the index's o-table
+/// (via the h-table); empty when the object is not indexed.
+pub(crate) fn object_partition_hint(index: &CompositeIndex, id: ObjectId) -> Vec<PartitionId> {
+    let mut hint: Vec<PartitionId> = index
+        .object_layer()
+        .units_of(id)
+        .map(|units| {
+            units
+                .iter()
+                .filter_map(|&u| index.units().partition_of(u))
+                .collect()
+        })
+        .unwrap_or_default();
+    hint.sort_unstable();
+    hint.dedup();
+    hint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::{Circle, Point2, Rect2};
+    use idq_index::IndexConfig;
+    use idq_model::FloorPlanBuilder;
+    use idq_objects::UncertainObject;
+
+    fn setup() -> (IndoorSpace, ObjectStore, CompositeIndex) {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let r0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        let r1 = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let r2 = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0)).unwrap();
+        b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
+        b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
+        let space = b.finish().unwrap();
+        let mut store = ObjectStore::new();
+        store
+            .insert(
+                UncertainObject::with_uniform_weights(
+                    ObjectId(1),
+                    Circle::new(Point2::new(25.0, 5.0), 2.0),
+                    0,
+                    vec![Point2::new(24.0, 5.0), Point2::new(26.0, 5.0)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
+        (space, store, index)
+    }
+
+    #[test]
+    fn threshold_fallback_recovers_truncated_paths() {
+        let (space, store, index) = setup();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        // Restrict to the source partition only: the object is unreachable
+        // in the subgraph.
+        let allowed: HashSet<PartitionId> = HashSet::new();
+        let mut ctx = EvalContext::new(&space, &store, &index, q, Some(&allowed)).unwrap();
+        let b = ctx.bounds(ObjectId(1)).unwrap();
+        assert!(b.upper.is_infinite(), "restricted bounds see no path");
+        // Threshold refinement falls back to the full graph.
+        let v = ctx
+            .refine_with_threshold(ObjectId(1), 30.0, &QueryOptions::default())
+            .unwrap();
+        assert!(v.is_finite());
+        assert_eq!(ctx.fallbacks, 1);
+        // The full value matches an unrestricted context.
+        let mut full = EvalContext::new(&space, &store, &index, q, None).unwrap();
+        let fv = full
+            .refine_with_threshold(ObjectId(1), 30.0, &QueryOptions::default())
+            .unwrap();
+        assert!((v - fv).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_refinement_option_uses_full_graph() {
+        let (space, store, index) = setup();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let allowed: HashSet<PartitionId> = HashSet::new();
+        let mut ctx = EvalContext::new(&space, &store, &index, q, Some(&allowed)).unwrap();
+        let opts = QueryOptions::default().with_exact_refinement();
+        let v = ctx.refine_with_threshold(ObjectId(1), 0.0, &opts).unwrap();
+        assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,185 @@
+//! The distance pre-computation baseline (§V-B.4, Fig. 15(d)).
+//!
+//! Prior work (refs.\[16\], \[24\] of the paper) assumes all door-to-door shortest
+//! distances are pre-computed. This module implements that alternative —
+//! an all-pairs door distance matrix built by one Dijkstra per door — so
+//! the repository can (a) measure its construction time against the
+//! composite index's update costs, reproducing the paper's headline
+//! maintenance argument, and (b) cross-check query results computed from
+//! the matrix against the on-the-fly evaluation.
+
+use crate::error::QueryError;
+use idq_geom::OrdF64;
+use idq_model::{DoorId, DoorsGraph, IndoorPoint, IndoorSpace};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// All-pairs door-to-door shortest distances.
+#[derive(Clone, Debug)]
+pub struct PrecomputedD2D {
+    n: usize,
+    dist: Vec<f64>,
+    /// Wall-clock construction time, milliseconds (the Fig. 15(d) metric).
+    pub build_ms: f64,
+}
+
+impl PrecomputedD2D {
+    /// Builds the matrix: one Dijkstra per door over the doors graph.
+    pub fn build(space: &IndoorSpace, graph: &DoorsGraph) -> Self {
+        let t = Instant::now();
+        let n = space.door_slots();
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+        for src in 0..n {
+            let row = &mut dist[src * n..(src + 1) * n];
+            row[src] = 0.0;
+            heap.clear();
+            heap.push(Reverse((OrdF64(0.0), src as u32)));
+            while let Some(Reverse((OrdF64(du), u))) = heap.pop() {
+                if du > row[u as usize] {
+                    continue;
+                }
+                for e in graph.edges_from(DoorId(u)) {
+                    let nd = du + e.weight;
+                    if nd < row[e.to.index()] {
+                        row[e.to.index()] = nd;
+                        heap.push(Reverse((OrdF64(nd), e.to.0)));
+                    }
+                }
+            }
+        }
+        PrecomputedD2D { n, dist, build_ms: t.elapsed().as_secs_f64() * 1e3 }
+    }
+
+    /// Number of door slots covered.
+    pub fn door_slots(&self) -> usize {
+        self.n
+    }
+
+    /// The pre-computed `|d_i ⇝ d_j|` (∞ if unreachable).
+    #[inline]
+    pub fn door_to_door(&self, from: DoorId, to: DoorId) -> f64 {
+        if from.index() >= self.n || to.index() >= self.n {
+            return f64::INFINITY;
+        }
+        self.dist[from.index() * self.n + to.index()]
+    }
+
+    /// Point-to-point indoor distance evaluated from the matrix (Eq. 1
+    /// with pre-computed middle terms). Used to cross-validate on-the-fly
+    /// evaluation.
+    pub fn point_distance(
+        &self,
+        space: &IndoorSpace,
+        q: IndoorPoint,
+        p: IndoorPoint,
+    ) -> Result<f64, QueryError> {
+        let pq = space
+            .partition_at(q)
+            .ok_or(idq_distance::DistanceError::QueryOutsideSpace(q))?;
+        let Some(pp) = space.partition_at(p) else {
+            return Ok(f64::INFINITY);
+        };
+        let mut best = if pq == pp {
+            space.intra_distance(q, p)
+        } else {
+            f64::INFINITY
+        };
+        for &dq in space.doors_of(pq).unwrap_or(&[]) {
+            if !space.can_leave(dq, pq) {
+                continue;
+            }
+            let head = space.point_to_door(q, dq).expect("door of P(q)");
+            for &dp in space.doors_of(pp).unwrap_or(&[]) {
+                if !space.can_enter(dp, pp) {
+                    continue;
+                }
+                let mid = self.door_to_door(dq, dp);
+                if !mid.is_finite() {
+                    continue;
+                }
+                let tail = space.point_to_door(p, dp).expect("door of P(p)");
+                let total = head + mid + tail;
+                if total < best {
+                    best = total;
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Approximate resident size of the matrix in bytes (reporting).
+    pub fn matrix_bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_distance::indoor_distance;
+    use idq_geom::{Point2, Rect2};
+    use idq_model::FloorPlanBuilder;
+
+    fn corridor(n: usize) -> (IndoorSpace, DoorsGraph) {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let rooms: Vec<_> = (0..n)
+            .map(|i| {
+                b.add_room(0, Rect2::from_bounds(10.0 * i as f64, 0.0, 10.0 * (i + 1) as f64, 10.0))
+                    .unwrap()
+            })
+            .collect();
+        for i in 0..n - 1 {
+            b.add_door_between(rooms[i], rooms[i + 1], Point2::new(10.0 * (i + 1) as f64, 5.0))
+                .unwrap();
+        }
+        let s = b.finish().unwrap();
+        let g = DoorsGraph::build(&s);
+        (s, g)
+    }
+
+    #[test]
+    fn matrix_matches_on_the_fly_distances() {
+        let (s, g) = corridor(6);
+        let pre = PrecomputedD2D::build(&s, &g);
+        assert!(pre.build_ms >= 0.0);
+        for (ax, bx) in [(2.0, 55.0), (15.0, 35.0), (5.0, 5.0), (44.0, 12.0)] {
+            let q = IndoorPoint::new(Point2::new(ax, 5.0), 0);
+            let p = IndoorPoint::new(Point2::new(bx, 3.0), 0);
+            let fast = pre.point_distance(&s, q, p).unwrap();
+            let slow = indoor_distance(&s, &g, q, p).unwrap();
+            assert!((fast - slow).abs() < 1e-9, "{ax}->{bx}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn one_way_asymmetry_is_preserved() {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        let c = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let m = b.add_room(0, Rect2::from_bounds(0.0, 10.0, 20.0, 20.0)).unwrap();
+        b.add_one_way_door(a, c, Point2::new(10.0, 5.0)).unwrap();
+        b.add_door_between(a, m, Point2::new(5.0, 10.0)).unwrap();
+        b.add_door_between(c, m, Point2::new(15.0, 10.0)).unwrap();
+        let s = b.finish().unwrap();
+        let g = DoorsGraph::build(&s);
+        let pre = PrecomputedD2D::build(&s, &g);
+        let qa = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let qc = IndoorPoint::new(Point2::new(18.0, 5.0), 0);
+        let ac = pre.point_distance(&s, qa, qc).unwrap();
+        let ca = pre.point_distance(&s, qc, qa).unwrap();
+        assert!(ac < ca, "A→C uses the shortcut, C→A must detour: {ac} vs {ca}");
+        // Both must match the online evaluation.
+        assert!((ac - indoor_distance(&s, &g, qa, qc).unwrap()).abs() < 1e-9);
+        assert!((ca - indoor_distance(&s, &g, qc, qa).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_size_reported() {
+        let (s, g) = corridor(4);
+        let pre = PrecomputedD2D::build(&s, &g);
+        assert_eq!(pre.door_slots(), 3);
+        assert_eq!(pre.matrix_bytes(), 9 * 8);
+    }
+}

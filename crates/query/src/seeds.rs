@@ -1,0 +1,174 @@
+//! `kSeedsSelection` (Algorithm 5): the filtering phase of `ikNNQ`.
+//!
+//! Starting from the query's partition, partitions are explored in order
+//! of geometric proximity (a min-heap keyed by the skeleton lower bound of
+//! Eq. 10) until at least `k` objects have been gathered from their
+//! buckets. The seeds' looser upper bounds (Lemma 3) then yield the
+//! `kbound` radius for the subsequent range search.
+
+use idq_geom::{Mbr3, OrdF64};
+use idq_index::CompositeIndex;
+use idq_model::{IndoorPoint, IndoorSpace, PartitionId};
+use idq_objects::ObjectId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Selects at least `k` seed objects from the partitions nearest to `q`
+/// (fewer if the whole building holds fewer). Returns the seeds and the
+/// partitions visited (`Ro_1`, `Rp_1` of Algorithm 2).
+pub fn k_seeds_selection(
+    space: &IndoorSpace,
+    index: &CompositeIndex,
+    q: IndoorPoint,
+    k: usize,
+) -> (Vec<ObjectId>, Vec<PartitionId>) {
+    let mut seeds: Vec<ObjectId> = Vec::new();
+    let mut seen_objects: HashSet<ObjectId> = HashSet::new();
+    let mut visited: HashSet<PartitionId> = HashSet::new();
+    let mut out_partitions: Vec<PartitionId> = Vec::new();
+
+    let Some(start) = space.partition_at(q) else {
+        return (seeds, out_partitions);
+    };
+    let mut heap: BinaryHeap<Reverse<(OrdF64, PartitionId)>> = BinaryHeap::new();
+    heap.push(Reverse((OrdF64(0.0), start)));
+
+    while let Some(Reverse((_, pid))) = heap.pop() {
+        if !visited.insert(pid) {
+            continue;
+        }
+        out_partitions.push(pid);
+        // Gather the partition's bucketed objects.
+        for &u in index.units().units_of(pid) {
+            for &o in index.object_layer().objects_in(u) {
+                if seen_objects.insert(o) {
+                    seeds.push(o);
+                }
+            }
+        }
+        if seeds.len() >= k {
+            break;
+        }
+        // Expand to adjacent partitions (doors leaving `pid`).
+        let Ok(doors) = space.doors_of(pid) else { continue };
+        for &d in doors {
+            if !space.can_leave(d, pid) {
+                continue;
+            }
+            let Ok(door) = space.door(d) else { continue };
+            let Some(next) = door.other_side(pid) else { continue };
+            if visited.contains(&next) {
+                continue;
+            }
+            let Ok(p) = space.partition(next) else { continue };
+            let mbr = Mbr3::spanning(
+                p.bbox,
+                (p.floor_lo, p.floor_hi),
+                (space.elevation(p.floor_lo), space.elevation(p.floor_hi)),
+            );
+            let key = index.min_skeleton_distance(space, q, &mbr);
+            heap.push(Reverse((OrdF64(key), next)));
+        }
+    }
+    (seeds, out_partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::{Circle, Point2, Rect2};
+    use idq_index::IndexConfig;
+    use idq_model::FloorPlanBuilder;
+    use idq_objects::{ObjectStore, UncertainObject};
+
+    /// A corridor of 5 rooms with one object in each.
+    fn setup() -> (IndoorSpace, ObjectStore, CompositeIndex) {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let rooms: Vec<PartitionId> = (0..5)
+            .map(|i| {
+                b.add_room(0, Rect2::from_bounds(10.0 * i as f64, 0.0, 10.0 * (i + 1) as f64, 10.0))
+                    .unwrap()
+            })
+            .collect();
+        for i in 0..4 {
+            b.add_door_between(rooms[i], rooms[i + 1], Point2::new(10.0 * (i + 1) as f64, 5.0))
+                .unwrap();
+        }
+        let space = b.finish().unwrap();
+        let mut store = ObjectStore::new();
+        for i in 0..5u64 {
+            let x = 5.0 + 10.0 * i as f64;
+            store
+                .insert(
+                    UncertainObject::with_uniform_weights(
+                        ObjectId(i),
+                        Circle::new(Point2::new(x, 5.0), 1.0),
+                        0,
+                        vec![Point2::new(x, 5.0), Point2::new(x, 4.0)],
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+        }
+        let index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
+        (space, store, index)
+    }
+
+    #[test]
+    fn collects_nearest_objects_first() {
+        let (space, _, index) = setup();
+        let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
+        let (seeds, partitions) = k_seeds_selection(&space, &index, q, 2);
+        assert!(seeds.len() >= 2);
+        // The first seed is the co-located object.
+        assert_eq!(seeds[0], ObjectId(0));
+        // Visited partitions form a prefix of the corridor from the left.
+        assert!(!partitions.is_empty());
+    }
+
+    #[test]
+    fn gathers_all_when_k_exceeds_population() {
+        let (space, _, index) = setup();
+        let q = IndoorPoint::new(Point2::new(25.0, 5.0), 0);
+        let (seeds, partitions) = k_seeds_selection(&space, &index, q, 50);
+        assert_eq!(seeds.len(), 5, "every object becomes a seed");
+        assert_eq!(partitions.len(), 5, "every partition visited");
+    }
+
+    #[test]
+    fn outside_query_returns_empty() {
+        let (space, _, index) = setup();
+        let q = IndoorPoint::new(Point2::new(500.0, 5.0), 0);
+        let (seeds, partitions) = k_seeds_selection(&space, &index, q, 3);
+        assert!(seeds.is_empty());
+        assert!(partitions.is_empty());
+    }
+
+    #[test]
+    fn one_way_doors_limit_expansion() {
+        // q in a room whose only door is one-way INTO the room: expansion
+        // cannot leave, so only co-located seeds are found.
+        let mut b = FloorPlanBuilder::new(4.0);
+        let inner = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        let outer = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        b.add_one_way_door(outer, inner, Point2::new(10.0, 5.0)).unwrap();
+        let space = b.finish().unwrap();
+        let mut store = ObjectStore::new();
+        store
+            .insert(
+                UncertainObject::with_uniform_weights(
+                    ObjectId(7),
+                    Circle::new(Point2::new(15.0, 5.0), 1.0),
+                    0,
+                    vec![Point2::new(15.0, 5.0)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
+        let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
+        let (seeds, partitions) = k_seeds_selection(&space, &index, q, 1);
+        assert!(seeds.is_empty(), "cannot reach the outer room's objects");
+        assert_eq!(partitions.len(), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Selectivity estimation for indoor distance-aware queries.
+//!
+//! The paper's future-work list (§VII) calls for estimating the
+//! selectivity of distance-aware queries to drive query optimisation.
+//! This module provides a compact, maintainable estimator: a per-floor
+//! uniform grid of object-centre counts, probed with the *skeleton
+//! distance* (the same geometric lower bound the index filters with), so
+//! the estimate is consistent with what the filtering phase will retrieve.
+//!
+//! The estimator answers two questions:
+//!
+//! * [`SelectivityEstimator::estimate_range`] — roughly how many objects
+//!   will `iRQ(q, r)` return?
+//! * [`SelectivityEstimator::estimate_knn_radius`] — roughly what radius
+//!   captures `k` objects (a planning-time stand-in for `kbound`)?
+//!
+//! Estimates are intentionally cheap (no object access at query time) and
+//! are *approximations*: walking distance exceeds the skeleton bound, so
+//! grid counts over-estimate dense-wall regions; accuracy is validated
+//! statistically in the tests.
+
+use idq_index::SkeletonTier;
+use idq_model::{Floor, IndoorPoint, IndoorSpace};
+use idq_objects::ObjectStore;
+
+/// Per-floor grid histogram of object centres.
+#[derive(Clone, Debug)]
+pub struct SelectivityEstimator {
+    cell: f64,
+    width: f64,
+    depth: f64,
+    cols: usize,
+    rows: usize,
+    /// `counts[floor][row * cols + col]`.
+    counts: Vec<Vec<u32>>,
+    total: usize,
+}
+
+impl SelectivityEstimator {
+    /// Builds the histogram from the current population. `cell` is the
+    /// grid pitch in metres (30–60 m works well for mall-scale floors).
+    pub fn build(space: &IndoorSpace, store: &ObjectStore, cell: f64) -> Self {
+        let cell = cell.max(1.0);
+        // Building extent from the partitions.
+        let mut width = 0.0f64;
+        let mut depth = 0.0f64;
+        for p in space.partitions() {
+            width = width.max(p.bbox.hi.x);
+            depth = depth.max(p.bbox.hi.y);
+        }
+        let cols = (width / cell).ceil().max(1.0) as usize;
+        let rows = (depth / cell).ceil().max(1.0) as usize;
+        let mut counts = vec![vec![0u32; cols * rows]; space.num_floors().max(1)];
+        for o in store.iter() {
+            let c = o.region.center;
+            let col = ((c.x / cell) as usize).min(cols - 1);
+            let row = ((c.y / cell) as usize).min(rows - 1);
+            if let Some(floor) = counts.get_mut(o.floor as usize) {
+                floor[row * cols + col] += 1;
+            }
+        }
+        SelectivityEstimator {
+            cell,
+            width,
+            depth,
+            cols,
+            rows,
+            counts,
+            total: store.len(),
+        }
+    }
+
+    /// Total objects the histogram covers.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Estimated number of objects `iRQ(q, r)` returns.
+    ///
+    /// Sums cell counts whose centre lies within the skeleton distance
+    /// `r` of `q` — the same lower-bound geometry the filtering phase
+    /// uses, so the estimate tracks the candidate count (a slight
+    /// over-estimate of the final result, as bounds and refinement only
+    /// remove objects).
+    pub fn estimate_range(&self, skeleton: &SkeletonTier, q: IndoorPoint, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (floor, grid) in self.counts.iter().enumerate() {
+            // Cheap floor-level prune: the best-case route to the floor.
+            let floor = floor as Floor;
+            for row in 0..self.rows {
+                for col in 0..self.cols {
+                    let n = grid[row * self.cols + col];
+                    if n == 0 {
+                        continue;
+                    }
+                    let centre = idq_geom::Point2::new(
+                        (col as f64 + 0.5) * self.cell,
+                        (row as f64 + 0.5) * self.cell,
+                    );
+                    let d = skeleton.skeleton_distance(q, IndoorPoint::new(centre, floor));
+                    // Count the cell fractionally at the rim: cells whose
+                    // centre is within r ± half-diagonal contribute
+                    // proportionally.
+                    let half_diag = self.cell * std::f64::consts::FRAC_1_SQRT_2;
+                    if d + half_diag <= r {
+                        acc += n as f64;
+                    } else if d - half_diag <= r {
+                        let frac = ((r - (d - half_diag)) / (2.0 * half_diag)).clamp(0.0, 1.0);
+                        acc += n as f64 * frac;
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Estimated radius capturing `k` objects from `q`: binary search over
+    /// [`SelectivityEstimator::estimate_range`]. Returns `None` when even
+    /// the whole building holds fewer than `k`.
+    pub fn estimate_knn_radius(
+        &self,
+        skeleton: &SkeletonTier,
+        q: IndoorPoint,
+        k: usize,
+    ) -> Option<f64> {
+        if k == 0 || self.total < k {
+            return None;
+        }
+        let mut lo = 0.0f64;
+        // Upper limit: planar diagonal plus a generous vertical allowance.
+        let mut hi = (self.width * self.width + self.depth * self.depth).sqrt()
+            + 8.0 * self.counts.len() as f64 * self.cell;
+        if self.estimate_range(skeleton, q, hi) < k as f64 {
+            return None; // disconnected floors etc.
+        }
+        for _ in 0..40 {
+            let mid = (lo + hi) / 2.0;
+            if self.estimate_range(skeleton, q, mid) >= k as f64 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_index::{CompositeIndex, IndexConfig};
+    use idq_workloads::{
+        generate_building, generate_objects, generate_query_points, BuildingConfig, ObjectConfig,
+        QueryPointConfig,
+    };
+
+    fn world() -> (
+        idq_workloads::GeneratedBuilding,
+        ObjectStore,
+        CompositeIndex,
+        Vec<IndoorPoint>,
+    ) {
+        let building = generate_building(&BuildingConfig {
+            bands: 2,
+            rooms_per_side: 3,
+            ..BuildingConfig::with_floors(3)
+        })
+        .unwrap();
+        let store = generate_objects(
+            &building,
+            &ObjectConfig { count: 600, radius: 8.0, instances: 4, seed: 5 },
+        )
+        .unwrap();
+        let index = CompositeIndex::build(&building.space, &store, IndexConfig::default()).unwrap();
+        let queries = generate_query_points(&building, &QueryPointConfig { count: 5, seed: 9 });
+        (building, store, index, queries)
+    }
+
+    #[test]
+    fn estimate_is_monotone_and_bounded() {
+        let (building, store, index, queries) = world();
+        let est = SelectivityEstimator::build(&building.space, &store, 50.0);
+        assert_eq!(est.total(), 600);
+        for &q in &queries {
+            let mut prev = 0.0;
+            for r in [0.0, 50.0, 150.0, 400.0, 4000.0] {
+                let e = est.estimate_range(index.skeleton(), q, r);
+                assert!(e >= prev - 1e-9, "monotone in r");
+                assert!(e <= 600.0 + 1e-9, "never exceeds the population");
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_filter_candidates() {
+        let (building, store, index, queries) = world();
+        let est = SelectivityEstimator::build(&building.space, &store, 40.0);
+        for &q in &queries {
+            for r in [100.0, 200.0] {
+                let estimated = est.estimate_range(index.skeleton(), q, r);
+                let filtered = index
+                    .range_search(&building.space, q, r, true)
+                    .objects
+                    .len() as f64;
+                // Coarse statistical agreement: within a factor of 3 plus
+                // a small absolute slack (grid rim effects).
+                let lo = filtered / 3.0 - 15.0;
+                let hi = filtered * 3.0 + 15.0;
+                assert!(
+                    estimated >= lo && estimated <= hi,
+                    "q={q} r={r}: estimated {estimated:.1} vs filtered {filtered}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_radius_estimate_captures_k() {
+        let (building, store, index, queries) = world();
+        let est = SelectivityEstimator::build(&building.space, &store, 40.0);
+        let q = queries[0];
+        let r = est
+            .estimate_knn_radius(index.skeleton(), q, 30)
+            .expect("population is large enough");
+        assert!(r > 0.0);
+        // The estimated radius should retrieve at least a sizeable share
+        // of k candidates through the real filter.
+        let got = index.range_search(&building.space, q, r, true).objects.len();
+        assert!(got >= 10, "radius {r:.1} retrieved only {got}");
+        // And k far beyond the population is rejected.
+        assert!(est.estimate_knn_radius(index.skeleton(), q, 10_000).is_none());
+    }
+
+    #[test]
+    fn zero_and_empty_cases() {
+        let (building, store, index, queries) = world();
+        let est = SelectivityEstimator::build(&building.space, &store, 40.0);
+        assert_eq!(est.estimate_range(index.skeleton(), queries[0], 0.0), 0.0);
+        let empty = ObjectStore::new();
+        let est = SelectivityEstimator::build(&building.space, &empty, 40.0);
+        assert_eq!(est.total(), 0);
+        assert!(est.estimate_knn_radius(index.skeleton(), queries[0], 1).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-query statistics: the raw material of the paper's evaluation
+//! figures (phase breakdowns for Fig. 12(b)/13(b), pruning ratios for
+//! Fig. 14, retrieval counts for Fig. 15(a)).
+
+/// Phase timings and pruning counters of one query execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Phase 1 (filtering) wall time, ms.
+    pub filtering_ms: f64,
+    /// Phase 2 (subgraph Dijkstra) wall time, ms.
+    pub subgraph_ms: f64,
+    /// Phase 3 (bound pruning) wall time, ms.
+    pub pruning_ms: f64,
+    /// Phase 4 (refinement) wall time, ms.
+    pub refinement_ms: f64,
+    /// Objects in the store at query time (`|O|`).
+    pub total_objects: usize,
+    /// Candidates surviving the filtering phase (`|Ro|`).
+    pub candidates_after_filter: usize,
+    /// Candidate partitions (`|Rp|`).
+    pub partitions_retrieved: usize,
+    /// Objects accepted outright by their upper bound.
+    pub accepted_by_bounds: usize,
+    /// Objects discarded by their lower bound.
+    pub pruned_by_bounds: usize,
+    /// Objects whose exact expected distance was computed.
+    pub refined: usize,
+    /// Refinements that needed the full-graph Dijkstra fallback.
+    pub full_graph_fallbacks: usize,
+    /// indR-tree nodes visited during filtering.
+    pub nodes_visited: usize,
+    /// Leaf entries checked during filtering.
+    pub entries_checked: usize,
+}
+
+impl QueryStats {
+    /// Total query time across the four phases, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.filtering_ms + self.subgraph_ms + self.pruning_ms + self.refinement_ms
+    }
+
+    /// Fraction of all objects disqualified by the *filtering* phase
+    /// (Fig. 14(a)/(c), series "Filtering").
+    pub fn filtering_ratio(&self) -> f64 {
+        if self.total_objects == 0 {
+            return 0.0;
+        }
+        1.0 - self.candidates_after_filter as f64 / self.total_objects as f64
+    }
+
+    /// Fraction of all objects disqualified after the *pruning* phase:
+    /// everything except those needing refinement or accepted as results
+    /// (Fig. 14(a)/(c), series "Pruning").
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.total_objects == 0 {
+            return 0.0;
+        }
+        1.0 - self.refined as f64 / self.total_objects as f64
+    }
+
+    /// Accumulates another run (for averaging over a query workload).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.filtering_ms += other.filtering_ms;
+        self.subgraph_ms += other.subgraph_ms;
+        self.pruning_ms += other.pruning_ms;
+        self.refinement_ms += other.refinement_ms;
+        self.total_objects += other.total_objects;
+        self.candidates_after_filter += other.candidates_after_filter;
+        self.partitions_retrieved += other.partitions_retrieved;
+        self.accepted_by_bounds += other.accepted_by_bounds;
+        self.pruned_by_bounds += other.pruned_by_bounds;
+        self.refined += other.refined;
+        self.full_graph_fallbacks += other.full_graph_fallbacks;
+        self.nodes_visited += other.nodes_visited;
+        self.entries_checked += other.entries_checked;
+    }
+
+    /// Divides all counters/timings by `n` (averaging helper).
+    pub fn scale_down(&self, n: usize) -> QueryStats {
+        if n == 0 {
+            return *self;
+        }
+        let f = n as f64;
+        QueryStats {
+            filtering_ms: self.filtering_ms / f,
+            subgraph_ms: self.subgraph_ms / f,
+            pruning_ms: self.pruning_ms / f,
+            refinement_ms: self.refinement_ms / f,
+            total_objects: self.total_objects / n,
+            candidates_after_filter: self.candidates_after_filter / n,
+            partitions_retrieved: self.partitions_retrieved / n,
+            accepted_by_bounds: self.accepted_by_bounds / n,
+            pruned_by_bounds: self.pruned_by_bounds / n,
+            refined: self.refined / n,
+            full_graph_fallbacks: self.full_graph_fallbacks / n,
+            nodes_visited: self.nodes_visited / n,
+            entries_checked: self.entries_checked / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = QueryStats {
+            total_objects: 1000,
+            candidates_after_filter: 30,
+            refined: 5,
+            ..QueryStats::default()
+        };
+        assert!((s.filtering_ratio() - 0.97).abs() < 1e-12);
+        assert!((s.pruning_ratio() - 0.995).abs() < 1e-12);
+        assert_eq!(QueryStats::default().filtering_ratio(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut a = QueryStats { filtering_ms: 1.0, refined: 4, ..Default::default() };
+        let b = QueryStats { filtering_ms: 3.0, refined: 2, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.filtering_ms, 4.0);
+        assert_eq!(a.refined, 6);
+        let avg = a.scale_down(2);
+        assert_eq!(avg.filtering_ms, 2.0);
+        assert_eq!(avg.refined, 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's default experiment parameters (§V-A, defaults bolded in the
+//! original; we use the middle values — see DESIGN.md "Deliberate
+//! interpretation choices").
+
+/// Default parameters of the paper's evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperDefaults {
+    /// Objects in the building.
+    pub objects: usize,
+    /// Floors (→ ≈2K partitions).
+    pub floors: u16,
+    /// Uncertainty-region radius, metres.
+    pub radius: f64,
+    /// Instances per object.
+    pub instances: usize,
+    /// iRQ range `r`, metres.
+    pub range_r: f64,
+    /// ikNNQ `k`.
+    pub k: usize,
+    /// Query points per experiment.
+    pub queries: usize,
+    /// indR-tree fanout.
+    pub fanout: usize,
+    /// Decomposition threshold `T_shape`.
+    pub t_shape: f64,
+}
+
+impl Default for PaperDefaults {
+    fn default() -> Self {
+        PaperDefaults {
+            objects: 20_000,
+            floors: 20,
+            radius: 10.0,
+            instances: 100,
+            range_r: 100.0,
+            k: 100,
+            queries: 50,
+            fanout: 20,
+            t_shape: 0.5,
+        }
+    }
+}
+
+impl PaperDefaults {
+    /// The paper's sweep values for the object count (Fig. 12(a), 13(a),
+    /// 14).
+    pub const OBJECT_SWEEP: [usize; 3] = [10_000, 20_000, 30_000];
+    /// Sweep of uncertainty-region radii (Fig. 12(c), 13(c); the figures'
+    /// x-axis shows the diameter 10/20/30).
+    pub const RADIUS_SWEEP: [f64; 3] = [5.0, 10.0, 15.0];
+    /// Sweep of floor counts → ≈1K/2K/3K partitions (Fig. 12(d), 13(d),
+    /// 15(b), 15(d)).
+    pub const FLOOR_SWEEP: [u16; 3] = [10, 20, 30];
+    /// iRQ range sweep (Fig. 12, 15(a)).
+    pub const RANGE_SWEEP: [f64; 3] = [50.0, 100.0, 150.0];
+    /// ikNNQ k sweep (Fig. 13).
+    pub const K_SWEEP: [usize; 3] = [50, 100, 150];
+    /// Update-operation counts (Fig. 15(c)).
+    pub const OPS_SWEEP: [usize; 3] = [10, 50, 100];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_middle_sweep_values() {
+        let d = PaperDefaults::default();
+        assert_eq!(d.objects, PaperDefaults::OBJECT_SWEEP[1]);
+        assert_eq!(d.floors, PaperDefaults::FLOOR_SWEEP[1]);
+        assert_eq!(d.radius, PaperDefaults::RADIUS_SWEEP[1]);
+        assert_eq!(d.range_r, PaperDefaults::RANGE_SWEEP[1]);
+        assert_eq!(d.k, PaperDefaults::K_SWEEP[1]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Experiment utilities: timing, simple statistics, and paper-style series
+//! tables shared by the figure binaries.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch accumulating named phases (used for query-phase
+//  breakdowns à la Fig. 12(b)/13(b)).
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed milliseconds as `f64`.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Restarts and returns the lap time in milliseconds.
+    pub fn lap_ms(&mut self) -> f64 {
+        let t = self.elapsed_ms();
+        self.start = Instant::now();
+        t
+    }
+}
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Percentile (nearest-rank, `p` in [0, 100]); 0 for empty input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// A printable series table, mirroring one panel of a paper figure: one
+/// row per x value, one column per series.
+#[derive(Debug, Clone)]
+pub struct SeriesTable {
+    /// Panel title, e.g. `"Fig 12(a) iRQ Tq (ms) vs |O|"`.
+    pub title: String,
+    /// Label of the x column.
+    pub x_label: String,
+    /// Series names.
+    pub series: Vec<String>,
+    /// Rows: x label → one value per series.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl SeriesTable {
+    /// Creates an empty table.
+    pub fn new(title: &str, x_label: &str, series: &[&str]) -> Self {
+        SeriesTable {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            series: series.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; `values.len()` must equal the series count.
+    pub fn push_row(&mut self, x: impl ToString, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "row width mismatch");
+        self.rows.push((x.to_string(), values));
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().cloned());
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        let formatted: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(x, vals)| {
+                let mut row = vec![x.clone()];
+                row.extend(vals.iter().map(|v| format_value(*v)));
+                row
+            })
+            .collect();
+        for row in &formatted {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&header));
+        out.push('\n');
+        for row in &formatted {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering (for downstream plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            out.push_str(x);
+            for v in vals {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 50.0), 3.0);
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 0.0), 1.0);
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 100.0), 5.0);
+    }
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = SeriesTable::new("Fig X", "|O|", &["r=50", "r=100"]);
+        t.push_row("10K", vec![1.25, 2.5]);
+        t.push_row("20K", vec![2.0, 4.0]);
+        let s = t.render();
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("r=100"));
+        assert!(s.lines().count() >= 4);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("|O|,r=50,r=100\n"));
+        assert!(csv.contains("10K,1.25,2.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = SeriesTable::new("t", "x", &["a"]);
+        t.push_row("1", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn stopwatch_measures() {
+        let mut w = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let lap = w.lap_ms();
+        assert!(lap >= 1.0);
+        assert!(w.elapsed_ms() < lap + 1000.0);
+    }
+}

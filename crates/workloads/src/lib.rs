@@ -1,0 +1,27 @@
+//! Synthetic workloads reproducing the paper's evaluation setup (§V-A).
+//!
+//! The paper evaluates on a real shopping-mall floor plan whose published
+//! statistics are: floors of 600 m × 600 m × 4 m, 100 rooms and 4 corner
+//! staircases per floor, hallways connecting everything; buildings of
+//! 10/20/30 floors (≈1K/2K/3K partitions); 10K–30K objects with circular
+//! uncertainty regions of radius 5/10/15 m sampled by 100 Gaussian
+//! instances; 50 random query points per experiment.
+//!
+//! * [`BuildingConfig`] / [`generate_building`] — the parametric mall
+//!   generator (see DESIGN.md for the substitution argument);
+//! * [`ObjectConfig`] / [`generate_objects`] — uncertain-object populations;
+//! * [`QueryPointConfig`] / [`generate_query_points`] — query workloads;
+//! * [`experiment`] — timing, statistics and paper-style table printing
+//!   shared by the figure binaries and Criterion benches.
+
+pub mod building;
+pub mod defaults;
+pub mod experiment;
+pub mod objects;
+pub mod queries;
+
+pub use building::{generate_building, BuildingConfig, GeneratedBuilding};
+pub use defaults::PaperDefaults;
+pub use experiment::{mean, percentile, SeriesTable, Stopwatch};
+pub use objects::{generate_objects, sample_one, ObjectConfig};
+pub use queries::{generate_query_points, QueryPointConfig};

@@ -1,0 +1,204 @@
+//! Uncertain-object population generator (§V-A).
+
+use crate::building::GeneratedBuilding;
+use idq_geom::Point2;
+use idq_model::{IndoorPoint, PartitionId};
+use idq_objects::{GaussianSampler, ObjectError, ObjectId, ObjectStore, UncertainObject};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the object population.
+#[derive(Clone, Copy, Debug)]
+pub struct ObjectConfig {
+    /// Number of objects (paper: 10K / **20K** / 30K).
+    pub count: usize,
+    /// Uncertainty-region radius, metres (paper: 5 / **10** / 15).
+    pub radius: f64,
+    /// Instances per object (paper: 100).
+    pub instances: usize,
+    /// RNG seed — the population is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for ObjectConfig {
+    fn default() -> Self {
+        ObjectConfig {
+            count: 20_000,
+            radius: 10.0,
+            instances: 100,
+            seed: 0xD15C0,
+        }
+    }
+}
+
+/// Generates `config.count` uncertain objects uniformly over the building
+/// volume: a host partition is drawn with probability proportional to its
+/// area (staircases count once per covered floor), then the region centre
+/// uniformly inside the partition footprint.
+pub fn generate_objects(
+    building: &GeneratedBuilding,
+    config: &ObjectConfig,
+) -> Result<ObjectStore, ObjectError> {
+    let space = &building.space;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let sampler = GaussianSampler {
+        instances: config.instances.max(1),
+        ..GaussianSampler::default()
+    };
+
+    // (partition, floor) cells weighted by area.
+    let mut cells: Vec<(PartitionId, u16, f64)> = Vec::new();
+    let mut total_area = 0.0;
+    for p in space.partitions() {
+        for f in p.floor_lo..=p.floor_hi {
+            let a = p.area();
+            cells.push((p.id, f, a));
+            total_area += a;
+        }
+    }
+    if cells.is_empty() || total_area <= 0.0 {
+        return Err(ObjectError::NoHostPartition);
+    }
+
+    let mut store = ObjectStore::new();
+    for i in 0..config.count {
+        let (pid, floor) = pick_cell(&cells, total_area, &mut rng);
+        let part = space.partition(pid).expect("cells hold active partitions");
+        let bbox = part.bbox;
+        // Uniform point inside the footprint by bbox rejection.
+        let center = loop {
+            let c = Point2::new(
+                rng.random_range(bbox.lo.x..=bbox.hi.x),
+                rng.random_range(bbox.lo.y..=bbox.hi.y),
+            );
+            if part.contains(c, floor) {
+                break c;
+            }
+        };
+        let obj = sampler.sample(
+            ObjectId(i as u64),
+            center,
+            floor,
+            config.radius,
+            space,
+            &mut rng,
+        )?;
+        store.insert(obj)?;
+    }
+    Ok(store)
+}
+
+/// Samples one additional object (used by update benchmarks that grow the
+/// population on the fly).
+pub fn sample_one(
+    building: &GeneratedBuilding,
+    id: ObjectId,
+    radius: f64,
+    instances: usize,
+    rng: &mut StdRng,
+) -> Result<UncertainObject, ObjectError> {
+    let space = &building.space;
+    let sampler = GaussianSampler {
+        instances: instances.max(1),
+        ..GaussianSampler::default()
+    };
+    // Rejection over the floor extent keeps this simple and exact.
+    let floors = space.num_floors() as u16;
+    loop {
+        let floor = rng.random_range(0..floors);
+        let c = Point2::new(
+            rng.random_range(0.0..building.config.width),
+            rng.random_range(0.0..building.config.depth),
+        );
+        if space.partition_at(IndoorPoint::new(c, floor)).is_some() {
+            return sampler.sample(id, c, floor, radius, space, rng);
+        }
+    }
+}
+
+fn pick_cell(
+    cells: &[(PartitionId, u16, f64)],
+    total_area: f64,
+    rng: &mut StdRng,
+) -> (PartitionId, u16) {
+    let mut t = rng.random_range(0.0..total_area);
+    for &(pid, f, a) in cells {
+        if t < a {
+            return (pid, f);
+        }
+        t -= a;
+    }
+    let last = cells.last().expect("non-empty");
+    (last.0, last.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::{generate_building, BuildingConfig};
+
+    fn tiny_building() -> GeneratedBuilding {
+        generate_building(&BuildingConfig {
+            bands: 2,
+            rooms_per_side: 3,
+            ..BuildingConfig::with_floors(2)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn generates_requested_population() {
+        let g = tiny_building();
+        let cfg = ObjectConfig { count: 50, radius: 5.0, instances: 20, seed: 1 };
+        let store = generate_objects(&g, &cfg).unwrap();
+        assert_eq!(store.len(), 50);
+        for o in store.iter() {
+            assert_eq!(o.len(), 20);
+            assert!((o.floor as usize) < g.space.num_floors());
+            // Centre is inside the building.
+            assert!(g
+                .space
+                .partition_at(IndoorPoint::new(o.region.center, o.floor))
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = tiny_building();
+        let cfg = ObjectConfig { count: 10, radius: 5.0, instances: 5, seed: 42 };
+        let a = generate_objects(&g, &cfg).unwrap();
+        let b = generate_objects(&g, &cfg).unwrap();
+        for id in a.ids_sorted() {
+            let (oa, ob) = (a.get(id).unwrap(), b.get(id).unwrap());
+            assert_eq!(oa.region.center, ob.region.center);
+            for (x, y) in oa.instances().iter().zip(ob.instances()) {
+                assert_eq!(x.position, y.position);
+            }
+        }
+        let c = generate_objects(&g, &ObjectConfig { seed: 43, ..cfg }).unwrap();
+        let differs = a
+            .ids_sorted()
+            .iter()
+            .any(|&id| a.get(id).unwrap().region.center != c.get(id).unwrap().region.center);
+        assert!(differs, "different seeds → different placements");
+    }
+
+    #[test]
+    fn objects_spread_across_floors() {
+        let g = tiny_building();
+        let cfg = ObjectConfig { count: 200, radius: 5.0, instances: 2, seed: 7 };
+        let store = generate_objects(&g, &cfg).unwrap();
+        let on_floor0 = store.iter().filter(|o| o.floor == 0).count();
+        assert!(on_floor0 > 0 && on_floor0 < 200, "both floors populated");
+    }
+
+    #[test]
+    fn sample_one_is_valid() {
+        let g = tiny_building();
+        let mut rng = StdRng::seed_from_u64(9);
+        let o = sample_one(&g, ObjectId(999), 5.0, 10, &mut rng).unwrap();
+        assert_eq!(o.id, ObjectId(999));
+        assert_eq!(o.len(), 10);
+    }
+}

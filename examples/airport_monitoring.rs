@@ -1,0 +1,108 @@
+//! The paper's second motivating scenario (§I): monitoring individuals
+//! within a predefined range of a sensitive point in an airport — e.g. a
+//! power distribution unit — where one-directional doors (security
+//! control) shape the reachable space.
+//!
+//! The example builds a small terminal with a landside/airside split: the
+//! security checkpoint is one-way landside → airside. Monitoring around a
+//! sensitive point on the airside must respect that passengers cannot walk
+//! back through security: walking distance *from* the unit and *to* the
+//! unit differ.
+//!
+//! ```text
+//! cargo run --release --example airport_monitoring
+//! ```
+
+use indoor_dq::model::IndoorPoint;
+use indoor_dq::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Terminal layout (one floor):
+    //
+    //   +-----------------+--sec--+------------------+
+    //   |   landside hall  >>>>>>>|   airside hall   |
+    //   +--------+--------+-------+---------+--------+
+    //   | checkin|  shops |       |  gate A | gate B |
+    //   +--------+--------+       +---------+--------+
+    //
+    // `sec` is one-way (landside → airside); an exit corridor (not drawn)
+    // lets passengers leave airside back to landside the long way round.
+    let mut plan = FloorPlanBuilder::new(4.0);
+    let landside = plan.add_named_room("landside", 0, Rect2::from_bounds(0.0, 20.0, 60.0, 40.0))?;
+    let airside = plan.add_named_room("airside", 0, Rect2::from_bounds(60.0, 20.0, 120.0, 40.0))?;
+    let checkin = plan.add_named_room("checkin", 0, Rect2::from_bounds(0.0, 0.0, 30.0, 20.0))?;
+    let shops = plan.add_named_room("shops", 0, Rect2::from_bounds(30.0, 0.0, 60.0, 20.0))?;
+    let gate_a = plan.add_named_room("gateA", 0, Rect2::from_bounds(60.0, 0.0, 90.0, 20.0))?;
+    let gate_b = plan.add_named_room("gateB", 0, Rect2::from_bounds(90.0, 0.0, 120.0, 20.0))?;
+    let exit_corr = plan.add_named_room("exit", 0, Rect2::from_bounds(0.0, 40.0, 120.0, 46.0))?;
+
+    plan.add_door_between(landside, checkin, Point2::new(15.0, 20.0))?;
+    plan.add_door_between(landside, shops, Point2::new(45.0, 20.0))?;
+    plan.add_door_between(airside, gate_a, Point2::new(75.0, 20.0))?;
+    plan.add_door_between(airside, gate_b, Point2::new(105.0, 20.0))?;
+    // Security: one-way landside → airside.
+    let security = plan.add_one_way_door(landside, airside, Point2::new(60.0, 30.0))?;
+    // Airside exit: one-way airside → exit corridor → landside.
+    plan.add_one_way_door(airside, exit_corr, Point2::new(110.0, 40.0))?;
+    plan.add_one_way_door(exit_corr, landside, Point2::new(10.0, 40.0))?;
+    let space = plan.finish()?;
+
+    let mut engine = IndoorEngine::new(space, EngineConfig::default())?;
+
+    // Passengers: some landside, some airside near the gates.
+    let mut passengers = Vec::new();
+    for (i, (x, y)) in [
+        (10.0, 30.0), // landside hall
+        (45.0, 10.0), // shops
+        (70.0, 30.0), // airside, just past security
+        (80.0, 10.0), // gate A
+        (100.0, 10.0), // gate B
+        (110.0, 30.0), // airside, far end
+    ]
+    .iter()
+    .enumerate()
+    {
+        passengers.push(engine.insert_object_at(Point2::new(*x, *y), 0, 3.0, 64, i as u64)?);
+    }
+
+    // The sensitive point: a power distribution unit on the airside wall.
+    let pdu = IndoorPoint::new(Point2::new(65.0, 38.0), 0);
+    println!("monitoring a 30 m security perimeter around the PDU at {pdu}\n");
+
+    let watch = engine.range_query(pdu, 30.0)?;
+    println!("passengers inside the perimeter (walking distance ≤ 30 m):");
+    for hit in &watch.results {
+        println!("  {}  at {:.1} m", hit.object, hit.distance);
+    }
+
+    // One-way asymmetry: from the landside hall the PDU may be close
+    // *through security*, but walking back out is the long way.
+    let landside_guard = IndoorPoint::new(Point2::new(55.0, 30.0), 0);
+    let to_pdu = engine.indoor_distance(landside_guard, pdu)?;
+    let from_pdu = engine.indoor_distance(pdu, landside_guard)?;
+    println!(
+        "\nguard (landside) → PDU: {to_pdu:.1} m through security;\n\
+         PDU → guard:            {from_pdu:.1} m around through the exit corridor"
+    );
+    assert!(from_pdu > to_pdu);
+
+    // Emergency drill: security closes. The perimeter from the PDU still
+    // covers airside passengers, but the landside guard can no longer
+    // reach it at all.
+    engine.close_door(security)?;
+    let to_pdu_closed = engine.indoor_distance(landside_guard, pdu)?;
+    println!(
+        "\nafter closing security: guard → PDU = {}",
+        if to_pdu_closed.is_finite() {
+            format!("{to_pdu_closed:.1} m")
+        } else {
+            "unreachable".to_string()
+        }
+    );
+    let watch = engine.range_query(pdu, 30.0)?;
+    println!(
+        "perimeter check still sees {} airside passenger(s)",
+        watch.results.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! The paper's temporal-variation scenario (§I, Figure 1's Room 21): a
+//! conference hall is reconfigured between *banquet style* (one big
+//! partition) and *meeting style* (split by a sliding wall), and indoor
+//! distances — hence query answers — change with it. The composite index
+//! absorbs the change incrementally; no door-to-door distances were ever
+//! pre-computed, so nothing needs re-precomputing (the paper's key
+//! maintenance argument, §V-B.4).
+//!
+//! ```text
+//! cargo run --release --example dynamic_reconfiguration
+//! ```
+
+use indoor_dq::model::{IndoorPoint, SplitLine};
+use indoor_dq::prelude::*;
+use indoor_dq::query::PrecomputedD2D;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A venue: lobby + conference hall (Room 21) with doors d41/d42.
+    let mut plan = FloorPlanBuilder::new(4.0);
+    let lobby = plan.add_named_room("lobby", 0, Rect2::from_bounds(0.0, 0.0, 100.0, 10.0))?;
+    let hall = plan.add_named_room("room 21", 0, Rect2::from_bounds(10.0, 10.0, 90.0, 50.0))?;
+    let d41 = plan.add_door_between(hall, lobby, Point2::new(20.0, 10.0))?;
+    let d42 = plan.add_door_between(hall, lobby, Point2::new(80.0, 10.0))?;
+    let space = plan.finish()?;
+    let mut engine = IndoorEngine::new(space, EngineConfig::default())?;
+    println!("venue ready (doors d41={d41}, d42={d42})");
+
+    // Attendees on both ends of the hall.
+    let west_attendee = engine.insert_object_at(Point2::new(20.0, 40.0), 0, 2.0, 64, 1)?;
+    let east_attendee = engine.insert_object_at(Point2::new(80.0, 40.0), 0, 2.0, 64, 2)?;
+
+    // An usher stands near the west end of the hall.
+    let usher = IndoorPoint::new(Point2::new(25.0, 30.0), 0);
+
+    let banquet = engine.knn(usher, 2)?;
+    println!("\nbanquet style — usher's nearest attendees:");
+    for h in &banquet.results {
+        println!("  {} at {:.1} m", h.object, h.distance);
+    }
+
+    // Mount the sliding wall at x = 50 (meeting style, no connecting
+    // door): the hall becomes two rooms and the east attendee must now be
+    // reached through the lobby via d41 and d42.
+    let halves = engine.split_partition(hall, SplitLine::AtX(50.0), None)?;
+    println!("\nsliding wall mounted: room 21 → {} + {}", halves[0], halves[1]);
+
+    let meeting = engine.knn(usher, 2)?;
+    println!("meeting style — usher's nearest attendees:");
+    for h in &meeting.results {
+        println!("  {} at {:.1} m", h.object, h.distance);
+    }
+    let d_banquet = banquet.results.iter().find(|h| h.object == east_attendee).unwrap().distance;
+    let d_meeting = meeting.results.iter().find(|h| h.object == east_attendee).unwrap().distance;
+    println!(
+        "\neast attendee: {:.1} m (banquet) → {:.1} m (meeting): rerouted via d41+d42",
+        d_banquet, d_meeting
+    );
+    assert!(d_meeting > d_banquet);
+
+    // Range queries adapt too: a 30 m coffee-call reaches both attendees
+    // in banquet style but only the west one in meeting style.
+    let call = engine.range_query(usher, 40.0)?;
+    println!(
+        "40 m coffee call now reaches {} attendee(s): {:?}",
+        call.results.len(),
+        call.results.iter().map(|h| h.object).collect::<Vec<_>>()
+    );
+    assert!(call.results.iter().any(|h| h.object == west_attendee));
+
+    // Dismount the wall: banquet style restored, distances return.
+    let restored = engine.merge_partitions(halves[0], halves[1])?;
+    println!("\nwall dismounted: hall restored as {restored}");
+    let back = engine.knn(usher, 2)?;
+    for h in &back.results {
+        println!("  {} at {:.1} m", h.object, h.distance);
+    }
+
+    // Contrast with the pre-computation alternative: every reconfiguration
+    // would invalidate the all-pairs door matrix and force a full rebuild.
+    let t = std::time::Instant::now();
+    let pre = PrecomputedD2D::build(engine.space(), engine.index().doors_graph());
+    println!(
+        "\nre-precomputing all door-to-door distances after the change would cost {:.1} ms \
+         (matrix of {} doors); the composite index absorbed it incrementally.",
+        t.elapsed().as_secs_f64() * 1e3,
+        pre.door_slots(),
+    );
+    Ok(())
+}

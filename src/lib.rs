@@ -1,0 +1,71 @@
+//! # indoor-dq — distance-aware queries on indoor moving objects
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *Efficient Distance-Aware Query Evaluation on Indoor Moving Objects*
+//! (Xie, Lu, Pedersen — ICDE 2013): indoor range queries (`iRQ`) and indoor
+//! k-nearest-neighbour queries (`ikNNQ`) over uncertain moving objects in
+//! dynamic indoor spaces, backed by a composite index (indR-tree tier,
+//! skeleton tier, topological layer, object layer) and a family of indoor
+//! distance bounds that avoid door-to-door distance pre-computation.
+//!
+//! The facade re-exports the component crates:
+//!
+//! * [`geom`] — geometry substrate (points, rectangles, polygons, bisectors,
+//!   partition decomposition);
+//! * [`model`] — the indoor space (partitions, directional doors,
+//!   staircases, doors graph, temporal topology changes);
+//! * [`objects`] — uncertain objects with instance-based PDFs;
+//! * [`distance`] — indoor distances and pruning bounds;
+//! * [`index`] — the composite index;
+//! * [`query`] — the iRQ / ikNNQ processors and baselines;
+//! * [`core`] — [`core::IndoorEngine`], the integrated public API;
+//! * [`workloads`] — synthetic buildings, objects and query workloads
+//!   reproducing the paper's evaluation setup.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use indoor_dq::prelude::*;
+//!
+//! // A tiny two-room floor plan.
+//! let mut builder = FloorPlanBuilder::new(4.0);
+//! let a = builder.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+//! let b = builder.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+//! builder.add_door_between(a, b, Point2::new(10.0, 5.0)).unwrap();
+//! let space = builder.finish().unwrap();
+//!
+//! let mut engine = IndoorEngine::new(space, EngineConfig::default()).unwrap();
+//! let o1 = engine
+//!     .insert_object_at(Point2::new(18.0, 5.0), 0, 1.0, 16, 7)
+//!     .unwrap();
+//!
+//! let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+//! let hits = engine.range_query(q, 25.0).unwrap();
+//! assert_eq!(hits.results.len(), 1);
+//! assert_eq!(hits.results[0].object, o1);
+//! ```
+
+pub use idq_core as core;
+pub use idq_distance as distance;
+pub use idq_geom as geom;
+pub use idq_index as index;
+pub use idq_model as model;
+pub use idq_objects as objects;
+pub use idq_query as query;
+pub use idq_workloads as workloads;
+
+/// Convenience re-exports of the types most applications need.
+pub mod prelude {
+    pub use idq_core::{EngineConfig, IndoorEngine};
+    pub use idq_distance::IndoorPoint;
+    pub use idq_geom::{Circle, Point2, Point3, Rect2};
+    pub use idq_index::CompositeIndex;
+    pub use idq_model::{
+        Direction, DoorId, FloorPlanBuilder, IndoorSpace, PartitionId, PartitionKind,
+    };
+    pub use idq_objects::{ObjectId, UncertainObject};
+    pub use idq_query::{KnnResult, QueryStats, RangeResult};
+    pub use idq_workloads::{BuildingConfig, ObjectConfig, QueryPointConfig};
+}

@@ -1,0 +1,78 @@
+//! The pre-computation baseline must agree with on-the-fly evaluation on
+//! the generated mall — and its construction must dwarf the composite
+//! index's per-update costs (the paper's maintenance argument, §V-B.4).
+
+use indoor_dq::distance::indoor_distance;
+use indoor_dq::query::PrecomputedD2D;
+use indoor_dq::workloads::{
+    generate_building, generate_query_points, BuildingConfig, QueryPointConfig,
+};
+use indoor_dq::model::DoorsGraph;
+
+#[test]
+fn matrix_agrees_with_online_distances_on_the_mall() {
+    let building = generate_building(&BuildingConfig {
+        bands: 2,
+        rooms_per_side: 3,
+        one_way_rooms: 1,
+        ..BuildingConfig::with_floors(2)
+    })
+    .unwrap();
+    let space = &building.space;
+    let graph = DoorsGraph::build(space);
+    let pre = PrecomputedD2D::build(space, &graph);
+    assert_eq!(pre.door_slots(), space.door_slots());
+
+    let points = generate_query_points(&building, &QueryPointConfig { count: 12, seed: 5 });
+    for pair in points.chunks(2) {
+        if pair.len() < 2 {
+            continue;
+        }
+        let (a, b) = (pair[0], pair[1]);
+        let online = indoor_distance(space, &graph, a, b).unwrap();
+        let offline = pre.point_distance(space, a, b).unwrap();
+        if online.is_finite() {
+            assert!(
+                (online - offline).abs() < 1e-9,
+                "{a} → {b}: online {online} vs matrix {offline}"
+            );
+        } else {
+            assert!(offline.is_infinite());
+        }
+    }
+}
+
+#[test]
+fn precomputation_cost_dwarfs_index_updates() {
+    use indoor_dq::index::{CompositeIndex, IndexConfig};
+    use indoor_dq::objects::ObjectStore;
+    use std::time::Instant;
+
+    let building = generate_building(&BuildingConfig {
+        bands: 2,
+        rooms_per_side: 4,
+        ..BuildingConfig::with_floors(3)
+    })
+    .unwrap();
+    let mut space = building.space.clone();
+    let graph = DoorsGraph::build(&space);
+    let pre = PrecomputedD2D::build(&space, &graph);
+
+    // One topology update on the composite index.
+    let store = ObjectStore::new();
+    let mut index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
+    let d = space.doors().next().unwrap().id;
+    let t = Instant::now();
+    let ev = space.close_door(d).unwrap();
+    index.apply_topology(&space, &store, &ev).unwrap();
+    let update_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // The paper's gap is hours vs milliseconds; at test scale we still
+    // expect a couple of orders of magnitude.
+    assert!(
+        pre.build_ms > update_ms * 10.0,
+        "precompute {:.3} ms should dwarf update {:.3} ms",
+        pre.build_ms,
+        update_ms
+    );
+}
