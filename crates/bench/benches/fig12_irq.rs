@@ -28,20 +28,16 @@ fn bench_irq(c: &mut Criterion) {
     // (c) uncertainty axis.
     for radius in [5.0f64, 10.0, 15.0] {
         let world = build_world(4, 2_000, radius, 5, 7);
-        g.bench_with_input(
-            BenchmarkId::new("radius", radius as u64),
-            &world,
-            |b, w| {
-                b.iter(|| {
-                    for &q in &w.queries {
-                        std::hint::black_box(
-                            range_query(&w.building.space, &w.index, &w.store, q, 100.0, &w.options)
-                                .unwrap(),
-                        );
-                    }
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("radius", radius as u64), &world, |b, w| {
+            b.iter(|| {
+                for &q in &w.queries {
+                    std::hint::black_box(
+                        range_query(&w.building.space, &w.index, &w.store, q, 100.0, &w.options)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
     }
 
     // (d) partition axis.

@@ -29,8 +29,7 @@ fn bench_iknn(c: &mut Criterion) {
             b.iter(|| {
                 for &q in &w.queries {
                     std::hint::black_box(
-                        knn_query(&w.building.space, &w.index, &w.store, q, k, &w.options)
-                            .unwrap(),
+                        knn_query(&w.building.space, &w.index, &w.store, q, k, &w.options).unwrap(),
                     );
                 }
             })

@@ -20,8 +20,15 @@ fn bench_pruning_ablation(c: &mut Criterion) {
             b.iter(|| {
                 for &q in &world.queries {
                     std::hint::black_box(
-                        range_query(&world.building.space, &world.index, &world.store, q, 100.0, o)
-                            .unwrap(),
+                        range_query(
+                            &world.building.space,
+                            &world.index,
+                            &world.store,
+                            q,
+                            100.0,
+                            o,
+                        )
+                        .unwrap(),
                     );
                 }
             })

@@ -18,13 +18,22 @@ fn bench_index(c: &mut Criterion) {
     // (a) RangeSearch with and without the skeleton tier.
     let world = build_world(4, 2_000, 10.0, 5, 7);
     for (name, skeleton) in [("withSkeleton", true), ("withoutSkeleton", false)] {
-        g.bench_with_input(BenchmarkId::new("range_search", name), &skeleton, |b, &s| {
-            b.iter(|| {
-                for &q in &world.queries {
-                    std::hint::black_box(world.index.range_search(&world.building.space, q, 100.0, s));
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("range_search", name),
+            &skeleton,
+            |b, &s| {
+                b.iter(|| {
+                    for &q in &world.queries {
+                        std::hint::black_box(world.index.range_search(
+                            &world.building.space,
+                            q,
+                            100.0,
+                            s,
+                        ));
+                    }
+                })
+            },
+        );
     }
 
     // (b) full index construction.

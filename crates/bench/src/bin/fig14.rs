@@ -5,7 +5,9 @@
 //! * (c) ikNNQ filtering & pruning ratios vs `|O|`;
 //! * (d) ikNNQ `T_q` with vs without the pruning phase.
 
-use idq_bench::{build_world, klabel, mean_irq, mean_knn, scale_from_env, scaled_floors, scaled_objects};
+use idq_bench::{
+    build_world, klabel, mean_irq, mean_knn, scale_from_env, scaled_floors, scaled_objects,
+};
 use idq_workloads::{PaperDefaults, SeriesTable};
 
 fn main() {
@@ -37,13 +39,22 @@ fn main() {
 
     for &objs in &PaperDefaults::OBJECT_SWEEP {
         let objs = scaled_objects(objs, scale);
-        let world = build_world(scaled_floors(d.floors, scale), objs, d.radius, d.queries, 42);
+        let world = build_world(
+            scaled_floors(d.floors, scale),
+            objs,
+            d.radius,
+            d.queries,
+            42,
+        );
 
         let (with_ms, stats) = mean_irq(&world, d.range_r, &world.options);
         let (without_ms, _) = mean_irq(&world, d.range_r, &world.options.without_pruning());
         a.push_row(
             klabel(objs),
-            vec![stats.filtering_ratio() * 100.0, stats.pruning_ratio() * 100.0],
+            vec![
+                stats.filtering_ratio() * 100.0,
+                stats.pruning_ratio() * 100.0,
+            ],
         );
         b.push_row(klabel(objs), vec![with_ms, without_ms]);
 
@@ -51,7 +62,10 @@ fn main() {
         let (without_ms, _) = mean_knn(&world, k_default, &world.options.without_pruning());
         c.push_row(
             klabel(objs),
-            vec![stats.filtering_ratio() * 100.0, stats.pruning_ratio() * 100.0],
+            vec![
+                stats.filtering_ratio() * 100.0,
+                stats.pruning_ratio() * 100.0,
+            ],
         );
         dt.push_row(klabel(objs), vec![with_ms, without_ms]);
     }

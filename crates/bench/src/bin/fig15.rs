@@ -61,7 +61,12 @@ fn main() {
     let mut b = SeriesTable::new(
         "Fig 15(b) construction time (ms) per layer vs partitions",
         "parts",
-        &["tree-tier", "Object-Layer", "Topological-Layer", "skeleton-tier"],
+        &[
+            "tree-tier",
+            "Object-Layer",
+            "Topological-Layer",
+            "skeleton-tier",
+        ],
     );
     let mut worlds_by_floors = Vec::new();
     for &floors in &PaperDefaults::FLOOR_SWEEP {
@@ -85,7 +90,12 @@ fn main() {
     let mut c = SeriesTable::new(
         "Fig 15(c) mean cost per operation (ms) vs batch size",
         "#ops",
-        &["insertPartition", "deletePartition", "insertObj", "deleteObj"],
+        &[
+            "insertPartition",
+            "deletePartition",
+            "insertObj",
+            "deleteObj",
+        ],
     );
     for &ops in &PaperDefaults::OPS_SWEEP {
         let mut w = build_world(
@@ -122,7 +132,9 @@ fn main() {
             };
             let (pid, _, events) = w.building.space.insert_partition(spec).unwrap();
             for ev in &events {
-                w.index.apply_topology(&w.building.space, &w.store, ev).unwrap();
+                w.index
+                    .apply_topology(&w.building.space, &w.store, ev)
+                    .unwrap();
             }
             inserted.push(pid);
         }
@@ -133,7 +145,9 @@ fn main() {
         for pid in inserted {
             let events = w.building.space.delete_partition(pid).unwrap();
             for ev in &events {
-                w.index.apply_topology(&w.building.space, &w.store, ev).unwrap();
+                w.index
+                    .apply_topology(&w.building.space, &w.store, ev)
+                    .unwrap();
             }
         }
         let delete_part_ms = t.elapsed().as_secs_f64() * 1e3 / ops as f64;
@@ -142,8 +156,14 @@ fn main() {
         let mut fresh = Vec::new();
         for i in 0..ops {
             fresh.push(
-                sample_one(&w.building, ObjectId(1_000_000 + i as u64), d.radius, d.instances, &mut rng)
-                    .unwrap(),
+                sample_one(
+                    &w.building,
+                    ObjectId(1_000_000 + i as u64),
+                    d.radius,
+                    d.instances,
+                    &mut rng,
+                )
+                .unwrap(),
             );
         }
         let t = Instant::now();

@@ -51,10 +51,16 @@ pub fn scaled_floors(f: u16, scale: f64) -> u16 {
 }
 
 /// Builds a world with the paper's defaults except where overridden.
-pub fn build_world(floors: u16, objects: usize, radius: f64, query_count: usize, seed: u64) -> World {
+pub fn build_world(
+    floors: u16,
+    objects: usize,
+    radius: f64,
+    query_count: usize,
+    seed: u64,
+) -> World {
     let defaults = PaperDefaults::default();
-    let building = generate_building(&BuildingConfig::with_floors(floors))
-        .expect("generator invariants hold");
+    let building =
+        generate_building(&BuildingConfig::with_floors(floors)).expect("generator invariants hold");
     let store = generate_objects(
         &building,
         &ObjectConfig {
@@ -77,10 +83,19 @@ pub fn build_world(floors: u16, objects: usize, radius: f64, query_count: usize,
     .expect("index builds");
     let queries = generate_query_points(
         &building,
-        &QueryPointConfig { count: query_count, seed: seed ^ 0xBEEF },
+        &QueryPointConfig {
+            count: query_count,
+            seed: seed ^ 0xBEEF,
+        },
     );
     let options = QueryOptions::for_max_radius(radius);
-    World { building, store, index, queries, options }
+    World {
+        building,
+        store,
+        index,
+        queries,
+        options,
+    }
 }
 
 /// Average iRQ wall time (ms) and averaged stats over the query workload.
@@ -88,8 +103,15 @@ pub fn mean_irq(world: &World, r: f64, options: &QueryOptions) -> (f64, QuerySta
     let mut acc = QueryStats::default();
     let t = std::time::Instant::now();
     for &q in &world.queries {
-        let out = range_query(&world.building.space, &world.index, &world.store, q, r, options)
-            .expect("query succeeds");
+        let out = range_query(
+            &world.building.space,
+            &world.index,
+            &world.store,
+            q,
+            r,
+            options,
+        )
+        .expect("query succeeds");
         acc.accumulate(&out.stats);
     }
     let n = world.queries.len().max(1);
@@ -102,8 +124,15 @@ pub fn mean_knn(world: &World, k: usize, options: &QueryOptions) -> (f64, QueryS
     let mut acc = QueryStats::default();
     let t = std::time::Instant::now();
     for &q in &world.queries {
-        let out = knn_query(&world.building.space, &world.index, &world.store, q, k, options)
-            .expect("query succeeds");
+        let out = knn_query(
+            &world.building.space,
+            &world.index,
+            &world.store,
+            q,
+            k,
+            options,
+        )
+        .expect("query succeeds");
         acc.accumulate(&out.stats);
     }
     let n = world.queries.len().max(1);

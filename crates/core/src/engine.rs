@@ -1,16 +1,15 @@
 //! The engine: space + objects + index, kept consistent.
 
 use crate::error::EngineError;
-use idq_distance::{indoor_distance, shortest_path, IndoorPoint};
+use idq_distance::{indoor_distance, shortest_path};
 use idq_geom::Point2;
 use idq_index::{CompositeIndex, IndexConfig};
+use idq_model::IndoorPoint;
 use idq_model::{
     Direction, DoorId, Floor, IndoorSpace, PartitionId, PartitionSpec, SplitLine, TopologyEvent,
 };
 use idq_objects::{GaussianSampler, ObjectId, ObjectStore, UncertainObject};
-use idq_query::{
-    knn_query, range_query, KnnResult, QueryOptions, RangeResult,
-};
+use idq_query::{knn_query, range_query, KnnResult, QueryOptions, RangeResult};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,11 +46,14 @@ impl IndoorEngine {
         config: EngineConfig,
     ) -> Result<Self, EngineError> {
         let index = CompositeIndex::build(&space, &store, config.index)?;
-        let max_radius = store
-            .iter()
-            .map(|o| o.region.radius)
-            .fold(0.0f64, f64::max);
-        Ok(IndoorEngine { space, store, index, options: config.query, max_radius })
+        let max_radius = store.iter().map(|o| o.region.radius).fold(0.0f64, f64::max);
+        Ok(IndoorEngine {
+            space,
+            store,
+            index,
+            options: config.query,
+            max_radius,
+        })
     }
 
     // ---- accessors -------------------------------------------------------
@@ -160,7 +162,14 @@ impl IndoorEngine {
         r: f64,
         options: &QueryOptions,
     ) -> Result<RangeResult, EngineError> {
-        Ok(range_query(&self.space, &self.index, &self.store, q, r, options)?)
+        Ok(range_query(
+            &self.space,
+            &self.index,
+            &self.store,
+            q,
+            r,
+            options,
+        )?)
     }
 
     /// `ikNNQ(q, k)` with the engine's default options.
@@ -175,12 +184,24 @@ impl IndoorEngine {
         k: usize,
         options: &QueryOptions,
     ) -> Result<KnnResult, EngineError> {
-        Ok(knn_query(&self.space, &self.index, &self.store, q, k, options)?)
+        Ok(knn_query(
+            &self.space,
+            &self.index,
+            &self.store,
+            q,
+            k,
+            options,
+        )?)
     }
 
     /// Point-to-point indoor distance `|q,p|_I`.
     pub fn indoor_distance(&self, q: IndoorPoint, p: IndoorPoint) -> Result<f64, EngineError> {
-        Ok(indoor_distance(&self.space, self.index.doors_graph(), q, p)?)
+        Ok(indoor_distance(
+            &self.space,
+            self.index.doors_graph(),
+            q,
+            p,
+        )?)
     }
 
     /// Shortest indoor path `q ⇝δ p`: length plus the door sequence.
@@ -283,9 +304,15 @@ mod tests {
 
     fn three_rooms() -> IndoorSpace {
         let mut b = FloorPlanBuilder::new(4.0);
-        let r0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let r1 = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
-        let r2 = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0)).unwrap();
+        let r0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let r2 = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
         b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
         b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
         b.finish().unwrap()
@@ -294,8 +321,12 @@ mod tests {
     #[test]
     fn end_to_end_insert_query_remove() {
         let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
-        let o1 = e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1).unwrap();
-        let o2 = e.insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 8, 2).unwrap();
+        let o1 = e
+            .insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1)
+            .unwrap();
+        let o2 = e
+            .insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 8, 2)
+            .unwrap();
         e.validate();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
         let knn = e.knn(q, 2).unwrap();
@@ -314,8 +345,12 @@ mod tests {
     #[test]
     fn move_object_changes_ranking() {
         let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
-        let o1 = e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1).unwrap();
-        let o2 = e.insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 8, 2).unwrap();
+        let o1 = e
+            .insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1)
+            .unwrap();
+        let o2 = e
+            .insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 8, 2)
+            .unwrap();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
         assert_eq!(e.knn(q, 1).unwrap().results[0].object, o1);
         // Move o1 to the far room and o2 near the query.
@@ -344,9 +379,14 @@ mod tests {
     #[test]
     fn split_and_merge_keep_queries_working() {
         let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
-        let o = e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 3).unwrap();
+        let o = e
+            .insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 3)
+            .unwrap();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
-        let mid = e.space().partition_at(IndoorPoint::new(Point2::new(15.0, 2.0), 0)).unwrap();
+        let mid = e
+            .space()
+            .partition_at(IndoorPoint::new(Point2::new(15.0, 2.0), 0))
+            .unwrap();
         let halves = e
             .split_partition(mid, SplitLine::AtX(15.5), Some(Point2::new(15.5, 5.0)))
             .unwrap();
@@ -363,7 +403,9 @@ mod tests {
     #[test]
     fn duplicate_insert_is_rejected_consistently() {
         let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
-        let id = e.insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 1).unwrap();
+        let id = e
+            .insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 1)
+            .unwrap();
         let dup = UncertainObject::point_object(id, IndoorPoint::new(Point2::new(5.0, 5.0), 0));
         assert!(e.insert_object(dup).is_err());
     }

@@ -80,7 +80,11 @@ pub fn subregion_bounds(
 ) -> SubregionBounds {
     let pid = sub.partition;
     let Ok(partition) = space.partition(pid) else {
-        return SubregionBounds { lower: f64::INFINITY, upper: f64::INFINITY, prob: sub.prob };
+        return SubregionBounds {
+            lower: f64::INFINITY,
+            upper: f64::INFINITY,
+            prob: sub.prob,
+        };
     };
     let z_slack = vertical_slack(space, partition.floor_lo, partition.floor_hi);
 
@@ -102,7 +106,11 @@ pub fn subregion_bounds(
         lower = lower.min(w + sub.bbox.min_dist(p));
         upper = upper.min(w + sub.bbox.max_dist(p) + z_slack);
     }
-    SubregionBounds { lower, upper, prob: sub.prob }
+    SubregionBounds {
+        lower,
+        upper,
+        prob: sub.prob,
+    }
 }
 
 /// The Table III dispatch: bounds on the expected indoor distance.
@@ -124,7 +132,11 @@ pub fn object_bounds(
         .map(|s| subregion_bounds(space, dd, s))
         .collect();
     if per.len() == 1 {
-        return ObjectBounds { lower: per[0].lower, upper: per[0].upper, kind: BoundKind::Topological };
+        return ObjectBounds {
+            lower: per[0].lower,
+            upper: per[0].upper,
+            kind: BoundKind::Topological,
+        };
     }
     let mut lower = 0.0;
     let mut upper = 0.0;
@@ -132,7 +144,11 @@ pub fn object_bounds(
         lower += b.prob * b.lower;
         upper += b.prob * b.upper;
     }
-    ObjectBounds { lower, upper, kind: BoundKind::Probabilistic }
+    ObjectBounds {
+        lower,
+        upper,
+        kind: BoundKind::Probabilistic,
+    }
 }
 
 /// Lemma 4 (Markov lower bound), in its sound interval form: with
@@ -248,10 +264,7 @@ pub fn some_path_upper(
             }
         }
     }
-    let mut missing = needed
-        .iter()
-        .filter(|p| !arrival.contains_key(p))
-        .count();
+    let mut missing = needed.iter().filter(|p| !arrival.contains_key(p)).count();
     while let Some(Reverse((OrdF64(du), u))) = heap.pop() {
         if missing == 0 {
             break; // every target partition has some arrival
@@ -356,7 +369,15 @@ impl<'a> SharedPathUpper<'a> {
                 }
             }
         }
-        SharedPathUpper { space, graph, source, q, dist, heap, arrivals }
+        SharedPathUpper {
+            space,
+            graph,
+            source,
+            q,
+            dist,
+            heap,
+            arrivals,
+        }
     }
 
     /// First-arrival (distance, entry position) for a partition, growing
@@ -428,10 +449,18 @@ mod tests {
     /// objects and non-trivial masses.
     fn space() -> (IndoorSpace, DoorsGraph) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let r0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let r1 = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
-        let r2 = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0)).unwrap();
-        let r3 = b.add_room(0, Rect2::from_bounds(30.0, 0.0, 40.0, 10.0)).unwrap();
+        let r0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let r2 = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
+        let r3 = b
+            .add_room(0, Rect2::from_bounds(30.0, 0.0, 40.0, 10.0))
+            .unwrap();
         b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
         b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
         b.add_door_between(r2, r3, Point2::new(30.0, 5.0)).unwrap();
@@ -496,8 +525,7 @@ mod tests {
         let o = multi_part_object();
         let dd = DoorDistances::compute(&s, &g, q()).unwrap();
         let subs = Subregions::compute(&o, &s).unwrap();
-        let per: Vec<SubregionBounds> =
-            subs.iter().map(|x| subregion_bounds(&s, &dd, x)).collect();
+        let per: Vec<SubregionBounds> = subs.iter().map(|x| subregion_bounds(&s, &dd, x)).collect();
         let exact = expected_indoor_distance_naive(&s, &dd, &o);
         if let Some((l5, u5)) = lemma5_bounds(&per) {
             assert!(l5 <= exact + 1e-9);
@@ -514,8 +542,7 @@ mod tests {
         let o = multi_part_object();
         let dd = DoorDistances::compute(&s, &g, q()).unwrap();
         let subs = Subregions::compute(&o, &s).unwrap();
-        let per: Vec<SubregionBounds> =
-            subs.iter().map(|x| subregion_bounds(&s, &dd, x)).collect();
+        let per: Vec<SubregionBounds> = subs.iter().map(|x| subregion_bounds(&s, &dd, x)).collect();
         let exact = expected_indoor_distance_naive(&s, &dd, &o);
         let m = markov_lower(&per);
         assert!(m <= exact + 1e-9, "markov {m} exact {exact}");

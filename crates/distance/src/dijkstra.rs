@@ -242,16 +242,22 @@ mod tests {
     #[test]
     fn one_way_door_blocks_reverse_reachability() {
         let mut b = FloorPlanBuilder::new(4.0);
-        let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let c = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let a = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let c = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
         let d = b.add_one_way_door(a, c, Point2::new(10.0, 5.0)).unwrap();
         let s = b.finish().unwrap();
         let g = DoorsGraph::build(&s);
         // From A: can leave through the one-way door.
-        let dd = DoorDistances::compute(&s, &g, IndoorPoint::new(Point2::new(5.0, 5.0), 0)).unwrap();
+        let dd =
+            DoorDistances::compute(&s, &g, IndoorPoint::new(Point2::new(5.0, 5.0), 0)).unwrap();
         assert!(dd.reachable(d));
         // From C: cannot.
-        let dd = DoorDistances::compute(&s, &g, IndoorPoint::new(Point2::new(15.0, 5.0), 0)).unwrap();
+        let dd =
+            DoorDistances::compute(&s, &g, IndoorPoint::new(Point2::new(15.0, 5.0), 0)).unwrap();
         assert!(!dd.reachable(d));
         assert_eq!(dd.reached_count(), 0);
     }

@@ -240,15 +240,28 @@ mod tests {
     /// multi-partition case.
     fn fig4_space() -> (IndoorSpace, DoorsGraph) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let hall = b.add_room(0, Rect2::from_bounds(0.0, 10.0, 20.0, 30.0)).unwrap();
-        let p = b.add_room(0, Rect2::from_bounds(20.0, 10.0, 40.0, 30.0)).unwrap();
-        let right = b.add_room(0, Rect2::from_bounds(40.0, 10.0, 60.0, 30.0)).unwrap();
-        let below = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 60.0, 10.0)).unwrap();
-        b.add_door_between(hall, p, Point2::new(20.0, 25.0)).unwrap(); // NW door of P
-        b.add_door_between(hall, p, Point2::new(20.0, 15.0)).unwrap(); // SW door of P
-        b.add_door_between(p, right, Point2::new(40.0, 20.0)).unwrap(); // east door of P
-        b.add_door_between(hall, below, Point2::new(10.0, 10.0)).unwrap();
-        b.add_door_between(below, right, Point2::new(50.0, 10.0)).unwrap();
+        let hall = b
+            .add_room(0, Rect2::from_bounds(0.0, 10.0, 20.0, 30.0))
+            .unwrap();
+        let p = b
+            .add_room(0, Rect2::from_bounds(20.0, 10.0, 40.0, 30.0))
+            .unwrap();
+        let right = b
+            .add_room(0, Rect2::from_bounds(40.0, 10.0, 60.0, 30.0))
+            .unwrap();
+        let below = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 60.0, 10.0))
+            .unwrap();
+        b.add_door_between(hall, p, Point2::new(20.0, 25.0))
+            .unwrap(); // NW door of P
+        b.add_door_between(hall, p, Point2::new(20.0, 15.0))
+            .unwrap(); // SW door of P
+        b.add_door_between(p, right, Point2::new(40.0, 20.0))
+            .unwrap(); // east door of P
+        b.add_door_between(hall, below, Point2::new(10.0, 10.0))
+            .unwrap();
+        b.add_door_between(below, right, Point2::new(50.0, 10.0))
+            .unwrap();
         let s = b.finish().unwrap();
         let g = DoorsGraph::build(&s);
         (s, g)
@@ -348,7 +361,8 @@ mod tests {
         }
         let g = DoorsGraph::build(&s);
         let o = obj(vec![Point2::new(45.0, 20.0), Point2::new(25.0, 20.0)]);
-        let dd = DoorDistances::compute(&s, &g, IndoorPoint::new(Point2::new(5.0, 20.0), 0)).unwrap();
+        let dd =
+            DoorDistances::compute(&s, &g, IndoorPoint::new(Point2::new(5.0, 20.0), 0)).unwrap();
         let subs = Subregions::compute(&o, &s).unwrap();
         let e = expected_indoor_distance(&s, &dd, &o, &subs);
         assert!(e.value.is_infinite());

@@ -32,6 +32,6 @@ pub use error::DistanceError;
 pub use expected::{expected_indoor_distance, DistanceCase, ExpectedDistance};
 pub use point_dist::{indoor_distance, point_distance, point_distance_via, shortest_path};
 
-// Re-exported for convenience: the indoor position type used by every API
-// in this crate.
-pub use idq_model::IndoorPoint;
+// `IndoorPoint` is deliberately NOT re-exported here: `idq_model` is its
+// canonical crate and the single import path (`idq_model::IndoorPoint` /
+// `indoor_dq::model::IndoorPoint`) keeps call sites coherent.

@@ -89,8 +89,12 @@ mod tests {
 
     fn two_rooms() -> (IndoorSpace, DoorsGraph, PartitionId, PartitionId, DoorId) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let c = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let a = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let c = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
         let d = b.add_door_between(a, c, Point2::new(10.0, 5.0)).unwrap();
         let s = b.finish().unwrap();
         let g = DoorsGraph::build(&s);
@@ -129,7 +133,10 @@ mod tests {
         let p = IndoorPoint::new(Point2::new(11.0, 9.5), 0);
         let dist = indoor_distance(&s, &g, q, p).unwrap();
         let euclid = q.point.dist(p.point);
-        assert!(dist > euclid, "indoor {dist} must exceed euclidean {euclid}");
+        assert!(
+            dist > euclid,
+            "indoor {dist} must exceed euclidean {euclid}"
+        );
         // Route: down to the door at (10,5) and back up.
         let expect = q.point.dist(Point2::new(10.0, 5.0)) + Point2::new(10.0, 5.0).dist(p.point);
         assert!((dist - expect).abs() < 1e-9);

@@ -198,11 +198,7 @@ mod tests {
 
     #[test]
     fn min_dist_inside_is_zero() {
-        let m = Mbr3::spanning(
-            Rect2::from_bounds(0.0, 0.0, 10.0, 10.0),
-            (0, 1),
-            (0.0, 4.0),
-        );
+        let m = Mbr3::spanning(Rect2::from_bounds(0.0, 0.0, 10.0, 10.0), (0, 1), (0.0, 4.0));
         assert!(approx_eq(m.min_dist(Point3::new(5.0, 5.0, 2.0)), 0.0));
     }
 

@@ -42,7 +42,10 @@ impl Point2 {
     /// Linear interpolation: `self + t * (other - self)`.
     #[inline]
     pub fn lerp(self, other: Point2, t: f64) -> Point2 {
-        Point2::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+        Point2::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
     }
 
     /// Lifts the planar point to 3D at elevation `z`.

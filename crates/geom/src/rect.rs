@@ -169,7 +169,10 @@ impl Rect2 {
     /// The point of the rectangle closest to `p` (`p` itself if inside).
     #[inline]
     pub fn clamp_point(&self, p: Point2) -> Point2 {
-        Point2::new(p.x.clamp(self.lo.x, self.hi.x), p.y.clamp(self.lo.y, self.hi.y))
+        Point2::new(
+            p.x.clamp(self.lo.x, self.hi.x),
+            p.y.clamp(self.lo.y, self.hi.y),
+        )
     }
 
     /// The four corners, counter-clockwise from `lo`.
@@ -240,8 +243,14 @@ mod tests {
     #[test]
     fn max_dist_reaches_far_corner() {
         let b = r(0.0, 0.0, 10.0, 10.0);
-        assert!(approx_eq(b.max_dist(Point2::new(0.0, 0.0)), (200.0f64).sqrt()));
-        assert!(approx_eq(b.max_dist(Point2::new(5.0, 5.0)), (50.0f64).sqrt()));
+        assert!(approx_eq(
+            b.max_dist(Point2::new(0.0, 0.0)),
+            (200.0f64).sqrt()
+        ));
+        assert!(approx_eq(
+            b.max_dist(Point2::new(5.0, 5.0)),
+            (50.0f64).sqrt()
+        ));
     }
 
     #[test]

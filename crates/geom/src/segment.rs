@@ -77,9 +77,18 @@ mod tests {
     #[test]
     fn closest_point_projects_and_clamps() {
         let s = Segment::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0));
-        assert_eq!(s.closest_point(Point2::new(5.0, 3.0)), Point2::new(5.0, 0.0));
-        assert_eq!(s.closest_point(Point2::new(-4.0, 3.0)), Point2::new(0.0, 0.0));
-        assert_eq!(s.closest_point(Point2::new(14.0, 3.0)), Point2::new(10.0, 0.0));
+        assert_eq!(
+            s.closest_point(Point2::new(5.0, 3.0)),
+            Point2::new(5.0, 0.0)
+        );
+        assert_eq!(
+            s.closest_point(Point2::new(-4.0, 3.0)),
+            Point2::new(0.0, 0.0)
+        );
+        assert_eq!(
+            s.closest_point(Point2::new(14.0, 3.0)),
+            Point2::new(10.0, 0.0)
+        );
     }
 
     #[test]

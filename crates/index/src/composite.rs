@@ -7,9 +7,7 @@ use crate::rtree::{LeafEntry, RTree, SearchStats};
 use crate::skeleton::SkeletonTier;
 use crate::units::{UnitId, UnitStore};
 use idq_geom::{DecomposeConfig, Mbr3, Rect2};
-use idq_model::{
-    DoorKind, DoorsGraph, IndoorPoint, IndoorSpace, PartitionId, TopologyEvent,
-};
+use idq_model::{DoorKind, DoorsGraph, IndoorPoint, IndoorSpace, PartitionId, TopologyEvent};
 use idq_objects::{ObjectId, ObjectStore, UncertainObject};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -27,7 +25,11 @@ pub struct IndexConfig {
 
 impl Default for IndexConfig {
     fn default() -> Self {
-        IndexConfig { fanout: 20, t_shape: 0.5, bulk_load: true }
+        IndexConfig {
+            fanout: 20,
+            t_shape: 0.5,
+            bulk_load: true,
+        }
     }
 }
 
@@ -82,7 +84,10 @@ impl CompositeIndex {
         config: IndexConfig,
     ) -> Result<Self, IndexError> {
         let mut stats = BuildStats::default();
-        let decomp = DecomposeConfig { t_shape: config.t_shape, ..DecomposeConfig::default() };
+        let decomp = DecomposeConfig {
+            t_shape: config.t_shape,
+            ..DecomposeConfig::default()
+        };
 
         // Tree tier.
         let t = Instant::now();
@@ -93,7 +98,10 @@ impl CompositeIndex {
         }
         let entries: Vec<LeafEntry> = units
             .iter()
-            .map(|u| LeafEntry { unit: u.id, mbr: u.mbr })
+            .map(|u| LeafEntry {
+                unit: u.id,
+                mbr: u.mbr,
+            })
             .collect();
         stats.units = entries.len();
         let rtree = if config.bulk_load {
@@ -230,26 +238,37 @@ impl CompositeIndex {
         let mut object_set: HashSet<ObjectId> = HashSet::new();
         let mut objects = Vec::new();
         let mut objects_checked = 0usize;
-        let stats = self.rtree.range_search(|m| metric(m), r_partitions, |entry| {
-            if let Some(p) = self.units.partition_of(entry.unit) {
-                partitions.insert(p);
-            }
-            for &o in self.objects.objects_in(entry.unit) {
-                objects_checked += 1;
-                if object_set.contains(&o) {
-                    continue;
+        let stats = self.rtree.range_search(
+            |m| metric(m),
+            r_partitions,
+            |entry| {
+                if let Some(p) = self.units.partition_of(entry.unit) {
+                    partitions.insert(p);
                 }
-                let Ok(mbr) = self.objects.object_mbr(o) else { continue };
-                if metric(&mbr) <= r_objects {
-                    object_set.insert(o);
-                    objects.push(o);
+                for &o in self.objects.objects_in(entry.unit) {
+                    objects_checked += 1;
+                    if object_set.contains(&o) {
+                        continue;
+                    }
+                    let Ok(mbr) = self.objects.object_mbr(o) else {
+                        continue;
+                    };
+                    if metric(&mbr) <= r_objects {
+                        object_set.insert(o);
+                        objects.push(o);
+                    }
                 }
-            }
-        });
+            },
+        );
         let mut partitions: Vec<PartitionId> = partitions.into_iter().collect();
         partitions.sort_unstable();
         objects.sort_unstable();
-        RangeSearchOutcome { objects, partitions, stats, objects_checked }
+        RangeSearchOutcome {
+            objects,
+            partitions,
+            stats,
+            objects_checked,
+        }
     }
 
     // ---- object layer maintenance (§III-C.2) ------------------------------------
@@ -353,11 +372,17 @@ impl CompositeIndex {
 
     fn index_partition(&mut self, space: &IndoorSpace, p: PartitionId) -> Result<(), IndexError> {
         let partition = space.partition(p)?;
-        let decomp = DecomposeConfig { t_shape: self.config.t_shape, ..DecomposeConfig::default() };
+        let decomp = DecomposeConfig {
+            t_shape: self.config.t_shape,
+            ..DecomposeConfig::default()
+        };
         let ids = self.units.add_partition(space, partition, &decomp);
         for u in ids {
             let unit = self.units.get(u).expect("freshly added");
-            self.rtree.insert(LeafEntry { unit: u, mbr: unit.mbr });
+            self.rtree.insert(LeafEntry {
+                unit: u,
+                mbr: unit.mbr,
+            });
         }
         self.objects.grow(self.units.slots());
         if partition.kind == idq_model::PartitionKind::Staircase {
@@ -375,9 +400,7 @@ impl CompositeIndex {
         // Collect objects bucketed in the removed units before tearing
         // them down.
         let removed_units = self.units.units_of(p).to_vec();
-        let displaced = self
-            .objects
-            .objects_in_units(removed_units.iter());
+        let displaced = self.objects.objects_in_units(removed_units.iter());
         for u in &removed_units {
             if let Some(unit) = self.units.get(*u) {
                 let mbr = unit.mbr;
@@ -407,7 +430,9 @@ impl CompositeIndex {
         store: &ObjectStore,
         former: PartitionId,
     ) -> Result<(), IndexError> {
-        let Ok(partition) = space.partition_raw(former) else { return Ok(()) };
+        let Ok(partition) = space.partition_raw(former) else {
+            return Ok(());
+        };
         let area = Mbr3::spanning(
             partition.bbox,
             (partition.floor_lo, partition.floor_hi),
@@ -438,7 +463,11 @@ impl CompositeIndex {
     pub fn validate(&self) {
         self.rtree.validate();
         self.objects.validate();
-        assert_eq!(self.rtree.len(), self.units.len(), "tree entries == active units");
+        assert_eq!(
+            self.rtree.len(),
+            self.units.len(),
+            "tree entries == active units"
+        );
     }
 }
 
@@ -452,15 +481,29 @@ mod tests {
     /// Two floors, two rooms each, one staircase; a handful of objects.
     fn setup() -> (IndoorSpace, ObjectStore, CompositeIndex) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let r00 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 20.0, 10.0)).unwrap();
-        let r01 = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 40.0, 10.0)).unwrap();
-        let r10 = b.add_room(1, Rect2::from_bounds(0.0, 0.0, 20.0, 10.0)).unwrap();
-        let r11 = b.add_room(1, Rect2::from_bounds(20.0, 0.0, 40.0, 10.0)).unwrap();
-        let st = b.add_staircase((0, 1), Rect2::from_bounds(40.0, 0.0, 44.0, 10.0)).unwrap();
-        b.add_door_between(r00, r01, Point2::new(20.0, 5.0)).unwrap();
-        b.add_door_between(r10, r11, Point2::new(20.0, 5.0)).unwrap();
-        b.add_staircase_entrance(st, r01, 0, Point2::new(40.0, 5.0)).unwrap();
-        b.add_staircase_entrance(st, r11, 1, Point2::new(40.0, 5.0)).unwrap();
+        let r00 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let r01 = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 40.0, 10.0))
+            .unwrap();
+        let r10 = b
+            .add_room(1, Rect2::from_bounds(0.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let r11 = b
+            .add_room(1, Rect2::from_bounds(20.0, 0.0, 40.0, 10.0))
+            .unwrap();
+        let st = b
+            .add_staircase((0, 1), Rect2::from_bounds(40.0, 0.0, 44.0, 10.0))
+            .unwrap();
+        b.add_door_between(r00, r01, Point2::new(20.0, 5.0))
+            .unwrap();
+        b.add_door_between(r10, r11, Point2::new(20.0, 5.0))
+            .unwrap();
+        b.add_staircase_entrance(st, r01, 0, Point2::new(40.0, 5.0))
+            .unwrap();
+        b.add_staircase_entrance(st, r11, 1, Point2::new(40.0, 5.0))
+            .unwrap();
         let space = b.finish().unwrap();
 
         let mut store = ObjectStore::new();
@@ -499,7 +542,10 @@ mod tests {
         assert!(out.objects.contains(&ObjectId(1)));
         // Object 3 sits directly overhead: planar distance ~0 but the
         // skeleton route is ~ 35+8+35 — it must be pruned...
-        assert!(!out.objects.contains(&ObjectId(3)), "skeleton prunes the floor above");
+        assert!(
+            !out.objects.contains(&ObjectId(3)),
+            "skeleton prunes the floor above"
+        );
         // ...whereas without the skeleton the Euclidean bound (4 m up)
         // admits it (Fig. 15(a)'s effect).
         let out = index.range_search(&space, q, 10.0, false);
@@ -626,7 +672,10 @@ mod tests {
         let incremental = CompositeIndex::build(
             &space,
             &store,
-            IndexConfig { bulk_load: false, ..IndexConfig::default() },
+            IndexConfig {
+                bulk_load: false,
+                ..IndexConfig::default()
+            },
         )
         .unwrap();
         incremental.validate();

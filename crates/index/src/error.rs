@@ -32,7 +32,10 @@ impl std::fmt::Display for IndexError {
             IndexError::PartitionNotIndexed(p) => write!(f, "partition {p} is not indexed"),
             IndexError::ObjectNotIndexed(o) => write!(f, "object {o} is not indexed"),
             IndexError::ObjectAlreadyIndexed(o) => write!(f, "object {o} is already indexed"),
-            IndexError::StaleIndex { index_version, space_version } => write!(
+            IndexError::StaleIndex {
+                index_version,
+                space_version,
+            } => write!(
                 f,
                 "index at space version {index_version}, space at {space_version}"
             ),
@@ -62,9 +65,14 @@ mod tests {
 
     #[test]
     fn errors_render() {
-        assert!(IndexError::ObjectNotIndexed(ObjectId(3)).to_string().contains("O3"));
-        assert!(IndexError::StaleIndex { index_version: 1, space_version: 5 }
+        assert!(IndexError::ObjectNotIndexed(ObjectId(3))
             .to_string()
-            .contains('5'));
+            .contains("O3"));
+        assert!(IndexError::StaleIndex {
+            index_version: 1,
+            space_version: 5
+        }
+        .to_string()
+        .contains('5'));
     }
 }

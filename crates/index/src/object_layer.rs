@@ -57,7 +57,10 @@ impl ObjectLayer {
 
     /// Unregisters an object, returning the units it occupied.
     pub fn remove(&mut self, id: ObjectId) -> Result<Vec<UnitId>, IndexError> {
-        let entry = self.o_table.remove(&id).ok_or(IndexError::ObjectNotIndexed(id))?;
+        let entry = self
+            .o_table
+            .remove(&id)
+            .ok_or(IndexError::ObjectNotIndexed(id))?;
         for &u in &entry.units {
             if let Some(bucket) = self.buckets.get_mut(u.index()) {
                 bucket.retain(|&o| o != id);
@@ -68,7 +71,10 @@ impl ObjectLayer {
 
     /// The bucket of one unit.
     pub fn objects_in(&self, u: UnitId) -> &[ObjectId] {
-        self.buckets.get(u.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.buckets
+            .get(u.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The units an object overlaps — the `o-table` lookup.
@@ -104,10 +110,7 @@ impl ObjectLayer {
     }
 
     /// All object ids registered in any of the given units (deduplicated).
-    pub fn objects_in_units<'a>(
-        &self,
-        units: impl Iterator<Item = &'a UnitId>,
-    ) -> Vec<ObjectId> {
+    pub fn objects_in_units<'a>(&self, units: impl Iterator<Item = &'a UnitId>) -> Vec<ObjectId> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for &u in units {
@@ -155,7 +158,8 @@ mod tests {
     #[test]
     fn insert_remove_roundtrip() {
         let mut l = ObjectLayer::new();
-        l.insert(ObjectId(1), vec![UnitId(0), UnitId(2)], mbr()).unwrap();
+        l.insert(ObjectId(1), vec![UnitId(0), UnitId(2)], mbr())
+            .unwrap();
         assert_eq!(l.units_of(ObjectId(1)).unwrap(), &[UnitId(0), UnitId(2)]);
         assert_eq!(l.objects_in(UnitId(0)), &[ObjectId(1)]);
         assert_eq!(l.objects_in(UnitId(1)), &[] as &[ObjectId]);
@@ -175,14 +179,21 @@ mod tests {
             l.insert(ObjectId(1), vec![UnitId(1)], mbr()),
             Err(IndexError::ObjectAlreadyIndexed(_))
         ));
-        assert!(matches!(l.remove(ObjectId(9)), Err(IndexError::ObjectNotIndexed(_))));
-        assert!(matches!(l.units_of(ObjectId(9)), Err(IndexError::ObjectNotIndexed(_))));
+        assert!(matches!(
+            l.remove(ObjectId(9)),
+            Err(IndexError::ObjectNotIndexed(_))
+        ));
+        assert!(matches!(
+            l.units_of(ObjectId(9)),
+            Err(IndexError::ObjectNotIndexed(_))
+        ));
     }
 
     #[test]
     fn dedup_across_buckets() {
         let mut l = ObjectLayer::new();
-        l.insert(ObjectId(1), vec![UnitId(0), UnitId(1)], mbr()).unwrap();
+        l.insert(ObjectId(1), vec![UnitId(0), UnitId(1)], mbr())
+            .unwrap();
         l.insert(ObjectId(2), vec![UnitId(1)], mbr()).unwrap();
         let units = [UnitId(0), UnitId(1)];
         let got = l.objects_in_units(units.iter());

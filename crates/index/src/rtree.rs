@@ -65,7 +65,10 @@ impl RTree {
     pub fn new(fanout: usize) -> Self {
         let fanout = fanout.max(2);
         RTree {
-            nodes: vec![Node { mbr: Mbr3::empty_sentinel(), kind: NodeKind::Leaf(Vec::new()) }],
+            nodes: vec![Node {
+                mbr: Mbr3::empty_sentinel(),
+                kind: NodeKind::Leaf(Vec::new()),
+            }],
             root: 0,
             fanout,
             len: 0,
@@ -78,14 +81,22 @@ impl RTree {
         if entries.is_empty() {
             return Self::new(fanout);
         }
-        let mut tree = RTree { nodes: Vec::new(), root: 0, fanout, len: entries.len() };
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            root: 0,
+            fanout,
+            len: entries.len(),
+        };
         // Pack leaves: floor-first, then STR tiles in x, then runs in y.
         let leaf_groups = str_tiles(&mut entries, fanout, |e| &e.mbr);
         let mut level: Vec<usize> = leaf_groups
             .into_iter()
             .map(|group| {
                 let mbr = union_of(group.iter().map(|e| &e.mbr));
-                tree.push(Node { mbr, kind: NodeKind::Leaf(group) })
+                tree.push(Node {
+                    mbr,
+                    kind: NodeKind::Leaf(group),
+                })
             })
             .collect();
         while level.len() > 1 {
@@ -97,7 +108,10 @@ impl RTree {
                 .map(|group| {
                     let mbr = union_of(group.iter().map(|x| &x.1));
                     let children = group.into_iter().map(|x| x.0).collect();
-                    tree.push(Node { mbr, kind: NodeKind::Inner(children) })
+                    tree.push(Node {
+                        mbr,
+                        kind: NodeKind::Inner(children),
+                    })
                 })
                 .collect();
         }
@@ -194,7 +208,10 @@ impl RTree {
         if let Some(sibling) = self.insert_rec(self.root, entry) {
             let old_root = self.root;
             let mbr = self.nodes[old_root].mbr.union(&self.nodes[sibling].mbr);
-            self.root = self.push(Node { mbr, kind: NodeKind::Inner(vec![old_root, sibling]) });
+            self.root = self.push(Node {
+                mbr,
+                kind: NodeKind::Inner(vec![old_root, sibling]),
+            });
         }
         self.len += 1;
     }
@@ -242,10 +259,9 @@ impl RTree {
     }
 
     fn split_leaf(&mut self, idx: usize) -> usize {
-        let NodeKind::Leaf(mut entries) = std::mem::replace(
-            &mut self.nodes[idx].kind,
-            NodeKind::Leaf(Vec::new()),
-        ) else {
+        let NodeKind::Leaf(mut entries) =
+            std::mem::replace(&mut self.nodes[idx].kind, NodeKind::Leaf(Vec::new()))
+        else {
             unreachable!("split_leaf on inner node")
         };
         sort_by_widest_axis(&mut entries, |e| &e.mbr);
@@ -253,25 +269,32 @@ impl RTree {
         self.nodes[idx].kind = NodeKind::Leaf(entries);
         self.recompute_mbr(idx);
         let mbr = union_of(right.iter().map(|e| &e.mbr));
-        self.push(Node { mbr, kind: NodeKind::Leaf(right) })
+        self.push(Node {
+            mbr,
+            kind: NodeKind::Leaf(right),
+        })
     }
 
     fn split_inner(&mut self, idx: usize) -> usize {
-        let NodeKind::Inner(children) = std::mem::replace(
-            &mut self.nodes[idx].kind,
-            NodeKind::Inner(Vec::new()),
-        ) else {
+        let NodeKind::Inner(children) =
+            std::mem::replace(&mut self.nodes[idx].kind, NodeKind::Inner(Vec::new()))
+        else {
             unreachable!("split_inner on leaf node")
         };
-        let mut items: Vec<(usize, Mbr3)> =
-            children.into_iter().map(|c| (c, self.nodes[c].mbr)).collect();
+        let mut items: Vec<(usize, Mbr3)> = children
+            .into_iter()
+            .map(|c| (c, self.nodes[c].mbr))
+            .collect();
         sort_by_widest_axis(&mut items, |x| &x.1);
         let right = items.split_off(items.len() / 2);
         self.nodes[idx].kind = NodeKind::Inner(items.into_iter().map(|x| x.0).collect());
         self.recompute_mbr(idx);
         let mbr = union_of(right.iter().map(|x| &x.1));
         let right_children = right.into_iter().map(|x| x.0).collect();
-        self.push(Node { mbr, kind: NodeKind::Inner(right_children) })
+        self.push(Node {
+            mbr,
+            kind: NodeKind::Inner(right_children),
+        })
     }
 
     // ---- removal -------------------------------------------------------------
@@ -348,9 +371,7 @@ impl RTree {
     fn recompute_mbr(&mut self, idx: usize) {
         let mbr = match &self.nodes[idx].kind {
             NodeKind::Leaf(entries) => union_of(entries.iter().map(|e| &e.mbr)),
-            NodeKind::Inner(children) => {
-                union_of(children.iter().map(|&c| &self.nodes[c].mbr))
-            }
+            NodeKind::Inner(children) => union_of(children.iter().map(|&c| &self.nodes[c].mbr)),
         };
         self.nodes[idx].mbr = mbr;
     }
@@ -371,7 +392,10 @@ impl RTree {
             NodeKind::Leaf(entries) => {
                 assert!(entries.len() <= self.fanout, "leaf fanout");
                 for e in entries {
-                    assert!(node.mbr.rect.contains_rect(&e.mbr.rect), "leaf MBR containment");
+                    assert!(
+                        node.mbr.rect.contains_rect(&e.mbr.rect),
+                        "leaf MBR containment"
+                    );
                     *count += 1;
                 }
             }
@@ -397,7 +421,10 @@ fn choose_child(nodes: &[Node], children: &[usize], mbr: &Mbr3) -> usize {
     for &c in children {
         let cur = nodes[c].mbr;
         let grown = cur.union(mbr);
-        let key = (grown.build_volume() - cur.build_volume(), cur.build_volume());
+        let key = (
+            grown.build_volume() - cur.build_volume(),
+            cur.build_volume(),
+        );
         if key < best_key {
             best_key = key;
             best = c;
@@ -444,7 +471,11 @@ fn sort_by_widest_axis<T>(items: &mut [T], mbr_of: impl Fn(&T) -> &Mbr3) {
 
 /// Groups items into STR tiles of at most `fanout` items: sort by floor
 /// (z), slice into floor runs, tile each run by x slabs then y runs.
-fn str_tiles<T>(items: &mut Vec<T>, fanout: usize, mbr_of: impl Fn(&T) -> &Mbr3 + Copy) -> Vec<Vec<T>> {
+fn str_tiles<T>(
+    items: &mut Vec<T>,
+    fanout: usize,
+    mbr_of: impl Fn(&T) -> &Mbr3 + Copy,
+) -> Vec<Vec<T>> {
     let n = items.len();
     if n <= fanout {
         return vec![std::mem::take(items)];
@@ -482,7 +513,11 @@ mod tests {
     fn entry(i: u32, x: f64, y: f64, floor: u16) -> LeafEntry {
         LeafEntry {
             unit: UnitId(i),
-            mbr: Mbr3::planar(Rect2::from_bounds(x, y, x + 5.0, y + 5.0), floor, floor as f64 * 4.0),
+            mbr: Mbr3::planar(
+                Rect2::from_bounds(x, y, x + 5.0, y + 5.0),
+                floor,
+                floor as f64 * 4.0,
+            ),
         }
     }
 
@@ -577,11 +612,16 @@ mod tests {
     fn empty_tree_behaviour() {
         let mut t = RTree::new(20);
         assert!(t.is_empty());
-        let stats = t.range_search(|m| m.min_dist(Point3::new(0.0, 0.0, 0.0)), 10.0, |_| {
-            panic!("nothing to visit")
-        });
+        let stats = t.range_search(
+            |m| m.min_dist(Point3::new(0.0, 0.0, 0.0)),
+            10.0,
+            |_| panic!("nothing to visit"),
+        );
         assert_eq!(stats.entries_checked, 0);
-        assert!(!t.remove(UnitId(0), &Mbr3::planar(Rect2::from_bounds(0.0, 0.0, 1.0, 1.0), 0, 0.0)));
+        assert!(!t.remove(
+            UnitId(0),
+            &Mbr3::planar(Rect2::from_bounds(0.0, 0.0, 1.0, 1.0), 0, 0.0)
+        ));
         // Insert into empty then drain to empty again.
         let e = entry(0, 0.0, 0.0, 0);
         t.insert(e);
@@ -601,7 +641,11 @@ mod tests {
         // Searching exactly floor 0's plane within a planar radius should
         // check far fewer entries than the whole tree.
         let stats = t.range_search(|m| m.min_dist(q), 5.0, |_| {});
-        assert!(stats.entries_checked <= 50, "checked {}", stats.entries_checked);
+        assert!(
+            stats.entries_checked <= 50,
+            "checked {}",
+            stats.entries_checked
+        );
     }
 
     #[test]

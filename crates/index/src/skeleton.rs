@@ -113,7 +113,11 @@ impl SkeletonTier {
                 }
             }
         }
-        SkeletonTier { entrances, per_floor, matrix }
+        SkeletonTier {
+            entrances,
+            per_floor,
+            matrix,
+        }
     }
 
     /// Number of entrances (`M`).
@@ -170,7 +174,11 @@ impl SkeletonTier {
         }
         let m = self.entrances.len();
         // The closer boundary floor of the entity (floors are consecutive).
-        let target_floor = if q.floor < e.floor_lo { e.floor_lo } else { e.floor_hi };
+        let target_floor = if q.floor < e.floor_lo {
+            e.floor_lo
+        } else {
+            e.floor_hi
+        };
         let _ = floor_height; // vertical drop is accounted for inside M_s2s
         let mut best = f64::INFINITY;
         for &i in self.per_floor.get(q.floor as usize).into_iter().flatten() {
@@ -179,7 +187,12 @@ impl SkeletonTier {
             if head >= best {
                 continue;
             }
-            for &j in self.per_floor.get(target_floor as usize).into_iter().flatten() {
+            for &j in self
+                .per_floor
+                .get(target_floor as usize)
+                .into_iter()
+                .flatten()
+            {
                 let sj = &self.entrances[j];
                 let cand = head + self.matrix[i * m + j] + rect_min_dist(&e.rect, sj.position);
                 if cand < best {
@@ -205,11 +218,19 @@ mod tests {
     /// Two floors, one hallway each, connected by one staircase at x≈20.
     fn two_floor_space() -> (IndoorSpace, PartitionId) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let h0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 20.0, 10.0)).unwrap();
-        let h1 = b.add_room(1, Rect2::from_bounds(0.0, 0.0, 20.0, 10.0)).unwrap();
-        let st = b.add_staircase((0, 1), Rect2::from_bounds(20.0, 0.0, 24.0, 10.0)).unwrap();
-        b.add_staircase_entrance(st, h0, 0, Point2::new(20.0, 5.0)).unwrap();
-        b.add_staircase_entrance(st, h1, 1, Point2::new(20.0, 5.0)).unwrap();
+        let h0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let h1 = b
+            .add_room(1, Rect2::from_bounds(0.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let st = b
+            .add_staircase((0, 1), Rect2::from_bounds(20.0, 0.0, 24.0, 10.0))
+            .unwrap();
+        b.add_staircase_entrance(st, h0, 0, Point2::new(20.0, 5.0))
+            .unwrap();
+        b.add_staircase_entrance(st, h1, 1, Point2::new(20.0, 5.0))
+            .unwrap();
         (b.finish().unwrap(), st)
     }
 
@@ -292,8 +313,10 @@ mod tests {
         // A floor with no staircase entrance is unreachable through the
         // skeleton.
         let mut b = FloorPlanBuilder::new(4.0);
-        b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        b.add_room(1, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        b.add_room(1, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
         let s = b.finish().unwrap();
         let t = SkeletonTier::build(&s);
         assert_eq!(t.entrance_count(), 0);
@@ -307,14 +330,26 @@ mod tests {
         // Two staircases; the far one is closer to the target point on the
         // upper floor.
         let mut b = FloorPlanBuilder::new(4.0);
-        let h0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 100.0, 10.0)).unwrap();
-        let h1 = b.add_room(1, Rect2::from_bounds(0.0, 0.0, 100.0, 10.0)).unwrap();
-        let s1 = b.add_staircase((0, 1), Rect2::from_bounds(100.0, 0.0, 104.0, 10.0)).unwrap();
-        let s2 = b.add_staircase((0, 1), Rect2::from_bounds(-4.0, 0.0, 0.0, 10.0)).unwrap();
-        b.add_staircase_entrance(s1, h0, 0, Point2::new(100.0, 5.0)).unwrap();
-        b.add_staircase_entrance(s1, h1, 1, Point2::new(100.0, 5.0)).unwrap();
-        b.add_staircase_entrance(s2, h0, 0, Point2::new(0.0, 5.0)).unwrap();
-        b.add_staircase_entrance(s2, h1, 1, Point2::new(0.0, 5.0)).unwrap();
+        let h0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 100.0, 10.0))
+            .unwrap();
+        let h1 = b
+            .add_room(1, Rect2::from_bounds(0.0, 0.0, 100.0, 10.0))
+            .unwrap();
+        let s1 = b
+            .add_staircase((0, 1), Rect2::from_bounds(100.0, 0.0, 104.0, 10.0))
+            .unwrap();
+        let s2 = b
+            .add_staircase((0, 1), Rect2::from_bounds(-4.0, 0.0, 0.0, 10.0))
+            .unwrap();
+        b.add_staircase_entrance(s1, h0, 0, Point2::new(100.0, 5.0))
+            .unwrap();
+        b.add_staircase_entrance(s1, h1, 1, Point2::new(100.0, 5.0))
+            .unwrap();
+        b.add_staircase_entrance(s2, h0, 0, Point2::new(0.0, 5.0))
+            .unwrap();
+        b.add_staircase_entrance(s2, h1, 1, Point2::new(0.0, 5.0))
+            .unwrap();
         let s = b.finish().unwrap();
         let t = SkeletonTier::build(&s);
         assert_eq!(t.entrance_count(), 4);

@@ -71,7 +71,13 @@ impl UnitStore {
         for rect in rects {
             let id = UnitId(self.units.len() as u32);
             let mbr = Mbr3::spanning(rect, (partition.floor_lo, partition.floor_hi), (z_lo, z_hi));
-            self.units.push(IndexUnit { id, partition: partition.id, rect, mbr, active: true });
+            self.units.push(IndexUnit {
+                id,
+                partition: partition.id,
+                rect,
+                mbr,
+                active: true,
+            });
             ids.push(id);
         }
         self.by_partition.insert(partition.id, ids.clone());
@@ -133,14 +139,17 @@ mod tests {
 
     fn space_with_hallway() -> IndoorSpace {
         let mut b = FloorPlanBuilder::new(4.0);
-        let room = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        let room = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
         let hall = b
             .add_hallway(
                 0,
                 idq_geom::Polygon::from_rect(Rect2::from_bounds(0.0, 10.0, 100.0, 15.0)),
             )
             .unwrap();
-        b.add_door_between(room, hall, Point2::new(5.0, 10.0)).unwrap();
+        b.add_door_between(room, hall, Point2::new(5.0, 10.0))
+            .unwrap();
         b.finish().unwrap()
     }
 

@@ -115,8 +115,13 @@ impl FloorPlanBuilder {
         position: Point2,
     ) -> Result<DoorId, ModelError> {
         let floor = self.common_floor(a, b)?;
-        self.space
-            .push_door(position, floor, [a, b], Direction::Bidirectional, DoorKind::Interior)
+        self.space.push_door(
+            position,
+            floor,
+            [a, b],
+            Direction::Bidirectional,
+            DoorKind::Interior,
+        )
     }
 
     /// Adds a one-way door passable only `from → to`.
@@ -127,8 +132,13 @@ impl FloorPlanBuilder {
         position: Point2,
     ) -> Result<DoorId, ModelError> {
         let floor = self.common_floor(from, to)?;
-        self.space
-            .push_door(position, floor, [from, to], Direction::OneWay, DoorKind::Interior)
+        self.space.push_door(
+            position,
+            floor,
+            [from, to],
+            Direction::OneWay,
+            DoorKind::Interior,
+        )
     }
 
     /// Adds a staircase entrance: a door on `floor` between the staircase
@@ -163,7 +173,8 @@ impl FloorPlanBuilder {
         direction: Direction,
         kind: DoorKind,
     ) -> Result<DoorId, ModelError> {
-        self.space.push_door(position, floor, [a, b], direction, kind)
+        self.space
+            .push_door(position, floor, [a, b], direction, kind)
     }
 
     /// Finishes construction. Currently infallible beyond the per-step
@@ -196,8 +207,12 @@ mod tests {
     #[test]
     fn builds_multi_floor_building_with_staircase() {
         let mut b = FloorPlanBuilder::new(4.0);
-        let hall0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 20.0, 5.0)).unwrap();
-        let hall1 = b.add_room(1, Rect2::from_bounds(0.0, 0.0, 20.0, 5.0)).unwrap();
+        let hall0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 20.0, 5.0))
+            .unwrap();
+        let hall1 = b
+            .add_room(1, Rect2::from_bounds(0.0, 0.0, 20.0, 5.0))
+            .unwrap();
         let stairs = b
             .add_staircase((0, 1), Rect2::from_bounds(20.0, 0.0, 24.0, 5.0))
             .unwrap();
@@ -232,9 +247,15 @@ mod tests {
     #[test]
     fn one_way_door_directionality() {
         let mut b = FloorPlanBuilder::new(4.0);
-        let secure = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let public = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
-        let d = b.add_one_way_door(secure, public, Point2::new(10.0, 5.0)).unwrap();
+        let secure = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let public = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let d = b
+            .add_one_way_door(secure, public, Point2::new(10.0, 5.0))
+            .unwrap();
         let s = b.finish().unwrap();
         assert!(s.can_pass(d, secure, public));
         assert!(!s.can_pass(d, public, secure));
@@ -243,8 +264,12 @@ mod tests {
     #[test]
     fn staircase_entrance_requires_staircase() {
         let mut b = FloorPlanBuilder::new(4.0);
-        let r1 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let r2 = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r2 = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
         assert!(matches!(
             b.add_staircase_entrance(r1, r2, 0, Point2::new(10.0, 5.0)),
             Err(ModelError::WrongKind(_))
@@ -254,8 +279,12 @@ mod tests {
     #[test]
     fn no_common_floor_is_rejected() {
         let mut b = FloorPlanBuilder::new(4.0);
-        let r0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let r1 = b.add_room(1, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        let r0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r1 = b
+            .add_room(1, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
         assert_eq!(
             b.add_door_between(r0, r1, Point2::new(5.0, 5.0)),
             Err(ModelError::NoCommonFloor(r0, r1))

@@ -141,7 +141,9 @@ impl DoorsGraph {
     }
 
     fn add_partition_edges(&mut self, space: &IndoorSpace, pid: PartitionId) {
-        let Ok(doors) = space.doors_of(pid) else { return };
+        let Ok(doors) = space.doors_of(pid) else {
+            return;
+        };
         let doors = doors.to_vec();
         for &di in &doors {
             if !space.can_enter(di, pid) {
@@ -151,8 +153,14 @@ impl DoorsGraph {
                 if di == dj || !space.can_leave(dj, pid) {
                     continue;
                 }
-                let Ok(weight) = space.door_to_door(di, dj) else { continue };
-                self.adj[di.index()].push(DoorEdge { to: dj, weight, via: pid });
+                let Ok(weight) = space.door_to_door(di, dj) else {
+                    continue;
+                };
+                self.adj[di.index()].push(DoorEdge {
+                    to: dj,
+                    weight,
+                    via: pid,
+                });
             }
         }
     }
@@ -168,9 +176,15 @@ mod tests {
     /// from C directly back to A (wrapping corridor, conceptually).
     fn chain() -> (IndoorSpace, [PartitionId; 3], [DoorId; 2]) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let m = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
-        let c = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0)).unwrap();
+        let a = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let m = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let c = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
         let d0 = b.add_door_between(a, m, Point2::new(10.0, 5.0)).unwrap();
         let d1 = b.add_door_between(m, c, Point2::new(20.0, 5.0)).unwrap();
         (b.finish().unwrap(), [a, m, c], [d0, d1])
@@ -196,21 +210,41 @@ mod tests {
         // Figure 3(b) of the paper in miniature: room with an exit-only
         // door. Entering the room must use the bidirectional door.
         let mut b = FloorPlanBuilder::new(4.0);
-        let room = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let hall = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
-        let d_in = b.add_door_between(room, hall, Point2::new(10.0, 2.0)).unwrap();
-        let d_out = b.add_one_way_door(room, hall, Point2::new(10.0, 8.0)).unwrap();
+        let room = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let hall = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let d_in = b
+            .add_door_between(room, hall, Point2::new(10.0, 2.0))
+            .unwrap();
+        let d_out = b
+            .add_one_way_door(room, hall, Point2::new(10.0, 8.0))
+            .unwrap();
         let s = b.finish().unwrap();
         let g = DoorsGraph::build(&s);
         // Via room: d_in → d_out exists (enter room by d_in, leave by d_out);
         // d_out → d_in via room must NOT exist (cannot enter room by d_out).
-        assert!(g.edges_from(d_in).iter().any(|e| e.to == d_out && e.via == room));
-        assert!(!g.edges_from(d_out).iter().any(|e| e.to == d_in && e.via == room));
+        assert!(g
+            .edges_from(d_in)
+            .iter()
+            .any(|e| e.to == d_out && e.via == room));
+        assert!(!g
+            .edges_from(d_out)
+            .iter()
+            .any(|e| e.to == d_in && e.via == room));
         // Via hall: d_out → d_in exists (enter hall by d_out, leave into room
         // by d_in); d_in → d_out via hall does not (cannot leave hall
         // through the one-way door).
-        assert!(g.edges_from(d_out).iter().any(|e| e.to == d_in && e.via == hall));
-        assert!(!g.edges_from(d_in).iter().any(|e| e.to == d_out && e.via == hall));
+        assert!(g
+            .edges_from(d_out)
+            .iter()
+            .any(|e| e.to == d_in && e.via == hall));
+        assert!(!g
+            .edges_from(d_in)
+            .iter()
+            .any(|e| e.to == d_out && e.via == hall));
     }
 
     #[test]
@@ -243,18 +277,24 @@ mod tests {
     #[test]
     fn staircase_edges_cost_vertical_walk() {
         let mut b = FloorPlanBuilder::new(4.0);
-        let h0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 5.0)).unwrap();
-        let h1 = b.add_room(1, Rect2::from_bounds(0.0, 0.0, 10.0, 5.0)).unwrap();
-        let st = b.add_staircase((0, 1), Rect2::from_bounds(10.0, 0.0, 14.0, 5.0)).unwrap();
-        let e0 = b.add_staircase_entrance(st, h0, 0, Point2::new(10.0, 2.5)).unwrap();
-        let e1 = b.add_staircase_entrance(st, h1, 1, Point2::new(10.0, 2.5)).unwrap();
+        let h0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 5.0))
+            .unwrap();
+        let h1 = b
+            .add_room(1, Rect2::from_bounds(0.0, 0.0, 10.0, 5.0))
+            .unwrap();
+        let st = b
+            .add_staircase((0, 1), Rect2::from_bounds(10.0, 0.0, 14.0, 5.0))
+            .unwrap();
+        let e0 = b
+            .add_staircase_entrance(st, h0, 0, Point2::new(10.0, 2.5))
+            .unwrap();
+        let e1 = b
+            .add_staircase_entrance(st, h1, 1, Point2::new(10.0, 2.5))
+            .unwrap();
         let s = b.finish().unwrap();
         let g = DoorsGraph::build(&s);
-        let e: Vec<_> = g
-            .edges_from(e0)
-            .iter()
-            .filter(|e| e.via == st)
-            .collect();
+        let e: Vec<_> = g.edges_from(e0).iter().filter(|e| e.via == st).collect();
         assert_eq!(e.len(), 1);
         assert_eq!(e[0].to, e1);
         // Same planar point, one floor of 4 m at walk factor 2.

@@ -52,13 +52,22 @@ impl std::fmt::Display for ModelError {
             ModelError::PartitionInactive(p) => write!(f, "partition {p} was deleted"),
             ModelError::DoorInactive(d) => write!(f, "door {d} was deleted"),
             ModelError::SelfLoopDoor(p) => {
-                write!(f, "door must connect two distinct partitions, got {p} twice")
+                write!(
+                    f,
+                    "door must connect two distinct partitions, got {p} twice"
+                )
             }
-            ModelError::DoorOffBoundary { position, partition } => {
+            ModelError::DoorOffBoundary {
+                position,
+                partition,
+            } => {
                 write!(f, "door at {position} does not touch partition {partition}")
             }
             ModelError::DoorFloorMismatch { floor, partition } => {
-                write!(f, "door floor {floor} outside partition {partition}'s floors")
+                write!(
+                    f,
+                    "door floor {floor} outside partition {partition}'s floors"
+                )
             }
             ModelError::NoCommonFloor(a, b) => {
                 write!(f, "partitions {a} and {b} share no common floor")
@@ -84,6 +93,8 @@ mod tests {
             partition: PartitionId(3),
         };
         assert!(e.to_string().contains("P3"));
-        assert!(ModelError::UnknownDoor(DoorId(9)).to_string().contains("d9"));
+        assert!(ModelError::UnknownDoor(DoorId(9))
+            .to_string()
+            .contains("d9"));
     }
 }

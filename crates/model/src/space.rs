@@ -116,7 +116,9 @@ impl IndoorSpace {
 
     /// Looks up a door, tombstones included.
     pub fn door_raw(&self, id: DoorId) -> Result<&Door, ModelError> {
-        self.doors.get(id.index()).ok_or(ModelError::UnknownDoor(id))
+        self.doors
+            .get(id.index())
+            .ok_or(ModelError::UnknownDoor(id))
     }
 
     /// Looks up an *active* door.
@@ -212,9 +214,7 @@ impl IndoorSpace {
     /// active).
     pub fn can_pass(&self, door: DoorId, from: PartitionId, to: PartitionId) -> bool {
         let Ok(d) = self.door(door) else { return false };
-        d.allows(from, to)
-            && self.partition(from).is_ok()
-            && self.partition(to).is_ok()
+        d.allows(from, to) && self.partition(from).is_ok() && self.partition(to).is_ok()
     }
 
     /// Whether one may pass through `door` into partition `into`.
@@ -357,12 +357,18 @@ impl IndoorSpace {
         for pid in partitions {
             let p = self.partition(pid)?;
             if !p.covers_floor(floor) {
-                return Err(ModelError::DoorFloorMismatch { floor, partition: pid });
+                return Err(ModelError::DoorFloorMismatch {
+                    floor,
+                    partition: pid,
+                });
             }
             // The door midpoint must touch the partition (it sits on the
             // shared wall, hence on the closed boundary of both).
             if !p.contains(position, floor) {
-                return Err(ModelError::DoorOffBoundary { position, partition: pid });
+                return Err(ModelError::DoorOffBoundary {
+                    position,
+                    partition: pid,
+                });
             }
         }
         let id = DoorId(self.doors.len() as u32);
@@ -441,10 +447,16 @@ impl IndoorSpace {
             .ok_or(ModelError::UnknownDoor(id))?;
         let target = self.partition(to)?;
         if !target.covers_floor(floor) {
-            return Err(ModelError::DoorFloorMismatch { floor, partition: to });
+            return Err(ModelError::DoorFloorMismatch {
+                floor,
+                partition: to,
+            });
         }
         if !target.contains(pos, floor) {
-            return Err(ModelError::DoorOffBoundary { position: pos, partition: to });
+            return Err(ModelError::DoorOffBoundary {
+                position: pos,
+                partition: to,
+            });
         }
         self.doors[id.index()].partitions[side] = to;
         if let Some(p) = self.partitions.get_mut(from.index()) {
@@ -508,8 +520,12 @@ mod tests {
     /// Two rooms side by side joined by one door.
     fn two_rooms() -> (IndoorSpace, PartitionId, PartitionId, DoorId) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let c = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let a = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let c = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
         let d = b.add_door_between(a, c, Point2::new(10.0, 5.0)).unwrap();
         (b.finish().unwrap(), a, c, d)
     }
@@ -517,10 +533,22 @@ mod tests {
     #[test]
     fn point_location_and_accessors() {
         let (s, a, c, d) = two_rooms();
-        assert_eq!(s.partition_at(IndoorPoint::new(Point2::new(3.0, 3.0), 0)), Some(a));
-        assert_eq!(s.partition_at(IndoorPoint::new(Point2::new(15.0, 3.0), 0)), Some(c));
-        assert_eq!(s.partition_at(IndoorPoint::new(Point2::new(3.0, 3.0), 1)), None);
-        assert_eq!(s.partition_at(IndoorPoint::new(Point2::new(50.0, 3.0), 0)), None);
+        assert_eq!(
+            s.partition_at(IndoorPoint::new(Point2::new(3.0, 3.0), 0)),
+            Some(a)
+        );
+        assert_eq!(
+            s.partition_at(IndoorPoint::new(Point2::new(15.0, 3.0), 0)),
+            Some(c)
+        );
+        assert_eq!(
+            s.partition_at(IndoorPoint::new(Point2::new(3.0, 3.0), 1)),
+            None
+        );
+        assert_eq!(
+            s.partition_at(IndoorPoint::new(Point2::new(50.0, 3.0), 0)),
+            None
+        );
         assert_eq!(s.doors_of(a).unwrap(), &[d]);
         assert_eq!(s.partitions_of_door(d).unwrap(), [a, c]);
         // The door point is in both rooms (shared wall).
@@ -579,7 +607,8 @@ mod tests {
         assert!(s.sealed_partitions().is_empty());
         assert_eq!(s.connected_components(), 1);
         let mut b = FloorPlanBuilder::new(4.0);
-        b.add_room(0, Rect2::from_bounds(0.0, 0.0, 5.0, 5.0)).unwrap();
+        b.add_room(0, Rect2::from_bounds(0.0, 0.0, 5.0, 5.0))
+            .unwrap();
         let lonely = b.finish().unwrap();
         assert_eq!(lonely.sealed_partitions().len(), 1);
     }
@@ -587,8 +616,12 @@ mod tests {
     #[test]
     fn door_validation_errors() {
         let mut b = FloorPlanBuilder::new(4.0);
-        let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let c = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let a = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let c = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
         // Off both partitions.
         assert!(matches!(
             b.add_door_between(a, c, Point2::new(50.0, 50.0)),

@@ -166,10 +166,7 @@ impl IndoorSpace {
     }
 
     /// Deletes a partition and its doors (§III-C.1, *Deletion*).
-    pub fn delete_partition(
-        &mut self,
-        pid: PartitionId,
-    ) -> Result<Vec<TopologyEvent>, ModelError> {
+    pub fn delete_partition(&mut self, pid: PartitionId) -> Result<Vec<TopologyEvent>, ModelError> {
         let doors = self.retire_partition(pid)?;
         let mut events: Vec<TopologyEvent> =
             doors.into_iter().map(TopologyEvent::DoorRemoved).collect();
@@ -195,10 +192,7 @@ impl IndoorSpace {
         let floor = p.floor_lo;
         let kind = p.kind;
         let name = p.name.clone();
-        let rect = p
-            .footprint
-            .as_rect()
-            .ok_or(ModelError::WrongKind(pid))?;
+        let rect = p.footprint.as_rect().ok_or(ModelError::WrongKind(pid))?;
         let halves = match line {
             SplitLine::AtX(c) => rect.split_at_x(c),
             SplitLine::AtY(c) => rect.split_at_y(c),
@@ -230,7 +224,10 @@ impl IndoorSpace {
         let name_b = name.as_ref().map(|n| format!("{n}.b"));
         let a = self.push_partition(kind, name_a, (floor, floor), Polygon::from_rect(halves.0));
         let b = self.push_partition(kind, name_b, (floor, floor), Polygon::from_rect(halves.1));
-        let mut events = vec![TopologyEvent::PartitionSplit { old: pid, new: [a, b] }];
+        let mut events = vec![TopologyEvent::PartitionSplit {
+            old: pid,
+            new: [a, b],
+        }];
 
         for &d in &old_doors {
             let pos = self.door(d)?.position;
@@ -243,7 +240,13 @@ impl IndoorSpace {
         debug_assert!(leftover.is_empty(), "doors were retargeted first");
 
         if let Some(pos) = connecting_door {
-            let d = self.push_door(pos, floor, [a, b], Direction::Bidirectional, DoorKind::Interior)?;
+            let d = self.push_door(
+                pos,
+                floor,
+                [a, b],
+                Direction::Bidirectional,
+                DoorKind::Interior,
+            )?;
             events.push(TopologyEvent::DoorInserted(d));
         }
         Ok(([a, b], events))
@@ -289,7 +292,10 @@ impl IndoorSpace {
         let doors_a: Vec<DoorId> = pa.doors.clone();
         let doors_b: Vec<DoorId> = pb.doors.clone();
         let merged = self.push_partition(kind, name, (floor, floor), Polygon::from_rect(union));
-        let mut events = vec![TopologyEvent::PartitionsMerged { old: [a, b], new: merged }];
+        let mut events = vec![TopologyEvent::PartitionsMerged {
+            old: [a, b],
+            new: merged,
+        }];
 
         for (src, doors) in [(a, doors_a), (b, doors_b)] {
             for d in doors {
@@ -326,22 +332,33 @@ mod tests {
     /// (d41 west, d42 east) that can be split by a sliding wall.
     fn banquet_hall() -> (IndoorSpace, PartitionId, [DoorId; 2]) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let west = b.add_room(0, Rect2::from_bounds(-10.0, 0.0, 0.0, 20.0)).unwrap();
-        let hall = b.add_named_room("room 21", 0, Rect2::from_bounds(0.0, 0.0, 30.0, 20.0)).unwrap();
-        let east = b.add_room(0, Rect2::from_bounds(30.0, 0.0, 40.0, 20.0)).unwrap();
-        let d41 = b.add_door_between(west, hall, Point2::new(0.0, 10.0)).unwrap();
-        let d42 = b.add_door_between(hall, east, Point2::new(30.0, 10.0)).unwrap();
+        let west = b
+            .add_room(0, Rect2::from_bounds(-10.0, 0.0, 0.0, 20.0))
+            .unwrap();
+        let hall = b
+            .add_named_room("room 21", 0, Rect2::from_bounds(0.0, 0.0, 30.0, 20.0))
+            .unwrap();
+        let east = b
+            .add_room(0, Rect2::from_bounds(30.0, 0.0, 40.0, 20.0))
+            .unwrap();
+        let d41 = b
+            .add_door_between(west, hall, Point2::new(0.0, 10.0))
+            .unwrap();
+        let d42 = b
+            .add_door_between(hall, east, Point2::new(30.0, 10.0))
+            .unwrap();
         (b.finish().unwrap(), hall, [d41, d42])
     }
 
     #[test]
     fn split_reassigns_doors_and_retires_original() {
         let (mut s, hall, [d41, d42]) = banquet_hall();
-        let ([a, b], events) = s
-            .split_partition(hall, SplitLine::AtX(15.0), None)
-            .unwrap();
+        let ([a, b], events) = s.split_partition(hall, SplitLine::AtX(15.0), None).unwrap();
         assert!(s.partition(hall).is_err());
-        assert!(events.contains(&TopologyEvent::PartitionSplit { old: hall, new: [a, b] }));
+        assert!(events.contains(&TopologyEvent::PartitionSplit {
+            old: hall,
+            new: [a, b]
+        }));
         // d41 (at x=0) went to the west half, d42 (x=30) to the east half.
         assert!(s.door(d41).unwrap().partitions.contains(&a));
         assert!(s.door(d42).unwrap().partitions.contains(&b));
@@ -361,7 +378,9 @@ mod tests {
             .split_partition(hall, SplitLine::AtX(15.0), Some(Point2::new(15.0, 10.0)))
             .unwrap();
         assert_eq!(s.connected_components(), 1);
-        let inserted = events.iter().any(|e| matches!(e, TopologyEvent::DoorInserted(_)));
+        let inserted = events
+            .iter()
+            .any(|e| matches!(e, TopologyEvent::DoorInserted(_)));
         assert!(inserted);
         // The new door connects exactly the two halves.
         let wall_door = s
@@ -384,7 +403,9 @@ mod tests {
         assert!(s.partition(a).is_err() && s.partition(b).is_err());
         let m = s.partition(merged).unwrap();
         assert_eq!(m.bbox, Rect2::from_bounds(0.0, 0.0, 30.0, 20.0));
-        assert!(events.iter().any(|e| matches!(e, TopologyEvent::DoorRemoved(_))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TopologyEvent::DoorRemoved(_))));
         // Outer doors survived and now point at the merged room.
         assert!(s.door(d41).unwrap().partitions.contains(&merged));
         assert!(s.door(d42).unwrap().partitions.contains(&merged));
@@ -399,11 +420,21 @@ mod tests {
     #[test]
     fn merge_rejects_non_adjacent() {
         let mut b = FloorPlanBuilder::new(4.0);
-        let r1 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let r2 = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0)).unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r2 = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
         let mut s = b.finish().unwrap();
-        assert!(matches!(s.merge_partitions(r1, r2), Err(ModelError::BadMerge(..))));
-        assert!(matches!(s.merge_partitions(r1, r1), Err(ModelError::BadMerge(..))));
+        assert!(matches!(
+            s.merge_partitions(r1, r2),
+            Err(ModelError::BadMerge(..))
+        ));
+        assert!(matches!(
+            s.merge_partitions(r1, r1),
+            Err(ModelError::BadMerge(..))
+        ));
     }
 
     #[test]

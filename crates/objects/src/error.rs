@@ -47,7 +47,11 @@ mod tests {
 
     #[test]
     fn errors_render() {
-        assert!(ObjectError::BadWeights { sum: 0.5 }.to_string().contains("0.5"));
-        assert!(ObjectError::UnknownObject(ObjectId(7)).to_string().contains("O7"));
+        assert!(ObjectError::BadWeights { sum: 0.5 }
+            .to_string()
+            .contains("0.5"));
+        assert!(ObjectError::UnknownObject(ObjectId(7))
+            .to_string()
+            .contains("O7"));
     }
 }

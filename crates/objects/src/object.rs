@@ -99,7 +99,11 @@ impl UncertainObject {
         let w = 1.0 / n as f64;
         let instances = positions
             .into_iter()
-            .map(|p| Instance { position: p, floor, weight: w })
+            .map(|p| Instance {
+                position: p,
+                floor,
+                weight: w,
+            })
             .collect();
         Self::new(id, region, floor, instances)
     }
@@ -111,8 +115,12 @@ impl UncertainObject {
             id,
             region: Circle::new(at.point, 0.0),
             floor: at.floor,
-            instances: vec![Instance { position: at.point, floor: at.floor, weight: 1.0 }]
-                .into_boxed_slice(),
+            instances: vec![Instance {
+                position: at.point,
+                floor: at.floor,
+                weight: 1.0,
+            }]
+            .into_boxed_slice(),
             instance_bbox: Rect2::new(at.point, at.point),
         }
     }
@@ -199,8 +207,16 @@ mod tests {
     #[test]
     fn weights_must_sum_to_one() {
         let bad = vec![
-            Instance { position: Point2::new(0.0, 0.0), floor: 0, weight: 0.4 },
-            Instance { position: Point2::new(1.0, 0.0), floor: 0, weight: 0.4 },
+            Instance {
+                position: Point2::new(0.0, 0.0),
+                floor: 0,
+                weight: 0.4,
+            },
+            Instance {
+                position: Point2::new(1.0, 0.0),
+                floor: 0,
+                weight: 0.4,
+            },
         ];
         assert!(matches!(
             UncertainObject::new(ObjectId(1), Circle::new(Point2::new(0.0, 0.0), 1.0), 0, bad),
@@ -260,7 +276,8 @@ mod tests {
 
     #[test]
     fn point_object_is_certain() {
-        let o = UncertainObject::point_object(ObjectId(9), IndoorPoint::new(Point2::new(1.0, 2.0), 3));
+        let o =
+            UncertainObject::point_object(ObjectId(9), IndoorPoint::new(Point2::new(1.0, 2.0), 3));
         assert_eq!(o.len(), 1);
         assert_eq!(o.instances()[0].weight, 1.0);
         assert_eq!(o.floor, 3);

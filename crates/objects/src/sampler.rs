@@ -118,7 +118,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let s = GaussianSampler::default();
         let o = s
-            .sample(ObjectId(1), Point2::new(50.0, 50.0), 0, 10.0, &space, &mut rng)
+            .sample(
+                ObjectId(1),
+                Point2::new(50.0, 50.0),
+                0,
+                10.0,
+                &space,
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(o.len(), 100);
         for inst in o.instances() {
@@ -167,7 +174,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let s = GaussianSampler::default();
         assert!(matches!(
-            s.sample(ObjectId(1), Point2::new(500.0, 500.0), 0, 5.0, &space, &mut rng),
+            s.sample(
+                ObjectId(1),
+                Point2::new(500.0, 500.0),
+                0,
+                5.0,
+                &space,
+                &mut rng
+            ),
             Err(ObjectError::NoHostPartition)
         ));
     }
@@ -179,7 +193,14 @@ mod tests {
         // Centre 1 m from the wall with radius 10: many draws fall outside;
         // all surviving instances must still be valid.
         let o = GaussianSampler::default()
-            .sample(ObjectId(1), Point2::new(1.0, 50.0), 0, 10.0, &space, &mut rng)
+            .sample(
+                ObjectId(1),
+                Point2::new(1.0, 50.0),
+                0,
+                10.0,
+                &space,
+                &mut rng,
+            )
             .unwrap();
         for inst in o.instances() {
             assert!(space
@@ -193,7 +214,14 @@ mod tests {
         let space = one_room();
         let mut rng = StdRng::seed_from_u64(5);
         let o = GaussianSampler::with_instances(10)
-            .sample(ObjectId(1), Point2::new(50.0, 50.0), 0, 0.0, &space, &mut rng)
+            .sample(
+                ObjectId(1),
+                Point2::new(50.0, 50.0),
+                0,
+                0.0,
+                &space,
+                &mut rng,
+            )
             .unwrap();
         for inst in o.instances() {
             assert_eq!(inst.position, Point2::new(50.0, 50.0));

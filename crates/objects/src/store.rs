@@ -44,7 +44,9 @@ impl ObjectStore {
 
     /// Removes an object, returning it.
     pub fn remove(&mut self, id: ObjectId) -> Result<UncertainObject, ObjectError> {
-        self.objects.remove(&id).ok_or(ObjectError::UnknownObject(id))
+        self.objects
+            .remove(&id)
+            .ok_or(ObjectError::UnknownObject(id))
     }
 
     /// Looks up an object.
@@ -100,7 +102,10 @@ mod tests {
         let o = s.remove(ObjectId(1)).unwrap();
         assert_eq!(o.id, ObjectId(1));
         assert!(s.is_empty());
-        assert!(matches!(s.get(ObjectId(1)), Err(ObjectError::UnknownObject(_))));
+        assert!(matches!(
+            s.get(ObjectId(1)),
+            Err(ObjectError::UnknownObject(_))
+        ));
     }
 
     #[test]

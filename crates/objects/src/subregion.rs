@@ -108,7 +108,12 @@ impl Subregions {
                     prob += inst.weight;
                     bbox = bbox.union(&Rect2::new(inst.position, inst.position));
                 }
-                Subregion { partition, instance_indices, prob, bbox }
+                Subregion {
+                    partition,
+                    instance_indices,
+                    prob,
+                    bbox,
+                }
             })
             .collect();
         subs.sort_by(|a, b| {
@@ -165,8 +170,14 @@ fn nearest_partition(space: &IndoorSpace, p: Point2, floor: u16) -> Option<Parti
         .copied()
         .filter(|&pid| space.partition(pid).is_ok())
         .min_by(|&a, &b| {
-            let da = space.partition(a).map(|x| x.bbox.min_dist(p)).unwrap_or(f64::INFINITY);
-            let db = space.partition(b).map(|x| x.bbox.min_dist(p)).unwrap_or(f64::INFINITY);
+            let da = space
+                .partition(a)
+                .map(|x| x.bbox.min_dist(p))
+                .unwrap_or(f64::INFINITY);
+            let db = space
+                .partition(b)
+                .map(|x| x.bbox.min_dist(p))
+                .unwrap_or(f64::INFINITY);
             da.total_cmp(&db).then(a.cmp(&b))
         })
 }
@@ -182,7 +193,9 @@ mod tests {
     fn setup() -> (IndoorSpace, UncertainObject) {
         let mut b = FloorPlanBuilder::new(4.0);
         let a = b.add_room(0, R::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let c = b.add_room(0, R::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let c = b
+            .add_room(0, R::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
         b.add_door_between(a, c, Point2::new(10.0, 5.0)).unwrap();
         let s = b.finish().unwrap();
         let o = UncertainObject::with_uniform_weights(
@@ -209,7 +222,10 @@ mod tests {
         let total: f64 = subs.iter().map(|x| x.prob).sum();
         assert!((total - 1.0).abs() < 1e-9, "probability mass preserved");
         // Every instance appears exactly once.
-        let mut seen: Vec<u32> = subs.iter().flat_map(|x| x.instance_indices.clone()).collect();
+        let mut seen: Vec<u32> = subs
+            .iter()
+            .flat_map(|x| x.instance_indices.clone())
+            .collect();
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2, 3]);
         // Sorted by descending mass (tie → partition id asc), both 0.5 here.

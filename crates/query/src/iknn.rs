@@ -4,9 +4,10 @@ use crate::error::QueryError;
 use crate::options::QueryOptions;
 use crate::pipeline::EvalContext;
 use crate::stats::QueryStats;
-use idq_distance::{IndoorPoint, SharedPathUpper};
+use idq_distance::SharedPathUpper;
 use idq_geom::{Mbr3, OrdF64};
 use idq_index::CompositeIndex;
+use idq_model::IndoorPoint;
 use idq_model::{IndoorSpace, PartitionId};
 use idq_objects::{ObjectId, ObjectStore, Subregions};
 use std::cmp::Reverse;
@@ -72,17 +73,23 @@ fn adaptive_kbound(
         }
         // Expand to adjacent partitions, keyed by their geometric lower
         // bound (Eq. 10).
-        let Ok(doors) = space.doors_of(pid) else { continue };
+        let Ok(doors) = space.doors_of(pid) else {
+            continue;
+        };
         for &d in doors {
             if !space.can_leave(d, pid) {
                 continue;
             }
             let Ok(door) = space.door(d) else { continue };
-            let Some(next) = door.other_side(pid) else { continue };
+            let Some(next) = door.other_side(pid) else {
+                continue;
+            };
             if visited.contains(&next) {
                 continue;
             }
-            let Ok(p) = space.partition(next) else { continue };
+            let Ok(p) = space.partition(next) else {
+                continue;
+            };
             let mbr = Mbr3::spanning(
                 p.bbox,
                 (p.floor_lo, p.floor_hi),
@@ -133,7 +140,10 @@ pub fn knn_query(
         return Err(QueryError::ZeroK);
     }
     index.check_fresh(space)?;
-    let mut stats = QueryStats { total_objects: store.len(), ..QueryStats::default() };
+    let mut stats = QueryStats {
+        total_objects: store.len(),
+        ..QueryStats::default()
+    };
 
     // Phase 1: seed selection + kbound + range search.
     let t = Instant::now();
@@ -203,7 +213,10 @@ pub fn knn_query(
     Ok(KnnResult {
         results: scored
             .into_iter()
-            .map(|(d, object)| KnnHit { object, distance: d.0 })
+            .map(|(d, object)| KnnHit {
+                object,
+                distance: d.0,
+            })
             .collect(),
         stats,
         kbound,
@@ -226,8 +239,11 @@ mod tests {
         for f in 0..2u16 {
             for i in 0..3 {
                 rooms.push(
-                    b.add_room(f, Rect2::from_bounds(20.0 * i as f64, 0.0, 20.0 * (i + 1) as f64, 10.0))
-                        .unwrap(),
+                    b.add_room(
+                        f,
+                        Rect2::from_bounds(20.0 * i as f64, 0.0, 20.0 * (i + 1) as f64, 10.0),
+                    )
+                    .unwrap(),
                 );
             }
         }
@@ -241,9 +257,13 @@ mod tests {
                 .unwrap();
             }
         }
-        let st = b.add_staircase((0, 1), Rect2::from_bounds(60.0, 0.0, 64.0, 10.0)).unwrap();
-        b.add_staircase_entrance(st, rooms[2], 0, Point2::new(60.0, 5.0)).unwrap();
-        b.add_staircase_entrance(st, rooms[5], 1, Point2::new(60.0, 5.0)).unwrap();
+        let st = b
+            .add_staircase((0, 1), Rect2::from_bounds(60.0, 0.0, 64.0, 10.0))
+            .unwrap();
+        b.add_staircase_entrance(st, rooms[2], 0, Point2::new(60.0, 5.0))
+            .unwrap();
+        b.add_staircase_entrance(st, rooms[5], 1, Point2::new(60.0, 5.0))
+            .unwrap();
         let space = b.finish().unwrap();
 
         let mut store = ObjectStore::new();

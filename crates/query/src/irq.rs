@@ -4,8 +4,8 @@ use crate::error::QueryError;
 use crate::options::QueryOptions;
 use crate::pipeline::EvalContext;
 use crate::stats::QueryStats;
-use idq_distance::IndoorPoint;
 use idq_index::CompositeIndex;
+use idq_model::IndoorPoint;
 use idq_model::{IndoorSpace, PartitionId};
 use idq_objects::{ObjectId, ObjectStore};
 use std::collections::HashSet;
@@ -46,7 +46,10 @@ pub fn range_query(
         return Err(QueryError::BadRange(r));
     }
     index.check_fresh(space)?;
-    let mut stats = QueryStats { total_objects: store.len(), ..QueryStats::default() };
+    let mut stats = QueryStats {
+        total_objects: store.len(),
+        ..QueryStats::default()
+    };
 
     // Phase 1: filtering via the geometric layer (Algorithm 4).
     let t = Instant::now();
@@ -78,7 +81,11 @@ pub fn range_query(
             let b = ctx.bounds(o)?;
             if b.upper <= r {
                 stats.accepted_by_bounds += 1;
-                results.push(RangeHit { object: o, distance: b.upper, certified_by_bound: true });
+                results.push(RangeHit {
+                    object: o,
+                    distance: b.upper,
+                    certified_by_bound: true,
+                });
             } else if b.lower <= r {
                 undecided.push(o);
             } else {
@@ -96,7 +103,11 @@ pub fn range_query(
         stats.refined += 1;
         let v = ctx.refine_with_threshold(o, r, options)?;
         if v <= r {
-            results.push(RangeHit { object: o, distance: v, certified_by_bound: false });
+            results.push(RangeHit {
+                object: o,
+                distance: v,
+                certified_by_bound: false,
+            });
         }
     }
     stats.refinement_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -122,8 +133,11 @@ mod tests {
         for f in 0..2u16 {
             for i in 0..3 {
                 rooms.push(
-                    b.add_room(f, Rect2::from_bounds(20.0 * i as f64, 0.0, 20.0 * (i + 1) as f64, 10.0))
-                        .unwrap(),
+                    b.add_room(
+                        f,
+                        Rect2::from_bounds(20.0 * i as f64, 0.0, 20.0 * (i + 1) as f64, 10.0),
+                    )
+                    .unwrap(),
                 );
             }
         }
@@ -137,9 +151,13 @@ mod tests {
                 .unwrap();
             }
         }
-        let st = b.add_staircase((0, 1), Rect2::from_bounds(60.0, 0.0, 64.0, 10.0)).unwrap();
-        b.add_staircase_entrance(st, rooms[2], 0, Point2::new(60.0, 5.0)).unwrap();
-        b.add_staircase_entrance(st, rooms[5], 1, Point2::new(60.0, 5.0)).unwrap();
+        let st = b
+            .add_staircase((0, 1), Rect2::from_bounds(60.0, 0.0, 64.0, 10.0))
+            .unwrap();
+        b.add_staircase_entrance(st, rooms[2], 0, Point2::new(60.0, 5.0))
+            .unwrap();
+        b.add_staircase_entrance(st, rooms[5], 1, Point2::new(60.0, 5.0))
+            .unwrap();
         let space = b.finish().unwrap();
 
         let mut store = ObjectStore::new();
@@ -208,7 +226,15 @@ mod tests {
         let a = range_query(&space, &index, &store, q, 60.0, &base).unwrap();
         let b = range_query(&space, &index, &store, q, 60.0, &base.without_pruning()).unwrap();
         let c = range_query(&space, &index, &store, q, 60.0, &base.without_skeleton()).unwrap();
-        let d = range_query(&space, &index, &store, q, 60.0, &base.with_exact_refinement()).unwrap();
+        let d = range_query(
+            &space,
+            &index,
+            &store,
+            q,
+            60.0,
+            &base.with_exact_refinement(),
+        )
+        .unwrap();
         assert_eq!(ids(&a), ids(&b));
         assert_eq!(ids(&a), ids(&c));
         assert_eq!(ids(&a), ids(&d));
@@ -250,7 +276,14 @@ mod tests {
             Err(QueryError::BadRange(_))
         ));
         assert!(matches!(
-            range_query(&space, &index, &store, q, f64::NAN, &QueryOptions::default()),
+            range_query(
+                &space,
+                &index,
+                &store,
+                q,
+                f64::NAN,
+                &QueryOptions::default()
+            ),
             Err(QueryError::BadRange(_))
         ));
     }
@@ -259,7 +292,8 @@ mod tests {
     fn closed_door_changes_result() {
         let (mut space, store, mut index) = setup();
         let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
-        let before = range_query(&space, &index, &store, q, 40.0, &QueryOptions::default()).unwrap();
+        let before =
+            range_query(&space, &index, &store, q, 40.0, &QueryOptions::default()).unwrap();
         assert!(ids(&before).contains(&ObjectId(2)));
         // Close the door between rooms 0 and 1 on floor 0.
         let d = space
@@ -270,6 +304,9 @@ mod tests {
         let ev = space.close_door(d).unwrap();
         index.apply_topology(&space, &store, &ev).unwrap();
         let after = range_query(&space, &index, &store, q, 40.0, &QueryOptions::default()).unwrap();
-        assert!(!ids(&after).contains(&ObjectId(2)), "object now unreachable");
+        assert!(
+            !ids(&after).contains(&ObjectId(2)),
+            "object now unreachable"
+        );
     }
 }

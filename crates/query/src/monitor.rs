@@ -13,8 +13,9 @@
 use crate::error::QueryError;
 use crate::options::QueryOptions;
 use crate::pipeline::object_partition_hint;
-use idq_distance::{expected_indoor_distance, object_bounds, DoorDistances, IndoorPoint};
+use idq_distance::{expected_indoor_distance, object_bounds, DoorDistances};
 use idq_index::CompositeIndex;
+use idq_model::IndoorPoint;
 use idq_model::IndoorSpace;
 use idq_objects::{ObjectId, ObjectStore, Subregions};
 use std::collections::BTreeSet;
@@ -181,9 +182,15 @@ mod tests {
 
     fn setup() -> (IndoorSpace, ObjectStore, CompositeIndex) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let r0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let r1 = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
-        let r2 = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0)).unwrap();
+        let r0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let r2 = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
         b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
         b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
         let space = b.finish().unwrap();
@@ -210,7 +217,9 @@ mod tests {
         if store.contains(ObjectId(id)) {
             store.remove(ObjectId(id)).unwrap();
             store.insert(obj).unwrap();
-            index.update_object(space, store.get(ObjectId(id)).unwrap()).unwrap();
+            index
+                .update_object(space, store.get(ObjectId(id)).unwrap())
+                .unwrap();
         } else {
             index.insert_object(space, &obj).unwrap();
             store.insert(obj).unwrap();
@@ -227,29 +236,28 @@ mod tests {
 
         // Object appears inside the range.
         move_to(&mut store, &mut index, &space, 1, 12.0);
-        let c = mon.on_object_update(&space, &index, &store, ObjectId(1)).unwrap();
+        let c = mon
+            .on_object_update(&space, &index, &store, ObjectId(1))
+            .unwrap();
         assert_eq!(c, MonitorChange::Entered);
         assert!(mon.contains(ObjectId(1)));
 
         // It wanders out.
         move_to(&mut store, &mut index, &space, 1, 28.0);
-        let c = mon.on_object_update(&space, &index, &store, ObjectId(1)).unwrap();
+        let c = mon
+            .on_object_update(&space, &index, &store, ObjectId(1))
+            .unwrap();
         assert_eq!(c, MonitorChange::Left);
 
         // Cross-check against a fresh range query after a series of moves.
         for (id, x) in [(2u64, 5.0), (3, 16.0), (4, 25.0)] {
             move_to(&mut store, &mut index, &space, id, x);
-            mon.on_object_update(&space, &index, &store, ObjectId(id)).unwrap();
+            mon.on_object_update(&space, &index, &store, ObjectId(id))
+                .unwrap();
         }
-        let fresh = crate::irq::range_query(
-            &space,
-            &index,
-            &store,
-            q,
-            15.0,
-            &QueryOptions::default(),
-        )
-        .unwrap();
+        let fresh =
+            crate::irq::range_query(&space, &index, &store, q, 15.0, &QueryOptions::default())
+                .unwrap();
         let fresh_ids: Vec<ObjectId> = fresh.results.iter().map(|h| h.object).collect();
         assert_eq!(mon.current(), fresh_ids);
     }
@@ -272,7 +280,8 @@ mod tests {
         // Topology change: close the first door, refresh, and verify the
         // monitor agrees with a fresh query (nothing reachable anymore).
         move_to(&mut store, &mut index, &space, 2, 15.0);
-        mon.on_object_update(&space, &index, &store, ObjectId(2)).unwrap();
+        mon.on_object_update(&space, &index, &store, ObjectId(2))
+            .unwrap();
         assert!(mon.contains(ObjectId(2)));
         let d = space.doors().next().unwrap().id;
         let ev = space.close_door(d).unwrap();
@@ -294,7 +303,9 @@ mod tests {
         let ev = space.close_door(d).unwrap();
         index.apply_topology(&space, &store, &ev).unwrap();
         move_to(&mut store, &mut index, &space, 9, 15.0);
-        let c = mon.on_object_update(&space, &index, &store, ObjectId(9)).unwrap();
+        let c = mon
+            .on_object_update(&space, &index, &store, ObjectId(9))
+            .unwrap();
         assert_eq!(c, MonitorChange::Unchanged, "unreachable after door close");
     }
 

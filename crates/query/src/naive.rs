@@ -7,8 +7,9 @@
 //! as the unindexed baseline in benchmarks.
 
 use crate::error::QueryError;
-use idq_distance::{expected::expected_indoor_distance_naive, DoorDistances, IndoorPoint};
+use idq_distance::{expected::expected_indoor_distance_naive, DoorDistances};
 use idq_geom::OrdF64;
+use idq_model::IndoorPoint;
 use idq_model::{DoorsGraph, IndoorSpace};
 use idq_objects::{ObjectId, ObjectStore};
 
@@ -70,8 +71,12 @@ mod tests {
 
     fn setup() -> (IndoorSpace, DoorsGraph, ObjectStore) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let r0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let r1 = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+        let r0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
         b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
         let space = b.finish().unwrap();
         let graph = DoorsGraph::build(&space);

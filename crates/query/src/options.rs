@@ -50,17 +50,26 @@ impl QueryOptions {
 
     /// Disables the skeleton tier (Fig. 15(a) ablation).
     pub fn without_skeleton(self) -> Self {
-        QueryOptions { use_skeleton: false, ..self }
+        QueryOptions {
+            use_skeleton: false,
+            ..self
+        }
     }
 
     /// Disables bound pruning (Fig. 14(b)/(d) ablation).
     pub fn without_pruning(self) -> Self {
-        QueryOptions { use_pruning: false, ..self }
+        QueryOptions {
+            use_pruning: false,
+            ..self
+        }
     }
 
     /// Forces full-graph refinement.
     pub fn with_exact_refinement(self) -> Self {
-        QueryOptions { exact_refinement: true, ..self }
+        QueryOptions {
+            exact_refinement: true,
+            ..self
+        }
     }
 }
 
@@ -75,6 +84,10 @@ mod tests {
         assert!(!o.use_pruning);
         let o = QueryOptions::for_max_radius(15.0);
         assert!(o.subgraph_slack >= 80.0);
-        assert!(QueryOptions::default().with_exact_refinement().exact_refinement);
+        assert!(
+            QueryOptions::default()
+                .with_exact_refinement()
+                .exact_refinement
+        );
     }
 }

@@ -4,11 +4,9 @@
 
 use crate::error::QueryError;
 use crate::options::QueryOptions;
-use idq_distance::{
-    expected_indoor_distance, object_bounds, DoorDistances, IndoorPoint, ObjectBounds,
-};
+use idq_distance::{expected_indoor_distance, object_bounds, DoorDistances, ObjectBounds};
 use idq_index::CompositeIndex;
-use idq_model::{IndoorSpace, PartitionId};
+use idq_model::{IndoorPoint, IndoorSpace, PartitionId};
 use idq_objects::{ObjectId, ObjectStore, Subregions};
 use std::collections::{HashMap, HashSet};
 
@@ -87,7 +85,12 @@ impl<'a> EvalContext<'a> {
     pub fn bounds(&mut self, id: ObjectId) -> Result<ObjectBounds, QueryError> {
         self.ensure_subregions(id)?;
         let obj = self.store.get(id)?;
-        Ok(object_bounds(self.space, &self.dd, obj, &self.subregions[&id]))
+        Ok(object_bounds(
+            self.space,
+            &self.dd,
+            obj,
+            &self.subregions[&id],
+        ))
     }
 
     fn full_dd(&mut self) -> Result<&DoorDistances, QueryError> {
@@ -174,9 +177,15 @@ mod tests {
 
     fn setup() -> (IndoorSpace, ObjectStore, CompositeIndex) {
         let mut b = FloorPlanBuilder::new(4.0);
-        let r0 = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let r1 = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
-        let r2 = b.add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0)).unwrap();
+        let r0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let r2 = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
         b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
         b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
         let space = b.finish().unwrap();

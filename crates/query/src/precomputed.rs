@@ -49,7 +49,11 @@ impl PrecomputedD2D {
                 }
             }
         }
-        PrecomputedD2D { n, dist, build_ms: t.elapsed().as_secs_f64() * 1e3 }
+        PrecomputedD2D {
+            n,
+            dist,
+            build_ms: t.elapsed().as_secs_f64() * 1e3,
+        }
     }
 
     /// Number of door slots covered.
@@ -126,13 +130,20 @@ mod tests {
         let mut b = FloorPlanBuilder::new(4.0);
         let rooms: Vec<_> = (0..n)
             .map(|i| {
-                b.add_room(0, Rect2::from_bounds(10.0 * i as f64, 0.0, 10.0 * (i + 1) as f64, 10.0))
-                    .unwrap()
+                b.add_room(
+                    0,
+                    Rect2::from_bounds(10.0 * i as f64, 0.0, 10.0 * (i + 1) as f64, 10.0),
+                )
+                .unwrap()
             })
             .collect();
         for i in 0..n - 1 {
-            b.add_door_between(rooms[i], rooms[i + 1], Point2::new(10.0 * (i + 1) as f64, 5.0))
-                .unwrap();
+            b.add_door_between(
+                rooms[i],
+                rooms[i + 1],
+                Point2::new(10.0 * (i + 1) as f64, 5.0),
+            )
+            .unwrap();
         }
         let s = b.finish().unwrap();
         let g = DoorsGraph::build(&s);
@@ -156,9 +167,15 @@ mod tests {
     #[test]
     fn one_way_asymmetry_is_preserved() {
         let mut b = FloorPlanBuilder::new(4.0);
-        let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let c = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
-        let m = b.add_room(0, Rect2::from_bounds(0.0, 10.0, 20.0, 20.0)).unwrap();
+        let a = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let c = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let m = b
+            .add_room(0, Rect2::from_bounds(0.0, 10.0, 20.0, 20.0))
+            .unwrap();
         b.add_one_way_door(a, c, Point2::new(10.0, 5.0)).unwrap();
         b.add_door_between(a, m, Point2::new(5.0, 10.0)).unwrap();
         b.add_door_between(c, m, Point2::new(15.0, 10.0)).unwrap();
@@ -169,7 +186,10 @@ mod tests {
         let qc = IndoorPoint::new(Point2::new(18.0, 5.0), 0);
         let ac = pre.point_distance(&s, qa, qc).unwrap();
         let ca = pre.point_distance(&s, qc, qa).unwrap();
-        assert!(ac < ca, "A→C uses the shortcut, C→A must detour: {ac} vs {ca}");
+        assert!(
+            ac < ca,
+            "A→C uses the shortcut, C→A must detour: {ac} vs {ca}"
+        );
         // Both must match the online evaluation.
         assert!((ac - indoor_distance(&s, &g, qa, qc).unwrap()).abs() < 1e-9);
         assert!((ca - indoor_distance(&s, &g, qc, qa).unwrap()).abs() < 1e-9);

@@ -50,17 +50,23 @@ pub fn k_seeds_selection(
             break;
         }
         // Expand to adjacent partitions (doors leaving `pid`).
-        let Ok(doors) = space.doors_of(pid) else { continue };
+        let Ok(doors) = space.doors_of(pid) else {
+            continue;
+        };
         for &d in doors {
             if !space.can_leave(d, pid) {
                 continue;
             }
             let Ok(door) = space.door(d) else { continue };
-            let Some(next) = door.other_side(pid) else { continue };
+            let Some(next) = door.other_side(pid) else {
+                continue;
+            };
             if visited.contains(&next) {
                 continue;
             }
-            let Ok(p) = space.partition(next) else { continue };
+            let Ok(p) = space.partition(next) else {
+                continue;
+            };
             let mbr = Mbr3::spanning(
                 p.bbox,
                 (p.floor_lo, p.floor_hi),
@@ -86,13 +92,20 @@ mod tests {
         let mut b = FloorPlanBuilder::new(4.0);
         let rooms: Vec<PartitionId> = (0..5)
             .map(|i| {
-                b.add_room(0, Rect2::from_bounds(10.0 * i as f64, 0.0, 10.0 * (i + 1) as f64, 10.0))
-                    .unwrap()
+                b.add_room(
+                    0,
+                    Rect2::from_bounds(10.0 * i as f64, 0.0, 10.0 * (i + 1) as f64, 10.0),
+                )
+                .unwrap()
             })
             .collect();
         for i in 0..4 {
-            b.add_door_between(rooms[i], rooms[i + 1], Point2::new(10.0 * (i + 1) as f64, 5.0))
-                .unwrap();
+            b.add_door_between(
+                rooms[i],
+                rooms[i + 1],
+                Point2::new(10.0 * (i + 1) as f64, 5.0),
+            )
+            .unwrap();
         }
         let space = b.finish().unwrap();
         let mut store = ObjectStore::new();
@@ -149,9 +162,14 @@ mod tests {
         // q in a room whose only door is one-way INTO the room: expansion
         // cannot leave, so only co-located seeds are found.
         let mut b = FloorPlanBuilder::new(4.0);
-        let inner = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
-        let outer = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
-        b.add_one_way_door(outer, inner, Point2::new(10.0, 5.0)).unwrap();
+        let inner = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let outer = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        b.add_one_way_door(outer, inner, Point2::new(10.0, 5.0))
+            .unwrap();
         let space = b.finish().unwrap();
         let mut store = ObjectStore::new();
         store

@@ -4,8 +4,9 @@
 //! selectivity of distance-aware queries to drive query optimisation.
 //! This module provides a compact, maintainable estimator: a per-floor
 //! uniform grid of object-centre counts, probed with the *skeleton
-//! distance* (the same geometric lower bound the index filters with), so
-//! the estimate is consistent with what the filtering phase will retrieve.
+//! distance* (the geometric lower bound of Lemma 6) scaled by a 4/π
+//! rectilinear-detour factor that calibrates it towards the walking
+//! distance the query actually measures against.
 //!
 //! The estimator answers two questions:
 //!
@@ -15,13 +16,19 @@
 //!   captures `k` objects (a planning-time stand-in for `kbound`)?
 //!
 //! Estimates are intentionally cheap (no object access at query time) and
-//! are *approximations*: walking distance exceeds the skeleton bound, so
-//! grid counts over-estimate dense-wall regions; accuracy is validated
-//! statistically in the tests.
+//! are *approximations* of the **result** size, not of the filter's
+//! candidate count: the detour calibration means the estimate can fall
+//! either side of what the (uncalibrated) filtering phase retrieves.
+//! Accuracy is validated statistically in the tests.
 
 use idq_index::SkeletonTier;
 use idq_model::{Floor, IndoorPoint, IndoorSpace};
 use idq_objects::ObjectStore;
+
+/// Mean rectilinear detour over the skeleton lower bound (4/π): indoor
+/// walking paths are axis-aligned, so the straight-line skeleton distance
+/// under-estimates them by this factor on average.
+const DETOUR_FACTOR: f64 = 4.0 / std::f64::consts::PI;
 
 /// Per-floor grid histogram of object centres.
 #[derive(Clone, Debug)]
@@ -75,20 +82,13 @@ impl SelectivityEstimator {
         self.total
     }
 
-    /// Estimated number of objects `iRQ(q, r)` returns.
-    ///
-    /// Sums cell counts whose centre lies within the skeleton distance
-    /// `r` of `q` — the same lower-bound geometry the filtering phase
-    /// uses, so the estimate tracks the candidate count (a slight
-    /// over-estimate of the final result, as bounds and refinement only
-    /// remove objects).
-    pub fn estimate_range(&self, skeleton: &SkeletonTier, q: IndoorPoint, r: f64) -> f64 {
-        if r <= 0.0 {
-            return 0.0;
-        }
-        let mut acc = 0.0;
+    /// Calibrated distance and object count of every occupied cell, as
+    /// seen from `q`. The expensive part of an estimate (one skeleton
+    /// shortest-path probe per occupied cell) is independent of the query
+    /// radius, so callers that evaluate many radii compute this once.
+    fn cell_distances(&self, skeleton: &SkeletonTier, q: IndoorPoint) -> Vec<(f64, u32)> {
+        let mut cells = Vec::new();
         for (floor, grid) in self.counts.iter().enumerate() {
-            // Cheap floor-level prune: the best-case route to the floor.
             let floor = floor as Floor;
             for row in 0..self.rows {
                 for col in 0..self.cols {
@@ -100,26 +100,50 @@ impl SelectivityEstimator {
                         (col as f64 + 0.5) * self.cell,
                         (row as f64 + 0.5) * self.cell,
                     );
-                    let d = skeleton.skeleton_distance(q, IndoorPoint::new(centre, floor));
-                    // Count the cell fractionally at the rim: cells whose
-                    // centre is within r ± half-diagonal contribute
-                    // proportionally.
-                    let half_diag = self.cell * std::f64::consts::FRAC_1_SQRT_2;
-                    if d + half_diag <= r {
-                        acc += n as f64;
-                    } else if d - half_diag <= r {
-                        let frac = ((r - (d - half_diag)) / (2.0 * half_diag)).clamp(0.0, 1.0);
-                        acc += n as f64 * frac;
-                    }
+                    // Calibrate the skeleton lower bound towards walking
+                    // distance: indoor routes are rectilinear, and the mean
+                    // L1/L2 detour over uniformly random directions is 4/π.
+                    let d = DETOUR_FACTOR
+                        * skeleton.skeleton_distance(q, IndoorPoint::new(centre, floor));
+                    cells.push((d, n));
                 }
+            }
+        }
+        cells
+    }
+
+    /// Sums the cells within radius `r`, counting rim cells fractionally:
+    /// cells whose centre is within `r` ± half-diagonal contribute
+    /// proportionally.
+    fn sum_within(&self, cells: &[(f64, u32)], r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        let half_diag = self.cell * std::f64::consts::FRAC_1_SQRT_2;
+        let mut acc = 0.0;
+        for &(d, n) in cells {
+            if d + half_diag <= r {
+                acc += n as f64;
+            } else if d - half_diag <= r {
+                let frac = ((r - (d - half_diag)) / (2.0 * half_diag)).clamp(0.0, 1.0);
+                acc += n as f64 * frac;
             }
         }
         acc
     }
 
+    /// Estimated number of objects `iRQ(q, r)` returns: cell counts whose
+    /// detour-calibrated skeleton distance from `q` is within `r`.
+    pub fn estimate_range(&self, skeleton: &SkeletonTier, q: IndoorPoint, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        self.sum_within(&self.cell_distances(skeleton, q), r)
+    }
+
     /// Estimated radius capturing `k` objects from `q`: binary search over
-    /// [`SelectivityEstimator::estimate_range`]. Returns `None` when even
-    /// the whole building holds fewer than `k`.
+    /// the per-cell distances (computed once, not per probe). Returns
+    /// `None` when even the whole building holds fewer than `k`.
     pub fn estimate_knn_radius(
         &self,
         skeleton: &SkeletonTier,
@@ -129,16 +153,17 @@ impl SelectivityEstimator {
         if k == 0 || self.total < k {
             return None;
         }
+        let cells = self.cell_distances(skeleton, q);
         let mut lo = 0.0f64;
         // Upper limit: planar diagonal plus a generous vertical allowance.
         let mut hi = (self.width * self.width + self.depth * self.depth).sqrt()
             + 8.0 * self.counts.len() as f64 * self.cell;
-        if self.estimate_range(skeleton, q, hi) < k as f64 {
+        if self.sum_within(&cells, hi) < k as f64 {
             return None; // disconnected floors etc.
         }
         for _ in 0..40 {
             let mid = (lo + hi) / 2.0;
-            if self.estimate_range(skeleton, q, mid) >= k as f64 {
+            if self.sum_within(&cells, mid) >= k as f64 {
                 hi = mid;
             } else {
                 lo = mid;
@@ -171,7 +196,12 @@ mod tests {
         .unwrap();
         let store = generate_objects(
             &building,
-            &ObjectConfig { count: 600, radius: 8.0, instances: 4, seed: 5 },
+            &ObjectConfig {
+                count: 600,
+                radius: 8.0,
+                instances: 4,
+                seed: 5,
+            },
         )
         .unwrap();
         let index = CompositeIndex::build(&building.space, &store, IndexConfig::default()).unwrap();
@@ -229,10 +259,15 @@ mod tests {
         assert!(r > 0.0);
         // The estimated radius should retrieve at least a sizeable share
         // of k candidates through the real filter.
-        let got = index.range_search(&building.space, q, r, true).objects.len();
+        let got = index
+            .range_search(&building.space, q, r, true)
+            .objects
+            .len();
         assert!(got >= 10, "radius {r:.1} retrieved only {got}");
         // And k far beyond the population is rejected.
-        assert!(est.estimate_knn_radius(index.skeleton(), q, 10_000).is_none());
+        assert!(est
+            .estimate_knn_radius(index.skeleton(), q, 10_000)
+            .is_none());
     }
 
     #[test]
@@ -243,6 +278,8 @@ mod tests {
         let empty = ObjectStore::new();
         let est = SelectivityEstimator::build(&building.space, &empty, 40.0);
         assert_eq!(est.total(), 0);
-        assert!(est.estimate_knn_radius(index.skeleton(), queries[0], 1).is_none());
+        assert!(est
+            .estimate_knn_radius(index.skeleton(), queries[0], 1)
+            .is_none());
     }
 }

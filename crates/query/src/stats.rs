@@ -118,8 +118,16 @@ mod tests {
 
     #[test]
     fn accumulate_and_scale() {
-        let mut a = QueryStats { filtering_ms: 1.0, refined: 4, ..Default::default() };
-        let b = QueryStats { filtering_ms: 3.0, refined: 2, ..Default::default() };
+        let mut a = QueryStats {
+            filtering_ms: 1.0,
+            refined: 4,
+            ..Default::default()
+        };
+        let b = QueryStats {
+            filtering_ms: 3.0,
+            refined: 2,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.filtering_ms, 4.0);
         assert_eq!(a.refined, 6);

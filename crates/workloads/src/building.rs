@@ -21,9 +21,7 @@
 //! x-axis.
 
 use idq_geom::{Point2, Rect2};
-use idq_model::{
-    DoorId, Floor, FloorPlanBuilder, IndoorSpace, ModelError, PartitionId,
-};
+use idq_model::{DoorId, Floor, FloorPlanBuilder, IndoorSpace, ModelError, PartitionId};
 
 /// Parameters of the synthetic building.
 #[derive(Clone, Debug)]
@@ -65,7 +63,10 @@ impl Default for BuildingConfig {
 impl BuildingConfig {
     /// A building with the given floor count and paper defaults otherwise.
     pub fn with_floors(floors: Floor) -> Self {
-        BuildingConfig { floors, ..Self::default() }
+        BuildingConfig {
+            floors,
+            ..Self::default()
+        }
     }
 
     /// Rooms per floor implied by the configuration.
@@ -171,8 +172,7 @@ pub fn generate_building(config: &BuildingConfig) -> Result<GeneratedBuilding, M
             let y0 = iy0 + band as f64 * band_h;
             let cy0 = y0 + room_d; // corridor bottom
             let cy1 = cy0 + cw; // corridor top
-            let corridor =
-                b.add_room_kind(f, Rect2::from_bounds(ix0, cy0, ix1, cy1))?;
+            let corridor = b.add_room_kind(f, Rect2::from_bounds(ix0, cy0, ix1, cy1))?;
             corridors.push(corridor);
             // Corridor ends open onto the west/east ring strips.
             b.add_door_between(corridor, west, Point2::new(ix0, (cy0 + cy1) / 2.0))?;
@@ -330,7 +330,11 @@ mod tests {
     fn scales_with_floor_count() {
         let g10 = generate_building(&BuildingConfig::with_floors(1)).unwrap();
         assert_eq!(g10.partition_count(), 109 + 4);
-        let cfg = BuildingConfig { bands: 2, rooms_per_side: 3, ..BuildingConfig::with_floors(1) };
+        let cfg = BuildingConfig {
+            bands: 2,
+            rooms_per_side: 3,
+            ..BuildingConfig::with_floors(1)
+        };
         let tiny = generate_building(&cfg).unwrap();
         assert_eq!(tiny.rooms_by_floor[0].len(), 12);
         assert_eq!(tiny.space.connected_components(), 1);

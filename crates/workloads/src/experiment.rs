@@ -13,7 +13,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts timing.
     pub fn start() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.

@@ -149,7 +149,12 @@ mod tests {
     #[test]
     fn generates_requested_population() {
         let g = tiny_building();
-        let cfg = ObjectConfig { count: 50, radius: 5.0, instances: 20, seed: 1 };
+        let cfg = ObjectConfig {
+            count: 50,
+            radius: 5.0,
+            instances: 20,
+            seed: 1,
+        };
         let store = generate_objects(&g, &cfg).unwrap();
         assert_eq!(store.len(), 50);
         for o in store.iter() {
@@ -166,7 +171,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = tiny_building();
-        let cfg = ObjectConfig { count: 10, radius: 5.0, instances: 5, seed: 42 };
+        let cfg = ObjectConfig {
+            count: 10,
+            radius: 5.0,
+            instances: 5,
+            seed: 42,
+        };
         let a = generate_objects(&g, &cfg).unwrap();
         let b = generate_objects(&g, &cfg).unwrap();
         for id in a.ids_sorted() {
@@ -187,7 +197,12 @@ mod tests {
     #[test]
     fn objects_spread_across_floors() {
         let g = tiny_building();
-        let cfg = ObjectConfig { count: 200, radius: 5.0, instances: 2, seed: 7 };
+        let cfg = ObjectConfig {
+            count: 200,
+            radius: 5.0,
+            instances: 2,
+            seed: 7,
+        };
         let store = generate_objects(&g, &cfg).unwrap();
         let on_floor0 = store.iter().filter(|o| o.floor == 0).count();
         assert!(on_floor0 > 0 && on_floor0 < 200, "both floors populated");

@@ -17,7 +17,10 @@ pub struct QueryPointConfig {
 
 impl Default for QueryPointConfig {
     fn default() -> Self {
-        QueryPointConfig { count: 50, seed: 0x9E71 }
+        QueryPointConfig {
+            count: 50,
+            seed: 0x9E71,
+        }
     }
 }
 

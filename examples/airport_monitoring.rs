@@ -52,10 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Passengers: some landside, some airside near the gates.
     let mut passengers = Vec::new();
     for (i, (x, y)) in [
-        (10.0, 30.0), // landside hall
-        (45.0, 10.0), // shops
-        (70.0, 30.0), // airside, just past security
-        (80.0, 10.0), // gate A
+        (10.0, 30.0),  // landside hall
+        (45.0, 10.0),  // shops
+        (70.0, 30.0),  // airside, just past security
+        (80.0, 10.0),  // gate A
         (100.0, 10.0), // gate B
         (110.0, 30.0), // airside, far end
     ]

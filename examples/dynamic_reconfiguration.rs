@@ -42,15 +42,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // door): the hall becomes two rooms and the east attendee must now be
     // reached through the lobby via d41 and d42.
     let halves = engine.split_partition(hall, SplitLine::AtX(50.0), None)?;
-    println!("\nsliding wall mounted: room 21 → {} + {}", halves[0], halves[1]);
+    println!(
+        "\nsliding wall mounted: room 21 → {} + {}",
+        halves[0], halves[1]
+    );
 
     let meeting = engine.knn(usher, 2)?;
     println!("meeting style — usher's nearest attendees:");
     for h in &meeting.results {
         println!("  {} at {:.1} m", h.object, h.distance);
     }
-    let d_banquet = banquet.results.iter().find(|h| h.object == east_attendee).unwrap().distance;
-    let d_meeting = meeting.results.iter().find(|h| h.object == east_attendee).unwrap().distance;
+    let d_banquet = banquet
+        .results
+        .iter()
+        .find(|h| h.object == east_attendee)
+        .unwrap()
+        .distance;
+    let d_meeting = meeting
+        .results
+        .iter()
+        .find(|h| h.object == east_attendee)
+        .unwrap()
+        .distance;
     println!(
         "\neast attendee: {:.1} m (banquet) → {:.1} m (meeting): rerouted via d41+d42",
         d_banquet, d_meeting

@@ -32,13 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 100 Gaussian instances each — §V-A).
     let shoppers = generate_objects(
         &building,
-        &ObjectConfig { count: 2000, radius: 10.0, instances: 100, seed: 2024 },
+        &ObjectConfig {
+            count: 2000,
+            radius: 10.0,
+            instances: 100,
+            seed: 2024,
+        },
     )?;
-    let mut engine = IndoorEngine::with_objects(
-        building.space.clone(),
-        shoppers,
-        EngineConfig::default(),
-    )?;
+    let mut engine =
+        IndoorEngine::with_objects(building.space.clone(), shoppers, EngineConfig::default())?;
 
     // The café sits on floor 2 beside the western ring corridor.
     let cafe = IndoorPoint::new(Point2::new(15.0, 300.0), 2);
@@ -52,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for &id in ids.iter().skip(minute * 37).step_by(101).take(60) {
             let floor = rng.random_range(0..engine.space().num_floors() as u16);
             let dest = Point2::new(rng.random_range(15.0..585.0), rng.random_range(15.0..585.0));
-            if engine.space().partition_at(IndoorPoint::new(dest, floor)).is_some() {
+            if engine
+                .space()
+                .partition_at(IndoorPoint::new(dest, floor))
+                .is_some()
+            {
                 engine.move_object(id, dest, floor, minute as u64)?;
             }
         }

@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {}  expected indoor distance ≈ {:.2} m{}",
             hit.object,
             hit.distance,
-            if hit.certified_by_bound { "  (certified by bound)" } else { "" }
+            if hit.certified_by_bound {
+                "  (certified by bound)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -66,7 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Point-to-point shortest paths with their door sequence.
     let p = IndoorPoint::new(Point2::new(25.0, 12.0), 0); // inside the lab
     if let Some((len, doors)) = engine.shortest_path(q, p)? {
-        println!("\nshortest path q → lab: {:.2} m through {} door(s): {:?}", len, doors.len(), doors);
+        println!(
+            "\nshortest path q → lab: {:.2} m through {} door(s): {:?}",
+            len,
+            doors.len(),
+            doors
+        );
     }
 
     // 5. The evaluation pipeline reports its four phases (the paper's

@@ -59,11 +59,10 @@ pub use idq_workloads as workloads;
 /// Convenience re-exports of the types most applications need.
 pub mod prelude {
     pub use idq_core::{EngineConfig, IndoorEngine};
-    pub use idq_distance::IndoorPoint;
     pub use idq_geom::{Circle, Point2, Point3, Rect2};
     pub use idq_index::CompositeIndex;
     pub use idq_model::{
-        Direction, DoorId, FloorPlanBuilder, IndoorSpace, PartitionId, PartitionKind,
+        Direction, DoorId, FloorPlanBuilder, IndoorPoint, IndoorSpace, PartitionId, PartitionKind,
     };
     pub use idq_objects::{ObjectId, UncertainObject};
     pub use idq_query::{KnnResult, QueryStats, RangeResult};

@@ -51,7 +51,12 @@ fn random_object_churn_preserves_equivalence() {
     .unwrap();
     let mut store = generate_objects(
         &building,
-        &ObjectConfig { count: 120, radius: 8.0, instances: 8, seed: 5 },
+        &ObjectConfig {
+            count: 120,
+            radius: 8.0,
+            instances: 8,
+            seed: 5,
+        },
     )
     .unwrap();
     let mut index = CompositeIndex::build(&building.space, &store, IndexConfig::default()).unwrap();
@@ -79,7 +84,9 @@ fn random_object_churn_preserves_equivalence() {
             let replacement = sample_one(&building, id, 8.0, 8, &mut rng).unwrap();
             store.remove(id).unwrap();
             store.insert(replacement).unwrap();
-            index.update_object(&building.space, store.get(id).unwrap()).unwrap();
+            index
+                .update_object(&building.space, store.get(id).unwrap())
+                .unwrap();
         }
         if round % 2 == 1 {
             agree_with_rebuild(&building.space, &store, &index, &queries);
@@ -99,7 +106,12 @@ fn topology_churn_preserves_equivalence() {
     let mut space = building.space.clone();
     let store = generate_objects(
         &building,
-        &ObjectConfig { count: 80, radius: 6.0, instances: 6, seed: 21 },
+        &ObjectConfig {
+            count: 80,
+            radius: 6.0,
+            instances: 6,
+            seed: 21,
+        },
     )
     .unwrap();
     let mut index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
@@ -155,18 +167,23 @@ fn engine_keeps_knn_consistent_after_everything() {
     .unwrap();
     let store = generate_objects(
         &building,
-        &ObjectConfig { count: 60, radius: 6.0, instances: 6, seed: 3 },
+        &ObjectConfig {
+            count: 60,
+            radius: 6.0,
+            instances: 6,
+            seed: 3,
+        },
     )
     .unwrap();
-    let mut engine = IndoorEngine::with_objects(
-        building.space.clone(),
-        store,
-        EngineConfig::default(),
-    )
-    .unwrap();
+    let mut engine =
+        IndoorEngine::with_objects(building.space.clone(), store, EngineConfig::default()).unwrap();
     // A burst of engine-level operations.
-    let new_id = engine.insert_object_at(Point2::new(300.0, 300.0), 1, 6.0, 6, 9).unwrap();
-    engine.move_object(new_id, Point2::new(100.0, 100.0), 0, 10).unwrap();
+    let new_id = engine
+        .insert_object_at(Point2::new(300.0, 300.0), 1, 6.0, 6, 9)
+        .unwrap();
+    engine
+        .move_object(new_id, Point2::new(100.0, 100.0), 0, 10)
+        .unwrap();
     let some_door = engine.space().doors().nth(5).unwrap().id;
     engine.close_door(some_door).unwrap();
     engine.open_door(some_door).unwrap();

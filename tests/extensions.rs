@@ -29,7 +29,12 @@ fn world() -> (
     .unwrap();
     let store = generate_objects(
         &building,
-        &ObjectConfig { count: 400, radius: 8.0, instances: 8, seed: 17 },
+        &ObjectConfig {
+            count: 400,
+            radius: 8.0,
+            instances: 8,
+            seed: 17,
+        },
     )
     .unwrap();
     let index = CompositeIndex::build(&building.space, &store, IndexConfig::default()).unwrap();
@@ -92,7 +97,8 @@ fn monitor_tracks_random_churn_exactly() {
             index.insert_object(&building.space, &obj).unwrap();
             let id = obj.id;
             store.insert(obj).unwrap();
-            mon.on_object_update(&building.space, &index, &store, id).unwrap();
+            mon.on_object_update(&building.space, &index, &store, id)
+                .unwrap();
         }
         // Move a few existing ones.
         let ids = store.ids_sorted();
@@ -100,8 +106,11 @@ fn monitor_tracks_random_churn_exactly() {
             let replacement = sample_one(&building, id, 8.0, 8, &mut rng).unwrap();
             store.remove(id).unwrap();
             store.insert(replacement).unwrap();
-            index.update_object(&building.space, store.get(id).unwrap()).unwrap();
-            mon.on_object_update(&building.space, &index, &store, id).unwrap();
+            index
+                .update_object(&building.space, store.get(id).unwrap())
+                .unwrap();
+            mon.on_object_update(&building.space, &index, &store, id)
+                .unwrap();
         }
         // Remove a few.
         for &id in ids.iter().step_by(31).take(4) {
@@ -164,9 +173,13 @@ fn monitor_change_values_are_reported() {
         let id = obj.id;
         index.insert_object(&building.space, &obj).unwrap();
         store.insert(obj).unwrap();
-        let c = mon.on_object_update(&building.space, &index, &store, id).unwrap();
+        let c = mon
+            .on_object_update(&building.space, &index, &store, id)
+            .unwrap();
         assert_eq!(c, MonitorChange::Entered);
-        let c = mon.on_object_update(&building.space, &index, &store, id).unwrap();
+        let c = mon
+            .on_object_update(&building.space, &index, &store, id)
+            .unwrap();
         assert_eq!(c, MonitorChange::Unchanged);
     }
 }

@@ -6,8 +6,8 @@
 //! Geometry is schematic (the paper prints no coordinates); topology is
 //! the part the tests pin down.
 
-use indoor_dq::prelude::*;
 use indoor_dq::model::SplitLine;
+use indoor_dq::prelude::*;
 
 /// Builds the relevant fragment of Figure 1:
 ///
@@ -40,18 +40,46 @@ struct Fig1 {
 
 fn build() -> Fig1 {
     let mut b = FloorPlanBuilder::new(4.0);
-    let hall11 = b.add_named_room("hall 11", 0, Rect2::from_bounds(0.0, 10.0, 20.0, 20.0)).unwrap();
-    let room12 = b.add_named_room("room 12", 0, Rect2::from_bounds(20.0, 10.0, 40.0, 20.0)).unwrap();
-    let room21 = b.add_named_room("room 21", 0, Rect2::from_bounds(40.0, 10.0, 80.0, 20.0)).unwrap();
-    let hall13 = b.add_named_room("hall 13", 0, Rect2::from_bounds(0.0, 0.0, 80.0, 10.0)).unwrap();
-    let d13 = b.add_door_between(hall13, hall11, Point2::new(10.0, 10.0)).unwrap();
-    let d15 = b.add_door_between(hall11, room12, Point2::new(20.0, 15.0)).unwrap();
+    let hall11 = b
+        .add_named_room("hall 11", 0, Rect2::from_bounds(0.0, 10.0, 20.0, 20.0))
+        .unwrap();
+    let room12 = b
+        .add_named_room("room 12", 0, Rect2::from_bounds(20.0, 10.0, 40.0, 20.0))
+        .unwrap();
+    let room21 = b
+        .add_named_room("room 21", 0, Rect2::from_bounds(40.0, 10.0, 80.0, 20.0))
+        .unwrap();
+    let hall13 = b
+        .add_named_room("hall 13", 0, Rect2::from_bounds(0.0, 0.0, 80.0, 10.0))
+        .unwrap();
+    let d13 = b
+        .add_door_between(hall13, hall11, Point2::new(10.0, 10.0))
+        .unwrap();
+    let d15 = b
+        .add_door_between(hall11, room12, Point2::new(20.0, 15.0))
+        .unwrap();
     // One-way: out of room 12 into hall 13 only.
-    let d12 = b.add_one_way_door(room12, hall13, Point2::new(30.0, 10.0)).unwrap();
-    let d41 = b.add_door_between(room21, hall13, Point2::new(45.0, 10.0)).unwrap();
-    let d42 = b.add_door_between(room21, hall13, Point2::new(75.0, 10.0)).unwrap();
+    let d12 = b
+        .add_one_way_door(room12, hall13, Point2::new(30.0, 10.0))
+        .unwrap();
+    let d41 = b
+        .add_door_between(room21, hall13, Point2::new(45.0, 10.0))
+        .unwrap();
+    let d42 = b
+        .add_door_between(room21, hall13, Point2::new(75.0, 10.0))
+        .unwrap();
     let engine = IndoorEngine::new(b.finish().unwrap(), EngineConfig::default()).unwrap();
-    Fig1 { engine, hall13, room12, room21, d13, d15, d12, d41, d42 }
+    Fig1 {
+        engine,
+        hall13,
+        room12,
+        room21,
+        d13,
+        d15,
+        d12,
+        d41,
+        d42,
+    }
 }
 
 fn q() -> indoor_dq::model::IndoorPoint {
@@ -65,7 +93,11 @@ fn p() -> indoor_dq::model::IndoorPoint {
 #[test]
 fn q_to_p_goes_through_d13_then_d15() {
     let f = build();
-    let (len, doors) = f.engine.shortest_path(q(), p()).unwrap().expect("p reachable");
+    let (len, doors) = f
+        .engine
+        .shortest_path(q(), p())
+        .unwrap()
+        .expect("p reachable");
     assert_eq!(doors, vec![f.d13, f.d15], "the paper's q ⇝(d13,d15) p path");
     assert!(len > 0.0);
     // Euclidean distance is meaningless through the wall: the indoor
@@ -87,7 +119,11 @@ fn room12_cannot_be_entered_through_d12() {
     assert_eq!(out_doors, vec![f.d12], "exit uses the one-way shortcut");
     // The reverse trip must avoid d12 and go around through d13, d15.
     let (_, in_doors) = f.engine.shortest_path(below, inside).unwrap().unwrap();
-    assert_eq!(in_doors, vec![f.d13, f.d15], "entry detours around the one-way door");
+    assert_eq!(
+        in_doors,
+        vec![f.d13, f.d15],
+        "entry detours around the one-way door"
+    );
 }
 
 #[test]
@@ -113,9 +149,15 @@ fn sliding_wall_forces_s_t_reroute() {
 
     // Mount the sliding wall (meeting style): split at x = 60, no
     // connecting door. s must now leave via d41 and re-enter via d42.
-    let halves = f.engine.split_partition(f.room21, SplitLine::AtX(60.0), None).unwrap();
+    let halves = f
+        .engine
+        .split_partition(f.room21, SplitLine::AtX(60.0), None)
+        .unwrap();
     let after = f.engine.indoor_distance(s, t).unwrap();
-    assert!(after > before, "recalculated via d41 and d42: {after} vs {before}");
+    assert!(
+        after > before,
+        "recalculated via d41 and d42: {after} vs {before}"
+    );
     let (_, doors) = f.engine.shortest_path(s, t).unwrap().unwrap();
     assert_eq!(doors, vec![f.d41, f.d42], "the paper's d41/d42 reroute");
 
@@ -140,6 +182,9 @@ fn queries_respect_the_one_way_topology() {
     assert_eq!(knn.results[0].object, o);
     let detour = knn.results[0].distance;
     // The detour is far longer than the straight-line ~10 m.
-    assert!(detour > 25.0, "one-way door must not shorten the query distance: {detour}");
+    assert!(
+        detour > 25.0,
+        "one-way door must not shorten the query distance: {detour}"
+    );
     let _ = f.hall13;
 }

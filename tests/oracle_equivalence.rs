@@ -7,13 +7,13 @@
 //! pruning bounds and the refinement fallbacks together, across seeds,
 //! query types, radii, k values and ablations.
 
+use indoor_dq::index::{CompositeIndex, IndexConfig};
+use indoor_dq::objects::ObjectId;
 use indoor_dq::query::{knn_query, naive_knn, naive_range, range_query, QueryOptions};
 use indoor_dq::workloads::{
     generate_building, generate_objects, generate_query_points, BuildingConfig, ObjectConfig,
     QueryPointConfig,
 };
-use indoor_dq::index::{CompositeIndex, IndexConfig};
-use indoor_dq::objects::ObjectId;
 
 struct World {
     building: indoor_dq::workloads::GeneratedBuilding,
@@ -32,12 +32,28 @@ fn world(seed: u64) -> World {
     .unwrap();
     let store = generate_objects(
         &building,
-        &ObjectConfig { count: 250, radius: 10.0, instances: 12, seed },
+        &ObjectConfig {
+            count: 250,
+            radius: 10.0,
+            instances: 12,
+            seed,
+        },
     )
     .unwrap();
     let index = CompositeIndex::build(&building.space, &store, IndexConfig::default()).unwrap();
-    let queries = generate_query_points(&building, &QueryPointConfig { count: 6, seed: seed ^ 0xAB });
-    World { building, store, index, queries }
+    let queries = generate_query_points(
+        &building,
+        &QueryPointConfig {
+            count: 6,
+            seed: seed ^ 0xAB,
+        },
+    );
+    World {
+        building,
+        store,
+        index,
+        queries,
+    }
 }
 
 #[test]
@@ -47,8 +63,7 @@ fn irq_matches_oracle_across_seeds_and_radii() {
         let opts = QueryOptions::for_max_radius(10.0);
         for &q in &w.queries {
             for r in [50.0, 100.0, 150.0] {
-                let fast =
-                    range_query(&w.building.space, &w.index, &w.store, q, r, &opts).unwrap();
+                let fast = range_query(&w.building.space, &w.index, &w.store, q, r, &opts).unwrap();
                 let slow =
                     naive_range(&w.building.space, w.index.doors_graph(), &w.store, q, r).unwrap();
                 let fast_ids: Vec<ObjectId> = fast.results.iter().map(|h| h.object).collect();

@@ -3,11 +3,11 @@
 //! index's per-update costs (the paper's maintenance argument, §V-B.4).
 
 use indoor_dq::distance::indoor_distance;
+use indoor_dq::model::DoorsGraph;
 use indoor_dq::query::PrecomputedD2D;
 use indoor_dq::workloads::{
     generate_building, generate_query_points, BuildingConfig, QueryPointConfig,
 };
-use indoor_dq::model::DoorsGraph;
 
 #[test]
 fn matrix_agrees_with_online_distances_on_the_mall() {

@@ -1,0 +1,295 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest the `tests/properties.rs` suite uses:
+//! the [`proptest!`] macro over functions with `pattern in strategy`
+//! arguments, range / tuple / `any::<T>()` / `collection::vec` strategies,
+//! `ProptestConfig::with_cases`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are drawn from a **deterministic** RNG (fixed seed), so runs are
+//!   reproducible in CI without a persistence file;
+//! * there is **no shrinking** — a failing case panics with the plain
+//!   assertion message and the drawn values are recoverable from the seed.
+
+pub use ::rand;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SampleRange};
+
+pub mod test_runner {
+    //! Runner configuration (API parity with `proptest::test_runner`).
+
+    /// How many random cases each `proptest!` test executes.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the tier-1 suite fast.
+            Config { cases: 64 }
+        }
+    }
+
+    /// The name the prelude exports.
+    pub type ProptestConfig = Config;
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::*;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+        )*};
+    }
+    impl_strategy_range!(f64, u8, u16, u32, u64, usize);
+
+    /// Strategy of [`any`]: the type's whole-domain distribution.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Types with a default whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.random()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // Finite values only — the property bodies do arithmetic.
+            rng.random_range(-1.0e9..1.0e9)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($s:ident),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_strategy_tuple!(
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
+
+    /// Sizes accepted by [`collection::vec`]: a fixed length or a range.
+    pub struct SizeRange(pub Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            // Real proptest rejects empty size ranges; surfacing the
+            // authoring bug beats silently picking a length.
+            assert!(
+                !self.size.is_empty(),
+                "collection::vec: empty size range {:?}",
+                self.size
+            );
+            let n = if self.size.len() == 1 {
+                self.size.start
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s with `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into().0,
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` random inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            <$crate::test_runner::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __pt_rng =
+                <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    0x9D0F_F00D_u64 ^ (stringify!($name).len() as u64),
+                );
+            for __pt_case in 0..cfg.cases {
+                let ($($arg,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut __pt_rng),)+
+                );
+                let _ = __pt_case;
+                $body
+            }
+        }
+    )*};
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples(
+            x in 1.0f64..2.0,
+            flags in collection::vec(any::<bool>(), 3),
+            pair in (0u16..4, 10.0f64..20.0),
+            sized in collection::vec(0usize..5, 2..6),
+        ) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert_eq!(flags.len(), 3);
+            prop_assert!(pair.0 < 4 && (10.0..20.0).contains(&pair.1));
+            prop_assert!((2..6).contains(&sized.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(b in 0u8..3) {
+            prop_assert!(b < 3);
+        }
+    }
+}
