@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idq_bench::build_world;
-use idq_query::range_query;
+use idq_query::Query;
 
 fn bench_irq(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12_irq");
@@ -14,12 +14,10 @@ fn bench_irq(c: &mut Criterion) {
     for objects in [1_000usize, 2_000, 3_000] {
         let world = build_world(4, objects, 10.0, 5, 7);
         g.bench_with_input(BenchmarkId::new("objects", objects), &world, |b, w| {
+            let snapshot = w.snapshot(&w.options);
             b.iter(|| {
                 for &q in &w.queries {
-                    std::hint::black_box(
-                        range_query(&w.building.space, &w.index, &w.store, q, 100.0, &w.options)
-                            .unwrap(),
-                    );
+                    std::hint::black_box(snapshot.execute(&Query::Range { q, r: 100.0 }).unwrap());
                 }
             })
         });
@@ -29,12 +27,10 @@ fn bench_irq(c: &mut Criterion) {
     for radius in [5.0f64, 10.0, 15.0] {
         let world = build_world(4, 2_000, radius, 5, 7);
         g.bench_with_input(BenchmarkId::new("radius", radius as u64), &world, |b, w| {
+            let snapshot = w.snapshot(&w.options);
             b.iter(|| {
                 for &q in &w.queries {
-                    std::hint::black_box(
-                        range_query(&w.building.space, &w.index, &w.store, q, 100.0, &w.options)
-                            .unwrap(),
-                    );
+                    std::hint::black_box(snapshot.execute(&Query::Range { q, r: 100.0 }).unwrap());
                 }
             })
         });
@@ -44,12 +40,10 @@ fn bench_irq(c: &mut Criterion) {
     for floors in [2u16, 4, 6] {
         let world = build_world(floors, 2_000, 10.0, 5, 7);
         g.bench_with_input(BenchmarkId::new("floors", floors), &world, |b, w| {
+            let snapshot = w.snapshot(&w.options);
             b.iter(|| {
                 for &q in &w.queries {
-                    std::hint::black_box(
-                        range_query(&w.building.space, &w.index, &w.store, q, 100.0, &w.options)
-                            .unwrap(),
-                    );
+                    std::hint::black_box(snapshot.execute(&Query::Range { q, r: 100.0 }).unwrap());
                 }
             })
         });

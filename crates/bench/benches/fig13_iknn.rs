@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idq_bench::build_world;
-use idq_query::knn_query;
+use idq_query::Query;
 
 fn bench_iknn(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig13_iknn");
@@ -12,12 +12,10 @@ fn bench_iknn(c: &mut Criterion) {
     for objects in [1_000usize, 2_000, 3_000] {
         let world = build_world(4, objects, 10.0, 5, 7);
         g.bench_with_input(BenchmarkId::new("objects", objects), &world, |b, w| {
+            let snapshot = w.snapshot(&w.options);
             b.iter(|| {
                 for &q in &w.queries {
-                    std::hint::black_box(
-                        knn_query(&w.building.space, &w.index, &w.store, q, 25, &w.options)
-                            .unwrap(),
-                    );
+                    std::hint::black_box(snapshot.execute(&Query::Knn { q, k: 25 }).unwrap());
                 }
             })
         });
@@ -26,11 +24,10 @@ fn bench_iknn(c: &mut Criterion) {
     for k in [10usize, 25, 50] {
         let world = build_world(4, 2_000, 10.0, 5, 7);
         g.bench_with_input(BenchmarkId::new("k", k), &world, |b, w| {
+            let snapshot = w.snapshot(&w.options);
             b.iter(|| {
                 for &q in &w.queries {
-                    std::hint::black_box(
-                        knn_query(&w.building.space, &w.index, &w.store, q, k, &w.options).unwrap(),
-                    );
+                    std::hint::black_box(snapshot.execute(&Query::Knn { q, k }).unwrap());
                 }
             })
         });
@@ -39,12 +36,10 @@ fn bench_iknn(c: &mut Criterion) {
     for floors in [2u16, 4, 6] {
         let world = build_world(floors, 2_000, 10.0, 5, 7);
         g.bench_with_input(BenchmarkId::new("floors", floors), &world, |b, w| {
+            let snapshot = w.snapshot(&w.options);
             b.iter(|| {
                 for &q in &w.queries {
-                    std::hint::black_box(
-                        knn_query(&w.building.space, &w.index, &w.store, q, 25, &w.options)
-                            .unwrap(),
-                    );
+                    std::hint::black_box(snapshot.execute(&Query::Knn { q, k: 25 }).unwrap());
                 }
             })
         });

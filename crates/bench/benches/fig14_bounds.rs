@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idq_bench::build_world;
-use idq_query::{knn_query, range_query};
+use idq_query::Query;
 
 fn bench_pruning_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig14_bounds");
@@ -17,29 +17,18 @@ fn bench_pruning_ablation(c: &mut Criterion) {
             world.options.without_pruning()
         };
         g.bench_with_input(BenchmarkId::new("irq", name), &opts, |b, o| {
+            let snapshot = world.snapshot(o);
             b.iter(|| {
                 for &q in &world.queries {
-                    std::hint::black_box(
-                        range_query(
-                            &world.building.space,
-                            &world.index,
-                            &world.store,
-                            q,
-                            100.0,
-                            o,
-                        )
-                        .unwrap(),
-                    );
+                    std::hint::black_box(snapshot.execute(&Query::Range { q, r: 100.0 }).unwrap());
                 }
             })
         });
         g.bench_with_input(BenchmarkId::new("iknn", name), &opts, |b, o| {
+            let snapshot = world.snapshot(o);
             b.iter(|| {
                 for &q in &world.queries {
-                    std::hint::black_box(
-                        knn_query(&world.building.space, &world.index, &world.store, q, 25, o)
-                            .unwrap(),
-                    );
+                    std::hint::black_box(snapshot.execute(&Query::Knn { q, k: 25 }).unwrap());
                 }
             })
         });

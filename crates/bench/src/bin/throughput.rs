@@ -1,0 +1,108 @@
+//! Throughput — single-issue vs batched query execution.
+//!
+//! Measures queries/second on the default workload (§V-A parameters,
+//! `IDQ_SCALE`-scaled) for the same query set issued two ways:
+//!
+//! * **single** — every query through `EngineSnapshot::execute`, each
+//!   paying for its own subgraph Dijkstra and subregion decompositions;
+//! * **batched** — per query point, one `EngineSnapshot::execute_batch`
+//!   call, sharing one restricted Dijkstra and one subregion cache across
+//!   the group (the §VII computation-reuse path).
+//!
+//! The workload is `BATCH` range queries per query point with the paper's
+//! radius sweep cycled through, i.e. the "related queries arrive in a
+//! short period" scenario the batch path is designed for. Emits a
+//! `BENCH_throughput.json` line (and prints it) so successive runs form a
+//! trajectory.
+
+use idq_bench::{build_world, run_batch, scale_from_env, scaled_floors, scaled_objects};
+use idq_query::QueryStats;
+use idq_workloads::{generate_range_batches, PaperDefaults};
+use std::time::Instant;
+
+/// Range queries per query point (one batch group).
+const BATCH: usize = 8;
+
+fn main() {
+    let scale = scale_from_env();
+    let d = PaperDefaults::default();
+    eprintln!("throughput: IDQ_SCALE={scale}");
+
+    let floors = scaled_floors(d.floors, scale);
+    let objects = scaled_objects(d.objects, scale);
+    let world = build_world(floors, objects, d.radius, d.queries, 42);
+    let options = world.options;
+
+    // BATCH radius-swept range queries per workload point, all sharing it.
+    let groups = generate_range_batches(&world.queries, &PaperDefaults::RANGE_SWEEP, BATCH);
+    let total_queries: usize = groups.iter().map(Vec::len).sum();
+
+    // Warm-up: touch every code path once so lazy costs don't skew side A.
+    let (_, _) = run_batch(&world, &groups[0], &options);
+
+    // Single-issue: every query through execute().
+    let snapshot = world.snapshot(&options);
+    let mut single_stats = QueryStats::default();
+    let t = Instant::now();
+    for group in &groups {
+        for query in group {
+            let out = snapshot.execute(query).expect("query succeeds");
+            single_stats.accumulate(out.stats());
+        }
+    }
+    let single_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Batched: one execute_batch() per query point.
+    let mut batched_stats = QueryStats::default();
+    let t = Instant::now();
+    for group in &groups {
+        let (_, outcomes) = run_batch(&world, group, &options);
+        for out in &outcomes {
+            batched_stats.accumulate(out.stats());
+        }
+    }
+    let batched_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let single_qps = total_queries as f64 / (single_ms / 1e3);
+    let batched_qps = total_queries as f64 / (batched_ms / 1e3);
+    let speedup = batched_qps / single_qps;
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"throughput\",\"scale\":{},\"floors\":{},\"objects\":{},",
+            "\"query_points\":{},\"batch_size\":{},\"queries\":{},",
+            "\"single_ms\":{:.3},\"batched_ms\":{:.3},",
+            "\"single_qps\":{:.1},\"batched_qps\":{:.1},\"speedup\":{:.3},",
+            "\"dijkstras_single\":{},\"dijkstras_batched\":{},",
+            "\"subregion_hits_batched\":{}}}"
+        ),
+        scale,
+        floors,
+        objects,
+        world.queries.len(),
+        BATCH,
+        total_queries,
+        single_ms,
+        batched_ms,
+        single_qps,
+        batched_qps,
+        speedup,
+        single_stats.dijkstras_run,
+        batched_stats.dijkstras_run,
+        batched_stats.subregion_cache_hits,
+    );
+    println!("{json}");
+    let appended = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open("BENCH_throughput.json")
+        .and_then(|mut f| std::io::Write::write_all(&mut f, format!("{json}\n").as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("throughput: could not append to BENCH_throughput.json: {e}");
+    }
+    eprintln!(
+        "throughput: batched is {speedup:.2}x single-issue \
+         ({} vs {} Dijkstras for {} queries)",
+        batched_stats.dijkstras_run, single_stats.dijkstras_run, total_queries
+    );
+}

@@ -7,10 +7,11 @@
 //! fig12` gives a fast smoke run while the default regenerates the paper's
 //! exact parameter grid.
 
+use idq_core::EngineSnapshot;
 use idq_index::{CompositeIndex, IndexConfig};
 use idq_model::IndoorPoint;
 use idq_objects::ObjectStore;
-use idq_query::{knn_query, range_query, QueryOptions, QueryStats};
+use idq_query::{Outcome, Query, QueryOptions, QueryStats};
 use idq_workloads::{
     generate_building, generate_objects, generate_query_points, BuildingConfig, GeneratedBuilding,
     ObjectConfig, PaperDefaults, QueryPointConfig,
@@ -98,46 +99,50 @@ pub fn build_world(
     }
 }
 
-/// Average iRQ wall time (ms) and averaged stats over the query workload.
-pub fn mean_irq(world: &World, r: f64, options: &QueryOptions) -> (f64, QueryStats) {
+impl World {
+    /// A consistent read view over the world with the given options (the
+    /// snapshot API benchmark harnesses execute queries through).
+    pub fn snapshot<'a>(&'a self, options: &QueryOptions) -> EngineSnapshot<'a> {
+        EngineSnapshot::new(&self.building.space, &self.store, &self.index, *options)
+    }
+}
+
+/// Average wall time (ms) and averaged stats of single-issue execution
+/// over one query per workload point.
+fn mean_single(
+    world: &World,
+    make: impl Fn(IndoorPoint) -> Query,
+    options: &QueryOptions,
+) -> (f64, QueryStats) {
+    let snapshot = world.snapshot(options);
     let mut acc = QueryStats::default();
     let t = std::time::Instant::now();
     for &q in &world.queries {
-        let out = range_query(
-            &world.building.space,
-            &world.index,
-            &world.store,
-            q,
-            r,
-            options,
-        )
-        .expect("query succeeds");
-        acc.accumulate(&out.stats);
+        let out = snapshot.execute(&make(q)).expect("query succeeds");
+        acc.accumulate(out.stats());
     }
     let n = world.queries.len().max(1);
     let total_ms = t.elapsed().as_secs_f64() * 1e3 / n as f64;
     (total_ms, acc.scale_down(n))
 }
 
+/// Average iRQ wall time (ms) and averaged stats over the query workload.
+pub fn mean_irq(world: &World, r: f64, options: &QueryOptions) -> (f64, QueryStats) {
+    mean_single(world, |q| Query::Range { q, r }, options)
+}
+
 /// Average ikNNQ wall time (ms) and averaged stats.
 pub fn mean_knn(world: &World, k: usize, options: &QueryOptions) -> (f64, QueryStats) {
-    let mut acc = QueryStats::default();
+    mean_single(world, |q| Query::Knn { q, k }, options)
+}
+
+/// Executes a query batch through one snapshot, returning total wall time
+/// (ms) and the outcomes.
+pub fn run_batch(world: &World, queries: &[Query], options: &QueryOptions) -> (f64, Vec<Outcome>) {
+    let snapshot = world.snapshot(options);
     let t = std::time::Instant::now();
-    for &q in &world.queries {
-        let out = knn_query(
-            &world.building.space,
-            &world.index,
-            &world.store,
-            q,
-            k,
-            options,
-        )
-        .expect("query succeeds");
-        acc.accumulate(&out.stats);
-    }
-    let n = world.queries.len().max(1);
-    let total_ms = t.elapsed().as_secs_f64() * 1e3 / n as f64;
-    (total_ms, acc.scale_down(n))
+    let outcomes = snapshot.execute_batch(queries).expect("batch succeeds");
+    (t.elapsed().as_secs_f64() * 1e3, outcomes)
 }
 
 /// Pretty count label: `20000` → `"20K"`.

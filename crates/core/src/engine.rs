@@ -1,7 +1,7 @@
 //! The engine: space + objects + index, kept consistent.
 
 use crate::error::EngineError;
-use idq_distance::{indoor_distance, shortest_path};
+use crate::snapshot::EngineSnapshot;
 use idq_geom::Point2;
 use idq_index::{CompositeIndex, IndexConfig};
 use idq_model::IndoorPoint;
@@ -9,7 +9,7 @@ use idq_model::{
     Direction, DoorId, Floor, IndoorSpace, PartitionId, PartitionSpec, SplitLine, TopologyEvent,
 };
 use idq_objects::{GaussianSampler, ObjectId, ObjectStore, UncertainObject};
-use idq_query::{knn_query, range_query, KnnResult, QueryOptions, RangeResult};
+use idq_query::{KnnResult, Outcome, Query, QueryOptions, RangeResult};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -83,17 +83,48 @@ impl IndoorEngine {
         }
     }
 
+    // ---- snapshots (sessions over a consistent read view) -------------------
+
+    /// A consistent read view over the current space, objects and index,
+    /// using the engine's effective default options. Holding the snapshot
+    /// borrows the engine immutably, so no update can slip in between the
+    /// queries issued through it.
+    pub fn snapshot(&self) -> EngineSnapshot<'_> {
+        EngineSnapshot::new(&self.space, &self.store, &self.index, self.query_options())
+    }
+
+    /// A read view with explicit query options (ablations, exact
+    /// refinement…).
+    pub fn snapshot_with(&self, options: QueryOptions) -> EngineSnapshot<'_> {
+        EngineSnapshot::new(&self.space, &self.store, &self.index, options)
+    }
+
+    /// Evaluates one typed [`Query`] on a fresh default snapshot.
+    pub fn execute(&self, query: &Query) -> Result<Outcome, EngineError> {
+        self.snapshot().execute(query)
+    }
+
+    /// Evaluates a batch of typed [`Query`]s on a fresh default snapshot,
+    /// reusing one evaluation context per (query point, floor) group.
+    pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<Outcome>, EngineError> {
+        self.snapshot().execute_batch(queries)
+    }
+
     // ---- object management (§III-C.2) --------------------------------------
 
     /// Inserts a fully-formed uncertain object.
     pub fn insert_object(&mut self, object: UncertainObject) -> Result<(), EngineError> {
+        let id = object.id;
+        let radius = object.region.radius;
         self.index.insert_object(&self.space, &object)?;
-        self.max_radius = self.max_radius.max(object.region.radius);
         if let Err(e) = self.store.insert(object) {
-            // Roll the index back so layers stay consistent.
-            // (Duplicate ids are the only failure mode here.)
+            // Roll the index back so layers stay consistent. The index
+            // insert above succeeded, so `id` was not indexed before and
+            // removal undoes exactly that insert.
+            self.index.remove_object(id)?;
             return Err(e.into());
         }
+        self.max_radius = self.max_radius.max(radius);
         Ok(())
     }
 
@@ -126,6 +157,12 @@ impl IndoorEngine {
 
     /// Moves an object: deletion followed by insertion with a re-sampled
     /// uncertainty region at the new position (§III-C.2's update flow).
+    ///
+    /// Built from the same [`IndoorEngine::remove_object`] /
+    /// [`IndoorEngine::insert_object`] primitives as every other update,
+    /// so index and store cannot diverge; the new region is sampled (and
+    /// can fail) *before* the old object is touched, and a failed
+    /// re-insert restores the removed object.
     pub fn move_object(
         &mut self,
         id: ObjectId,
@@ -142,13 +179,22 @@ impl IndoorEngine {
         };
         let mut rng = StdRng::seed_from_u64(seed ^ id.0);
         let object = sampler.sample(id, center, floor, radius, &self.space, &mut rng)?;
-        self.store.remove(id)?;
-        self.store.insert(object)?;
-        self.index.update_object(&self.space, self.store.get(id)?)?;
+        let old = self.remove_object(id)?;
+        if let Err(e) = self.insert_object(object) {
+            self.insert_object(old)?;
+            return Err(e);
+        }
         Ok(())
     }
 
     // ---- queries (§IV) -------------------------------------------------------
+    //
+    // Stability contract: these convenience methods are kept indefinitely
+    // as thin delegations onto a default snapshot — existing callers never
+    // need to name `Query` or `Outcome`. New code (and anything issuing
+    // several queries against one consistent view) should prefer
+    // [`IndoorEngine::snapshot`] + [`EngineSnapshot::execute`] /
+    // [`EngineSnapshot::execute_batch`].
 
     /// `iRQ(q, r)` with the engine's default options.
     pub fn range_query(&self, q: IndoorPoint, r: f64) -> Result<RangeResult, EngineError> {
@@ -162,14 +208,11 @@ impl IndoorEngine {
         r: f64,
         options: &QueryOptions,
     ) -> Result<RangeResult, EngineError> {
-        Ok(range_query(
-            &self.space,
-            &self.index,
-            &self.store,
-            q,
-            r,
-            options,
-        )?)
+        Ok(self
+            .snapshot_with(*options)
+            .execute(&Query::Range { q, r })?
+            .into_range()
+            .expect("range query yields a range outcome"))
     }
 
     /// `ikNNQ(q, k)` with the engine's default options.
@@ -184,24 +227,21 @@ impl IndoorEngine {
         k: usize,
         options: &QueryOptions,
     ) -> Result<KnnResult, EngineError> {
-        Ok(knn_query(
-            &self.space,
-            &self.index,
-            &self.store,
-            q,
-            k,
-            options,
-        )?)
+        Ok(self
+            .snapshot_with(*options)
+            .execute(&Query::Knn { q, k })?
+            .into_knn()
+            .expect("kNN query yields a kNN outcome"))
     }
 
     /// Point-to-point indoor distance `|q,p|_I`.
     pub fn indoor_distance(&self, q: IndoorPoint, p: IndoorPoint) -> Result<f64, EngineError> {
-        Ok(indoor_distance(
-            &self.space,
-            self.index.doors_graph(),
-            q,
-            p,
-        )?)
+        Ok(self
+            .snapshot()
+            .execute(&Query::Distance { q, p })?
+            .into_distance()
+            .expect("distance query yields a distance outcome")
+            .distance)
     }
 
     /// Shortest indoor path `q ⇝δ p`: length plus the door sequence.
@@ -210,7 +250,12 @@ impl IndoorEngine {
         q: IndoorPoint,
         p: IndoorPoint,
     ) -> Result<Option<(f64, Vec<DoorId>)>, EngineError> {
-        Ok(shortest_path(&self.space, self.index.doors_graph(), q, p)?)
+        Ok(self
+            .snapshot()
+            .execute(&Query::Path { q, p })?
+            .into_path()
+            .expect("path query yields a path outcome")
+            .path)
     }
 
     // ---- topology updates (§III-C.1) --------------------------------------------
@@ -408,5 +453,45 @@ mod tests {
             .unwrap();
         let dup = UncertainObject::point_object(id, IndoorPoint::new(Point2::new(5.0, 5.0), 0));
         assert!(e.insert_object(dup).is_err());
+        // The failed insert left no trace: cross-layer invariants hold and
+        // the original object still answers queries.
+        e.validate();
+        let q = IndoorPoint::new(Point2::new(8.0, 5.0), 0);
+        assert_eq!(e.knn(q, 1).unwrap().results[0].object, id);
+    }
+
+    #[test]
+    fn failed_store_insert_rolls_the_index_back() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let id = e
+            .insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 1)
+            .unwrap();
+        // Force the index-ok/store-fail path directly: remove the object
+        // from the index only, so the index insert succeeds while the
+        // store still holds the id.
+        // (Reaching inside is deliberate — this is the rollback seam.)
+        let obj = e.store().get(id).unwrap().clone();
+        e.index.remove_object(id).unwrap();
+        assert!(e.insert_object(obj).is_err(), "store rejects the duplicate");
+        // The rollback removed the index entry again; re-registering the
+        // object restores full consistency.
+        let obj = e.store.remove(id).unwrap();
+        e.insert_object(obj).unwrap();
+        e.validate();
+    }
+
+    #[test]
+    fn failed_move_restores_the_original_object() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let id = e
+            .insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 1)
+            .unwrap();
+        // Moving to a position outside every partition fails in sampling,
+        // before the old object is touched.
+        assert!(e.move_object(id, Point2::new(-50.0, -50.0), 0, 9).is_err());
+        e.validate();
+        assert!(e.store().contains(id));
+        let q = IndoorPoint::new(Point2::new(8.0, 5.0), 0);
+        assert_eq!(e.knn(q, 1).unwrap().results[0].object, id);
     }
 }

@@ -4,12 +4,15 @@
 //! [`idq_model::IndoorSpace`], the [`idq_objects::ObjectStore`] and the
 //! [`idq_index::CompositeIndex`] — and
 //! keeps them consistent across object updates and topology updates, so a
-//! downstream application only talks to one object:
+//! downstream application only talks to one object. Queries run through a
+//! [`EngineSnapshot`]: a cheap, consistent read view executing typed
+//! [`idq_query::Query`]s one at a time or batched with cross-query reuse:
 //!
 //! ```
 //! use idq_core::{EngineConfig, IndoorEngine};
 //! use idq_geom::{Point2, Rect2};
 //! use idq_model::{FloorPlanBuilder, IndoorPoint};
+//! use idq_query::{Outcome, Query};
 //!
 //! let mut b = FloorPlanBuilder::new(4.0);
 //! let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
@@ -19,14 +22,24 @@
 //! let mut engine = IndoorEngine::new(b.finish().unwrap(), EngineConfig::default()).unwrap();
 //! let id = engine.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 42).unwrap();
 //! let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
-//! let out = engine.range_query(q, 30.0).unwrap();
-//! assert_eq!(out.results[0].object, id);
-//! let knn = engine.knn(q, 1).unwrap();
-//! assert_eq!(knn.results[0].object, id);
+//!
+//! // One snapshot answers a whole wave of queries consistently; sharing
+//! // the query point shares one door-distance Dijkstra across them.
+//! let snapshot = engine.snapshot();
+//! let outcomes = snapshot
+//!     .execute_batch(&[Query::Range { q, r: 30.0 }, Query::Knn { q, k: 1 }])
+//!     .unwrap();
+//! assert_eq!(outcomes[0].as_range().unwrap().results[0].object, id);
+//! assert_eq!(outcomes[1].as_knn().unwrap().results[0].object, id);
+//!
+//! // The pre-session convenience methods remain as thin delegations.
+//! assert_eq!(engine.range_query(q, 30.0).unwrap().results[0].object, id);
 //! ```
 
 pub mod engine;
 pub mod error;
+pub mod snapshot;
 
 pub use engine::{EngineConfig, IndoorEngine};
 pub use error::EngineError;
+pub use snapshot::EngineSnapshot;

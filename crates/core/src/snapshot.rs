@@ -1,0 +1,193 @@
+//! `EngineSnapshot` — a cheap, consistent read view over an engine's
+//! space, objects and index, executing typed [`Query`]s.
+
+use crate::error::EngineError;
+use idq_index::CompositeIndex;
+use idq_model::IndoorSpace;
+use idq_objects::ObjectStore;
+use idq_query::{execute, execute_batch, Outcome, Query, QueryOptions};
+
+/// A consistent read view of the indoor world.
+///
+/// A snapshot borrows the engine's three layers immutably, so holding one
+/// keeps writers out (Rust's borrow rules are the isolation mechanism):
+/// every query issued through one snapshot sees the same space version,
+/// object population and index state. Creating a snapshot is free — it
+/// copies three references and the effective [`QueryOptions`] — so create
+/// one per request wave and drop it when the answers are out.
+///
+/// [`EngineSnapshot::execute_batch`] is the reuse path of the paper's
+/// §VII future-work item: queries in one batch that share a query point
+/// and floor share one restricted door-distance Dijkstra and one
+/// subregion-decomposition cache. Results are identical to issuing the
+/// queries one at a time; only the `QueryStats` reuse counters differ.
+///
+/// Snapshots can also be assembled from bare parts with
+/// [`EngineSnapshot::new`] — benchmark harnesses that own a space, store
+/// and index without an engine use this.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineSnapshot<'a> {
+    space: &'a IndoorSpace,
+    store: &'a ObjectStore,
+    index: &'a CompositeIndex,
+    options: QueryOptions,
+}
+
+impl<'a> EngineSnapshot<'a> {
+    /// Assembles a snapshot from bare layers (the engine's
+    /// [`crate::IndoorEngine::snapshot`] is the usual entry point).
+    pub fn new(
+        space: &'a IndoorSpace,
+        store: &'a ObjectStore,
+        index: &'a CompositeIndex,
+        options: QueryOptions,
+    ) -> Self {
+        EngineSnapshot {
+            space,
+            store,
+            index,
+            options,
+        }
+    }
+
+    /// The indoor space this snapshot reads.
+    pub fn space(&self) -> &'a IndoorSpace {
+        self.space
+    }
+
+    /// The object population this snapshot reads.
+    pub fn store(&self) -> &'a ObjectStore {
+        self.store
+    }
+
+    /// The composite index this snapshot reads.
+    pub fn index(&self) -> &'a CompositeIndex {
+        self.index
+    }
+
+    /// The query options every execution uses.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// A copy of this snapshot with different query options.
+    pub fn with_options(self, options: QueryOptions) -> Self {
+        EngineSnapshot { options, ..self }
+    }
+
+    /// Evaluates one query.
+    pub fn execute(&self, query: &Query) -> Result<Outcome, EngineError> {
+        Ok(execute(
+            self.space,
+            self.index,
+            self.store,
+            query,
+            &self.options,
+        )?)
+    }
+
+    /// Evaluates a batch of queries with cross-query computation reuse,
+    /// returning outcomes in input order. Queries sharing a query point
+    /// and floor share one evaluation context (one restricted Dijkstra +
+    /// one subregion cache); see [`idq_query::execute_batch`].
+    pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<Outcome>, EngineError> {
+        Ok(execute_batch(
+            self.space,
+            self.index,
+            self.store,
+            queries,
+            &self.options,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, IndoorEngine};
+    use idq_geom::{Point2, Rect2};
+    use idq_model::{FloorPlanBuilder, IndoorPoint};
+
+    fn three_rooms() -> IndoorSpace {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let r0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let r2 = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
+        b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
+        b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn snapshot_executes_all_query_kinds() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let o1 = e
+            .insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1)
+            .unwrap();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let p = IndoorPoint::new(Point2::new(25.0, 5.0), 0);
+
+        let snap = e.snapshot();
+        let range = snap.execute(&Query::Range { q, r: 20.0 }).unwrap();
+        assert_eq!(range.as_range().unwrap().results[0].object, o1);
+        let knn = snap.execute(&Query::Knn { q, k: 1 }).unwrap();
+        assert_eq!(knn.as_knn().unwrap().results[0].object, o1);
+        let dist = snap.execute(&Query::Distance { q, p }).unwrap();
+        assert!(dist.as_distance().unwrap().distance.is_finite());
+        let path = snap.execute(&Query::Path { q, p }).unwrap();
+        let (_, doors) = path.as_path().unwrap().path.clone().unwrap();
+        assert_eq!(doors.len(), 2);
+    }
+
+    #[test]
+    fn one_snapshot_serves_a_batch_with_reuse() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1)
+            .unwrap();
+        e.insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 8, 2)
+            .unwrap();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let queries = vec![
+            Query::Range { q, r: 16.0 },
+            Query::Range { q, r: 30.0 },
+            Query::Knn { q, k: 2 },
+        ];
+        let snap = e.snapshot();
+        let outcomes = snap.execute_batch(&queries).unwrap();
+        let dijkstras: usize = outcomes.iter().map(|o| o.stats().dijkstras_run).sum();
+        assert_eq!(dijkstras, 1, "shared query point → one context build");
+        for (query, out) in queries.iter().zip(&outcomes) {
+            let single = snap.execute(query).unwrap();
+            match (out, single) {
+                (Outcome::Range(a), Outcome::Range(b)) => assert_eq!(a.results, b.results),
+                (Outcome::Knn(a), Outcome::Knn(b)) => assert_eq!(a.results, b.results),
+                _ => panic!("variant mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_options_can_be_overridden() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1)
+            .unwrap();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let base = e.snapshot();
+        assert!(base.options().use_pruning);
+        let ablated = base.with_options(QueryOptions::builder().pruning(false).build());
+        let out = ablated.execute(&Query::Range { q, r: 20.0 }).unwrap();
+        assert_eq!(out.as_range().unwrap().stats.accepted_by_bounds, 0);
+        // The pre-sized snapshot from the engine widens the slack like
+        // query_options() does.
+        assert_eq!(
+            base.options().subgraph_slack,
+            e.query_options().subgraph_slack
+        );
+    }
+}

@@ -28,6 +28,7 @@ pub struct DoorDistances {
     dist: Vec<f64>,
     prev: Vec<u32>,
     restricted: bool,
+    exit_horizon: f64,
 }
 
 impl DoorDistances {
@@ -87,6 +88,7 @@ impl DoorDistances {
             }
         }
 
+        let mut exit_horizon = f64::INFINITY;
         while let Some(Reverse((OrdF64(du), u))) = heap.pop() {
             if du > dist[u as usize] {
                 continue; // stale heap entry
@@ -94,6 +96,12 @@ impl DoorDistances {
             for e in graph.edges_from(DoorId(u)) {
                 if let Some(allowed) = allowed {
                     if e.via != source_partition && !allowed.contains(&e.via) {
+                        // The cheapest door an escaping path leaves the
+                        // candidate set through: any path using partitions
+                        // outside `allowed` costs at least this much, so
+                        // every restricted distance at or below it is
+                        // provably exact.
+                        exit_horizon = exit_horizon.min(du);
                         continue;
                     }
                 }
@@ -113,6 +121,7 @@ impl DoorDistances {
             dist,
             prev,
             restricted: allowed.is_some(),
+            exit_horizon,
         })
     }
 
@@ -135,6 +144,17 @@ impl DoorDistances {
     #[inline]
     pub fn is_restricted(&self) -> bool {
         self.restricted
+    }
+
+    /// The exactness horizon of a restricted search: the cheapest cost at
+    /// which any path can leave the candidate set. Every walking cost at
+    /// or below this value is provably equal to its full-graph value — a
+    /// hypothetical shorter path through a non-candidate partition would
+    /// have to spend at least the horizon just to get out. `∞` for
+    /// unrestricted searches and for candidate sets with no exit.
+    #[inline]
+    pub fn exit_horizon(&self) -> f64 {
+        self.exit_horizon
     }
 
     /// The door sequence of the shortest path from the query point through

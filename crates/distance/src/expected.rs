@@ -39,6 +39,13 @@ pub struct ExpectedDistance {
     /// Whether the bisector fast path (Eq. 3) decided at least one
     /// subregion without per-instance minimisation.
     pub used_bisector_fast_path: bool,
+    /// The largest per-instance walking cost entering the expectation.
+    /// Against a *restricted* [`DoorDistances`], comparing this to
+    /// [`DoorDistances::exit_horizon`] certifies exactness: when no
+    /// instance cost exceeds the horizon, no path escaping the candidate
+    /// set can undercut any instance's minimum, so `value` equals the
+    /// full-graph expectation bit for bit.
+    pub max_instance_cost: f64,
 }
 
 /// Computes `|q,O|_I` from precomputed door distances.
@@ -57,26 +64,30 @@ pub fn expected_indoor_distance(
     let mut any_single = false;
     let mut any_multi = false;
     let mut fast_path = false;
+    let mut max_cost = 0.0f64;
 
     for sub in subregions.iter() {
-        let (cond, single, fast) = subregion_expected(space, dd, object, sub);
+        let (cond, single, fast, sub_max) = subregion_expected(space, dd, object, sub);
         if !cond.is_finite() {
             return ExpectedDistance {
                 value: f64::INFINITY,
                 case: overall_case(subregions, any_single, any_multi),
                 used_bisector_fast_path: fast_path,
+                max_instance_cost: f64::INFINITY,
             };
         }
         total += cond * sub.prob;
         any_single |= single;
         any_multi |= !single;
         fast_path |= fast;
+        max_cost = max_cost.max(sub_max);
     }
 
     ExpectedDistance {
         value: total,
         case: overall_case(subregions, any_single, any_multi),
         used_bisector_fast_path: fast_path,
+        max_instance_cost: max_cost,
     }
 }
 
@@ -91,17 +102,18 @@ fn overall_case(subregions: &Subregions, any_single: bool, any_multi: bool) -> D
 }
 
 /// Conditional expected distance of one subregion (mass-normalised), plus
-/// whether it resolved as single-path, plus whether the bisector fast path
-/// fired. Returns `∞` when unreachable.
+/// whether it resolved as single-path, whether the bisector fast path
+/// fired, and the largest per-instance walking cost. Returns `∞` when
+/// unreachable.
 fn subregion_expected(
     space: &IndoorSpace,
     dd: &DoorDistances,
     object: &UncertainObject,
     sub: &Subregion,
-) -> (f64, bool, bool) {
+) -> (f64, bool, bool, f64) {
     let pid = sub.partition;
     let Ok(partition) = space.partition(pid) else {
-        return (f64::INFINITY, false, false);
+        return (f64::INFINITY, false, false, f64::INFINITY);
     };
     let direct = pid == dd.source_partition;
     let planar = partition.floor_lo == partition.floor_hi;
@@ -117,7 +129,7 @@ fn subregion_expected(
         .collect();
 
     if entries.is_empty() && !direct {
-        return (f64::INFINITY, false, false);
+        return (f64::INFINITY, false, false, f64::INFINITY);
     }
 
     // Bisector fast path (Eq. 3): only without the direct route and on
@@ -127,17 +139,21 @@ fn subregion_expected(
             let (door, w) = d_star;
             let door_pt = space.door_point(door).expect("entry door is active");
             let mut acc = 0.0;
+            let mut max_cost = 0.0f64;
             for &i in &sub.instance_indices {
                 let inst = &object.instances()[i as usize];
-                acc += inst.weight * space.intra_distance(door_pt, inst.indoor_point());
+                let inner = space.intra_distance(door_pt, inst.indoor_point());
+                acc += inst.weight * inner;
+                max_cost = max_cost.max(w + inner);
             }
-            return (w + acc / sub.prob, true, entries.len() > 1);
+            return (w + acc / sub.prob, true, entries.len() > 1, max_cost);
         }
     }
 
     // General path: per-instance minimisation (Eq. 4), optionally with the
     // direct intra-partition route when q shares the partition.
     let mut acc = 0.0;
+    let mut max_cost = 0.0f64;
     let mut first_choice: Option<Option<DoorId>> = None;
     let mut uniform_choice = true;
     for &i in &sub.instance_indices {
@@ -158,15 +174,16 @@ fn subregion_expected(
             }
         }
         if !best.is_finite() {
-            return (f64::INFINITY, false, false);
+            return (f64::INFINITY, false, false, f64::INFINITY);
         }
         match &first_choice {
             None => first_choice = Some(choice),
             Some(c) => uniform_choice &= *c == choice,
         }
         acc += inst.weight * best;
+        max_cost = max_cost.max(best);
     }
-    (acc / sub.prob, uniform_choice, false)
+    (acc / sub.prob, uniform_choice, false, max_cost)
 }
 
 /// If one entry door dominates every other over the subregion's bounding

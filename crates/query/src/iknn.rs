@@ -2,7 +2,7 @@
 
 use crate::error::QueryError;
 use crate::options::QueryOptions;
-use crate::pipeline::EvalContext;
+use crate::pipeline::{EvalContext, SubregionCache};
 use crate::stats::QueryStats;
 use idq_distance::SharedPathUpper;
 use idq_geom::{Mbr3, OrdF64};
@@ -11,7 +11,7 @@ use idq_model::IndoorPoint;
 use idq_model::{IndoorSpace, PartitionId};
 use idq_objects::{ObjectId, ObjectStore, Subregions};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashSet};
 use std::time::Instant;
 
 /// Derives `kbound` by adaptive seed expansion: partitions are explored in
@@ -30,7 +30,7 @@ fn adaptive_kbound(
     store: &ObjectStore,
     q: IndoorPoint,
     k: usize,
-    seed_subs: &mut HashMap<ObjectId, Subregions>,
+    seed_subs: &mut SubregionCache,
 ) -> Result<f64, QueryError> {
     let Some(start) = space.partition_at(q) else {
         return Ok(f64::INFINITY);
@@ -127,15 +127,27 @@ pub struct KnnResult {
     pub kbound: f64,
 }
 
-/// Evaluates `ikNN_{q,k}(O)` (Algorithm 2).
-pub fn knn_query(
+/// Phase-1 output of a kNN query: the kbound, the filtered candidates and
+/// the subregion decompositions the seed phase already paid for.
+pub(crate) struct KnnPrep {
+    pub q: IndoorPoint,
+    pub k: usize,
+    pub kbound: f64,
+    pub objects: Vec<ObjectId>,
+    pub partitions: Vec<PartitionId>,
+    pub seeds: SubregionCache,
+    pub stats: QueryStats,
+}
+
+/// Validates the query and runs seed selection + kbound + filtering.
+pub(crate) fn knn_prep(
     space: &IndoorSpace,
     index: &CompositeIndex,
     store: &ObjectStore,
     q: IndoorPoint,
     k: usize,
     options: &QueryOptions,
-) -> Result<KnnResult, QueryError> {
+) -> Result<KnnPrep, QueryError> {
     if k == 0 {
         return Err(QueryError::ZeroK);
     }
@@ -147,8 +159,8 @@ pub fn knn_query(
 
     // Phase 1: seed selection + kbound + range search.
     let t = Instant::now();
-    let mut seed_subs: HashMap<ObjectId, Subregions> = HashMap::new();
-    let kbound = adaptive_kbound(space, index, store, q, k, &mut seed_subs)?;
+    let mut seeds = SubregionCache::new();
+    let kbound = adaptive_kbound(space, index, store, q, k, &mut seeds)?;
     let filtered = index.range_search_dual(
         space,
         q,
@@ -162,19 +174,42 @@ pub fn knn_query(
     stats.nodes_visited = filtered.stats.nodes_visited;
     stats.entries_checked = filtered.stats.entries_checked;
 
-    // Phase 2: subgraph Dijkstra.
-    let t = Instant::now();
-    let allowed: HashSet<PartitionId> = filtered.partitions.iter().copied().collect();
-    let mut ctx = EvalContext::new(space, store, index, q, Some(&allowed))?;
-    ctx.preseed_subregions(seed_subs);
-    stats.subgraph_ms = t.elapsed().as_secs_f64() * 1e3;
+    Ok(KnnPrep {
+        q,
+        k,
+        kbound,
+        objects: filtered.objects,
+        partitions: filtered.partitions,
+        seeds,
+        stats,
+    })
+}
+
+/// Phases 3–4 against an evaluation context whose restricted Dijkstra
+/// covers (at least) the prep's candidate partitions. The prep's seed
+/// decompositions must already have been merged into the context's cache.
+pub(crate) fn knn_finish(
+    ctx: &mut EvalContext<'_>,
+    prep: KnnPrep,
+    options: &QueryOptions,
+) -> Result<KnnResult, QueryError> {
+    let KnnPrep {
+        k,
+        kbound,
+        objects,
+        mut stats,
+        ..
+    } = prep;
+    let fallbacks_before = ctx.fallbacks;
+    let computed_before = ctx.subregions_computed;
+    let hits_before = ctx.subregion_cache_hits;
 
     // Phase 3: pruning around the k-th smallest upper bound.
     let t = Instant::now();
     let mut to_refine: Vec<ObjectId> = Vec::new();
-    if options.use_pruning && filtered.objects.len() > k {
-        let mut bounds = Vec::with_capacity(filtered.objects.len());
-        for &o in &filtered.objects {
+    if options.use_pruning && objects.len() > k {
+        let mut bounds = Vec::with_capacity(objects.len());
+        for &o in &objects {
             bounds.push((o, ctx.bounds(o)?));
         }
         // O_k: the object with the k-th smallest upper bound.
@@ -189,7 +224,7 @@ pub fn knn_query(
             }
         }
     } else {
-        to_refine = filtered.objects.clone();
+        to_refine = objects;
     }
     stats.pruning_ms = t.elapsed().as_secs_f64() * 1e3;
 
@@ -208,7 +243,9 @@ pub fn knn_query(
     scored.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
     scored.truncate(k);
     stats.refinement_ms = t.elapsed().as_secs_f64() * 1e3;
-    stats.full_graph_fallbacks = ctx.fallbacks;
+    stats.full_graph_fallbacks = ctx.fallbacks - fallbacks_before;
+    stats.subregions_computed = ctx.subregions_computed - computed_before;
+    stats.subregion_cache_hits = ctx.subregion_cache_hits - hits_before;
 
     Ok(KnnResult {
         results: scored
@@ -221,6 +258,28 @@ pub fn knn_query(
         stats,
         kbound,
     })
+}
+
+/// Evaluates `ikNN_{q,k}(O)` (Algorithm 2).
+pub fn knn_query(
+    space: &IndoorSpace,
+    index: &CompositeIndex,
+    store: &ObjectStore,
+    q: IndoorPoint,
+    k: usize,
+    options: &QueryOptions,
+) -> Result<KnnResult, QueryError> {
+    let mut prep = knn_prep(space, index, store, q, k, options)?;
+
+    // Phase 2: subgraph Dijkstra, seeded with the phase-1 decompositions.
+    let t = Instant::now();
+    let allowed: HashSet<PartitionId> = prep.partitions.iter().copied().collect();
+    let seeds = std::mem::take(&mut prep.seeds);
+    let mut ctx = EvalContext::new(space, store, index, q, Some(&allowed), seeds)?;
+    prep.stats.subgraph_ms = t.elapsed().as_secs_f64() * 1e3;
+    prep.stats.dijkstras_run = 1;
+
+    knn_finish(&mut ctx, prep, options)
 }
 
 #[cfg(test)]

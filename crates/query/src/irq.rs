@@ -18,7 +18,9 @@ pub struct RangeHit {
     pub object: ObjectId,
     /// Its expected indoor distance. When `certified_by_bound` is set the
     /// value is the certifying *upper bound* (the exact distance was never
-    /// computed — that is the point of the pruning phase).
+    /// computed — that is the point of the pruning phase); otherwise it is
+    /// the exact expected distance (refinement only accepts restricted
+    /// values it can prove equal to the full-graph value).
     pub distance: f64,
     /// Whether membership was certified by `O.u ≤ r` without refinement.
     pub certified_by_bound: bool,
@@ -33,15 +35,25 @@ pub struct RangeResult {
     pub stats: QueryStats,
 }
 
-/// Evaluates `iRQ_{q,r}(O) = { O : |q,O|_I ≤ r }` (Algorithm 1).
-pub fn range_query(
+/// Phase-1 output of a range query: everything needed to finish the
+/// evaluation against an [`EvalContext`] — its own or a shared one.
+pub(crate) struct RangePrep {
+    pub q: IndoorPoint,
+    pub r: f64,
+    pub objects: Vec<ObjectId>,
+    pub partitions: Vec<PartitionId>,
+    pub stats: QueryStats,
+}
+
+/// Validates the query and runs the filtering phase (Algorithm 4).
+pub(crate) fn range_prep(
     space: &IndoorSpace,
     index: &CompositeIndex,
     store: &ObjectStore,
     q: IndoorPoint,
     r: f64,
     options: &QueryOptions,
-) -> Result<RangeResult, QueryError> {
+) -> Result<RangePrep, QueryError> {
     if !r.is_finite() || r < 0.0 {
         return Err(QueryError::BadRange(r));
     }
@@ -66,18 +78,38 @@ pub fn range_query(
     stats.nodes_visited = filtered.stats.nodes_visited;
     stats.entries_checked = filtered.stats.entries_checked;
 
-    // Phase 2: subgraph — Dijkstra restricted to the candidate partitions.
-    let t = Instant::now();
-    let allowed: HashSet<PartitionId> = filtered.partitions.iter().copied().collect();
-    let mut ctx = EvalContext::new(space, store, index, q, Some(&allowed))?;
-    stats.subgraph_ms = t.elapsed().as_secs_f64() * 1e3;
+    Ok(RangePrep {
+        q,
+        r,
+        objects: filtered.objects,
+        partitions: filtered.partitions,
+        stats,
+    })
+}
+
+/// Phases 3–4 against an evaluation context whose restricted Dijkstra
+/// covers (at least) the prep's candidate partitions.
+pub(crate) fn range_finish(
+    ctx: &mut EvalContext<'_>,
+    prep: RangePrep,
+    options: &QueryOptions,
+) -> Result<RangeResult, QueryError> {
+    let RangePrep {
+        r,
+        objects,
+        mut stats,
+        ..
+    } = prep;
+    let fallbacks_before = ctx.fallbacks;
+    let computed_before = ctx.subregions_computed;
+    let hits_before = ctx.subregion_cache_hits;
 
     // Phase 3: pruning by topological / probabilistic bounds (Table III).
     let t = Instant::now();
     let mut results: Vec<RangeHit> = Vec::new();
     let mut undecided: Vec<ObjectId> = Vec::new();
     if options.use_pruning {
-        for &o in &filtered.objects {
+        for &o in &objects {
             let b = ctx.bounds(o)?;
             if b.upper <= r {
                 stats.accepted_by_bounds += 1;
@@ -93,7 +125,7 @@ pub fn range_query(
             }
         }
     } else {
-        undecided = filtered.objects.clone();
+        undecided = objects;
     }
     stats.pruning_ms = t.elapsed().as_secs_f64() * 1e3;
 
@@ -111,10 +143,40 @@ pub fn range_query(
         }
     }
     stats.refinement_ms = t.elapsed().as_secs_f64() * 1e3;
-    stats.full_graph_fallbacks = ctx.fallbacks;
+    stats.full_graph_fallbacks = ctx.fallbacks - fallbacks_before;
+    stats.subregions_computed = ctx.subregions_computed - computed_before;
+    stats.subregion_cache_hits = ctx.subregion_cache_hits - hits_before;
 
     results.sort_by_key(|h| h.object);
     Ok(RangeResult { results, stats })
+}
+
+/// Evaluates `iRQ_{q,r}(O) = { O : |q,O|_I ≤ r }` (Algorithm 1).
+pub fn range_query(
+    space: &IndoorSpace,
+    index: &CompositeIndex,
+    store: &ObjectStore,
+    q: IndoorPoint,
+    r: f64,
+    options: &QueryOptions,
+) -> Result<RangeResult, QueryError> {
+    let mut prep = range_prep(space, index, store, q, r, options)?;
+
+    // Phase 2: subgraph — Dijkstra restricted to the candidate partitions.
+    let t = Instant::now();
+    let allowed: HashSet<PartitionId> = prep.partitions.iter().copied().collect();
+    let mut ctx = EvalContext::new(
+        space,
+        store,
+        index,
+        q,
+        Some(&allowed),
+        crate::pipeline::SubregionCache::new(),
+    )?;
+    prep.stats.subgraph_ms = t.elapsed().as_secs_f64() * 1e3;
+    prep.stats.dijkstras_run = 1;
+
+    range_finish(&mut ctx, prep, options)
 }
 
 #[cfg(test)]

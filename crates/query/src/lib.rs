@@ -17,9 +17,17 @@
 //!
 //! [`QueryOptions`] exposes the evaluation's ablation switches
 //! (`use_skeleton`, `use_pruning`) and the exactness controls discussed in
-//! `bounds`' soundness note. The [`naive`] module provides the brute-force
-//! oracle, and [`precomputed`] the door-to-door pre-computation baseline
-//! the paper compares maintenance costs against (Fig. 15(d)).
+//! `bounds`' soundness note; [`QueryOptions::builder`] constructs them
+//! fluently. The [`naive`] module provides the brute-force oracle, and
+//! [`precomputed`] the door-to-door pre-computation baseline the paper
+//! compares maintenance costs against (Fig. 15(d)).
+//!
+//! The [`session`] module is the typed front door: a [`Query`] names any
+//! of the four query kinds (range, kNN, distance, path), [`execute`]
+//! evaluates one, and [`execute_batch`] evaluates many with cross-query
+//! computation reuse — queries sharing a query point share one restricted
+//! door-distance Dijkstra and one [`SubregionCache`] (§VII's reuse
+//! proposal). Every [`Outcome`] carries [`QueryStats`].
 
 pub mod error;
 pub mod iknn;
@@ -31,6 +39,7 @@ pub mod pipeline;
 pub mod precomputed;
 pub mod seeds;
 pub mod selectivity;
+pub mod session;
 pub mod stats;
 
 pub use error::QueryError;
@@ -38,8 +47,10 @@ pub use iknn::{knn_query, KnnHit, KnnResult};
 pub use irq::{range_query, RangeHit, RangeResult};
 pub use monitor::{MonitorChange, RangeMonitor};
 pub use naive::{naive_knn, naive_range};
-pub use options::QueryOptions;
+pub use options::{QueryOptions, QueryOptionsBuilder};
+pub use pipeline::SubregionCache;
 pub use precomputed::PrecomputedD2D;
 pub use seeds::k_seeds_selection;
 pub use selectivity::SelectivityEstimator;
+pub use session::{execute, execute_batch, DistanceResult, Outcome, PathResult, Query};
 pub use stats::QueryStats;

@@ -39,6 +39,12 @@ impl Default for QueryOptions {
 }
 
 impl QueryOptions {
+    /// A builder starting from the defaults:
+    /// `QueryOptions::builder().skeleton(false).exact_refinement().build()`.
+    pub fn builder() -> QueryOptionsBuilder {
+        QueryOptionsBuilder::default()
+    }
+
     /// Options with a slack adequate for a maximum uncertainty-region
     /// radius (2× diameter + detour headroom).
     pub fn for_max_radius(max_radius: f64) -> Self {
@@ -73,6 +79,55 @@ impl QueryOptions {
     }
 }
 
+/// Fluent construction of [`QueryOptions`], starting from the defaults.
+///
+/// The terminal [`QueryOptionsBuilder::build`] is infallible — every
+/// combination of switches is a valid configuration; the builder exists so
+/// call sites name exactly the knobs they change.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryOptionsBuilder {
+    options: QueryOptions,
+}
+
+impl QueryOptionsBuilder {
+    /// Enables/disables the skeleton tier's lower bound in filtering.
+    pub fn skeleton(mut self, on: bool) -> Self {
+        self.options.use_skeleton = on;
+        self
+    }
+
+    /// Enables/disables the Phase-3 bound pruning.
+    pub fn pruning(mut self, on: bool) -> Self {
+        self.options.use_pruning = on;
+        self
+    }
+
+    /// Sets the partition-retrieval slack (metres); see
+    /// [`QueryOptions::subgraph_slack`].
+    pub fn subgraph_slack(mut self, metres: f64) -> Self {
+        self.options.subgraph_slack = metres;
+        self
+    }
+
+    /// Widens the slack for a maximum uncertainty-region radius, like
+    /// [`QueryOptions::for_max_radius`].
+    pub fn max_radius(mut self, max_radius: f64) -> Self {
+        self.options.subgraph_slack = QueryOptions::for_max_radius(max_radius).subgraph_slack;
+        self
+    }
+
+    /// Forces full-graph refinement.
+    pub fn exact_refinement(mut self) -> Self {
+        self.options.exact_refinement = true;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> QueryOptions {
+        self.options
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +143,27 @@ mod tests {
             QueryOptions::default()
                 .with_exact_refinement()
                 .exact_refinement
+        );
+    }
+
+    #[test]
+    fn builder_names_every_knob() {
+        let o = QueryOptions::builder()
+            .skeleton(false)
+            .pruning(false)
+            .subgraph_slack(75.0)
+            .exact_refinement()
+            .build();
+        assert!(!o.use_skeleton);
+        assert!(!o.use_pruning);
+        assert_eq!(o.subgraph_slack, 75.0);
+        assert!(o.exact_refinement);
+        // Untouched knobs keep their defaults; max_radius mirrors
+        // for_max_radius.
+        assert_eq!(QueryOptions::builder().build(), QueryOptions::default());
+        assert_eq!(
+            QueryOptions::builder().max_radius(15.0).build(),
+            QueryOptions::for_max_radius(15.0)
         );
     }
 }

@@ -10,6 +10,52 @@ use idq_model::{IndoorPoint, IndoorSpace, PartitionId};
 use idq_objects::{ObjectId, ObjectStore, Subregions};
 use std::collections::{HashMap, HashSet};
 
+/// A reusable cache of per-object subregion decompositions.
+///
+/// Decompositions are pure functions of an object's instance set and the
+/// space, so a cache can be shared freely: the `ikNNQ` seed phase
+/// pre-populates one with the decompositions it already computed, and
+/// batched execution ([`crate::execute_batch`]) keeps one per query group
+/// so that queries sharing a query point never decompose the same object
+/// twice.
+#[derive(Debug, Default)]
+pub struct SubregionCache {
+    map: HashMap<ObjectId, Subregions>,
+}
+
+impl SubregionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caches one object's decomposition.
+    pub fn insert(&mut self, id: ObjectId, subs: Subregions) {
+        self.map.insert(id, subs);
+    }
+
+    /// Whether the object's decomposition is cached.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Number of cached decompositions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Absorbs another cache (right-hand entries win on collision; entries
+    /// are identical by construction anyway).
+    pub fn merge(&mut self, other: SubregionCache) {
+        self.map.extend(other.map);
+    }
+}
+
 /// Per-query evaluation context.
 ///
 /// Holds the restricted door distances of the subgraph phase and computes
@@ -23,20 +69,27 @@ pub(crate) struct EvalContext<'a> {
     pub q: IndoorPoint,
     pub dd: DoorDistances,
     full_dd: Option<DoorDistances>,
-    subregions: HashMap<ObjectId, Subregions>,
+    subregions: SubregionCache,
     /// Number of refinements that needed the full-graph fallback.
     pub fallbacks: usize,
+    /// Decompositions computed by this context (cache misses).
+    pub subregions_computed: usize,
+    /// Decompositions served from the cache.
+    pub subregion_cache_hits: usize,
 }
 
 impl<'a> EvalContext<'a> {
     /// Builds the context, running the subgraph-phase Dijkstra restricted
-    /// to `allowed` (or the full graph when `None`).
+    /// to `allowed` (or the full graph when `None`). `cache` seeds the
+    /// subregion store — pass `SubregionCache::new()` when nothing was
+    /// decomposed yet.
     pub fn new(
         space: &'a IndoorSpace,
         store: &'a ObjectStore,
         index: &'a CompositeIndex,
         q: IndoorPoint,
         allowed: Option<&HashSet<PartitionId>>,
+        cache: SubregionCache,
     ) -> Result<Self, QueryError> {
         let graph = index.doors_graph();
         let dd = match allowed {
@@ -50,19 +103,19 @@ impl<'a> EvalContext<'a> {
             q,
             dd,
             full_dd: None,
-            subregions: HashMap::new(),
+            subregions: cache,
             fallbacks: 0,
+            subregions_computed: 0,
+            subregion_cache_hits: 0,
         })
     }
 
-    /// Pre-seeds the subregion cache (used by `ikNNQ`, whose seed phase
-    /// already decomposed the seed objects).
-    pub fn preseed_subregions(&mut self, cache: HashMap<ObjectId, Subregions>) {
-        self.subregions.extend(cache);
-    }
-
-    fn ensure_subregions(&mut self, id: ObjectId) -> Result<(), QueryError> {
-        if !self.subregions.contains_key(&id) {
+    /// Decomposition of one object, computed on first use and cached for
+    /// every later bound or refinement that touches the same object.
+    pub fn subregions_of(&mut self, id: ObjectId) -> Result<&Subregions, QueryError> {
+        if self.subregions.contains(id) {
+            self.subregion_cache_hits += 1;
+        } else {
             let obj = self.store.get(id)?;
             // The o-table already knows which partitions the object
             // overlaps: point location per instance becomes a handful of
@@ -70,26 +123,20 @@ impl<'a> EvalContext<'a> {
             let hint = object_partition_hint(self.index, id);
             let subs = Subregions::compute_with_hint(obj, self.space, &hint)?;
             self.subregions.insert(id, subs);
+            self.subregions_computed += 1;
         }
-        Ok(())
-    }
-
-    /// Decomposition of one object (cached).
-    #[allow(dead_code)] // part of the crate-internal evaluation API
-    pub fn subregions_of(&mut self, id: ObjectId) -> Result<&Subregions, QueryError> {
-        self.ensure_subregions(id)?;
-        Ok(&self.subregions[&id])
+        Ok(&self.subregions.map[&id])
     }
 
     /// Phase-3 bounds for one object (Table III dispatch).
     pub fn bounds(&mut self, id: ObjectId) -> Result<ObjectBounds, QueryError> {
-        self.ensure_subregions(id)?;
+        self.subregions_of(id)?;
         let obj = self.store.get(id)?;
         Ok(object_bounds(
             self.space,
             &self.dd,
             obj,
-            &self.subregions[&id],
+            &self.subregions.map[&id],
         ))
     }
 
@@ -106,19 +153,24 @@ impl<'a> EvalContext<'a> {
 
     /// Exact expected indoor distance against the full graph.
     pub fn refine_full(&mut self, id: ObjectId) -> Result<f64, QueryError> {
-        self.ensure_subregions(id)?;
+        self.subregions_of(id)?;
         self.full_dd()?;
         let obj = self.store.get(id)?;
         let dd = self.full_dd.as_ref().expect("computed above");
-        Ok(expected_indoor_distance(self.space, dd, obj, &self.subregions[&id]).value)
+        Ok(expected_indoor_distance(self.space, dd, obj, &self.subregions.map[&id]).value)
     }
 
     /// Refinement with a decision threshold: computes the expected
-    /// distance against the restricted subgraph; when the result *exceeds*
-    /// the threshold (so a truncated path could have inflated it past the
-    /// accept boundary) it is recomputed against the full graph, making
-    /// iRQ membership decisions exact (see the soundness argument in
-    /// `idq_distance::bounds`).
+    /// distance against the restricted subgraph and returns it only when
+    /// it is *provably exact* — within the accept threshold **and** below
+    /// the subgraph's [`exit horizon`](idq_distance::DoorDistances::exit_horizon)
+    /// (no path escaping the candidate set can undercut any instance
+    /// cost). Otherwise the value is recomputed against the full graph.
+    /// Every returned refinement value therefore equals the full-graph
+    /// expected distance bit for bit, independent of how the restriction
+    /// was chosen — which is what makes batched execution (whose shared
+    /// context restricts to the *union* of a group's candidate
+    /// partitions) return the same answers as single-issue execution.
     pub fn refine_with_threshold(
         &mut self,
         id: ObjectId,
@@ -128,11 +180,11 @@ impl<'a> EvalContext<'a> {
         if options.exact_refinement || !self.dd.is_restricted() {
             return self.refine_full_or_direct(id);
         }
-        self.ensure_subregions(id)?;
+        self.subregions_of(id)?;
         let obj = self.store.get(id)?;
-        let v = expected_indoor_distance(self.space, &self.dd, obj, &self.subregions[&id]).value;
-        if v <= threshold {
-            return Ok(v); // restricted ≥ true, so acceptance is safe
+        let e = expected_indoor_distance(self.space, &self.dd, obj, &self.subregions.map[&id]);
+        if e.value <= threshold && e.max_instance_cost <= self.dd.exit_horizon() {
+            return Ok(e.value); // provably exact, and acceptance is safe
         }
         self.fallbacks += 1;
         self.refine_full(id)
@@ -142,9 +194,12 @@ impl<'a> EvalContext<'a> {
         if self.dd.is_restricted() {
             self.refine_full(id)
         } else {
-            self.ensure_subregions(id)?;
+            self.subregions_of(id)?;
             let obj = self.store.get(id)?;
-            Ok(expected_indoor_distance(self.space, &self.dd, obj, &self.subregions[&id]).value)
+            Ok(
+                expected_indoor_distance(self.space, &self.dd, obj, &self.subregions.map[&id])
+                    .value,
+            )
         }
     }
 }
@@ -212,7 +267,15 @@ mod tests {
         // Restrict to the source partition only: the object is unreachable
         // in the subgraph.
         let allowed: HashSet<PartitionId> = HashSet::new();
-        let mut ctx = EvalContext::new(&space, &store, &index, q, Some(&allowed)).unwrap();
+        let mut ctx = EvalContext::new(
+            &space,
+            &store,
+            &index,
+            q,
+            Some(&allowed),
+            SubregionCache::new(),
+        )
+        .unwrap();
         let b = ctx.bounds(ObjectId(1)).unwrap();
         assert!(b.upper.is_infinite(), "restricted bounds see no path");
         // Threshold refinement falls back to the full graph.
@@ -222,7 +285,8 @@ mod tests {
         assert!(v.is_finite());
         assert_eq!(ctx.fallbacks, 1);
         // The full value matches an unrestricted context.
-        let mut full = EvalContext::new(&space, &store, &index, q, None).unwrap();
+        let mut full =
+            EvalContext::new(&space, &store, &index, q, None, SubregionCache::new()).unwrap();
         let fv = full
             .refine_with_threshold(ObjectId(1), 30.0, &QueryOptions::default())
             .unwrap();
@@ -234,9 +298,106 @@ mod tests {
         let (space, store, index) = setup();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
         let allowed: HashSet<PartitionId> = HashSet::new();
-        let mut ctx = EvalContext::new(&space, &store, &index, q, Some(&allowed)).unwrap();
+        let mut ctx = EvalContext::new(
+            &space,
+            &store,
+            &index,
+            q,
+            Some(&allowed),
+            SubregionCache::new(),
+        )
+        .unwrap();
         let opts = QueryOptions::default().with_exact_refinement();
         let v = ctx.refine_with_threshold(ObjectId(1), 0.0, &opts).unwrap();
         assert!(v.is_finite());
+    }
+
+    #[test]
+    fn inflated_but_accepted_values_fall_back_to_exact() {
+        // Two routes from q (room A) to the object (room B): a short
+        // corridor S and a long corridor L. Restricting to {A, L, B}
+        // inflates the value (30 m via L) while the truth is 20 m via S.
+        // The inflated value sits below the threshold, so the pre-horizon
+        // code would have returned it; the exit-horizon check (the escape
+        // into S costs only 5 m) forces the full-graph fallback, keeping
+        // refinement values restriction-independent.
+        let mut b = FloorPlanBuilder::new(4.0);
+        let a = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let s = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let bb = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
+        let l = b
+            .add_room(0, Rect2::from_bounds(0.0, 10.0, 30.0, 20.0))
+            .unwrap();
+        b.add_door_between(a, s, Point2::new(10.0, 5.0)).unwrap();
+        b.add_door_between(s, bb, Point2::new(20.0, 5.0)).unwrap();
+        b.add_door_between(a, l, Point2::new(5.0, 10.0)).unwrap();
+        b.add_door_between(l, bb, Point2::new(25.0, 10.0)).unwrap();
+        let space = b.finish().unwrap();
+        let mut store = ObjectStore::new();
+        store
+            .insert(UncertainObject::point_object(
+                ObjectId(1),
+                idq_model::IndoorPoint::new(Point2::new(25.0, 5.0), 0),
+            ))
+            .unwrap();
+        let index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
+        let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
+
+        let allowed: HashSet<PartitionId> = [a, l, bb].into_iter().collect();
+        let mut ctx = EvalContext::new(
+            &space,
+            &store,
+            &index,
+            q,
+            Some(&allowed),
+            SubregionCache::new(),
+        )
+        .unwrap();
+        assert!(
+            ctx.dd.exit_horizon() <= 5.0 + 1e-9,
+            "escape into S is cheap"
+        );
+        let v = ctx
+            .refine_with_threshold(ObjectId(1), 50.0, &QueryOptions::default())
+            .unwrap();
+        assert_eq!(ctx.fallbacks, 1, "inexact-but-under-threshold falls back");
+        let mut full =
+            EvalContext::new(&space, &store, &index, q, None, SubregionCache::new()).unwrap();
+        assert!(full.dd.exit_horizon().is_infinite());
+        let fv = full
+            .refine_with_threshold(ObjectId(1), 50.0, &QueryOptions::default())
+            .unwrap();
+        assert_eq!(v.to_bits(), fv.to_bits(), "refined value is exact");
+        assert!((v - 20.0).abs() < 1e-9, "true route through S: {v}");
+    }
+
+    #[test]
+    fn cache_counters_track_hits_and_misses() {
+        let (space, store, index) = setup();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut ctx =
+            EvalContext::new(&space, &store, &index, q, None, SubregionCache::new()).unwrap();
+        ctx.subregions_of(ObjectId(1)).unwrap();
+        assert_eq!(ctx.subregions_computed, 1);
+        ctx.bounds(ObjectId(1)).unwrap();
+        assert_eq!(ctx.subregions_computed, 1);
+        assert_eq!(ctx.subregion_cache_hits, 1);
+
+        // A pre-seeded cache never recomputes.
+        let mut seeded = SubregionCache::new();
+        let subs = Subregions::compute(store.get(ObjectId(1)).unwrap(), &space).unwrap();
+        seeded.insert(ObjectId(1), subs);
+        assert_eq!(seeded.len(), 1);
+        assert!(!seeded.is_empty());
+        let mut ctx = EvalContext::new(&space, &store, &index, q, None, seeded).unwrap();
+        ctx.subregions_of(ObjectId(1)).unwrap();
+        assert_eq!(ctx.subregions_computed, 0);
+        assert_eq!(ctx.subregion_cache_hits, 1);
     }
 }

@@ -31,6 +31,19 @@ pub struct QueryStats {
     pub nodes_visited: usize,
     /// Leaf entries checked during filtering.
     pub entries_checked: usize,
+    /// Subgraph-phase Dijkstra runs charged to this query. A single-issue
+    /// query always runs its own (1); in a batch group only the query that
+    /// builds the shared evaluation context pays for the run, so summing
+    /// over a batch counts the Dijkstras actually executed.
+    pub dijkstras_run: usize,
+    /// 1 when this query reused a shared evaluation context built by an
+    /// earlier query of its batch group, 0 otherwise.
+    pub context_reuses: usize,
+    /// Subregion decompositions computed while evaluating this query.
+    pub subregions_computed: usize,
+    /// Subregion decompositions found already cached (pre-seeded by the
+    /// kNN seed phase or left behind by earlier queries of the group).
+    pub subregion_cache_hits: usize,
 }
 
 impl QueryStats {
@@ -73,6 +86,10 @@ impl QueryStats {
         self.full_graph_fallbacks += other.full_graph_fallbacks;
         self.nodes_visited += other.nodes_visited;
         self.entries_checked += other.entries_checked;
+        self.dijkstras_run += other.dijkstras_run;
+        self.context_reuses += other.context_reuses;
+        self.subregions_computed += other.subregions_computed;
+        self.subregion_cache_hits += other.subregion_cache_hits;
     }
 
     /// Divides all counters/timings by `n` (averaging helper).
@@ -95,6 +112,10 @@ impl QueryStats {
             full_graph_fallbacks: self.full_graph_fallbacks / n,
             nodes_visited: self.nodes_visited / n,
             entries_checked: self.entries_checked / n,
+            dijkstras_run: self.dijkstras_run / n,
+            context_reuses: self.context_reuses / n,
+            subregions_computed: self.subregions_computed / n,
+            subregion_cache_hits: self.subregion_cache_hits / n,
         }
     }
 }

@@ -24,4 +24,4 @@ pub use building::{generate_building, BuildingConfig, GeneratedBuilding};
 pub use defaults::PaperDefaults;
 pub use experiment::{mean, percentile, SeriesTable, Stopwatch};
 pub use objects::{generate_objects, sample_one, ObjectConfig};
-pub use queries::{generate_query_points, QueryPointConfig};
+pub use queries::{generate_query_points, generate_range_batches, QueryPointConfig};

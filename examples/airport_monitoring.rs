@@ -69,7 +69,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pdu = IndoorPoint::new(Point2::new(65.0, 38.0), 0);
     println!("monitoring a 30 m security perimeter around the PDU at {pdu}\n");
 
-    let watch = engine.range_query(pdu, 30.0)?;
+    // One snapshot answers the whole monitoring round consistently: the
+    // perimeter query and both asymmetric distance probes see the same
+    // space version. (Distance probes run their own point-to-point
+    // search; only range/kNN queries share evaluation contexts.)
+    let landside_guard = IndoorPoint::new(Point2::new(55.0, 30.0), 0);
+    let outcomes = engine.snapshot().execute_batch(&[
+        Query::Range { q: pdu, r: 30.0 },
+        Query::Distance {
+            q: landside_guard,
+            p: pdu,
+        },
+        Query::Distance {
+            q: pdu,
+            p: landside_guard,
+        },
+    ])?;
+    let watch = outcomes[0].as_range().expect("range outcome");
     println!("passengers inside the perimeter (walking distance ≤ 30 m):");
     for hit in &watch.results {
         println!("  {}  at {:.1} m", hit.object, hit.distance);
@@ -77,9 +93,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One-way asymmetry: from the landside hall the PDU may be close
     // *through security*, but walking back out is the long way.
-    let landside_guard = IndoorPoint::new(Point2::new(55.0, 30.0), 0);
-    let to_pdu = engine.indoor_distance(landside_guard, pdu)?;
-    let from_pdu = engine.indoor_distance(pdu, landside_guard)?;
+    let to_pdu = outcomes[1]
+        .as_distance()
+        .expect("distance outcome")
+        .distance;
+    let from_pdu = outcomes[2]
+        .as_distance()
+        .expect("distance outcome")
+        .distance;
     println!(
         "\nguard (landside) → PDU: {to_pdu:.1} m through security;\n\
          PDU → guard:            {from_pdu:.1} m around through the exit corridor"
@@ -90,7 +111,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // covers airside passengers, but the landside guard can no longer
     // reach it at all.
     engine.close_door(security)?;
-    let to_pdu_closed = engine.indoor_distance(landside_guard, pdu)?;
+    let to_pdu_closed = engine
+        .execute(&Query::Distance {
+            q: landside_guard,
+            p: pdu,
+        })?
+        .into_distance()
+        .expect("distance outcome")
+        .distance;
     println!(
         "\nafter closing security: guard → PDU = {}",
         if to_pdu_closed.is_finite() {

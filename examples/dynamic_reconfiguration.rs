@@ -29,10 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let west_attendee = engine.insert_object_at(Point2::new(20.0, 40.0), 0, 2.0, 64, 1)?;
     let east_attendee = engine.insert_object_at(Point2::new(80.0, 40.0), 0, 2.0, 64, 2)?;
 
-    // An usher stands near the west end of the hall.
+    // An usher stands near the west end of the hall. Each style gets its
+    // own snapshot: a consistent read view of the venue *as configured*.
     let usher = IndoorPoint::new(Point2::new(25.0, 30.0), 0);
 
-    let banquet = engine.knn(usher, 2)?;
+    let banquet = engine
+        .execute(&Query::Knn { q: usher, k: 2 })?
+        .into_knn()
+        .expect("knn outcome");
     println!("\nbanquet style — usher's nearest attendees:");
     for h in &banquet.results {
         println!("  {} at {:.1} m", h.object, h.distance);
@@ -47,7 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         halves[0], halves[1]
     );
 
-    let meeting = engine.knn(usher, 2)?;
+    // The usher's kNN and the coffee-call range query share the usher's
+    // position, so batching them shares one evaluation context.
+    let outcomes = engine.snapshot().execute_batch(&[
+        Query::Knn { q: usher, k: 2 },
+        Query::Range { q: usher, r: 40.0 },
+    ])?;
+    let meeting = outcomes[0].as_knn().expect("knn outcome");
     println!("meeting style — usher's nearest attendees:");
     for h in &meeting.results {
         println!("  {} at {:.1} m", h.object, h.distance);
@@ -72,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Range queries adapt too: a 30 m coffee-call reaches both attendees
     // in banquet style but only the west one in meeting style.
-    let call = engine.range_query(usher, 40.0)?;
+    let call = outcomes[1].as_range().expect("range outcome");
     println!(
         "40 m coffee call now reaches {} attendee(s): {:?}",
         call.results.len(),

@@ -1,5 +1,6 @@
 //! Quickstart: build a tiny floor plan, insert a few uncertain objects,
-//! run a range query and a kNN query, and inspect an indoor shortest path.
+//! then take a snapshot and run a batch of typed queries — a range query,
+//! a kNN query and a shortest path — through one consistent read view.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -43,10 +44,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let carol = engine.insert_object_at(Point2::new(25.0, 10.0), 0, 1.5, 64, 3)?;
     println!("inserted objects: alice={alice}, bob={bob}, carol={carol}");
 
-    // 3. Queries evaluate *indoor* distances: through doors, not through
-    // walls.
+    // 3. Queries are typed values executed through a snapshot — a cheap,
+    // consistent read view. Batching them lets queries that share a query
+    // point share one door-distance Dijkstra and one subregion cache.
+    // All of them evaluate *indoor* distances: through doors, not walls.
     let q = IndoorPoint::new(Point2::new(2.0, 2.0), 0); // corridor, west end
-    let in_range = engine.range_query(q, 18.0)?;
+    let p = IndoorPoint::new(Point2::new(25.0, 12.0), 0); // inside the lab
+    let snapshot = engine.snapshot();
+    let outcomes = snapshot.execute_batch(&[
+        Query::Range { q, r: 18.0 },
+        Query::Knn { q, k: 2 },
+        Query::Path { q, p },
+    ])?;
+
+    let in_range = outcomes[0].as_range().expect("range outcome");
     println!("\niRQ(q, 18 m) → {} object(s):", in_range.results.len());
     for hit in &in_range.results {
         println!(
@@ -61,15 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let knn = engine.knn(q, 2)?;
+    let knn = outcomes[1].as_knn().expect("knn outcome");
     println!("\nikNN(q, 2):");
     for hit in &knn.results {
         println!("  {}  at {:.2} m", hit.object, hit.distance);
     }
 
     // 4. Point-to-point shortest paths with their door sequence.
-    let p = IndoorPoint::new(Point2::new(25.0, 12.0), 0); // inside the lab
-    if let Some((len, doors)) = engine.shortest_path(q, p)? {
+    if let Some((len, doors)) = &outcomes[2].as_path().expect("path outcome").path {
         println!(
             "\nshortest path q → lab: {:.2} m through {} door(s): {:?}",
             len,
@@ -78,8 +88,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 5. The evaluation pipeline reports its four phases (the paper's
-    // Fig. 12(b) breakdown).
+    // 5. Every outcome reports the pipeline's four phases (the paper's
+    // Fig. 12(b) breakdown) plus the batch-reuse counters.
     let s = &in_range.stats;
     println!(
         "\npipeline: filtering {:.3} ms, subgraph {:.3} ms, pruning {:.3} ms, refinement {:.3} ms",
@@ -89,5 +99,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "           {} candidates → {} pruned by bounds → {} refined",
         s.candidates_after_filter, s.pruned_by_bounds, s.refined
     );
+    let dijkstras: usize = outcomes.iter().map(|o| o.stats().dijkstras_run).sum();
+    let reuses: usize = outcomes.iter().map(|o| o.stats().context_reuses).sum();
+    println!(
+        "batching:  {} Dijkstra(s) for {} queries ({} context reuse(s))",
+        dijkstras,
+        outcomes.len(),
+        reuses
+    );
+
+    // 6. The convenience methods still work — they delegate onto a
+    // default snapshot.
+    let again = engine.range_query(q, 18.0)?;
+    assert_eq!(again.results, in_range.results);
     Ok(())
 }

@@ -24,7 +24,11 @@
 //!
 //! ## Quickstart
 //!
-//! See `examples/quickstart.rs`; in short:
+//! Queries are typed [`query::Query`] values executed through an
+//! [`core::EngineSnapshot`] — a cheap, consistent read view of the
+//! engine. Batched execution reuses one door-distance Dijkstra and one
+//! subregion cache across queries that share a query point. See
+//! `examples/quickstart.rs`; in short:
 //!
 //! ```
 //! use indoor_dq::prelude::*;
@@ -41,7 +45,24 @@
 //!     .insert_object_at(Point2::new(18.0, 5.0), 0, 1.0, 16, 7)
 //!     .unwrap();
 //!
+//! // One snapshot, three queries, one shared evaluation context.
 //! let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+//! let snapshot = engine.snapshot();
+//! let outcomes = snapshot
+//!     .execute_batch(&[
+//!         Query::Range { q, r: 25.0 },
+//!         Query::Range { q, r: 5.0 },
+//!         Query::Knn { q, k: 1 },
+//!     ])
+//!     .unwrap();
+//! assert_eq!(outcomes[0].as_range().unwrap().results[0].object, o1);
+//! assert!(outcomes[1].as_range().unwrap().results.is_empty());
+//! assert_eq!(outcomes[2].as_knn().unwrap().results[0].object, o1);
+//! let dijkstras: usize = outcomes.iter().map(|o| o.stats().dijkstras_run).sum();
+//! assert_eq!(dijkstras, 1);
+//!
+//! // The pre-session convenience methods remain as thin delegations onto
+//! // a default snapshot.
 //! let hits = engine.range_query(q, 25.0).unwrap();
 //! assert_eq!(hits.results.len(), 1);
 //! assert_eq!(hits.results[0].object, o1);
@@ -58,13 +79,13 @@ pub use idq_workloads as workloads;
 
 /// Convenience re-exports of the types most applications need.
 pub mod prelude {
-    pub use idq_core::{EngineConfig, IndoorEngine};
+    pub use idq_core::{EngineConfig, EngineSnapshot, IndoorEngine};
     pub use idq_geom::{Circle, Point2, Point3, Rect2};
     pub use idq_index::CompositeIndex;
     pub use idq_model::{
         Direction, DoorId, FloorPlanBuilder, IndoorPoint, IndoorSpace, PartitionId, PartitionKind,
     };
     pub use idq_objects::{ObjectId, UncertainObject};
-    pub use idq_query::{KnnResult, QueryStats, RangeResult};
+    pub use idq_query::{KnnResult, Outcome, Query, QueryOptions, QueryStats, RangeResult};
     pub use idq_workloads::{BuildingConfig, ObjectConfig, QueryPointConfig};
 }
