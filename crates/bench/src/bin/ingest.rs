@@ -1,0 +1,193 @@
+//! Ingest — single `apply` vs atomic `apply_batch` on a position-update
+//! stream (the write-side mirror of `throughput.rs`).
+//!
+//! Measures updates/second on the default workload (§V-A parameters,
+//! `IDQ_SCALE`-scaled) for the same pre-generated update stream applied
+//! three-plus ways:
+//!
+//! * **single** — every update through `IndoorEngine::apply`, each paying
+//!   for its own footprint traversal and skeleton bookkeeping;
+//! * **batched(B)** — the stream in `apply_batch` chunks of `B`, where
+//!   position updates grouped by touched partition share one footprint
+//!   traversal per group.
+//!
+//! The stream is a pure position mix (90% moves, 5% arrivals, 5%
+//! departures, instances kept small so index maintenance — not Gaussian
+//! sampling — dominates), i.e. the paper's §III-C.2 flow at positioning-
+//! feed rates. Emits a `BENCH_ingest.json` line (and prints it) so
+//! successive runs form a trajectory.
+
+use idq_bench::{scale_from_env, scaled_floors, scaled_objects};
+use idq_core::{EngineConfig, IndoorEngine};
+use idq_workloads::{
+    generate_building, generate_objects, generate_update_stream, BuildingConfig, ObjectConfig,
+    PaperDefaults, UpdateStreamConfig,
+};
+use std::time::Instant;
+
+/// Batch sizes swept on the batched side.
+const BATCH_SIZES: [usize; 4] = [64, 1024, 4096, 16384];
+
+fn main() {
+    let scale = scale_from_env();
+    let d = PaperDefaults::default();
+    eprintln!("ingest: IDQ_SCALE={scale}");
+
+    let floors = scaled_floors(d.floors, scale);
+    let objects = scaled_objects(d.objects, scale);
+    let stream_len = scaled_objects(16_384, scale);
+
+    let building =
+        generate_building(&BuildingConfig::with_floors(floors)).expect("generator invariants hold");
+    let store = generate_objects(
+        &building,
+        &ObjectConfig {
+            count: objects,
+            radius: d.radius,
+            instances: 8,
+            seed: 42,
+        },
+    )
+    .expect("population fits the building");
+    let stream = generate_update_stream(
+        &building,
+        &store,
+        &UpdateStreamConfig {
+            count: stream_len,
+            moves: 0.90,
+            inserts: 0.05,
+            removes: 0.05,
+            door_events: 0.0,
+            radius: d.radius,
+            instances: 8,
+            seed: 7,
+        },
+    );
+
+    let fresh_engine = || {
+        IndoorEngine::with_objects(
+            building.space.clone(),
+            store.clone(),
+            EngineConfig::default(),
+        )
+        .expect("engine builds")
+    };
+    let checksum = |e: &IndoorEngine| {
+        let mut sum = 0.0f64;
+        for id in e.store().ids_sorted() {
+            let o = e.store().get(id).expect("listed id");
+            sum += o.region.center.x + o.region.center.y + id.0 as f64;
+        }
+        (e.store().len(), sum)
+    };
+
+    // Warm-up: one engine through a slice of the stream touches every path.
+    {
+        let mut e = fresh_engine();
+        let take = stream.len().min(256);
+        e.apply_batch(&stream[..take]).expect("warm-up applies");
+    }
+
+    // Repetitions per mode (wall-clock minimum is reported): the whole
+    // stream finishes in milliseconds at small scales, where a single
+    // timing is mostly scheduler noise.
+    let reps: usize = std::env::var("IDQ_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+
+    // Single-issue: every update through apply().
+    let mut reference = None;
+    let mut single_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let mut engine = fresh_engine();
+        let t = Instant::now();
+        for update in &stream {
+            engine.apply(update.clone()).expect("update applies");
+        }
+        single_ms = single_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        reference = Some(checksum(&engine));
+    }
+    let single_ups = stream.len() as f64 / (single_ms / 1e3);
+    let reference = reference.expect("at least one repetition");
+
+    // Batched: apply_batch chunks at each size.
+    let mut batched = Vec::new();
+    for &size in &BATCH_SIZES {
+        let mut traversals = 0usize;
+        let mut position_updates = 0usize;
+        let mut ms = f64::INFINITY;
+        for _ in 0..reps {
+            let mut engine = fresh_engine();
+            traversals = 0;
+            position_updates = 0;
+            let t = Instant::now();
+            for chunk in stream.chunks(size) {
+                let report = engine.apply_batch(chunk).expect("batch applies");
+                traversals += report.stats.footprint_searches;
+                position_updates += report.stats.position_updates;
+            }
+            ms = ms.min(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                checksum(&engine),
+                reference,
+                "batched(size={size}) ends in the single-issue state"
+            );
+        }
+        let ups = stream.len() as f64 / (ms / 1e3);
+        eprintln!(
+            "ingest: batch={size:5} {ups:10.0} updates/s \
+             ({traversals} traversals for {position_updates} position updates)"
+        );
+        batched.push((size, ms, ups, traversals));
+    }
+
+    let (best_size, _, best_ups, _) = batched
+        .iter()
+        .copied()
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("at least one batch size");
+    let speedup = best_ups / single_ups;
+
+    let batched_json: Vec<String> = batched
+        .iter()
+        .map(|(size, ms, ups, traversals)| {
+            format!(
+                "{{\"batch\":{size},\"ms\":{ms:.3},\"ups\":{ups:.1},\"traversals\":{traversals}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"ingest\",\"scale\":{},\"floors\":{},\"objects\":{},",
+            "\"updates\":{},\"single_ms\":{:.3},\"single_ups\":{:.1},",
+            "\"batched\":[{}],",
+            "\"best_batch\":{},\"best_ups\":{:.1},\"speedup\":{:.3}}}"
+        ),
+        scale,
+        floors,
+        objects,
+        stream.len(),
+        single_ms,
+        single_ups,
+        batched_json.join(","),
+        best_size,
+        best_ups,
+        speedup,
+    );
+    println!("{json}");
+    let appended = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open("BENCH_ingest.json")
+        .and_then(|mut f| std::io::Write::write_all(&mut f, format!("{json}\n").as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("ingest: could not append to BENCH_ingest.json: {e}");
+    }
+    eprintln!(
+        "ingest: apply_batch({best_size}) is {speedup:.2}x single apply \
+         ({best_ups:.0} vs {single_ups:.0} updates/s over {} updates)",
+        stream.len()
+    );
+}

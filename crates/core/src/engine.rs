@@ -1,17 +1,26 @@
 //! The engine: space + objects + index, kept consistent.
+//!
+//! Reads go through [`EngineSnapshot`]s (PR 2's session API); writes go
+//! through typed [`Update`]s executed by [`IndoorEngine::apply`] (one
+//! update) or [`IndoorEngine::apply_batch`] (an atomic, amortized
+//! transaction over a whole update stream — see `update.rs` for the
+//! vocabulary and the report types). Every successful apply bumps the
+//! engine's monotone epoch, which snapshots carry as their version.
 
 use crate::error::EngineError;
 use crate::snapshot::EngineSnapshot;
-use idq_geom::Point2;
-use idq_index::{CompositeIndex, IndexConfig};
+use crate::update::{DeltaBuilder, Update, UpdateOutcome, UpdateReport, UpdateStats};
+use idq_geom::{Circle, Mbr3, Point2};
+use idq_index::{CompositeIndex, IndexConfig, UnitId};
 use idq_model::IndoorPoint;
 use idq_model::{
     Direction, DoorId, Floor, IndoorSpace, PartitionId, PartitionSpec, SplitLine, TopologyEvent,
 };
-use idq_objects::{GaussianSampler, ObjectId, ObjectStore, UncertainObject};
+use idq_objects::{GaussianSampler, ObjectError, ObjectId, ObjectStore, UncertainObject};
 use idq_query::{KnnResult, Outcome, Query, QueryOptions, RangeResult};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 
 /// Engine configuration: index layout plus default query options.
 #[derive(Clone, Copy, Debug, Default)]
@@ -20,6 +29,133 @@ pub struct EngineConfig {
     pub index: IndexConfig,
     /// Default query options (ablation switches, subgraph slack).
     pub query: QueryOptions,
+}
+
+/// Planar side length (metres) of the spatial cells `apply_batch` groups
+/// position updates by: `(floor, ⌊x/cell⌋, ⌊y/cell⌋)` of the new region
+/// centre is a constant-time proxy for the touched partition (cells are
+/// sized to the §V-A mall generator's room scale), so updates landing in
+/// the same partition share one footprint traversal without paying a
+/// point-location query per update.
+const GROUP_CELL_M: f64 = 60.0;
+
+/// Sampling parameters of a deferred Gaussian draw (resolved during
+/// validation, executed during staging with an index-derived partition
+/// hint).
+#[derive(Debug)]
+struct SampleSpec {
+    id: ObjectId,
+    center: Point2,
+    floor: Floor,
+    radius: f64,
+    instances: usize,
+    seed: u64,
+}
+
+/// A validated position update: existence and duplicate checks done, ids
+/// allocated, sampling parameters resolved — nothing mutated, nothing
+/// sampled yet. Crucially the write MBR is already known (a sampled
+/// object's instances are truncated to its region, so its footprint is the
+/// region's bounding box), which is what lets a run compute all footprints
+/// first — shared traversals, grouped by touched partition — and then feed
+/// each footprint's partitions back to the sampler as a point-location
+/// hint.
+#[derive(Debug)]
+enum Intent {
+    /// Insert this fully-formed object.
+    InsertReady(Box<UncertainObject>),
+    /// Sample a fresh object, then insert it.
+    SampleInsert(SampleSpec),
+    /// Sample the moved object's new state, then replace the old one.
+    SampleMove(SampleSpec),
+    /// Remove this object.
+    Remove(ObjectId),
+}
+
+impl Intent {
+    /// The MBR this intent writes into the index, if it writes one.
+    fn write_mbr(&self, space: &IndoorSpace) -> Option<Mbr3> {
+        match self {
+            Intent::InsertReady(o) => Some(Mbr3::planar(
+                o.footprint_rect(),
+                o.floor,
+                space.elevation(o.floor),
+            )),
+            Intent::SampleInsert(s) | Intent::SampleMove(s) => {
+                let rect = Circle::new(s.center, s.radius).bbox();
+                Some(Mbr3::planar(rect, s.floor, space.elevation(s.floor)))
+            }
+            Intent::Remove(_) => None,
+        }
+    }
+
+    /// Grouping key: (floor, partition-scale cell) of the write centre.
+    fn group_key(&self) -> Option<(Floor, i64, i64)> {
+        let (center, floor) = match self {
+            Intent::InsertReady(o) => (o.region.center, o.floor),
+            Intent::SampleInsert(s) | Intent::SampleMove(s) => (s.center, s.floor),
+            Intent::Remove(_) => return None,
+        };
+        let cx = (center.x / GROUP_CELL_M).floor() as i64;
+        let cy = (center.y / GROUP_CELL_M).floor() as i64;
+        Some((floor, cx, cy))
+    }
+}
+
+/// What an object carried over from earlier updates of the same run —
+/// sequential semantics without splitting the run on repeated ids.
+#[derive(Clone, Copy, Debug)]
+enum PendingState {
+    /// The object will be live with this region radius / instance count.
+    Live { radius: f64, instances: usize },
+    /// The object will be gone.
+    Removed,
+}
+
+/// A staged position update: validated, footprinted and sampled — the
+/// commit can no longer fail on user input.
+#[derive(Debug)]
+enum PreparedOp {
+    /// Insert this object under the prepared footprint.
+    Insert(Box<UncertainObject>, Vec<UnitId>, Mbr3),
+    /// Replace the same-id object under the prepared footprint.
+    Move(Box<UncertainObject>, Vec<UnitId>, Mbr3),
+    /// Remove this object.
+    Remove(ObjectId),
+}
+
+/// Inverse of one committed position update, for all-or-nothing batches.
+#[derive(Debug)]
+enum UndoOp {
+    /// Undo an insert: drop the object again.
+    RemoveInserted(ObjectId),
+    /// Undo a move: swap the previous object state back in.
+    ReplaceBack(Box<UncertainObject>),
+    /// Undo a removal: re-register the object.
+    ReinsertRemoved(Box<UncertainObject>),
+}
+
+/// Clone of the mutable layers, taken once per batch before its first
+/// topology update (topology maintenance has no cheap inverse; object
+/// updates roll back through [`UndoOp`]s instead).
+#[derive(Debug)]
+struct Checkpoint {
+    space: IndoorSpace,
+    store: ObjectStore,
+    index: CompositeIndex,
+    /// Undo entries recorded before the checkpoint (still needed after a
+    /// restore; later entries are superseded by it).
+    undo_len: usize,
+}
+
+/// In-flight state of one `apply_batch` transaction.
+#[derive(Debug, Default)]
+struct BatchState {
+    undo: Vec<UndoOp>,
+    checkpoint: Option<Box<Checkpoint>>,
+    outcomes: Vec<UpdateOutcome>,
+    delta: DeltaBuilder,
+    stats: UpdateStats,
 }
 
 /// The integrated engine: one consistent view of the indoor world.
@@ -31,6 +167,9 @@ pub struct IndoorEngine {
     options: QueryOptions,
     /// Largest uncertainty radius seen, used to widen the subgraph slack.
     max_radius: f64,
+    /// Monotone write counter: +1 per successful [`IndoorEngine::apply`] /
+    /// [`IndoorEngine::apply_batch`]. Snapshots carry it as their version.
+    epoch: u64,
 }
 
 impl IndoorEngine {
@@ -53,6 +192,7 @@ impl IndoorEngine {
             index,
             options: config.query,
             max_radius,
+            epoch: 0,
         })
     }
 
@@ -73,6 +213,14 @@ impl IndoorEngine {
         &self.index
     }
 
+    /// The engine's write epoch: bumped once per successful
+    /// [`IndoorEngine::apply`] or [`IndoorEngine::apply_batch`] (a batch is
+    /// one transaction, hence one bump). Two snapshots with equal
+    /// [`EngineSnapshot::version`] saw the identical world.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The effective default query options (slack widened to the largest
     /// uncertainty region inserted so far).
     pub fn query_options(&self) -> QueryOptions {
@@ -91,12 +239,13 @@ impl IndoorEngine {
     /// queries issued through it.
     pub fn snapshot(&self) -> EngineSnapshot<'_> {
         EngineSnapshot::new(&self.space, &self.store, &self.index, self.query_options())
+            .with_version(self.epoch)
     }
 
     /// A read view with explicit query options (ablations, exact
     /// refinement…).
     pub fn snapshot_with(&self, options: QueryOptions) -> EngineSnapshot<'_> {
-        EngineSnapshot::new(&self.space, &self.store, &self.index, options)
+        EngineSnapshot::new(&self.space, &self.store, &self.index, options).with_version(self.epoch)
     }
 
     /// Evaluates one typed [`Query`] on a fresh default snapshot.
@@ -110,22 +259,527 @@ impl IndoorEngine {
         self.snapshot().execute_batch(queries)
     }
 
+    // ---- typed updates (§III-C) ---------------------------------------------
+
+    /// Applies one typed [`Update`].
+    ///
+    /// Atomic: on error the engine state is exactly what it was before the
+    /// call (object updates prepare all fallible work — sampling,
+    /// existence checks — before mutating anything; topology updates
+    /// validate in the space layer before emitting events). A success bumps
+    /// the [`IndoorEngine::epoch`].
+    pub fn apply(&mut self, update: Update) -> Result<UpdateOutcome, EngineError> {
+        if update.is_topology() {
+            let mut skeleton_dirty = false;
+            let outcome = self.apply_topology_update(&update, &mut skeleton_dirty)?;
+            if skeleton_dirty {
+                self.index.rebuild_skeleton(&self.space);
+            }
+            self.epoch += 1;
+            Ok(outcome)
+        } else {
+            let watermark = self.store.id_watermark();
+            let max_radius = self.max_radius;
+            let mut undo = Vec::new();
+            let mut stats = UpdateStats::default();
+            let mut pending = HashMap::new();
+            let result = self
+                .prepare_intent(&update, &mut pending)
+                .and_then(|intent| self.stage_run(vec![intent], &mut stats))
+                .and_then(|ops| {
+                    let op = ops.into_iter().next().expect("one intent, one op");
+                    self.commit_object_op(op, &mut undo)
+                });
+            match result {
+                Ok(outcome) => {
+                    self.epoch += 1;
+                    Ok(outcome)
+                }
+                Err(e) => {
+                    self.rollback_object_ops(undo);
+                    self.store.restore_id_watermark(watermark);
+                    self.max_radius = max_radius;
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Applies a stream of typed [`Update`]s as **one atomic transaction**:
+    /// either every update commits (one epoch bump, one [`UpdateReport`])
+    /// or, on the first failure, the engine rolls back to the state before
+    /// the call and the error is returned.
+    ///
+    /// The batch is also **amortized**: position updates are grouped by
+    /// touched partition so the composite index runs one footprint
+    /// traversal per group instead of one per update, and a run of
+    /// topology updates coalesces its skeleton repairs into a single
+    /// rebuild at the end of the run. Results are equivalent to applying
+    /// the updates one at a time in order (same objects, same ids, same
+    /// query answers) — only the maintenance cost differs.
+    ///
+    /// Rollback uses inverse operations for object updates; a batch that
+    /// contains topology updates additionally clones the three layers once
+    /// (`stats.checkpointed`) because topology maintenance has no cheap
+    /// inverse. Rollback restores *observable* state exactly (objects,
+    /// topology, versions, epoch, allocator watermark); incidental bucket
+    /// orderings inside the index may differ, which no query can see.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<UpdateReport, EngineError> {
+        let watermark = self.store.id_watermark();
+        let max_radius = self.max_radius;
+        let mut state = BatchState {
+            outcomes: Vec::with_capacity(updates.len()),
+            ..BatchState::default()
+        };
+        match self.run_batch(updates, &mut state) {
+            Ok(()) => {
+                if !updates.is_empty() {
+                    self.epoch += 1;
+                }
+                Ok(UpdateReport {
+                    outcomes: state.outcomes,
+                    delta: state.delta.finish(),
+                    epoch: self.epoch,
+                    stats: state.stats,
+                })
+            }
+            Err(e) => {
+                if let Some(cp) = state.checkpoint.take() {
+                    self.space = cp.space;
+                    self.store = cp.store;
+                    self.index = cp.index;
+                    state.undo.truncate(cp.undo_len);
+                }
+                self.rollback_object_ops(state.undo);
+                self.store.restore_id_watermark(watermark);
+                self.max_radius = max_radius;
+                Err(e)
+            }
+        }
+    }
+
+    /// The forward pass of one batch: alternating runs of position updates
+    /// (prepared, then committed with grouped footprints) and topology
+    /// updates (applied with one deferred skeleton repair per run).
+    fn run_batch(&mut self, updates: &[Update], state: &mut BatchState) -> Result<(), EngineError> {
+        state.stats.updates = updates.len();
+        let mut i = 0;
+        while i < updates.len() {
+            if updates[i].is_topology() {
+                if state.checkpoint.is_none() {
+                    state.checkpoint = Some(Box::new(Checkpoint {
+                        space: self.space.clone(),
+                        store: self.store.clone(),
+                        index: self.index.clone(),
+                        undo_len: state.undo.len(),
+                    }));
+                    state.stats.checkpointed = true;
+                }
+                let mut skeleton_dirty = false;
+                while i < updates.len() && updates[i].is_topology() {
+                    let outcome = self.apply_topology_update(&updates[i], &mut skeleton_dirty)?;
+                    state.delta.record(&outcome);
+                    state.outcomes.push(outcome);
+                    i += 1;
+                }
+                if skeleton_dirty {
+                    self.index.rebuild_skeleton(&self.space);
+                    state.stats.skeleton_rebuilds += 1;
+                }
+            } else {
+                // One run of position updates: validate every update first
+                // (duplicate/existence checks against the store plus the
+                // run's own pending effects), stage the run (shared
+                // footprint traversals, hint-assisted sampling — all
+                // remaining fallible work, still nothing mutated), then
+                // commit in input order.
+                let mut intents: Vec<Intent> = Vec::new();
+                let mut pending: HashMap<ObjectId, PendingState> = HashMap::new();
+                while i < updates.len() && !updates[i].is_topology() {
+                    intents.push(self.prepare_intent(&updates[i], &mut pending)?);
+                    state.stats.position_updates += 1;
+                    i += 1;
+                }
+                let ops = self.stage_run(intents, &mut state.stats)?;
+                for op in ops {
+                    let outcome = self.commit_object_op(op, &mut state.undo)?;
+                    state.delta.record(&outcome);
+                    state.outcomes.push(outcome);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates one position [`Update`] against the store *and* the run's
+    /// pending effects (so a run may touch the same object repeatedly with
+    /// sequential semantics), allocating ids and resolving sampling
+    /// parameters. No mutation beyond the id allocator (restored on
+    /// rollback).
+    fn prepare_intent(
+        &mut self,
+        update: &Update,
+        pending: &mut HashMap<ObjectId, PendingState>,
+    ) -> Result<Intent, EngineError> {
+        match update {
+            Update::InsertObject(object) => {
+                let id = object.id;
+                let exists = match pending.get(&id) {
+                    Some(PendingState::Live { .. }) => true,
+                    Some(PendingState::Removed) => false,
+                    None => self.store.contains(id),
+                };
+                if exists {
+                    return Err(ObjectError::DuplicateObject(id).into());
+                }
+                // The insert itself is deferred to commit, so reserve the
+                // external id now: a later `InsertObjectAt` in this run
+                // must allocate past it, exactly as sequential application
+                // would after the insert landed.
+                self.store.reserve_id(id);
+                pending.insert(
+                    id,
+                    PendingState::Live {
+                        radius: object.region.radius,
+                        instances: object.len(),
+                    },
+                );
+                Ok(Intent::InsertReady(object.clone()))
+            }
+            Update::InsertObjectAt {
+                center,
+                floor,
+                radius,
+                instances,
+                seed,
+            } => {
+                let id = self.store.allocate_id();
+                let instances = (*instances).max(1);
+                pending.insert(
+                    id,
+                    PendingState::Live {
+                        radius: *radius,
+                        instances,
+                    },
+                );
+                Ok(Intent::SampleInsert(SampleSpec {
+                    id,
+                    center: *center,
+                    floor: *floor,
+                    radius: *radius,
+                    instances,
+                    seed: *seed,
+                }))
+            }
+            Update::MoveObject {
+                id,
+                center,
+                floor,
+                seed,
+            } => {
+                let (radius, instances) = match pending.get(id) {
+                    Some(PendingState::Removed) => {
+                        return Err(ObjectError::UnknownObject(*id).into())
+                    }
+                    Some(PendingState::Live { radius, instances }) => (*radius, *instances),
+                    None => {
+                        let old = self.store.get(*id)?;
+                        (old.region.radius, old.len())
+                    }
+                };
+                pending.insert(*id, PendingState::Live { radius, instances });
+                Ok(Intent::SampleMove(SampleSpec {
+                    id: *id,
+                    center: *center,
+                    floor: *floor,
+                    radius,
+                    instances,
+                    seed: *seed,
+                }))
+            }
+            Update::RemoveObject(id) => {
+                match pending.get(id) {
+                    Some(PendingState::Removed) => {
+                        return Err(ObjectError::UnknownObject(*id).into())
+                    }
+                    Some(PendingState::Live { .. }) => {}
+                    None => {
+                        self.store.get(*id)?;
+                    }
+                }
+                pending.insert(*id, PendingState::Removed);
+                Ok(Intent::Remove(*id))
+            }
+            _ => unreachable!("prepare_intent only sees position updates"),
+        }
+    }
+
+    /// Stages a validated run: groups writes by touched partition, runs
+    /// one footprint traversal per group, then executes the deferred
+    /// Gaussian draws with each footprint's partitions as the
+    /// point-location hint (identical results to full point location, a
+    /// fraction of the cost). Sampling can fail — a centre outside every
+    /// partition — but nothing is mutated until every op is staged.
+    fn stage_run(
+        &mut self,
+        intents: Vec<Intent>,
+        stats: &mut UpdateStats,
+    ) -> Result<Vec<PreparedOp>, EngineError> {
+        // Sort write indices by (floor, cell): each contiguous key run is
+        // one group sharing a traversal.
+        let mut keyed: Vec<((Floor, i64, i64), usize)> = intents
+            .iter()
+            .enumerate()
+            .filter_map(|(k, intent)| intent.group_key().map(|key| (key, k)))
+            .collect();
+        keyed.sort_unstable();
+        let mut footprints: Vec<Option<(Vec<UnitId>, Mbr3)>> = Vec::new();
+        footprints.resize_with(intents.len(), || None);
+        let mut start = 0;
+        while start < keyed.len() {
+            let key = keyed[start].0;
+            let mut end = start + 1;
+            while end < keyed.len() && keyed[end].0 == key {
+                end += 1;
+            }
+            let members = &keyed[start..end];
+            let mbrs: Vec<Mbr3> = members
+                .iter()
+                .map(|&(_, k)| {
+                    intents[k]
+                        .write_mbr(&self.space)
+                        .expect("grouped intents write an MBR")
+                })
+                .collect();
+            let grouped = self.index.unit_footprints_grouped(&mbrs);
+            stats.footprint_searches += 1;
+            for ((&(_, k), units), mbr) in members.iter().zip(grouped).zip(mbrs) {
+                footprints[k] = Some((units, mbr));
+            }
+            start = end;
+        }
+        intents
+            .into_iter()
+            .zip(footprints)
+            .map(|(intent, footprint)| match intent {
+                Intent::InsertReady(object) => {
+                    let (units, mbr) = footprint.expect("writes carry a footprint");
+                    Ok(PreparedOp::Insert(object, units, mbr))
+                }
+                Intent::SampleInsert(spec) => {
+                    let (units, mbr) = footprint.expect("writes carry a footprint");
+                    let object = self.sample_spec(&spec, &units)?;
+                    Ok(PreparedOp::Insert(Box::new(object), units, mbr))
+                }
+                Intent::SampleMove(spec) => {
+                    let (units, mbr) = footprint.expect("writes carry a footprint");
+                    let object = self.sample_spec(&spec, &units)?;
+                    Ok(PreparedOp::Move(Box::new(object), units, mbr))
+                }
+                Intent::Remove(id) => Ok(PreparedOp::Remove(id)),
+            })
+            .collect()
+    }
+
+    /// Executes one deferred Gaussian draw, point-locating against the
+    /// partitions owning the footprint's units (a superset of every
+    /// partition overlapping the region, so the draw is exact).
+    fn sample_spec(
+        &self,
+        spec: &SampleSpec,
+        units: &[UnitId],
+    ) -> Result<UncertainObject, EngineError> {
+        let mut hint: Vec<PartitionId> = units
+            .iter()
+            .filter_map(|&u| self.index.units().partition_of(u))
+            .collect();
+        hint.sort_unstable();
+        hint.dedup();
+        let sampler = GaussianSampler {
+            instances: spec.instances,
+            ..GaussianSampler::default()
+        };
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ spec.id.0);
+        Ok(sampler.sample_with_hint(
+            spec.id,
+            spec.center,
+            spec.floor,
+            spec.radius,
+            &self.space,
+            &hint,
+            &mut rng,
+        )?)
+    }
+
+    /// Applies one staged op to store + index, recording its inverse. By
+    /// construction (validation + staging) these layer operations cannot
+    /// fail on user input; the defensive paths keep the layers consistent
+    /// anyway.
+    fn commit_object_op(
+        &mut self,
+        op: PreparedOp,
+        undo: &mut Vec<UndoOp>,
+    ) -> Result<UpdateOutcome, EngineError> {
+        match op {
+            PreparedOp::Insert(object, units, mbr) => {
+                let id = object.id;
+                let radius = object.region.radius;
+                self.index.insert_object_prepared(id, units, mbr)?;
+                if let Err(e) = self.store.insert(*object) {
+                    // Keep the layers consistent: the index insert above
+                    // succeeded, so removal undoes exactly it.
+                    self.index.remove_object(id)?;
+                    return Err(e.into());
+                }
+                undo.push(UndoOp::RemoveInserted(id));
+                self.max_radius = self.max_radius.max(radius);
+                Ok(UpdateOutcome::ObjectInserted(id))
+            }
+            PreparedOp::Move(object, units, mbr) => {
+                let id = object.id;
+                let old = self.store.replace(*object)?;
+                if let Err(e) = self.index.update_object_prepared(id, units, mbr) {
+                    self.store.replace(old)?;
+                    return Err(e.into());
+                }
+                undo.push(UndoOp::ReplaceBack(Box::new(old)));
+                Ok(UpdateOutcome::ObjectMoved(id))
+            }
+            PreparedOp::Remove(id) => {
+                self.index.remove_object(id)?;
+                let object = self.store.remove(id)?;
+                undo.push(UndoOp::ReinsertRemoved(Box::new(object)));
+                Ok(UpdateOutcome::ObjectRemoved(id))
+            }
+        }
+    }
+
+    /// Reverses committed position updates, newest first. The inverses
+    /// mirror operations the forward pass just performed, so layer errors
+    /// here are unreachable short of memory corruption — hence the
+    /// `expect`s: a failed rollback has no sane continuation.
+    fn rollback_object_ops(&mut self, mut undo: Vec<UndoOp>) {
+        while let Some(op) = undo.pop() {
+            match op {
+                UndoOp::RemoveInserted(id) => {
+                    self.index
+                        .remove_object(id)
+                        .expect("rollback: inserted object is indexed");
+                    self.store
+                        .remove(id)
+                        .expect("rollback: inserted object is stored");
+                }
+                UndoOp::ReplaceBack(old) => {
+                    self.index
+                        .update_object(&self.space, &old)
+                        .expect("rollback: moved object is indexed");
+                    self.store
+                        .replace(*old)
+                        .expect("rollback: moved object is stored");
+                }
+                UndoOp::ReinsertRemoved(object) => {
+                    self.index
+                        .insert_object(&self.space, &object)
+                        .expect("rollback: removed object re-indexes");
+                    self.store
+                        .insert(*object)
+                        .expect("rollback: removed id is free");
+                }
+            }
+        }
+    }
+
+    /// Applies one topology [`Update`]: the space-layer operation, then its
+    /// events through the index with the skeleton repair deferred into
+    /// `skeleton_dirty` (callers coalesce repairs across a run).
+    fn apply_topology_update(
+        &mut self,
+        update: &Update,
+        skeleton_dirty: &mut bool,
+    ) -> Result<UpdateOutcome, EngineError> {
+        match update {
+            Update::OpenDoor(d) => {
+                let ev = self.space.open_door(*d)?;
+                self.absorb_events(&[ev], skeleton_dirty)?;
+                Ok(UpdateOutcome::DoorOpened(*d))
+            }
+            Update::CloseDoor(d) => {
+                let ev = self.space.close_door(*d)?;
+                self.absorb_events(&[ev], skeleton_dirty)?;
+                Ok(UpdateOutcome::DoorClosed(*d))
+            }
+            Update::InsertDoor {
+                a,
+                b,
+                position,
+                floor,
+                direction,
+            } => {
+                let (id, ev) = self
+                    .space
+                    .insert_door(*a, *b, *position, *floor, *direction)?;
+                self.absorb_events(&[ev], skeleton_dirty)?;
+                Ok(UpdateOutcome::DoorInserted(id))
+            }
+            Update::InsertPartition(spec) => {
+                let (partition, doors, events) = self.space.insert_partition(spec.clone())?;
+                self.absorb_events(&events, skeleton_dirty)?;
+                Ok(UpdateOutcome::PartitionInserted { partition, doors })
+            }
+            Update::DeletePartition(p) => {
+                let events = self.space.delete_partition(*p)?;
+                self.absorb_events(&events, skeleton_dirty)?;
+                Ok(UpdateOutcome::PartitionDeleted(*p))
+            }
+            Update::SplitPartition {
+                partition,
+                line,
+                connecting_door,
+            } => {
+                let (halves, events) =
+                    self.space
+                        .split_partition(*partition, *line, *connecting_door)?;
+                self.absorb_events(&events, skeleton_dirty)?;
+                Ok(UpdateOutcome::PartitionSplit {
+                    old: *partition,
+                    halves,
+                })
+            }
+            Update::MergePartitions(a, b) => {
+                let (merged, events) = self.space.merge_partitions(*a, *b)?;
+                self.absorb_events(&events, skeleton_dirty)?;
+                Ok(UpdateOutcome::PartitionsMerged { merged })
+            }
+            _ => unreachable!("apply_topology_update only sees topology updates"),
+        }
+    }
+
+    fn absorb_events(
+        &mut self,
+        events: &[TopologyEvent],
+        skeleton_dirty: &mut bool,
+    ) -> Result<(), EngineError> {
+        for ev in events {
+            *skeleton_dirty |= self
+                .index
+                .apply_topology_deferred(&self.space, &self.store, ev)?;
+        }
+        Ok(())
+    }
+
     // ---- object management (§III-C.2) --------------------------------------
+    //
+    // Stability contract (mirroring the read side): these convenience
+    // methods are kept indefinitely as thin delegations onto
+    // [`IndoorEngine::apply`] — existing callers never need to name
+    // [`Update`]. New code, and anything issuing several updates that must
+    // commit or fail together, should prefer typed updates and
+    // [`IndoorEngine::apply_batch`].
 
     /// Inserts a fully-formed uncertain object.
     pub fn insert_object(&mut self, object: UncertainObject) -> Result<(), EngineError> {
-        let id = object.id;
-        let radius = object.region.radius;
-        self.index.insert_object(&self.space, &object)?;
-        if let Err(e) = self.store.insert(object) {
-            // Roll the index back so layers stay consistent. The index
-            // insert above succeeded, so `id` was not indexed before and
-            // removal undoes exactly that insert.
-            self.index.remove_object(id)?;
-            return Err(e.into());
-        }
-        self.max_radius = self.max_radius.max(radius);
-        Ok(())
+        self.apply(Update::InsertObject(Box::new(object)))
+            .map(|_| ())
     }
 
     /// Samples and inserts an object: Gaussian instances in a circular
@@ -138,31 +792,36 @@ impl IndoorEngine {
         instances: usize,
         seed: u64,
     ) -> Result<ObjectId, EngineError> {
-        let id = self.store.allocate_id();
-        let sampler = GaussianSampler {
-            instances: instances.max(1),
-            ..GaussianSampler::default()
-        };
-        let mut rng = StdRng::seed_from_u64(seed ^ id.0);
-        let object = sampler.sample(id, center, floor, radius, &self.space, &mut rng)?;
-        self.insert_object(object)?;
-        Ok(id)
+        let outcome = self.apply(Update::InsertObjectAt {
+            center,
+            floor,
+            radius,
+            instances,
+            seed,
+        })?;
+        Ok(outcome
+            .inserted_object()
+            .expect("insert yields an inserted-object outcome"))
     }
 
     /// Removes an object, returning it.
+    ///
+    /// Unlike its sibling delegations this one is implemented directly
+    /// (observationally identical to `apply(Update::RemoveObject(id))`,
+    /// epoch bump included) so the removed object *moves* out to the
+    /// caller instead of being deep-cloned for the return value.
     pub fn remove_object(&mut self, id: ObjectId) -> Result<UncertainObject, EngineError> {
+        self.store.get(id)?;
         self.index.remove_object(id)?;
-        Ok(self.store.remove(id)?)
+        let object = self.store.remove(id)?;
+        self.epoch += 1;
+        Ok(object)
     }
 
     /// Moves an object: deletion followed by insertion with a re-sampled
     /// uncertainty region at the new position (§III-C.2's update flow).
-    ///
-    /// Built from the same [`IndoorEngine::remove_object`] /
-    /// [`IndoorEngine::insert_object`] primitives as every other update,
-    /// so index and store cannot diverge; the new region is sampled (and
-    /// can fail) *before* the old object is touched, and a failed
-    /// re-insert restores the removed object.
+    /// The new region is sampled (and can fail) *before* the old object is
+    /// touched, so a failed move leaves the object exactly where it was.
     pub fn move_object(
         &mut self,
         id: ObjectId,
@@ -170,21 +829,13 @@ impl IndoorEngine {
         floor: Floor,
         seed: u64,
     ) -> Result<(), EngineError> {
-        let old = self.store.get(id)?;
-        let radius = old.region.radius;
-        let instances = old.len();
-        let sampler = GaussianSampler {
-            instances,
-            ..GaussianSampler::default()
-        };
-        let mut rng = StdRng::seed_from_u64(seed ^ id.0);
-        let object = sampler.sample(id, center, floor, radius, &self.space, &mut rng)?;
-        let old = self.remove_object(id)?;
-        if let Err(e) = self.insert_object(object) {
-            self.insert_object(old)?;
-            return Err(e);
-        }
-        Ok(())
+        self.apply(Update::MoveObject {
+            id,
+            center,
+            floor,
+            seed,
+        })
+        .map(|_| ())
     }
 
     // ---- queries (§IV) -------------------------------------------------------
@@ -259,17 +910,17 @@ impl IndoorEngine {
     }
 
     // ---- topology updates (§III-C.1) --------------------------------------------
+    //
+    // Same stability contract: thin delegations onto [`IndoorEngine::apply`].
 
     /// Closes a door and updates the index layers.
     pub fn close_door(&mut self, d: DoorId) -> Result<(), EngineError> {
-        let ev = self.space.close_door(d)?;
-        self.apply(&[ev])
+        self.apply(Update::CloseDoor(d)).map(|_| ())
     }
 
     /// Re-opens a door.
     pub fn open_door(&mut self, d: DoorId) -> Result<(), EngineError> {
-        let ev = self.space.open_door(d)?;
-        self.apply(&[ev])
+        self.apply(Update::OpenDoor(d)).map(|_| ())
     }
 
     /// Adds a temporary door between two partitions.
@@ -281,9 +932,16 @@ impl IndoorEngine {
         floor: Floor,
         direction: Direction,
     ) -> Result<DoorId, EngineError> {
-        let (id, ev) = self.space.insert_door(a, b, position, floor, direction)?;
-        self.apply(&[ev])?;
-        Ok(id)
+        Ok(self
+            .apply(Update::InsertDoor {
+                a,
+                b,
+                position,
+                floor,
+                direction,
+            })?
+            .inserted_door()
+            .expect("door insert yields an inserted-door outcome"))
     }
 
     /// Inserts a partition with its doors.
@@ -291,15 +949,15 @@ impl IndoorEngine {
         &mut self,
         spec: PartitionSpec,
     ) -> Result<(PartitionId, Vec<DoorId>), EngineError> {
-        let (pid, doors, events) = self.space.insert_partition(spec)?;
-        self.apply(&events)?;
-        Ok((pid, doors))
+        match self.apply(Update::InsertPartition(spec))? {
+            UpdateOutcome::PartitionInserted { partition, doors } => Ok((partition, doors)),
+            _ => unreachable!("partition insert yields a partition-inserted outcome"),
+        }
     }
 
     /// Deletes a partition and its doors.
     pub fn delete_partition(&mut self, pid: PartitionId) -> Result<(), EngineError> {
-        let events = self.space.delete_partition(pid)?;
-        self.apply(&events)
+        self.apply(Update::DeletePartition(pid)).map(|_| ())
     }
 
     /// Splits a rectangular partition with a sliding wall.
@@ -309,9 +967,14 @@ impl IndoorEngine {
         line: SplitLine,
         connecting_door: Option<Point2>,
     ) -> Result<[PartitionId; 2], EngineError> {
-        let (halves, events) = self.space.split_partition(pid, line, connecting_door)?;
-        self.apply(&events)?;
-        Ok(halves)
+        Ok(self
+            .apply(Update::SplitPartition {
+                partition: pid,
+                line,
+                connecting_door,
+            })?
+            .split_halves()
+            .expect("split yields a partition-split outcome"))
     }
 
     /// Merges two partitions (dismounts a sliding wall).
@@ -320,24 +983,20 @@ impl IndoorEngine {
         a: PartitionId,
         b: PartitionId,
     ) -> Result<PartitionId, EngineError> {
-        let (merged, events) = self.space.merge_partitions(a, b)?;
-        self.apply(&events)?;
-        Ok(merged)
+        Ok(self
+            .apply(Update::MergePartitions(a, b))?
+            .merged_partition()
+            .expect("merge yields a partitions-merged outcome"))
     }
 
-    fn apply(&mut self, events: &[TopologyEvent]) -> Result<(), EngineError> {
-        for ev in events {
-            self.index.apply_topology(&self.space, &self.store, ev)?;
-        }
-        Ok(())
-    }
-
-    /// Validates cross-layer invariants (test/diagnostic support).
-    pub fn validate(&self) {
+    /// Validates cross-layer invariants (test/diagnostic support): returns
+    /// an error when the index has not absorbed every space mutation, and
+    /// panics on broken index-internal invariants (those indicate a bug,
+    /// never an operational state).
+    pub fn validate(&self) -> Result<(), EngineError> {
         self.index.validate();
-        self.index
-            .check_fresh(&self.space)
-            .expect("index is current with the space");
+        self.index.check_fresh(&self.space)?;
+        Ok(())
     }
 }
 
@@ -372,7 +1031,7 @@ mod tests {
         let o2 = e
             .insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 8, 2)
             .unwrap();
-        e.validate();
+        e.validate().unwrap();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
         let knn = e.knn(q, 2).unwrap();
         assert_eq!(knn.results.len(), 2);
@@ -384,7 +1043,7 @@ mod tests {
         let knn = e.knn(q, 2).unwrap();
         assert_eq!(knn.results.len(), 1);
         assert_eq!(knn.results[0].object, o2);
-        e.validate();
+        e.validate().unwrap();
     }
 
     #[test]
@@ -402,7 +1061,7 @@ mod tests {
         e.move_object(o1, Point2::new(28.0, 5.0), 0, 9).unwrap();
         e.move_object(o2, Point2::new(12.0, 5.0), 0, 9).unwrap();
         assert_eq!(e.knn(q, 1).unwrap().results[0].object, o2);
-        e.validate();
+        e.validate().unwrap();
     }
 
     #[test]
@@ -418,7 +1077,7 @@ mod tests {
         assert!(e.indoor_distance(q, p).unwrap().is_infinite());
         e.open_door(doors[1]).unwrap();
         assert!((e.indoor_distance(q, p).unwrap() - before).abs() < 1e-9);
-        e.validate();
+        e.validate().unwrap();
     }
 
     #[test]
@@ -435,11 +1094,11 @@ mod tests {
         let halves = e
             .split_partition(mid, SplitLine::AtX(15.5), Some(Point2::new(15.5, 5.0)))
             .unwrap();
-        e.validate();
+        e.validate().unwrap();
         let hits = e.range_query(q, 30.0).unwrap();
         assert!(hits.results.iter().any(|h| h.object == o));
         let merged = e.merge_partitions(halves[0], halves[1]).unwrap();
-        e.validate();
+        e.validate().unwrap();
         assert!(e.space().partition(merged).is_ok());
         let hits = e.range_query(q, 30.0).unwrap();
         assert!(hits.results.iter().any(|h| h.object == o));
@@ -455,29 +1114,9 @@ mod tests {
         assert!(e.insert_object(dup).is_err());
         // The failed insert left no trace: cross-layer invariants hold and
         // the original object still answers queries.
-        e.validate();
+        e.validate().unwrap();
         let q = IndoorPoint::new(Point2::new(8.0, 5.0), 0);
         assert_eq!(e.knn(q, 1).unwrap().results[0].object, id);
-    }
-
-    #[test]
-    fn failed_store_insert_rolls_the_index_back() {
-        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
-        let id = e
-            .insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 1)
-            .unwrap();
-        // Force the index-ok/store-fail path directly: remove the object
-        // from the index only, so the index insert succeeds while the
-        // store still holds the id.
-        // (Reaching inside is deliberate — this is the rollback seam.)
-        let obj = e.store().get(id).unwrap().clone();
-        e.index.remove_object(id).unwrap();
-        assert!(e.insert_object(obj).is_err(), "store rejects the duplicate");
-        // The rollback removed the index entry again; re-registering the
-        // object restores full consistency.
-        let obj = e.store.remove(id).unwrap();
-        e.insert_object(obj).unwrap();
-        e.validate();
     }
 
     #[test]
@@ -489,9 +1128,232 @@ mod tests {
         // Moving to a position outside every partition fails in sampling,
         // before the old object is touched.
         assert!(e.move_object(id, Point2::new(-50.0, -50.0), 0, 9).is_err());
-        e.validate();
+        e.validate().unwrap();
         assert!(e.store().contains(id));
         let q = IndoorPoint::new(Point2::new(8.0, 5.0), 0);
         assert_eq!(e.knn(q, 1).unwrap().results[0].object, id);
+    }
+
+    #[test]
+    fn epoch_bumps_once_per_apply_and_stamps_snapshots() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        assert_eq!(e.epoch(), 0);
+        assert_eq!(e.snapshot().version(), 0);
+        e.insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 1)
+            .unwrap();
+        assert_eq!(e.epoch(), 1);
+        let report = e
+            .apply_batch(&[
+                Update::InsertObjectAt {
+                    center: Point2::new(15.0, 5.0),
+                    floor: 0,
+                    radius: 1.0,
+                    instances: 4,
+                    seed: 2,
+                },
+                Update::InsertObjectAt {
+                    center: Point2::new(25.0, 5.0),
+                    floor: 0,
+                    radius: 1.0,
+                    instances: 4,
+                    seed: 3,
+                },
+            ])
+            .unwrap();
+        // One batch, one epoch bump — and the report names it.
+        assert_eq!(e.epoch(), 2);
+        assert_eq!(report.epoch, 2);
+        assert_eq!(e.snapshot().version(), 2);
+        assert_eq!(report.delta.inserted.len(), 2);
+        assert!(!report.delta.topology_changed);
+        // A failed apply leaves the epoch alone.
+        assert!(e
+            .move_object(ObjectId(0), Point2::new(-9.0, -9.0), 0, 1)
+            .is_err());
+        assert_eq!(e.epoch(), 2);
+        // An empty batch is a committed no-op.
+        let report = e.apply_batch(&[]).unwrap();
+        assert_eq!(report.epoch, 2);
+        assert!(report.delta.is_empty());
+    }
+
+    #[test]
+    fn failed_batch_rolls_everything_back() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let o1 = e
+            .insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 1)
+            .unwrap();
+        let epoch = e.epoch();
+        let watermark = e.store().id_watermark();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let before = e.range_query(q, 40.0).unwrap().results;
+        // Two good updates followed by a failing one (move to nowhere).
+        let err = e.apply_batch(&[
+            Update::MoveObject {
+                id: o1,
+                center: Point2::new(25.0, 5.0),
+                floor: 0,
+                seed: 7,
+            },
+            Update::InsertObjectAt {
+                center: Point2::new(15.0, 5.0),
+                floor: 0,
+                radius: 1.0,
+                instances: 4,
+                seed: 8,
+            },
+            Update::MoveObject {
+                id: o1,
+                center: Point2::new(-50.0, -50.0),
+                floor: 0,
+                seed: 9,
+            },
+        ]);
+        assert!(err.is_err());
+        e.validate().unwrap();
+        assert_eq!(e.epoch(), epoch);
+        assert_eq!(e.store().id_watermark(), watermark);
+        assert_eq!(e.store().len(), 1);
+        assert_eq!(e.range_query(q, 40.0).unwrap().results, before);
+        // The object is back at its original position.
+        assert_eq!(
+            e.store().get(o1).unwrap().region.center,
+            Point2::new(5.0, 5.0)
+        );
+    }
+
+    #[test]
+    fn failed_topology_batch_restores_via_checkpoint() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let o1 = e
+            .insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 4, 1)
+            .unwrap();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let p = IndoorPoint::new(Point2::new(28.0, 5.0), 0);
+        let d_before = e.indoor_distance(q, p).unwrap();
+        let version = e.space().version();
+        let (_, doors) = e.shortest_path(q, p).unwrap().unwrap();
+        // A move, a door closure, then a failing update: the closure must
+        // be undone too (checkpoint restore), not just the object ops.
+        let err = e.apply_batch(&[
+            Update::MoveObject {
+                id: o1,
+                center: Point2::new(25.0, 5.0),
+                floor: 0,
+                seed: 3,
+            },
+            Update::CloseDoor(doors[1]),
+            Update::RemoveObject(ObjectId(4040)),
+        ]);
+        assert!(err.is_err());
+        e.validate().unwrap();
+        assert_eq!(e.space().version(), version, "space restored exactly");
+        assert!((e.indoor_distance(q, p).unwrap() - d_before).abs() < 1e-9);
+        assert_eq!(
+            e.store().get(o1).unwrap().region.center,
+            Point2::new(15.0, 5.0)
+        );
+    }
+
+    #[test]
+    fn external_insert_reserves_its_id_for_later_allocations() {
+        // Regression: an `InsertObject` with an externally minted id,
+        // followed in the same batch by an `InsertObjectAt`, must allocate
+        // exactly as sequential application would (the insert only lands at
+        // commit, so staging has to reserve the id up front).
+        let updates = |id: u64| {
+            vec![
+                Update::InsertObject(Box::new(UncertainObject::point_object(
+                    ObjectId(id),
+                    IndoorPoint::new(Point2::new(5.0, 5.0), 0),
+                ))),
+                Update::InsertObjectAt {
+                    center: Point2::new(15.0, 5.0),
+                    floor: 0,
+                    radius: 1.0,
+                    instances: 4,
+                    seed: 1,
+                },
+            ]
+        };
+        for id in [0u64, 5] {
+            let mut seq = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+            let mut bat = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+            for u in updates(id) {
+                seq.apply(u).unwrap();
+            }
+            let report = bat.apply_batch(&updates(id)).unwrap();
+            assert_eq!(
+                seq.store().ids_sorted(),
+                bat.store().ids_sorted(),
+                "id {id}"
+            );
+            assert_eq!(report.delta.inserted, seq.store().ids_sorted());
+            bat.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_equals_sequential_on_a_mixed_stream() {
+        let mut seq = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let mut bat = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let updates = vec![
+            Update::InsertObjectAt {
+                center: Point2::new(5.0, 5.0),
+                floor: 0,
+                radius: 1.0,
+                instances: 4,
+                seed: 1,
+            },
+            Update::InsertObjectAt {
+                center: Point2::new(15.0, 5.0),
+                floor: 0,
+                radius: 1.0,
+                instances: 4,
+                seed: 2,
+            },
+            Update::InsertObjectAt {
+                center: Point2::new(25.0, 5.0),
+                floor: 0,
+                radius: 1.0,
+                instances: 4,
+                seed: 3,
+            },
+            Update::MoveObject {
+                id: ObjectId(0),
+                center: Point2::new(28.0, 5.0),
+                floor: 0,
+                seed: 4,
+            },
+            // Same object again: forces a run split, still equivalent.
+            Update::MoveObject {
+                id: ObjectId(0),
+                center: Point2::new(2.0, 5.0),
+                floor: 0,
+                seed: 5,
+            },
+            Update::RemoveObject(ObjectId(1)),
+        ];
+        for u in &updates {
+            seq.apply(u.clone()).unwrap();
+        }
+        let report = bat.apply_batch(&updates).unwrap();
+        assert_eq!(report.outcomes.len(), updates.len());
+        assert_eq!(report.delta.inserted, vec![ObjectId(0), ObjectId(2)]);
+        assert_eq!(report.delta.removed, Vec::<ObjectId>::new());
+        seq.validate().unwrap();
+        bat.validate().unwrap();
+        assert_eq!(seq.store().ids_sorted(), bat.store().ids_sorted());
+        for id in seq.store().ids_sorted() {
+            let (a, b) = (seq.store().get(id).unwrap(), bat.store().get(id).unwrap());
+            assert_eq!(a.region.center, b.region.center);
+            assert_eq!(a.len(), b.len());
+        }
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let (a, b) = (
+            seq.range_query(q, 30.0).unwrap(),
+            bat.range_query(q, 30.0).unwrap(),
+        );
+        assert_eq!(a.results, b.results);
     }
 }

@@ -35,11 +35,55 @@
 //! // The pre-session convenience methods remain as thin delegations.
 //! assert_eq!(engine.range_query(q, 30.0).unwrap().results[0].object, id);
 //! ```
+//!
+//! Writes mirror the read side: typed [`Update`]s through
+//! [`IndoorEngine::apply`], or whole streams through
+//! [`IndoorEngine::apply_batch`] — one atomic transaction whose
+//! [`UpdateReport`] feeds standing monitors via [`MonitorExt::absorb`]:
+//!
+//! ```
+//! use idq_core::{EngineConfig, IndoorEngine, MonitorExt, Update};
+//! use idq_geom::{Point2, Rect2};
+//! use idq_model::{FloorPlanBuilder, IndoorPoint};
+//! use idq_query::{QueryOptions, RangeMonitor};
+//!
+//! let mut b = FloorPlanBuilder::new(4.0);
+//! let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+//! let c = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+//! b.add_door_between(a, c, Point2::new(10.0, 5.0)).unwrap();
+//! let mut engine = IndoorEngine::new(b.finish().unwrap(), EngineConfig::default()).unwrap();
+//!
+//! let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+//! let mut monitor = RangeMonitor::new(q, 12.0, QueryOptions::default()).unwrap();
+//! monitor.refresh_on(&engine.snapshot()).unwrap();
+//!
+//! // One atomic, amortized transaction; one epoch bump.
+//! let report = engine
+//!     .apply_batch(&[
+//!         Update::InsertObjectAt {
+//!             center: Point2::new(8.0, 5.0), floor: 0, radius: 1.0, instances: 8, seed: 1,
+//!         },
+//!         Update::InsertObjectAt {
+//!             center: Point2::new(18.0, 5.0), floor: 0, radius: 1.0, instances: 8, seed: 2,
+//!         },
+//!     ])
+//!     .unwrap();
+//! assert_eq!(report.delta.inserted.len(), 2);
+//! assert_eq!(engine.snapshot().version(), report.epoch);
+//!
+//! // The monitor re-evaluates exactly what the delta names.
+//! let changes = monitor.absorb(&report, &engine.snapshot()).unwrap();
+//! assert_eq!(changes.len(), 1); // only the near object entered
+//! ```
 
 pub mod engine;
 pub mod error;
+pub mod monitor;
 pub mod snapshot;
+pub mod update;
 
 pub use engine::{EngineConfig, IndoorEngine};
 pub use error::EngineError;
+pub use monitor::MonitorExt;
 pub use snapshot::EngineSnapshot;
+pub use update::{Update, UpdateDelta, UpdateOutcome, UpdateReport, UpdateStats};

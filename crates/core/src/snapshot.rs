@@ -31,11 +31,14 @@ pub struct EngineSnapshot<'a> {
     store: &'a ObjectStore,
     index: &'a CompositeIndex,
     options: QueryOptions,
+    version: u64,
 }
 
 impl<'a> EngineSnapshot<'a> {
     /// Assembles a snapshot from bare layers (the engine's
-    /// [`crate::IndoorEngine::snapshot`] is the usual entry point).
+    /// [`crate::IndoorEngine::snapshot`] is the usual entry point). A
+    /// bare-parts snapshot reports version 0; use
+    /// [`EngineSnapshot::with_version`] to stamp one.
     pub fn new(
         space: &'a IndoorSpace,
         store: &'a ObjectStore,
@@ -47,7 +50,22 @@ impl<'a> EngineSnapshot<'a> {
             store,
             index,
             options,
+            version: 0,
         }
+    }
+
+    /// Stamps the snapshot with an engine epoch (see
+    /// [`crate::IndoorEngine::epoch`]).
+    pub fn with_version(self, version: u64) -> Self {
+        EngineSnapshot { version, ..self }
+    }
+
+    /// The engine epoch this snapshot was taken at: two snapshots with the
+    /// same version saw the identical world, and a monitor fed from an
+    /// [`crate::UpdateReport`] is current iff its last absorbed report's
+    /// epoch matches the snapshot version.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The indoor space this snapshot reads.

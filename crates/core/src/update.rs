@@ -1,0 +1,360 @@
+//! Typed updates — the write-side mirror of the read side's
+//! [`idq_query::Query`].
+//!
+//! An [`Update`] names any mutation the engine supports: the object flow of
+//! §III-C.2 (insert / move / remove) and the topology flow of §III-C.1
+//! (door state, temporary doors, partition insertion/deletion, sliding-wall
+//! split/merge). One update goes through
+//! [`crate::IndoorEngine::apply`]; a stream goes through
+//! [`crate::IndoorEngine::apply_batch`], which applies the whole slice as
+//! one **atomic transaction** (all-or-nothing) and **amortizes** index
+//! maintenance across it (position updates grouped by touched partition,
+//! topology events coalesced into a single skeleton repair).
+//!
+//! Every successful apply bumps the engine's monotone *epoch*, which
+//! snapshots expose as [`crate::EngineSnapshot::version`]; a committed
+//! batch additionally returns an [`UpdateReport`] whose [`UpdateDelta`]
+//! feeds standing monitors (`RangeMonitor::absorb`) without the caller
+//! re-deriving what changed.
+
+use idq_geom::Point2;
+use idq_model::{Direction, DoorId, Floor, PartitionId, PartitionSpec, SplitLine};
+use idq_objects::{ObjectId, UncertainObject};
+use std::collections::BTreeSet;
+
+/// One mutation of the indoor world, executed by
+/// [`crate::IndoorEngine::apply`] / [`crate::IndoorEngine::apply_batch`].
+#[derive(Clone, Debug)]
+pub enum Update {
+    /// Insert a fully-formed uncertain object (the id must be unused).
+    InsertObject(Box<UncertainObject>),
+    /// Sample and insert an object: Gaussian instances in a circular
+    /// region (§V-A's object model); the engine allocates the id.
+    InsertObjectAt {
+        /// Uncertainty-region centre.
+        center: Point2,
+        /// Floor of the centre.
+        floor: Floor,
+        /// Uncertainty-region radius, metres.
+        radius: f64,
+        /// Instances to sample (≥ 1).
+        instances: usize,
+        /// Sampling seed (xor-ed with the allocated id).
+        seed: u64,
+    },
+    /// Move an object: §III-C.2's deletion-plus-insertion flow with a
+    /// re-sampled uncertainty region at the new position.
+    MoveObject {
+        /// The object to move.
+        id: ObjectId,
+        /// New uncertainty-region centre.
+        center: Point2,
+        /// New floor.
+        floor: Floor,
+        /// Sampling seed (xor-ed with the id).
+        seed: u64,
+    },
+    /// Remove an object.
+    RemoveObject(ObjectId),
+    /// Re-open a closed door.
+    OpenDoor(DoorId),
+    /// Close a door.
+    CloseDoor(DoorId),
+    /// Add a temporary door between two partitions.
+    InsertDoor {
+        /// One side.
+        a: PartitionId,
+        /// The other side.
+        b: PartitionId,
+        /// Door midpoint.
+        position: Point2,
+        /// Floor.
+        floor: Floor,
+        /// Directionality.
+        direction: Direction,
+    },
+    /// Insert a partition with its doors.
+    InsertPartition(PartitionSpec),
+    /// Delete a partition and its doors.
+    DeletePartition(PartitionId),
+    /// Split a rectangular partition with a sliding wall.
+    SplitPartition {
+        /// The partition to split.
+        partition: PartitionId,
+        /// The wall position.
+        line: SplitLine,
+        /// Optional connecting door in the new wall.
+        connecting_door: Option<Point2>,
+    },
+    /// Merge two partitions (dismount a sliding wall).
+    MergePartitions(PartitionId, PartitionId),
+}
+
+impl Update {
+    /// Whether this update mutates the topology (space + index tiers)
+    /// rather than the object population.
+    pub fn is_topology(&self) -> bool {
+        !matches!(
+            self,
+            Update::InsertObject(_)
+                | Update::InsertObjectAt { .. }
+                | Update::MoveObject { .. }
+                | Update::RemoveObject(_)
+        )
+    }
+
+    /// The object id the update names, when it names one up front
+    /// (`InsertObjectAt` allocates its id during application).
+    pub fn object_id(&self) -> Option<ObjectId> {
+        match self {
+            Update::InsertObject(o) => Some(o.id),
+            Update::MoveObject { id, .. } => Some(*id),
+            Update::RemoveObject(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// What one applied [`Update`] produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateOutcome {
+    /// An object was inserted.
+    ObjectInserted(ObjectId),
+    /// An object moved.
+    ObjectMoved(ObjectId),
+    /// An object was removed.
+    ObjectRemoved(ObjectId),
+    /// A door re-opened.
+    DoorOpened(DoorId),
+    /// A door closed.
+    DoorClosed(DoorId),
+    /// A door was added.
+    DoorInserted(DoorId),
+    /// A partition was inserted, with its doors.
+    PartitionInserted {
+        /// The new partition.
+        partition: PartitionId,
+        /// Its doors, in spec order.
+        doors: Vec<DoorId>,
+    },
+    /// A partition (and its doors) was deleted.
+    PartitionDeleted(PartitionId),
+    /// A partition was split in two.
+    PartitionSplit {
+        /// The retired original.
+        old: PartitionId,
+        /// The two halves.
+        halves: [PartitionId; 2],
+    },
+    /// Two partitions were merged.
+    PartitionsMerged {
+        /// The merged partition.
+        merged: PartitionId,
+    },
+}
+
+impl UpdateOutcome {
+    /// The id of the object this outcome inserted, if any.
+    pub fn inserted_object(&self) -> Option<ObjectId> {
+        match self {
+            UpdateOutcome::ObjectInserted(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The id of the door this outcome inserted, if any.
+    pub fn inserted_door(&self) -> Option<DoorId> {
+        match self {
+            UpdateOutcome::DoorInserted(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The two halves of a split, if this outcome is one.
+    pub fn split_halves(&self) -> Option<[PartitionId; 2]> {
+        match self {
+            UpdateOutcome::PartitionSplit { halves, .. } => Some(*halves),
+            _ => None,
+        }
+    }
+
+    /// The merged partition, if this outcome is a merge.
+    pub fn merged_partition(&self) -> Option<PartitionId> {
+        match self {
+            UpdateOutcome::PartitionsMerged { merged } => Some(*merged),
+            _ => None,
+        }
+    }
+}
+
+/// The **net** effect of a committed batch on downstream consumers: which
+/// objects exist with a new state (`inserted` for ids absent before the
+/// batch, `moved` for ids that existed and changed), which disappeared, and
+/// whether the topology changed at all. "Net" means intra-batch churn
+/// cancels: an object inserted and removed in the same batch appears
+/// nowhere; one removed and re-inserted appears in `moved`. All id lists
+/// are ascending and disjoint.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UpdateDelta {
+    /// Objects that did not exist before the batch and do now.
+    pub inserted: Vec<ObjectId>,
+    /// Objects that existed before the batch and changed state.
+    pub moved: Vec<ObjectId>,
+    /// Objects that existed before the batch and no longer do.
+    pub removed: Vec<ObjectId>,
+    /// Whether any topology update committed.
+    pub topology_changed: bool,
+}
+
+impl UpdateDelta {
+    /// `inserted ∪ moved` — every id a standing monitor must re-evaluate —
+    /// ascending.
+    pub fn updated(&self) -> Vec<ObjectId> {
+        let mut out: Vec<ObjectId> = self
+            .inserted
+            .iter()
+            .chain(self.moved.iter())
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// `true` when the batch changed nothing downstream consumers can see.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty()
+            && self.moved.is_empty()
+            && self.removed.is_empty()
+            && !self.topology_changed
+    }
+}
+
+/// Set-backed accumulator the engine folds outcomes into while a batch is
+/// in flight; [`DeltaBuilder::finish`] yields the sorted [`UpdateDelta`].
+#[derive(Debug, Default)]
+pub(crate) struct DeltaBuilder {
+    inserted: BTreeSet<ObjectId>,
+    moved: BTreeSet<ObjectId>,
+    removed: BTreeSet<ObjectId>,
+    topology_changed: bool,
+}
+
+impl DeltaBuilder {
+    pub(crate) fn record(&mut self, outcome: &UpdateOutcome) {
+        match outcome {
+            UpdateOutcome::ObjectInserted(id) => {
+                if self.removed.remove(id) {
+                    // Existed before the batch: net effect is a state change.
+                    self.moved.insert(*id);
+                } else {
+                    self.inserted.insert(*id);
+                }
+            }
+            UpdateOutcome::ObjectMoved(id) => {
+                if !self.inserted.contains(id) {
+                    self.moved.insert(*id);
+                }
+            }
+            UpdateOutcome::ObjectRemoved(id) => {
+                if !self.inserted.remove(id) {
+                    self.moved.remove(id);
+                    self.removed.insert(*id);
+                }
+            }
+            _ => self.topology_changed = true,
+        }
+    }
+
+    pub(crate) fn finish(self) -> UpdateDelta {
+        UpdateDelta {
+            inserted: self.inserted.into_iter().collect(),
+            moved: self.moved.into_iter().collect(),
+            removed: self.removed.into_iter().collect(),
+            topology_changed: self.topology_changed,
+        }
+    }
+}
+
+/// Maintenance counters of one committed batch — the evidence that the
+/// amortized paths engaged (`idq-bench`'s `ingest` binary reports them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Updates in the batch.
+    pub updates: usize,
+    /// Position updates (inserts, moves, removes).
+    pub position_updates: usize,
+    /// Tree traversals spent computing object footprints — the grouped
+    /// path's saving shows as `footprint_searches <` inserts + moves.
+    pub footprint_searches: usize,
+    /// Skeleton-tier rebuilds (coalesced: at most one per topology run).
+    pub skeleton_rebuilds: usize,
+    /// Whether the batch contained topology updates and therefore took the
+    /// rollback checkpoint (one clone of space, store and index).
+    pub checkpointed: bool,
+}
+
+/// The receipt of a committed [`crate::IndoorEngine::apply_batch`]: one
+/// [`UpdateOutcome`] per input update (input order), the net
+/// [`UpdateDelta`], the engine epoch after the commit, and the maintenance
+/// [`UpdateStats`].
+#[derive(Clone, Debug)]
+pub struct UpdateReport {
+    /// Per-update outcomes, in input order.
+    pub outcomes: Vec<UpdateOutcome>,
+    /// Net effect on the object population and topology.
+    pub delta: UpdateDelta,
+    /// Engine epoch after the commit (what subsequent snapshots report as
+    /// their version).
+    pub epoch: u64,
+    /// Maintenance counters.
+    pub stats: UpdateStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_nets_out_intra_batch_churn() {
+        let mut b = DeltaBuilder::default();
+        // Fresh insert then removal: cancels entirely.
+        b.record(&UpdateOutcome::ObjectInserted(ObjectId(1)));
+        b.record(&UpdateOutcome::ObjectRemoved(ObjectId(1)));
+        // Remove then re-insert of a pre-existing object: a net move.
+        b.record(&UpdateOutcome::ObjectRemoved(ObjectId(2)));
+        b.record(&UpdateOutcome::ObjectInserted(ObjectId(2)));
+        // Insert then move: still a net insert.
+        b.record(&UpdateOutcome::ObjectInserted(ObjectId(3)));
+        b.record(&UpdateOutcome::ObjectMoved(ObjectId(3)));
+        // Move then remove: a net removal.
+        b.record(&UpdateOutcome::ObjectMoved(ObjectId(4)));
+        b.record(&UpdateOutcome::ObjectRemoved(ObjectId(4)));
+        let d = b.finish();
+        assert_eq!(d.inserted, vec![ObjectId(3)]);
+        assert_eq!(d.moved, vec![ObjectId(2)]);
+        assert_eq!(d.removed, vec![ObjectId(4)]);
+        assert!(!d.topology_changed);
+        assert_eq!(d.updated(), vec![ObjectId(2), ObjectId(3)]);
+        assert!(!d.is_empty());
+        assert!(UpdateDelta::default().is_empty());
+    }
+
+    #[test]
+    fn update_classification() {
+        assert!(!Update::RemoveObject(ObjectId(1)).is_topology());
+        assert!(Update::CloseDoor(idq_model::DoorId(0)).is_topology());
+        assert_eq!(
+            Update::RemoveObject(ObjectId(7)).object_id(),
+            Some(ObjectId(7))
+        );
+        let at = Update::InsertObjectAt {
+            center: Point2::new(0.0, 0.0),
+            floor: 0,
+            radius: 1.0,
+            instances: 4,
+            seed: 1,
+        };
+        assert!(at.object_id().is_none());
+        assert!(!at.is_topology());
+    }
+}

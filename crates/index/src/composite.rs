@@ -280,7 +280,7 @@ impl CompositeIndex {
         space: &IndoorSpace,
         object: &UncertainObject,
     ) -> (Vec<UnitId>, Mbr3) {
-        let rect: Rect2 = object.region.bbox().union(&object.instance_bbox());
+        let rect: Rect2 = object.footprint_rect();
         let mbr = Mbr3::planar(rect, object.floor, space.elevation(object.floor));
         let mut found = Vec::new();
         self.rtree.range_search(
@@ -292,6 +292,54 @@ impl CompositeIndex {
         (found, mbr)
     }
 
+    /// Unit footprints for a *group* of write MBRs computed with **one**
+    /// tree traversal: the traversal collects every unit intersecting the
+    /// union of the MBRs, then slot `i` keeps the candidates `mbrs[i]`
+    /// intersects. Each slot is exactly what a per-MBR traversal would
+    /// return — the grouping only amortizes the tree descent, which is why
+    /// batch appliers group position updates by touched partition before
+    /// calling this (a scattered group degrades to one wide traversal).
+    pub fn unit_footprints_grouped(&self, mbrs: &[Mbr3]) -> Vec<Vec<UnitId>> {
+        let sorted = |mut units: Vec<UnitId>| {
+            units.sort_unstable();
+            units
+        };
+        if mbrs.len() <= 1 {
+            return mbrs
+                .iter()
+                .map(|mbr| {
+                    let mut units = Vec::new();
+                    self.rtree.range_search(
+                        |m| if m.intersects(mbr) { 0.0 } else { 1.0 },
+                        0.5,
+                        |entry| units.push(entry.unit),
+                    );
+                    sorted(units)
+                })
+                .collect();
+        }
+        let union = mbrs
+            .iter()
+            .fold(Mbr3::empty_sentinel(), |acc, m| acc.union(m));
+        let mut candidates: Vec<LeafEntry> = Vec::new();
+        self.rtree.range_search(
+            |m| if m.intersects(&union) { 0.0 } else { 1.0 },
+            0.5,
+            |entry| candidates.push(*entry),
+        );
+        mbrs.iter()
+            .map(|mbr| {
+                sorted(
+                    candidates
+                        .iter()
+                        .filter(|e| e.mbr.intersects(mbr))
+                        .map(|e| e.unit)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
     /// Indexes a new object.
     pub fn insert_object(
         &mut self,
@@ -299,7 +347,21 @@ impl CompositeIndex {
         object: &UncertainObject,
     ) -> Result<(), IndexError> {
         let (units, mbr) = self.object_footprint(space, object);
-        self.objects.insert(object.id, units, mbr)
+        self.insert_object_prepared(object.id, units, mbr)
+    }
+
+    /// Indexes a new object from a footprint prepared by
+    /// [`CompositeIndex::object_footprint`] /
+    /// [`CompositeIndex::unit_footprints_grouped`]. The footprint must
+    /// have been computed against the current unit population (no topology
+    /// change in between).
+    pub fn insert_object_prepared(
+        &mut self,
+        id: ObjectId,
+        units: Vec<UnitId>,
+        mbr: Mbr3,
+    ) -> Result<(), IndexError> {
+        self.objects.insert(id, units, mbr)
     }
 
     /// Removes an object from the index.
@@ -307,14 +369,27 @@ impl CompositeIndex {
         self.objects.remove(id).map(|_| ())
     }
 
-    /// Object update = deletion followed by insertion (§III-C.2).
+    /// Object update = deletion followed by insertion (§III-C.2); the
+    /// object layer edits only the buckets whose membership changes.
     pub fn update_object(
         &mut self,
         space: &IndoorSpace,
         object: &UncertainObject,
     ) -> Result<(), IndexError> {
-        self.objects.remove(object.id)?;
-        self.insert_object(space, object)
+        let (units, mbr) = self.object_footprint(space, object);
+        self.update_object_prepared(object.id, units, mbr)
+    }
+
+    /// Object update from a prepared footprint (see
+    /// [`CompositeIndex::insert_object_prepared`] for the freshness
+    /// contract).
+    pub fn update_object_prepared(
+        &mut self,
+        id: ObjectId,
+        units: Vec<UnitId>,
+        mbr: Mbr3,
+    ) -> Result<(), IndexError> {
+        self.objects.update(id, units, mbr)
     }
 
     // ---- topology maintenance (§III-C.1) ------------------------------------------
@@ -328,9 +403,31 @@ impl CompositeIndex {
         store: &ObjectStore,
         event: &TopologyEvent,
     ) -> Result<(), IndexError> {
+        if self.apply_topology_deferred(space, store, event)? {
+            self.rebuild_skeleton(space);
+        }
+        Ok(())
+    }
+
+    /// Like [`CompositeIndex::apply_topology`], but *defers* the skeleton
+    /// rebuild: the return value says whether the event invalidated the
+    /// skeleton tier, and the caller must call
+    /// [`CompositeIndex::rebuild_skeleton`] once all deferred events are in.
+    /// Batch appliers use this to coalesce a run of staircase-affecting
+    /// events into a single rebuild at commit; the final skeleton is
+    /// identical because a rebuild only reads the (already fully mutated)
+    /// space. Queries must not run between a deferred `true` and the
+    /// rebuild.
+    pub fn apply_topology_deferred(
+        &mut self,
+        space: &IndoorSpace,
+        store: &ObjectStore,
+        event: &TopologyEvent,
+    ) -> Result<bool, IndexError> {
+        let mut skeleton_dirty = false;
         match event {
             TopologyEvent::PartitionInserted(p) => {
-                self.index_partition(space, *p)?;
+                skeleton_dirty |= self.index_partition(space, *p)?;
             }
             TopologyEvent::PartitionRemoved(p) => {
                 self.unindex_partition(space, store, *p)?;
@@ -338,7 +435,7 @@ impl CompositeIndex {
             TopologyEvent::PartitionSplit { old, new } => {
                 self.unindex_partition(space, store, *old)?;
                 for p in new {
-                    self.index_partition(space, *p)?;
+                    skeleton_dirty |= self.index_partition(space, *p)?;
                 }
                 // Objects previously bucketed in the old partition's units
                 // were re-footprinted by unindex_partition, which ran before
@@ -349,7 +446,7 @@ impl CompositeIndex {
                 for p in old {
                     self.unindex_partition(space, store, *p)?;
                 }
-                self.index_partition(space, *new)?;
+                skeleton_dirty |= self.index_partition(space, *new)?;
                 for p in old {
                     self.refresh_objects_near(space, store, *p)?;
                 }
@@ -360,17 +457,26 @@ impl CompositeIndex {
             | TopologyEvent::DoorRetargeted(d) => {
                 if let Ok(door) = space.door_raw(*d) {
                     if door.kind == DoorKind::StaircaseEntrance {
-                        self.skeleton = SkeletonTier::build(space);
+                        skeleton_dirty = true;
                     }
                 }
             }
         }
         self.graph.apply(space, event);
         self.space_version = space.version();
-        Ok(())
+        Ok(skeleton_dirty)
     }
 
-    fn index_partition(&mut self, space: &IndoorSpace, p: PartitionId) -> Result<(), IndexError> {
+    /// Rebuilds the skeleton tier from the current space — the repair a
+    /// deferred topology pass owes after any event returned `true`.
+    pub fn rebuild_skeleton(&mut self, space: &IndoorSpace) {
+        self.skeleton = SkeletonTier::build(space);
+    }
+
+    /// Indexes a partition's units into the tree tier, growing the object
+    /// layer; returns whether the skeleton tier was invalidated (staircase
+    /// partitions feed it).
+    fn index_partition(&mut self, space: &IndoorSpace, p: PartitionId) -> Result<bool, IndexError> {
         let partition = space.partition(p)?;
         let decomp = DecomposeConfig {
             t_shape: self.config.t_shape,
@@ -385,10 +491,7 @@ impl CompositeIndex {
             });
         }
         self.objects.grow(self.units.slots());
-        if partition.kind == idq_model::PartitionKind::Staircase {
-            self.skeleton = SkeletonTier::build(space);
-        }
-        Ok(())
+        Ok(partition.kind == idq_model::PartitionKind::Staircase)
     }
 
     fn unindex_partition(
@@ -590,6 +693,44 @@ mod tests {
             index.remove_object(ObjectId(1)),
             Err(IndexError::ObjectNotIndexed(_))
         ));
+    }
+
+    #[test]
+    fn grouped_footprints_match_individual() {
+        let (space, store, index) = setup();
+        let objects: Vec<&UncertainObject> = store
+            .ids_sorted()
+            .iter()
+            .map(|&id| store.get(id).unwrap())
+            .collect();
+        let mbrs: Vec<Mbr3> = objects
+            .iter()
+            .map(|o| Mbr3::planar(o.footprint_rect(), o.floor, space.elevation(o.floor)))
+            .collect();
+        let grouped = index.unit_footprints_grouped(&mbrs);
+        assert_eq!(grouped.len(), objects.len());
+        for (obj, units) in objects.iter().zip(&grouped) {
+            let (iu, _) = index.object_footprint(&space, obj);
+            assert_eq!(units, &iu, "units for {}", obj.id);
+        }
+        // Prepared application lands in the same layer state as the
+        // individual path.
+        let mut a = index.clone();
+        let mut b = index.clone();
+        for obj in &objects {
+            a.update_object(&space, obj).unwrap();
+        }
+        for ((obj, units), mbr) in objects.iter().zip(grouped).zip(mbrs) {
+            b.update_object_prepared(obj.id, units, mbr).unwrap();
+        }
+        a.validate();
+        b.validate();
+        for obj in &objects {
+            assert_eq!(
+                a.object_layer().units_of(obj.id).unwrap(),
+                b.object_layer().units_of(obj.id).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -55,6 +55,38 @@ impl ObjectLayer {
         Ok(())
     }
 
+    /// Re-registers an object under a new unit set and search MBR, editing
+    /// only the buckets whose membership actually changes. A move within
+    /// one partition typically keeps an identical unit list, reducing the
+    /// bucket maintenance to an MBR overwrite.
+    pub fn update(
+        &mut self,
+        id: ObjectId,
+        units: Vec<UnitId>,
+        mbr: Mbr3,
+    ) -> Result<(), IndexError> {
+        let ObjectLayer { buckets, o_table } = self;
+        let entry = o_table
+            .get_mut(&id)
+            .ok_or(IndexError::ObjectNotIndexed(id))?;
+        if entry.units != units {
+            for &u in entry.units.iter().filter(|u| !units.contains(u)) {
+                if let Some(bucket) = buckets.get_mut(u.index()) {
+                    bucket.retain(|&o| o != id);
+                }
+            }
+            for &u in units.iter().filter(|u| !entry.units.contains(u)) {
+                if buckets.len() <= u.index() {
+                    buckets.resize(u.index() + 1, Vec::new());
+                }
+                buckets[u.index()].push(id);
+            }
+            entry.units = units;
+        }
+        entry.mbr = mbr;
+        Ok(())
+    }
+
     /// Unregisters an object, returning the units it occupied.
     pub fn remove(&mut self, id: ObjectId) -> Result<Vec<UnitId>, IndexError> {
         let entry = self
@@ -185,6 +217,31 @@ mod tests {
         ));
         assert!(matches!(
             l.units_of(ObjectId(9)),
+            Err(IndexError::ObjectNotIndexed(_))
+        ));
+    }
+
+    #[test]
+    fn update_edits_only_changed_buckets() {
+        let mut l = ObjectLayer::new();
+        l.insert(ObjectId(1), vec![UnitId(0), UnitId(1)], mbr())
+            .unwrap();
+        l.insert(ObjectId(2), vec![UnitId(1)], mbr()).unwrap();
+        // Same units: pure MBR overwrite, bucket order untouched.
+        let m2 = Mbr3::planar(Rect2::from_bounds(1.0, 1.0, 2.0, 2.0), 0, 0.0);
+        l.update(ObjectId(1), vec![UnitId(0), UnitId(1)], m2)
+            .unwrap();
+        assert_eq!(l.objects_in(UnitId(1)), &[ObjectId(1), ObjectId(2)]);
+        assert_eq!(l.object_mbr(ObjectId(1)).unwrap(), m2);
+        // Shifted units: leaves unit 0, enters unit 2, stays in unit 1.
+        l.update(ObjectId(1), vec![UnitId(1), UnitId(2)], mbr())
+            .unwrap();
+        assert!(l.objects_in(UnitId(0)).is_empty());
+        assert_eq!(l.objects_in(UnitId(1)), &[ObjectId(1), ObjectId(2)]);
+        assert_eq!(l.objects_in(UnitId(2)), &[ObjectId(1)]);
+        l.validate();
+        assert!(matches!(
+            l.update(ObjectId(9), vec![UnitId(0)], mbr()),
             Err(IndexError::ObjectNotIndexed(_))
         ));
     }

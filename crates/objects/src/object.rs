@@ -150,6 +150,15 @@ impl UncertainObject {
         self.instance_bbox
     }
 
+    /// The planar rectangle this object occupies for index maintenance:
+    /// uncertainty region ∪ instances. The single source of the footprint
+    /// formula — the composite index's object layer and the engine's batch
+    /// stager must agree on it.
+    #[inline]
+    pub fn footprint_rect(&self) -> Rect2 {
+        self.region.bbox().union(&self.instance_bbox)
+    }
+
     /// Minimum planar Euclidean distance from `q` to any instance —
     /// `|q, O|_minE` (same-floor geometric lower bound ingredient).
     pub fn min_euclidean(&self, q: Point2) -> f64 {

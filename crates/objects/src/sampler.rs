@@ -57,10 +57,52 @@ impl GaussianSampler {
         space: &IndoorSpace,
         rng: &mut R,
     ) -> Result<UncertainObject, ObjectError> {
-        if space
-            .partition_at(IndoorPoint::new(center, floor))
-            .is_none()
-        {
+        self.sample_impl(id, center, floor, radius, rng, |p| {
+            space.partition_at(IndoorPoint::new(p, floor)).is_some()
+        })
+    }
+
+    /// Like [`GaussianSampler::sample`], but point-locates every draw
+    /// against a caller-supplied candidate-partition list instead of
+    /// scanning the whole floor. Exact — identical draws, acceptances and
+    /// errors — whenever `hint` contains every active partition overlapping
+    /// the region's bounding box (all draws are truncated to the region, so
+    /// no acceptable draw can fall outside the hint); batch appliers derive
+    /// such a hint from the index units the region footprint touches.
+    // One parameter past clippy's limit, deliberately: this is `sample`'s
+    // exact signature plus the hint, and splitting them apart would hide
+    // the correspondence.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_with_hint<R: RngExt + ?Sized>(
+        &self,
+        id: ObjectId,
+        center: Point2,
+        floor: Floor,
+        radius: f64,
+        space: &IndoorSpace,
+        hint: &[idq_model::PartitionId],
+        rng: &mut R,
+    ) -> Result<UncertainObject, ObjectError> {
+        self.sample_impl(id, center, floor, radius, rng, |p| {
+            hint.iter().any(|&pid| {
+                space
+                    .partition(pid)
+                    .map(|part| part.contains(p, floor))
+                    .unwrap_or(false)
+            })
+        })
+    }
+
+    fn sample_impl<R: RngExt + ?Sized>(
+        &self,
+        id: ObjectId,
+        center: Point2,
+        floor: Floor,
+        radius: f64,
+        rng: &mut R,
+        in_partition: impl Fn(Point2) -> bool,
+    ) -> Result<UncertainObject, ObjectError> {
+        if !in_partition(center) {
             return Err(ObjectError::NoHostPartition);
         }
         let region = Circle::new(center, radius);
@@ -74,11 +116,7 @@ impl GaussianSampler {
                     center.y + sigma * standard_normal(rng),
                 );
                 let in_region = radius <= 0.0 || region.contains(candidate);
-                if in_region
-                    && space
-                        .partition_at(IndoorPoint::new(candidate, floor))
-                        .is_some()
-                {
+                if in_region && in_partition(candidate) {
                     accepted = candidate;
                     break;
                 }
@@ -226,6 +264,61 @@ mod tests {
         for inst in o.instances() {
             assert_eq!(inst.position, Point2::new(50.0, 50.0));
         }
+    }
+
+    #[test]
+    fn hint_sampling_is_bit_identical_to_full_point_location() {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let r0 = b
+            .add_room(0, idq_geom::Rect2::from_bounds(0.0, 0.0, 20.0, 20.0))
+            .unwrap();
+        let r1 = b
+            .add_room(0, idq_geom::Rect2::from_bounds(20.0, 0.0, 40.0, 20.0))
+            .unwrap();
+        b.add_door_between(r0, r1, Point2::new(20.0, 10.0)).unwrap();
+        let space = b.finish().unwrap();
+        let s = GaussianSampler::with_instances(40);
+        // A region straddling the shared wall: draws near the wall are in
+        // either room, draws beyond the outer walls are rejected.
+        let center = Point2::new(19.0, 10.0);
+        let full = s
+            .sample(
+                ObjectId(1),
+                center,
+                0,
+                8.0,
+                &space,
+                &mut StdRng::seed_from_u64(5),
+            )
+            .unwrap();
+        let hinted = s
+            .sample_with_hint(
+                ObjectId(1),
+                center,
+                0,
+                8.0,
+                &space,
+                &[r0, r1],
+                &mut StdRng::seed_from_u64(5),
+            )
+            .unwrap();
+        for (a, b) in full.instances().iter().zip(hinted.instances()) {
+            assert_eq!(a.position, b.position);
+        }
+        // A hint missing the centre's partition errors like an
+        // out-of-building centre.
+        assert!(matches!(
+            s.sample_with_hint(
+                ObjectId(2),
+                Point2::new(5.0, 5.0),
+                0,
+                1.0,
+                &space,
+                &[r1],
+                &mut StdRng::seed_from_u64(5),
+            ),
+            Err(ObjectError::NoHostPartition)
+        ));
     }
 
     #[test]

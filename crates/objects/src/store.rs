@@ -36,10 +36,18 @@ impl ObjectStore {
         if self.objects.contains_key(&id) {
             return Err(ObjectError::DuplicateObject(id));
         }
-        // Keep the id allocator ahead of externally minted ids.
-        self.next_id = self.next_id.max(id.0 + 1);
+        self.reserve_id(id);
         self.objects.insert(id, object);
         Ok(())
+    }
+
+    /// Keeps the id allocator ahead of an externally minted id *before* its
+    /// insert lands ([`ObjectStore::insert`] reserves implicitly). Batch
+    /// staging reserves every external id up front so ids it allocates for
+    /// interleaved engine-sampled inserts match what sequential application
+    /// would have produced — and never collide.
+    pub fn reserve_id(&mut self, id: ObjectId) {
+        self.next_id = self.next_id.max(id.0 + 1);
     }
 
     /// Removes an object, returning it.
@@ -47,6 +55,35 @@ impl ObjectStore {
         self.objects
             .remove(&id)
             .ok_or(ObjectError::UnknownObject(id))
+    }
+
+    /// Replaces an existing object in place, returning the previous value —
+    /// the atomic move primitive (a move never leaves the store without the
+    /// object, unlike a remove-then-insert pair). The id must be present.
+    pub fn replace(&mut self, object: UncertainObject) -> Result<UncertainObject, ObjectError> {
+        let id = object.id;
+        match self.objects.get_mut(&id) {
+            Some(slot) => Ok(std::mem::replace(slot, object)),
+            None => Err(ObjectError::UnknownObject(id)),
+        }
+    }
+
+    /// The id-allocation watermark: the next id [`ObjectStore::allocate_id`]
+    /// would hand out. Batch rollback support, paired with
+    /// [`ObjectStore::restore_id_watermark`].
+    pub fn id_watermark(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Rewinds the id allocator to a watermark previously read with
+    /// [`ObjectStore::id_watermark`], so a rolled-back batch does not leak
+    /// the ids it allocated. The caller must guarantee no live object holds
+    /// an id at or above `watermark` (true whenever every insert since the
+    /// read has been rolled back); otherwise the watermark is kept ahead of
+    /// the live population and the call only shrinks it as far as is safe.
+    pub fn restore_id_watermark(&mut self, watermark: u64) {
+        let floor = self.objects.keys().map(|id| id.0 + 1).max().unwrap_or(0);
+        self.next_id = watermark.max(floor);
     }
 
     /// Looks up an object.
@@ -116,6 +153,42 @@ mod tests {
             s.insert(point_obj(1)),
             Err(ObjectError::DuplicateObject(_))
         ));
+    }
+
+    #[test]
+    fn replace_swaps_in_place() {
+        let mut s = ObjectStore::new();
+        s.insert(point_obj(1)).unwrap();
+        let replacement =
+            UncertainObject::point_object(ObjectId(1), IndoorPoint::new(Point2::new(9.0, 9.0), 0));
+        let old = s.replace(replacement).unwrap();
+        assert_eq!(old.region.center, Point2::new(0.0, 0.0));
+        assert_eq!(
+            s.get(ObjectId(1)).unwrap().region.center,
+            Point2::new(9.0, 9.0)
+        );
+        assert_eq!(s.len(), 1);
+        assert!(matches!(
+            s.replace(point_obj(7)),
+            Err(ObjectError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn watermark_round_trip_and_safety_floor() {
+        let mut s = ObjectStore::new();
+        let w = s.id_watermark();
+        let a = s.allocate_id();
+        let b = s.allocate_id();
+        assert_eq!((a, b), (ObjectId(w), ObjectId(w + 1)));
+        // Nothing was inserted: the rewind fully restores the allocator.
+        s.restore_id_watermark(w);
+        assert_eq!(s.allocate_id(), ObjectId(w));
+        // With a live object above the watermark, the rewind stops at the
+        // live population's ceiling instead of risking a duplicate id.
+        s.insert(point_obj(10)).unwrap();
+        s.restore_id_watermark(0);
+        assert_eq!(s.allocate_id(), ObjectId(11));
     }
 
     #[test]

@@ -153,6 +153,53 @@ impl RangeMonitor {
         })
     }
 
+    /// Absorbs a whole update delta — the net effect of a committed update
+    /// batch — in one call: removals drop out of the result set, updated
+    /// objects (inserts and moves) are re-evaluated against the cached
+    /// distance tree, and a topology change falls back to one full
+    /// [`RangeMonitor::refresh`]. Returns every membership change, ascending
+    /// by object id. This is the raw form behind the engine-level
+    /// `RangeMonitor::absorb(&report, &snapshot)` entry point.
+    pub fn absorb_delta(
+        &mut self,
+        updated: &[ObjectId],
+        removed: &[ObjectId],
+        topology_changed: bool,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+    ) -> Result<Vec<(ObjectId, MonitorChange)>, QueryError> {
+        if topology_changed {
+            let before = self.inside.clone();
+            self.invalidate();
+            self.refresh(space, index, store)?;
+            let mut changes = Vec::new();
+            for &id in before.difference(&self.inside) {
+                changes.push((id, MonitorChange::Left));
+            }
+            for &id in self.inside.difference(&before) {
+                changes.push((id, MonitorChange::Entered));
+            }
+            changes.sort_unstable_by_key(|(id, _)| *id);
+            return Ok(changes);
+        }
+        let mut changes = Vec::new();
+        for &id in removed {
+            let change = self.on_object_removed(id);
+            if change != MonitorChange::Unchanged {
+                changes.push((id, change));
+            }
+        }
+        for &id in updated {
+            let change = self.on_object_update(space, index, store, id)?;
+            if change != MonitorChange::Unchanged {
+                changes.push((id, change));
+            }
+        }
+        changes.sort_unstable_by_key(|(id, _)| *id);
+        Ok(changes)
+    }
+
     /// Processes an object removal.
     pub fn on_object_removed(&mut self, id: ObjectId) -> MonitorChange {
         if self.inside.remove(&id) {
@@ -307,6 +354,44 @@ mod tests {
             .on_object_update(&space, &index, &store, ObjectId(9))
             .unwrap();
         assert_eq!(c, MonitorChange::Unchanged, "unreachable after door close");
+    }
+
+    #[test]
+    fn absorb_delta_matches_per_object_feeding() {
+        let (mut space, mut store, mut index) = setup();
+        let q = idq_model::IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut mon = RangeMonitor::new(q, 15.0, QueryOptions::default()).unwrap();
+        mon.refresh(&space, &index, &store).unwrap();
+        // One insert inside, one insert outside, then a removal: absorbed
+        // as one delta.
+        move_to(&mut store, &mut index, &space, 1, 12.0);
+        move_to(&mut store, &mut index, &space, 2, 28.0);
+        move_to(&mut store, &mut index, &space, 3, 8.0);
+        index.remove_object(ObjectId(3)).unwrap();
+        store.remove(ObjectId(3)).unwrap();
+        let changes = mon
+            .absorb_delta(
+                &[ObjectId(1), ObjectId(2)],
+                &[ObjectId(3)],
+                false,
+                &space,
+                &index,
+                &store,
+            )
+            .unwrap();
+        assert_eq!(changes, vec![(ObjectId(1), MonitorChange::Entered)]);
+        assert_eq!(mon.current(), vec![ObjectId(1)]);
+
+        // A topology flag forces the refresh fallback and reports the net
+        // membership diff.
+        let d = space.doors().next().unwrap().id;
+        let ev = space.close_door(d).unwrap();
+        index.apply_topology(&space, &store, &ev).unwrap();
+        let changes = mon
+            .absorb_delta(&[], &[], true, &space, &index, &store)
+            .unwrap();
+        assert_eq!(changes, vec![(ObjectId(1), MonitorChange::Left)]);
+        assert!(mon.current().is_empty());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   generator (see DESIGN.md for the substitution argument);
 //! * [`ObjectConfig`] / [`generate_objects`] — uncertain-object populations;
 //! * [`QueryPointConfig`] / [`generate_query_points`] — query workloads;
+//! * [`UpdateStreamConfig`] / [`generate_update_stream`] — mixed typed
+//!   update streams (position reports + door churn) for ingest benchmarks;
 //! * [`experiment`] — timing, statistics and paper-style table printing
 //!   shared by the figure binaries and Criterion benches.
 
@@ -19,9 +21,11 @@ pub mod defaults;
 pub mod experiment;
 pub mod objects;
 pub mod queries;
+pub mod updates;
 
 pub use building::{generate_building, BuildingConfig, GeneratedBuilding};
 pub use defaults::PaperDefaults;
 pub use experiment::{mean, percentile, SeriesTable, Stopwatch};
 pub use objects::{generate_objects, sample_one, ObjectConfig};
 pub use queries::{generate_query_points, generate_range_batches, QueryPointConfig};
+pub use updates::{generate_update_stream, UpdateStreamConfig};

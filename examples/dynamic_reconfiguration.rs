@@ -6,6 +6,11 @@
 //! pre-computed, so nothing needs re-precomputing (the paper's key
 //! maintenance argument, §V-B.4).
 //!
+//! The write side uses PR 3's typed updates: each reconfiguration is one
+//! atomic `apply_batch` transaction whose report feeds the standing
+//! coffee-call monitor through `absorb` — no caller-side bookkeeping of
+//! what changed.
+//!
 //! ```text
 //! cargo run --release --example dynamic_reconfiguration
 //! ```
@@ -25,13 +30,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = IndoorEngine::new(space, EngineConfig::default())?;
     println!("venue ready (doors d41={d41}, d42={d42})");
 
-    // Attendees on both ends of the hall.
-    let west_attendee = engine.insert_object_at(Point2::new(20.0, 40.0), 0, 2.0, 64, 1)?;
-    let east_attendee = engine.insert_object_at(Point2::new(80.0, 40.0), 0, 2.0, 64, 2)?;
+    // Attendees on both ends of the hall, admitted as one atomic batch:
+    // either the whole group registers or none of it does.
+    let report = engine.apply_batch(&[
+        Update::InsertObjectAt {
+            center: Point2::new(20.0, 40.0),
+            floor: 0,
+            radius: 2.0,
+            instances: 64,
+            seed: 1,
+        },
+        Update::InsertObjectAt {
+            center: Point2::new(80.0, 40.0),
+            floor: 0,
+            radius: 2.0,
+            instances: 64,
+            seed: 2,
+        },
+    ])?;
+    let west_attendee = report.delta.inserted[0];
+    let east_attendee = report.delta.inserted[1];
+    println!(
+        "attendees admitted in one transaction (epoch {})",
+        report.epoch
+    );
 
-    // An usher stands near the west end of the hall. Each style gets its
-    // own snapshot: a consistent read view of the venue *as configured*.
+    // An usher stands near the west end of the hall, with a standing 40 m
+    // "coffee call" range monitor — updates keep it current, no re-query.
     let usher = IndoorPoint::new(Point2::new(25.0, 30.0), 0);
+    let mut coffee_call = RangeMonitor::new(usher, 40.0, engine.query_options())?;
+    coffee_call.refresh_on(&engine.snapshot())?;
+    println!(
+        "40 m coffee call reaches {} attendee(s) in banquet style",
+        coffee_call.current().len()
+    );
 
     let banquet = engine
         .execute(&Query::Knn { q: usher, k: 2 })?
@@ -44,15 +76,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Mount the sliding wall at x = 50 (meeting style, no connecting
     // door): the hall becomes two rooms and the east attendee must now be
-    // reached through the lobby via d41 and d42.
-    let halves = engine.split_partition(hall, SplitLine::AtX(50.0), None)?;
+    // reached through the lobby via d41 and d42. One typed update, one
+    // epoch; the monitor absorbs the report and re-evaluates itself.
+    let report = engine.apply_batch(&[Update::SplitPartition {
+        partition: hall,
+        line: SplitLine::AtX(50.0),
+        connecting_door: None,
+    }])?;
+    let halves = report.outcomes[0]
+        .split_halves()
+        .expect("split yields halves");
     println!(
-        "\nsliding wall mounted: room 21 → {} + {}",
-        halves[0], halves[1]
+        "\nsliding wall mounted: room 21 → {} + {} (epoch {})",
+        halves[0], halves[1], report.epoch
     );
+    let changes = coffee_call.absorb(&report, &engine.snapshot())?;
+    for (id, change) in &changes {
+        println!("  coffee call: {id} {change:?}");
+    }
+    println!(
+        "40 m coffee call now reaches {} attendee(s): {:?}",
+        coffee_call.current().len(),
+        coffee_call.current()
+    );
+    assert!(coffee_call.contains(west_attendee));
 
-    // The usher's kNN and the coffee-call range query share the usher's
-    // position, so batching them shares one evaluation context.
+    // The usher's kNN and a distance check share the usher's position, so
+    // batching them shares one evaluation context.
     let outcomes = engine.snapshot().execute_batch(&[
         Query::Knn { q: usher, k: 2 },
         Query::Range { q: usher, r: 40.0 },
@@ -79,20 +129,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         d_banquet, d_meeting
     );
     assert!(d_meeting > d_banquet);
-
-    // Range queries adapt too: a 30 m coffee-call reaches both attendees
-    // in banquet style but only the west one in meeting style.
+    // The monitor and the fresh range query agree exactly.
     let call = outcomes[1].as_range().expect("range outcome");
-    println!(
-        "40 m coffee call now reaches {} attendee(s): {:?}",
-        call.results.len(),
-        call.results.iter().map(|h| h.object).collect::<Vec<_>>()
-    );
-    assert!(call.results.iter().any(|h| h.object == west_attendee));
+    let fresh: Vec<ObjectId> = call.results.iter().map(|h| h.object).collect();
+    assert_eq!(coffee_call.current(), fresh);
 
-    // Dismount the wall: banquet style restored, distances return.
-    let restored = engine.merge_partitions(halves[0], halves[1])?;
+    // Dismount the wall: banquet style restored, distances return. The
+    // merge and the attendees' walk back west ride in one atomic batch —
+    // coalesced index maintenance, all-or-nothing semantics.
+    let report = engine.apply_batch(&[
+        Update::MergePartitions(halves[0], halves[1]),
+        Update::MoveObject {
+            id: east_attendee,
+            center: Point2::new(40.0, 40.0),
+            floor: 0,
+            seed: 3,
+        },
+    ])?;
+    let restored = report.outcomes[0]
+        .merged_partition()
+        .expect("merge outcome");
     println!("\nwall dismounted: hall restored as {restored}");
+    let changes = coffee_call.absorb(&report, &engine.snapshot())?;
+    println!(
+        "coffee call after restore: {:?} ({} change(s) absorbed)",
+        coffee_call.current(),
+        changes.len()
+    );
+    assert!(coffee_call.contains(east_attendee));
     let back = engine.knn(usher, 2)?;
     for h in &back.results {
         println!("  {} at {:.1} m", h.object, h.distance);

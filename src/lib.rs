@@ -79,13 +79,19 @@ pub use idq_workloads as workloads;
 
 /// Convenience re-exports of the types most applications need.
 pub mod prelude {
-    pub use idq_core::{EngineConfig, EngineSnapshot, IndoorEngine};
+    pub use idq_core::{
+        EngineConfig, EngineSnapshot, IndoorEngine, MonitorExt, Update, UpdateDelta, UpdateOutcome,
+        UpdateReport, UpdateStats,
+    };
     pub use idq_geom::{Circle, Point2, Point3, Rect2};
     pub use idq_index::CompositeIndex;
     pub use idq_model::{
         Direction, DoorId, FloorPlanBuilder, IndoorPoint, IndoorSpace, PartitionId, PartitionKind,
     };
     pub use idq_objects::{ObjectId, UncertainObject};
-    pub use idq_query::{KnnResult, Outcome, Query, QueryOptions, QueryStats, RangeResult};
-    pub use idq_workloads::{BuildingConfig, ObjectConfig, QueryPointConfig};
+    pub use idq_query::{
+        KnnResult, MonitorChange, Outcome, Query, QueryOptions, QueryStats, RangeMonitor,
+        RangeResult,
+    };
+    pub use idq_workloads::{BuildingConfig, ObjectConfig, QueryPointConfig, UpdateStreamConfig};
 }

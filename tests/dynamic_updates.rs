@@ -187,7 +187,7 @@ fn engine_keeps_knn_consistent_after_everything() {
     let some_door = engine.space().doors().nth(5).unwrap().id;
     engine.close_door(some_door).unwrap();
     engine.open_door(some_door).unwrap();
-    engine.validate();
+    engine.validate().unwrap();
     // kNN equals the oracle.
     let q = IndoorPoint::new(Point2::new(305.0, 305.0), 0);
     let fast = engine.knn(q, 15).unwrap();
