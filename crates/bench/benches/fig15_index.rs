@@ -56,8 +56,9 @@ fn bench_index(c: &mut Criterion) {
         let obj = sample_one(&w.building, ObjectId(999_999), 10.0, 100, &mut rng).unwrap();
         g.bench_function("object_update_roundtrip", |b| {
             b.iter(|| {
-                w.index.insert_object(&w.building.space, &obj).unwrap();
-                w.index.remove_object(obj.id).unwrap();
+                let index = std::sync::Arc::make_mut(&mut w.index);
+                index.insert_object(&w.building.space, &obj).unwrap();
+                index.remove_object(obj.id).unwrap();
             })
         });
     }

@@ -1,0 +1,174 @@
+//! Concurrency — multi-reader query throughput against an active writer.
+//!
+//! Measures aggregate queries/second of the MVCC service API on a grid of
+//! reader-thread counts × writer modes. Readers run batched range
+//! sessions on fresh service snapshots in a closed loop; in the
+//! `writer=on` cells a writer thread continuously commits update batches
+//! (position churn) through `apply_batch` on the *same* engine,
+//! publishing a new version per commit that subsequent snapshots pick
+//! up. Since sessions evaluate on pinned `Arc`s with no locks held,
+//! multi-reader throughput should scale with threads and survive an
+//! active writer — which the single-threaded borrowed-snapshot API could
+//! not even express.
+//!
+//! Emits one `BENCH_concurrency.json` line per grid cell (and prints
+//! them) so successive runs form a trajectory.
+
+use idq_bench::{build_world, scale_from_env, scaled_floors, scaled_objects, World};
+use idq_core::{EngineConfig, IndoorEngine, IndoorService};
+use idq_query::Query;
+use idq_workloads::{
+    generate_range_batches, generate_update_stream, PaperDefaults, UpdateStreamConfig,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Range queries per query point (one batch group).
+const BATCH: usize = 8;
+/// Wall time per grid cell.
+const CELL_MS: u64 = 400;
+
+fn engine_of(world: &World) -> IndoorEngine {
+    IndoorEngine::with_objects(
+        (*world.space).clone(),
+        (*world.store).clone(),
+        EngineConfig {
+            query: world.options,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine builds")
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let d = PaperDefaults::default();
+    eprintln!("concurrency: IDQ_SCALE={scale}");
+
+    let floors = scaled_floors(d.floors, scale);
+    let objects = scaled_objects(d.objects, scale);
+    let world = build_world(floors, objects, d.radius, d.queries, 42);
+    let groups: Vec<Vec<Query>> =
+        generate_range_batches(&world.queries, &PaperDefaults::RANGE_SWEEP, BATCH);
+
+    // Warm-up: touch every code path once.
+    engine_of(&world)
+        .service()
+        .snapshot()
+        .execute_batch(&groups[0])
+        .expect("warm-up succeeds");
+
+    let mut single_reader_qps = 0.0f64;
+    let mut four_reader_qps = 0.0f64;
+    for readers in [1usize, 2, 4] {
+        for writer in [false, true] {
+            // A fresh engine per cell, so every cell starts from the same
+            // committed version and writer churn never carries over.
+            let mut engine = engine_of(&world);
+            let service = engine.service();
+            let (queries_done, commits_done, elapsed) = run_cell(
+                &service,
+                &groups,
+                readers,
+                writer.then_some(&mut engine),
+                &world,
+            );
+            let qps = queries_done as f64 / elapsed.as_secs_f64();
+            if readers == 1 && !writer {
+                single_reader_qps = qps;
+            }
+            if readers == 4 && !writer {
+                four_reader_qps = qps;
+            }
+            let json = format!(
+                concat!(
+                    "{{\"bench\":\"concurrency\",\"scale\":{},\"floors\":{},\"objects\":{},",
+                    "\"readers\":{},\"writer\":{},\"cell_ms\":{},",
+                    "\"queries\":{},\"commits\":{},\"qps\":{:.1}}}"
+                ),
+                scale, floors, objects, readers, writer, CELL_MS, queries_done, commits_done, qps,
+            );
+            println!("{json}");
+            let appended = std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open("BENCH_concurrency.json")
+                .and_then(|mut f| {
+                    std::io::Write::write_all(&mut f, format!("{json}\n").as_bytes())
+                });
+            if let Err(e) = appended {
+                eprintln!("concurrency: could not append to BENCH_concurrency.json: {e}");
+            }
+        }
+    }
+    eprintln!(
+        "concurrency: 4 readers are {:.2}x one reader (idle writer)",
+        four_reader_qps / single_reader_qps.max(1e-9),
+    );
+}
+
+/// Runs one grid cell: `readers` threads looping query batches over fresh
+/// `service` snapshots for `CELL_MS`, while `writer` (when present)
+/// commits 64-update position batches on the served engine as fast as it
+/// can. Returns (queries executed, batches committed, measured wall time)
+/// — the wall time covers thread join, so in-flight work that overruns
+/// the nominal window is divided by the time it actually took.
+fn run_cell(
+    service: &IndoorService,
+    groups: &[Vec<Query>],
+    readers: usize,
+    writer: Option<&mut IndoorEngine>,
+    world: &World,
+) -> (u64, u64, Duration) {
+    let stop = AtomicBool::new(false);
+    let queries_done = AtomicU64::new(0);
+    let commits_done = AtomicU64::new(0);
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for r in 0..readers {
+            let service = service.clone();
+            let stop = &stop;
+            let queries_done = &queries_done;
+            scope.spawn(move || {
+                let mut i = r; // stagger the starting group per reader
+                while !stop.load(Ordering::Relaxed) {
+                    let group = &groups[i % groups.len()];
+                    let snapshot = service.snapshot();
+                    snapshot.execute_batch(group).expect("batch succeeds");
+                    queries_done.fetch_add(group.len() as u64, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        if let Some(engine) = writer {
+            let stop = &stop;
+            let commits_done = &commits_done;
+            let building = &world.building;
+            scope.spawn(move || {
+                let mut seed = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let stream = generate_update_stream(
+                        building,
+                        engine.store(),
+                        &UpdateStreamConfig {
+                            count: 64,
+                            door_events: 0.0,
+                            seed,
+                            ..Default::default()
+                        },
+                    );
+                    engine.apply_batch(&stream).expect("writer batch commits");
+                    commits_done.fetch_add(1, Ordering::Relaxed);
+                    seed += 1;
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(CELL_MS));
+        stop.store(true, Ordering::Relaxed);
+    });
+    (
+        queries_done.load(Ordering::Relaxed),
+        commits_done.load(Ordering::Relaxed),
+        t.elapsed(),
+    )
+}

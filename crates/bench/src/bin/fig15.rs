@@ -132,7 +132,7 @@ fn main() {
             };
             let (pid, _, events) = w.building.space.insert_partition(spec).unwrap();
             for ev in &events {
-                w.index
+                std::sync::Arc::make_mut(&mut w.index)
                     .apply_topology(&w.building.space, &w.store, ev)
                     .unwrap();
             }
@@ -145,7 +145,7 @@ fn main() {
         for pid in inserted {
             let events = w.building.space.delete_partition(pid).unwrap();
             for ev in &events {
-                w.index
+                std::sync::Arc::make_mut(&mut w.index)
                     .apply_topology(&w.building.space, &w.store, ev)
                     .unwrap();
             }
@@ -168,12 +168,16 @@ fn main() {
         }
         let t = Instant::now();
         for obj in &fresh {
-            w.index.insert_object(&w.building.space, obj).unwrap();
+            std::sync::Arc::make_mut(&mut w.index)
+                .insert_object(&w.building.space, obj)
+                .unwrap();
         }
         let insert_obj_ms = t.elapsed().as_secs_f64() * 1e3 / ops as f64;
         let t = Instant::now();
         for obj in &fresh {
-            w.index.remove_object(obj.id).unwrap();
+            std::sync::Arc::make_mut(&mut w.index)
+                .remove_object(obj.id)
+                .unwrap();
         }
         let delete_obj_ms = t.elapsed().as_secs_f64() * 1e3 / ops as f64;
 

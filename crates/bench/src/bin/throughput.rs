@@ -3,9 +3,9 @@
 //! Measures queries/second on the default workload (§V-A parameters,
 //! `IDQ_SCALE`-scaled) for the same query set issued two ways:
 //!
-//! * **single** — every query through `EngineSnapshot::execute`, each
+//! * **single** — every query through `Snapshot::execute`, each
 //!   paying for its own subgraph Dijkstra and subregion decompositions;
-//! * **batched** — per query point, one `EngineSnapshot::execute_batch`
+//! * **batched** — per query point, one `Snapshot::execute_batch`
 //!   call, sharing one restricted Dijkstra and one subregion cache across
 //!   the group (the §VII computation-reuse path).
 //!

@@ -7,24 +7,33 @@
 //! fig12` gives a fast smoke run while the default regenerates the paper's
 //! exact parameter grid.
 
-use idq_core::EngineSnapshot;
+use idq_core::Snapshot;
 use idq_index::{CompositeIndex, IndexConfig};
-use idq_model::IndoorPoint;
+use idq_model::{IndoorPoint, IndoorSpace};
 use idq_objects::ObjectStore;
 use idq_query::{Outcome, Query, QueryOptions, QueryStats};
 use idq_workloads::{
     generate_building, generate_objects, generate_query_points, BuildingConfig, GeneratedBuilding,
     ObjectConfig, PaperDefaults, QueryPointConfig,
 };
+use std::sync::Arc;
 
 /// A fully built experimental world.
+///
+/// The three layers are `Arc`-shared so [`World::snapshot`] assembles an
+/// owned [`Snapshot`] for free (bench bins that mutate a layer in place go
+/// through `Arc::make_mut`). `space` is the snapshot-facing copy of
+/// `building.space`, taken at construction: harnesses that mutate the
+/// building afterwards work on `building.space` and never snapshot.
 pub struct World {
     /// The generated building.
     pub building: GeneratedBuilding,
+    /// The building's space, `Arc`-shared for snapshots.
+    pub space: Arc<IndoorSpace>,
     /// The object population.
-    pub store: ObjectStore,
+    pub store: Arc<ObjectStore>,
     /// The composite index over both.
-    pub index: CompositeIndex,
+    pub index: Arc<CompositeIndex>,
     /// The query workload (50 random points at paper scale).
     pub queries: Vec<IndoorPoint>,
     /// Query options sized for the population's uncertainty radii.
@@ -90,20 +99,28 @@ pub fn build_world(
         },
     );
     let options = QueryOptions::for_max_radius(radius);
+    let space = Arc::new(building.space.clone());
     World {
         building,
-        store,
-        index,
+        space,
+        store: Arc::new(store),
+        index: Arc::new(index),
         queries,
         options,
     }
 }
 
 impl World {
-    /// A consistent read view over the world with the given options (the
-    /// snapshot API benchmark harnesses execute queries through).
-    pub fn snapshot<'a>(&'a self, options: &QueryOptions) -> EngineSnapshot<'a> {
-        EngineSnapshot::new(&self.building.space, &self.store, &self.index, *options)
+    /// An owned, consistent read view over the world with the given
+    /// options (the snapshot API benchmark harnesses execute queries
+    /// through) — three `Arc` clones, shareable across reader threads.
+    pub fn snapshot(&self, options: &QueryOptions) -> Snapshot {
+        Snapshot::from_parts(
+            Arc::clone(&self.space),
+            Arc::clone(&self.store),
+            Arc::clone(&self.index),
+            *options,
+        )
     }
 }
 

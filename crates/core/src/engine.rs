@@ -1,14 +1,23 @@
-//! The engine: space + objects + index, kept consistent.
+//! The engine: space + objects + index, kept consistent — and served
+//! concurrently.
 //!
-//! Reads go through [`EngineSnapshot`]s (PR 2's session API); writes go
-//! through typed [`Update`]s executed by [`IndoorEngine::apply`] (one
-//! update) or [`IndoorEngine::apply_batch`] (an atomic, amortized
-//! transaction over a whole update stream — see `update.rs` for the
-//! vocabulary and the report types). Every successful apply bumps the
-//! engine's monotone epoch, which snapshots carry as their version.
+//! [`IndoorEngine`] is the **single writer** of an MVCC service: its state
+//! lives in an immutable, `Arc`-shared [`EngineState`] and every
+//! successful [`IndoorEngine::apply`] / [`IndoorEngine::apply_batch`]
+//! commits by building the *next* state — copy-on-write of the layers the
+//! batch touched, reusing the validate→stage→commit split — and swapping
+//! it into the service cell under its new epoch. Reads go through owned
+//! [`Snapshot`]s pinned to a version ([`IndoorEngine::snapshot`], or any
+//! thread via [`IndoorEngine::service`]); standing queries subscribe
+//! through [`crate::IndoorService::subscribe`] and are fed each commit's
+//! [`UpdateReport`]. Failure atomicity is structural: an error anywhere
+//! in a batch drops the in-flight copy, leaving the committed version
+//! untouched.
 
 use crate::error::EngineError;
-use crate::snapshot::EngineSnapshot;
+use crate::service::{IndoorService, Shared};
+use crate::snapshot::Snapshot;
+use crate::state::EngineState;
 use crate::update::{DeltaBuilder, Update, UpdateOutcome, UpdateReport, UpdateStats};
 use idq_geom::{Circle, Mbr3, Point2};
 use idq_index::{CompositeIndex, IndexConfig, UnitId};
@@ -21,6 +30,7 @@ use idq_query::{KnnResult, Outcome, Query, QueryOptions, RangeResult};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Engine configuration: index layout plus default query options.
 #[derive(Clone, Copy, Debug, Default)]
@@ -124,237 +134,41 @@ enum PreparedOp {
     Remove(ObjectId),
 }
 
-/// Inverse of one committed position update, for all-or-nothing batches.
-#[derive(Debug)]
-enum UndoOp {
-    /// Undo an insert: drop the object again.
-    RemoveInserted(ObjectId),
-    /// Undo a move: swap the previous object state back in.
-    ReplaceBack(Box<UncertainObject>),
-    /// Undo a removal: re-register the object.
-    ReinsertRemoved(Box<UncertainObject>),
-}
-
-/// Clone of the mutable layers, taken once per batch before its first
-/// topology update (topology maintenance has no cheap inverse; object
-/// updates roll back through [`UndoOp`]s instead).
-#[derive(Debug)]
-struct Checkpoint {
-    space: IndoorSpace,
-    store: ObjectStore,
-    index: CompositeIndex,
-    /// Undo entries recorded before the checkpoint (still needed after a
-    /// restore; later entries are superseded by it).
-    undo_len: usize,
-}
-
-/// In-flight state of one `apply_batch` transaction.
+/// Accumulators of one in-flight `apply_batch` transaction.
 #[derive(Debug, Default)]
 struct BatchState {
-    undo: Vec<UndoOp>,
-    checkpoint: Option<Box<Checkpoint>>,
     outcomes: Vec<UpdateOutcome>,
     delta: DeltaBuilder,
     stats: UpdateStats,
 }
 
-/// The integrated engine: one consistent view of the indoor world.
+/// The copy-on-write working state of one write transaction.
+///
+/// Begins as cheap `Arc` clones of the committed version's layers; the
+/// first mutation of a layer clones it (`Arc::make_mut` — the committed
+/// version always holds a second reference), later mutations run in
+/// place. On success the `Arc`s become the next [`EngineState`]; on error
+/// the transaction is dropped and the committed version was never touched
+/// — rollback is structural, not compensating.
 #[derive(Debug)]
-pub struct IndoorEngine {
-    space: IndoorSpace,
-    store: ObjectStore,
-    index: CompositeIndex,
-    options: QueryOptions,
-    /// Largest uncertainty radius seen, used to widen the subgraph slack.
+struct Txn {
+    space: Arc<IndoorSpace>,
+    store: Arc<ObjectStore>,
+    index: Arc<CompositeIndex>,
     max_radius: f64,
-    /// Monotone write counter: +1 per successful [`IndoorEngine::apply`] /
-    /// [`IndoorEngine::apply_batch`]. Snapshots carry it as their version.
-    epoch: u64,
+    /// Whether the space layer was copy-on-written (i.e. the batch
+    /// contained topology updates) — reported as `UpdateStats::checkpointed`.
+    space_cloned: bool,
 }
 
-impl IndoorEngine {
-    /// Builds an engine over a space with no objects yet.
-    pub fn new(space: IndoorSpace, config: EngineConfig) -> Result<Self, EngineError> {
-        Self::with_objects(space, ObjectStore::new(), config)
-    }
-
-    /// Builds an engine over a space and an existing object population.
-    pub fn with_objects(
-        space: IndoorSpace,
-        store: ObjectStore,
-        config: EngineConfig,
-    ) -> Result<Self, EngineError> {
-        let index = CompositeIndex::build(&space, &store, config.index)?;
-        let max_radius = store.iter().map(|o| o.region.radius).fold(0.0f64, f64::max);
-        Ok(IndoorEngine {
-            space,
-            store,
-            index,
-            options: config.query,
-            max_radius,
-            epoch: 0,
-        })
-    }
-
-    // ---- accessors -------------------------------------------------------
-
-    /// The indoor space.
-    pub fn space(&self) -> &IndoorSpace {
-        &self.space
-    }
-
-    /// The object population.
-    pub fn store(&self) -> &ObjectStore {
-        &self.store
-    }
-
-    /// The composite index.
-    pub fn index(&self) -> &CompositeIndex {
-        &self.index
-    }
-
-    /// The engine's write epoch: bumped once per successful
-    /// [`IndoorEngine::apply`] or [`IndoorEngine::apply_batch`] (a batch is
-    /// one transaction, hence one bump). Two snapshots with equal
-    /// [`EngineSnapshot::version`] saw the identical world.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// The effective default query options (slack widened to the largest
-    /// uncertainty region inserted so far).
-    pub fn query_options(&self) -> QueryOptions {
-        let by_radius = QueryOptions::for_max_radius(self.max_radius);
-        QueryOptions {
-            subgraph_slack: self.options.subgraph_slack.max(by_radius.subgraph_slack),
-            ..self.options
-        }
-    }
-
-    // ---- snapshots (sessions over a consistent read view) -------------------
-
-    /// A consistent read view over the current space, objects and index,
-    /// using the engine's effective default options. Holding the snapshot
-    /// borrows the engine immutably, so no update can slip in between the
-    /// queries issued through it.
-    pub fn snapshot(&self) -> EngineSnapshot<'_> {
-        EngineSnapshot::new(&self.space, &self.store, &self.index, self.query_options())
-            .with_version(self.epoch)
-    }
-
-    /// A read view with explicit query options (ablations, exact
-    /// refinement…).
-    pub fn snapshot_with(&self, options: QueryOptions) -> EngineSnapshot<'_> {
-        EngineSnapshot::new(&self.space, &self.store, &self.index, options).with_version(self.epoch)
-    }
-
-    /// Evaluates one typed [`Query`] on a fresh default snapshot.
-    pub fn execute(&self, query: &Query) -> Result<Outcome, EngineError> {
-        self.snapshot().execute(query)
-    }
-
-    /// Evaluates a batch of typed [`Query`]s on a fresh default snapshot,
-    /// reusing one evaluation context per (query point, floor) group.
-    pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<Outcome>, EngineError> {
-        self.snapshot().execute_batch(queries)
-    }
-
-    // ---- typed updates (§III-C) ---------------------------------------------
-
-    /// Applies one typed [`Update`].
-    ///
-    /// Atomic: on error the engine state is exactly what it was before the
-    /// call (object updates prepare all fallible work — sampling,
-    /// existence checks — before mutating anything; topology updates
-    /// validate in the space layer before emitting events). A success bumps
-    /// the [`IndoorEngine::epoch`].
-    pub fn apply(&mut self, update: Update) -> Result<UpdateOutcome, EngineError> {
-        if update.is_topology() {
-            let mut skeleton_dirty = false;
-            let outcome = self.apply_topology_update(&update, &mut skeleton_dirty)?;
-            if skeleton_dirty {
-                self.index.rebuild_skeleton(&self.space);
-            }
-            self.epoch += 1;
-            Ok(outcome)
-        } else {
-            let watermark = self.store.id_watermark();
-            let max_radius = self.max_radius;
-            let mut undo = Vec::new();
-            let mut stats = UpdateStats::default();
-            let mut pending = HashMap::new();
-            let result = self
-                .prepare_intent(&update, &mut pending)
-                .and_then(|intent| self.stage_run(vec![intent], &mut stats))
-                .and_then(|ops| {
-                    let op = ops.into_iter().next().expect("one intent, one op");
-                    self.commit_object_op(op, &mut undo)
-                });
-            match result {
-                Ok(outcome) => {
-                    self.epoch += 1;
-                    Ok(outcome)
-                }
-                Err(e) => {
-                    self.rollback_object_ops(undo);
-                    self.store.restore_id_watermark(watermark);
-                    self.max_radius = max_radius;
-                    Err(e)
-                }
-            }
-        }
-    }
-
-    /// Applies a stream of typed [`Update`]s as **one atomic transaction**:
-    /// either every update commits (one epoch bump, one [`UpdateReport`])
-    /// or, on the first failure, the engine rolls back to the state before
-    /// the call and the error is returned.
-    ///
-    /// The batch is also **amortized**: position updates are grouped by
-    /// touched partition so the composite index runs one footprint
-    /// traversal per group instead of one per update, and a run of
-    /// topology updates coalesces its skeleton repairs into a single
-    /// rebuild at the end of the run. Results are equivalent to applying
-    /// the updates one at a time in order (same objects, same ids, same
-    /// query answers) — only the maintenance cost differs.
-    ///
-    /// Rollback uses inverse operations for object updates; a batch that
-    /// contains topology updates additionally clones the three layers once
-    /// (`stats.checkpointed`) because topology maintenance has no cheap
-    /// inverse. Rollback restores *observable* state exactly (objects,
-    /// topology, versions, epoch, allocator watermark); incidental bucket
-    /// orderings inside the index may differ, which no query can see.
-    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<UpdateReport, EngineError> {
-        let watermark = self.store.id_watermark();
-        let max_radius = self.max_radius;
-        let mut state = BatchState {
-            outcomes: Vec::with_capacity(updates.len()),
-            ..BatchState::default()
-        };
-        match self.run_batch(updates, &mut state) {
-            Ok(()) => {
-                if !updates.is_empty() {
-                    self.epoch += 1;
-                }
-                Ok(UpdateReport {
-                    outcomes: state.outcomes,
-                    delta: state.delta.finish(),
-                    epoch: self.epoch,
-                    stats: state.stats,
-                })
-            }
-            Err(e) => {
-                if let Some(cp) = state.checkpoint.take() {
-                    self.space = cp.space;
-                    self.store = cp.store;
-                    self.index = cp.index;
-                    state.undo.truncate(cp.undo_len);
-                }
-                self.rollback_object_ops(state.undo);
-                self.store.restore_id_watermark(watermark);
-                self.max_radius = max_radius;
-                Err(e)
-            }
+impl Txn {
+    fn begin(state: &EngineState) -> Self {
+        Txn {
+            space: Arc::clone(&state.space),
+            store: Arc::clone(&state.store),
+            index: Arc::clone(&state.index),
+            max_radius: state.max_radius,
+            space_cloned: false,
         }
     }
 
@@ -366,15 +180,6 @@ impl IndoorEngine {
         let mut i = 0;
         while i < updates.len() {
             if updates[i].is_topology() {
-                if state.checkpoint.is_none() {
-                    state.checkpoint = Some(Box::new(Checkpoint {
-                        space: self.space.clone(),
-                        store: self.store.clone(),
-                        index: self.index.clone(),
-                        undo_len: state.undo.len(),
-                    }));
-                    state.stats.checkpointed = true;
-                }
                 let mut skeleton_dirty = false;
                 while i < updates.len() && updates[i].is_topology() {
                     let outcome = self.apply_topology_update(&updates[i], &mut skeleton_dirty)?;
@@ -383,7 +188,7 @@ impl IndoorEngine {
                     i += 1;
                 }
                 if skeleton_dirty {
-                    self.index.rebuild_skeleton(&self.space);
+                    Arc::make_mut(&mut self.index).rebuild_skeleton(&self.space);
                     state.stats.skeleton_rebuilds += 1;
                 }
             } else {
@@ -391,8 +196,8 @@ impl IndoorEngine {
                 // (duplicate/existence checks against the store plus the
                 // run's own pending effects), stage the run (shared
                 // footprint traversals, hint-assisted sampling — all
-                // remaining fallible work, still nothing mutated), then
-                // commit in input order.
+                // remaining fallible work, still nothing committed), then
+                // apply in input order.
                 let mut intents: Vec<Intent> = Vec::new();
                 let mut pending: HashMap<ObjectId, PendingState> = HashMap::new();
                 while i < updates.len() && !updates[i].is_topology() {
@@ -402,7 +207,7 @@ impl IndoorEngine {
                 }
                 let ops = self.stage_run(intents, &mut state.stats)?;
                 for op in ops {
-                    let outcome = self.commit_object_op(op, &mut state.undo)?;
+                    let outcome = self.apply_object_op(op)?;
                     state.delta.record(&outcome);
                     state.outcomes.push(outcome);
                 }
@@ -414,8 +219,8 @@ impl IndoorEngine {
     /// Validates one position [`Update`] against the store *and* the run's
     /// pending effects (so a run may touch the same object repeatedly with
     /// sequential semantics), allocating ids and resolving sampling
-    /// parameters. No mutation beyond the id allocator (restored on
-    /// rollback).
+    /// parameters. Id allocation lands on the transaction's store copy, so
+    /// a failed batch leaks nothing.
     fn prepare_intent(
         &mut self,
         update: &Update,
@@ -432,11 +237,11 @@ impl IndoorEngine {
                 if exists {
                     return Err(ObjectError::DuplicateObject(id).into());
                 }
-                // The insert itself is deferred to commit, so reserve the
-                // external id now: a later `InsertObjectAt` in this run
-                // must allocate past it, exactly as sequential application
-                // would after the insert landed.
-                self.store.reserve_id(id);
+                // The insert itself is deferred, so reserve the external id
+                // now: a later `InsertObjectAt` in this run must allocate
+                // past it, exactly as sequential application would after
+                // the insert landed.
+                Arc::make_mut(&mut self.store).reserve_id(id);
                 pending.insert(
                     id,
                     PendingState::Live {
@@ -453,7 +258,7 @@ impl IndoorEngine {
                 instances,
                 seed,
             } => {
-                let id = self.store.allocate_id();
+                let id = Arc::make_mut(&mut self.store).allocate_id();
                 let instances = (*instances).max(1);
                 pending.insert(
                     id,
@@ -519,9 +324,9 @@ impl IndoorEngine {
     /// Gaussian draws with each footprint's partitions as the
     /// point-location hint (identical results to full point location, a
     /// fraction of the cost). Sampling can fail — a centre outside every
-    /// partition — but nothing is mutated until every op is staged.
+    /// partition — but nothing is applied until every op is staged.
     fn stage_run(
-        &mut self,
+        &self,
         intents: Vec<Intent>,
         stats: &mut UpdateStats,
     ) -> Result<Vec<PreparedOp>, EngineError> {
@@ -611,100 +416,52 @@ impl IndoorEngine {
         )?)
     }
 
-    /// Applies one staged op to store + index, recording its inverse. By
+    /// Applies one staged op to the transaction's store + index copies. By
     /// construction (validation + staging) these layer operations cannot
-    /// fail on user input; the defensive paths keep the layers consistent
-    /// anyway.
-    fn commit_object_op(
-        &mut self,
-        op: PreparedOp,
-        undo: &mut Vec<UndoOp>,
-    ) -> Result<UpdateOutcome, EngineError> {
+    /// fail on user input; an error simply aborts the transaction with the
+    /// committed version untouched.
+    fn apply_object_op(&mut self, op: PreparedOp) -> Result<UpdateOutcome, EngineError> {
         match op {
             PreparedOp::Insert(object, units, mbr) => {
                 let id = object.id;
                 let radius = object.region.radius;
-                self.index.insert_object_prepared(id, units, mbr)?;
-                if let Err(e) = self.store.insert(*object) {
-                    // Keep the layers consistent: the index insert above
-                    // succeeded, so removal undoes exactly it.
-                    self.index.remove_object(id)?;
-                    return Err(e.into());
-                }
-                undo.push(UndoOp::RemoveInserted(id));
+                Arc::make_mut(&mut self.index).insert_object_prepared(id, units, mbr)?;
+                Arc::make_mut(&mut self.store).insert(*object)?;
                 self.max_radius = self.max_radius.max(radius);
                 Ok(UpdateOutcome::ObjectInserted(id))
             }
             PreparedOp::Move(object, units, mbr) => {
                 let id = object.id;
-                let old = self.store.replace(*object)?;
-                if let Err(e) = self.index.update_object_prepared(id, units, mbr) {
-                    self.store.replace(old)?;
-                    return Err(e.into());
-                }
-                undo.push(UndoOp::ReplaceBack(Box::new(old)));
+                Arc::make_mut(&mut self.store).replace_discarding(*object)?;
+                Arc::make_mut(&mut self.index).update_object_prepared(id, units, mbr)?;
                 Ok(UpdateOutcome::ObjectMoved(id))
             }
             PreparedOp::Remove(id) => {
-                self.index.remove_object(id)?;
-                let object = self.store.remove(id)?;
-                undo.push(UndoOp::ReinsertRemoved(Box::new(object)));
+                Arc::make_mut(&mut self.index).remove_object(id)?;
+                Arc::make_mut(&mut self.store).discard(id)?;
                 Ok(UpdateOutcome::ObjectRemoved(id))
             }
         }
     }
 
-    /// Reverses committed position updates, newest first. The inverses
-    /// mirror operations the forward pass just performed, so layer errors
-    /// here are unreachable short of memory corruption — hence the
-    /// `expect`s: a failed rollback has no sane continuation.
-    fn rollback_object_ops(&mut self, mut undo: Vec<UndoOp>) {
-        while let Some(op) = undo.pop() {
-            match op {
-                UndoOp::RemoveInserted(id) => {
-                    self.index
-                        .remove_object(id)
-                        .expect("rollback: inserted object is indexed");
-                    self.store
-                        .remove(id)
-                        .expect("rollback: inserted object is stored");
-                }
-                UndoOp::ReplaceBack(old) => {
-                    self.index
-                        .update_object(&self.space, &old)
-                        .expect("rollback: moved object is indexed");
-                    self.store
-                        .replace(*old)
-                        .expect("rollback: moved object is stored");
-                }
-                UndoOp::ReinsertRemoved(object) => {
-                    self.index
-                        .insert_object(&self.space, &object)
-                        .expect("rollback: removed object re-indexes");
-                    self.store
-                        .insert(*object)
-                        .expect("rollback: removed id is free");
-                }
-            }
-        }
-    }
-
-    /// Applies one topology [`Update`]: the space-layer operation, then its
-    /// events through the index with the skeleton repair deferred into
-    /// `skeleton_dirty` (callers coalesce repairs across a run).
+    /// Applies one topology [`Update`]: the space-layer operation (on the
+    /// transaction's space copy), then its events through the index with
+    /// the skeleton repair deferred into `skeleton_dirty` (callers
+    /// coalesce repairs across a run).
     fn apply_topology_update(
         &mut self,
         update: &Update,
         skeleton_dirty: &mut bool,
     ) -> Result<UpdateOutcome, EngineError> {
+        self.space_cloned = true;
         match update {
             Update::OpenDoor(d) => {
-                let ev = self.space.open_door(*d)?;
+                let ev = Arc::make_mut(&mut self.space).open_door(*d)?;
                 self.absorb_events(&[ev], skeleton_dirty)?;
                 Ok(UpdateOutcome::DoorOpened(*d))
             }
             Update::CloseDoor(d) => {
-                let ev = self.space.close_door(*d)?;
+                let ev = Arc::make_mut(&mut self.space).close_door(*d)?;
                 self.absorb_events(&[ev], skeleton_dirty)?;
                 Ok(UpdateOutcome::DoorClosed(*d))
             }
@@ -715,19 +472,19 @@ impl IndoorEngine {
                 floor,
                 direction,
             } => {
-                let (id, ev) = self
-                    .space
+                let (id, ev) = Arc::make_mut(&mut self.space)
                     .insert_door(*a, *b, *position, *floor, *direction)?;
                 self.absorb_events(&[ev], skeleton_dirty)?;
                 Ok(UpdateOutcome::DoorInserted(id))
             }
             Update::InsertPartition(spec) => {
-                let (partition, doors, events) = self.space.insert_partition(spec.clone())?;
+                let (partition, doors, events) =
+                    Arc::make_mut(&mut self.space).insert_partition(spec.clone())?;
                 self.absorb_events(&events, skeleton_dirty)?;
                 Ok(UpdateOutcome::PartitionInserted { partition, doors })
             }
             Update::DeletePartition(p) => {
-                let events = self.space.delete_partition(*p)?;
+                let events = Arc::make_mut(&mut self.space).delete_partition(*p)?;
                 self.absorb_events(&events, skeleton_dirty)?;
                 Ok(UpdateOutcome::PartitionDeleted(*p))
             }
@@ -736,9 +493,11 @@ impl IndoorEngine {
                 line,
                 connecting_door,
             } => {
-                let (halves, events) =
-                    self.space
-                        .split_partition(*partition, *line, *connecting_door)?;
+                let (halves, events) = Arc::make_mut(&mut self.space).split_partition(
+                    *partition,
+                    *line,
+                    *connecting_door,
+                )?;
                 self.absorb_events(&events, skeleton_dirty)?;
                 Ok(UpdateOutcome::PartitionSplit {
                     old: *partition,
@@ -746,7 +505,7 @@ impl IndoorEngine {
                 })
             }
             Update::MergePartitions(a, b) => {
-                let (merged, events) = self.space.merge_partitions(*a, *b)?;
+                let (merged, events) = Arc::make_mut(&mut self.space).merge_partitions(*a, *b)?;
                 self.absorb_events(&events, skeleton_dirty)?;
                 Ok(UpdateOutcome::PartitionsMerged { merged })
             }
@@ -759,22 +518,225 @@ impl IndoorEngine {
         events: &[TopologyEvent],
         skeleton_dirty: &mut bool,
     ) -> Result<(), EngineError> {
+        let index = Arc::make_mut(&mut self.index);
         for ev in events {
-            *skeleton_dirty |= self
-                .index
-                .apply_topology_deferred(&self.space, &self.store, ev)?;
+            *skeleton_dirty |= index.apply_topology_deferred(&self.space, &self.store, ev)?;
         }
         Ok(())
     }
+}
 
-    // ---- object management (§III-C.2) --------------------------------------
+/// The integrated engine: the single writer of one consistent, versioned
+/// indoor world.
+///
+/// The engine owns the write side; reads and subscriptions go through the
+/// [`IndoorService`] handle ([`IndoorEngine::service`]), which any number
+/// of threads share. Dropping the engine retires the writer: services
+/// keep answering on the final version, subscriptions see their stream
+/// end.
+#[derive(Debug)]
+pub struct IndoorEngine {
+    shared: Arc<Shared>,
+    /// The writer's own pin of the latest committed version (always equal
+    /// to the service cell's — the engine is the only publisher).
+    state: Arc<EngineState>,
+}
+
+impl IndoorEngine {
+    /// Builds an engine over a space with no objects yet.
+    pub fn new(space: IndoorSpace, config: EngineConfig) -> Result<Self, EngineError> {
+        Self::with_objects(space, ObjectStore::new(), config)
+    }
+
+    /// Builds an engine over a space and an existing object population.
+    pub fn with_objects(
+        space: IndoorSpace,
+        store: ObjectStore,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let index = CompositeIndex::build(&space, &store, config.index)?;
+        let max_radius = store.iter().map(|o| o.region.radius).fold(0.0f64, f64::max);
+        let state = Arc::new(EngineState {
+            space: Arc::new(space),
+            store: Arc::new(store),
+            index: Arc::new(index),
+            options: config.query,
+            max_radius,
+            epoch: 0,
+        });
+        Ok(IndoorEngine {
+            shared: Arc::new(Shared::new(Arc::clone(&state))),
+            state,
+        })
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    /// The indoor space.
+    pub fn space(&self) -> &IndoorSpace {
+        &self.state.space
+    }
+
+    /// The object population.
+    pub fn store(&self) -> &ObjectStore {
+        &self.state.store
+    }
+
+    /// The composite index.
+    pub fn index(&self) -> &CompositeIndex {
+        &self.state.index
+    }
+
+    /// The engine's write epoch: bumped once per successful
+    /// [`IndoorEngine::apply`] or [`IndoorEngine::apply_batch`] (a batch is
+    /// one transaction, hence one bump). Two snapshots with equal
+    /// [`Snapshot::version`] saw the identical world.
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch
+    }
+
+    /// The effective default query options (slack widened to the largest
+    /// uncertainty region inserted so far).
+    pub fn query_options(&self) -> QueryOptions {
+        self.state.effective_options()
+    }
+
+    // ---- the concurrent service surface ---------------------------------
+
+    /// A cloneable, `Send + Sync` handle for reader threads: snapshots,
+    /// query sessions and standing-query subscriptions, all pinned to
+    /// committed versions while this engine keeps writing.
+    pub fn service(&self) -> IndoorService {
+        IndoorService::new(Arc::clone(&self.shared))
+    }
+
+    // ---- snapshots (sessions over a consistent read view) ----------------
+
+    /// An owned snapshot pinned to the latest committed version, using the
+    /// engine's effective default options. The snapshot is `Clone + Send +
+    /// Sync`: hand it to any thread, it keeps reading this version no
+    /// matter what commits afterwards.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_state(Arc::clone(&self.state), self.query_options())
+    }
+
+    /// A pinned snapshot with explicit query options (ablations, exact
+    /// refinement…).
+    pub fn snapshot_with(&self, options: QueryOptions) -> Snapshot {
+        Snapshot::from_state(Arc::clone(&self.state), options)
+    }
+
+    /// Evaluates one typed [`Query`] on a fresh default snapshot.
+    pub fn execute(&self, query: &Query) -> Result<Outcome, EngineError> {
+        self.snapshot().execute(query)
+    }
+
+    /// Evaluates a batch of typed [`Query`]s on a fresh default snapshot,
+    /// reusing one evaluation context per (query point, floor) group.
+    pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<Outcome>, EngineError> {
+        self.snapshot().execute_batch(queries)
+    }
+
+    // ---- typed updates (§III-C) ------------------------------------------
+
+    /// Applies one typed [`Update`].
+    ///
+    /// Atomic: on error nothing was committed — the update ran on a
+    /// copy-on-write transaction that is simply dropped. A success bumps
+    /// the [`IndoorEngine::epoch`], publishes the new version to every
+    /// service handle and notifies subscriptions.
+    ///
+    /// **Cost note:** under MVCC every commit copy-on-writes the layers
+    /// it touches, and a single-update commit pays the same copy a whole
+    /// batch does. High-frequency writers must batch: on the `ingest`
+    /// benchmark workload, [`IndoorEngine::apply_batch`] sustains
+    /// hundreds of thousands of updates/s while per-update `apply` is
+    /// limited by one store+index copy per call.
+    pub fn apply(&mut self, update: Update) -> Result<UpdateOutcome, EngineError> {
+        let report = self.apply_batch(std::slice::from_ref(&update))?;
+        Ok(report
+            .outcomes
+            .into_iter()
+            .next()
+            .expect("one update, one outcome"))
+    }
+
+    /// Applies a stream of typed [`Update`]s as **one atomic transaction**:
+    /// either every update commits (one epoch bump, one [`UpdateReport`])
+    /// or, on the first failure, nothing does — the batch runs on a
+    /// copy-on-write transaction over the committed version's layers, so a
+    /// failure drops the copy and the committed version was never touched
+    /// (no undo log, no compensation).
+    ///
+    /// The batch is also **amortized**: position updates are grouped by
+    /// touched partition so the composite index runs one footprint
+    /// traversal per group instead of one per update, and a run of
+    /// topology updates coalesces its skeleton repairs into a single
+    /// rebuild at the end of the run. Results are equivalent to applying
+    /// the updates one at a time in order (same objects, same ids, same
+    /// query answers) — only the maintenance cost differs.
+    ///
+    /// A successful non-empty batch commits via the epoch-stamped atomic
+    /// swap: snapshots pinned to older versions are unaffected, new
+    /// snapshots see the new version, and every live subscription receives
+    /// the report.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<UpdateReport, EngineError> {
+        let mut txn = Txn::begin(&self.state);
+        let mut batch = BatchState {
+            outcomes: Vec::with_capacity(updates.len()),
+            ..BatchState::default()
+        };
+        txn.run_batch(updates, &mut batch)?;
+        batch.stats.checkpointed = txn.space_cloned;
+        if updates.is_empty() {
+            // A committed no-op: nothing to publish, epoch unchanged.
+            return Ok(UpdateReport {
+                outcomes: batch.outcomes,
+                delta: batch.delta.finish(),
+                epoch: self.state.epoch,
+                stats: batch.stats,
+            });
+        }
+        Ok(self.commit(txn, batch))
+    }
+
+    /// Publishes a completed transaction as the next version: builds the
+    /// epoch-stamped [`EngineState`], swaps it into the service cell, and
+    /// broadcasts the report to subscriptions (outside every lock that
+    /// readers take across work).
+    fn commit(&mut self, txn: Txn, batch: BatchState) -> UpdateReport {
+        let epoch = self.state.epoch + 1;
+        let next = Arc::new(EngineState {
+            space: txn.space,
+            store: txn.store,
+            index: txn.index,
+            options: self.state.options,
+            max_radius: txn.max_radius,
+            epoch,
+        });
+        self.state = Arc::clone(&next);
+        self.shared.publish(next);
+        let report = UpdateReport {
+            outcomes: batch.outcomes,
+            delta: batch.delta.finish(),
+            epoch,
+            stats: batch.stats,
+        };
+        self.shared.broadcast(&report, &self.snapshot());
+        report
+    }
+
+    // ---- object management (§III-C.2) ------------------------------------
     //
     // Stability contract (mirroring the read side): these convenience
     // methods are kept indefinitely as thin delegations onto
     // [`IndoorEngine::apply`] — existing callers never need to name
     // [`Update`]. New code, and anything issuing several updates that must
     // commit or fail together, should prefer typed updates and
-    // [`IndoorEngine::apply_batch`].
+    // [`IndoorEngine::apply_batch`] — under MVCC each of these calls is
+    // one commit and pays the copy-on-write of the touched layers (see
+    // the cost note on [`IndoorEngine::apply`]), so update streams belong
+    // in batches.
 
     /// Inserts a fully-formed uncertain object.
     pub fn insert_object(&mut self, object: UncertainObject) -> Result<(), EngineError> {
@@ -804,24 +766,18 @@ impl IndoorEngine {
             .expect("insert yields an inserted-object outcome"))
     }
 
-    /// Removes an object, returning it.
-    ///
-    /// Unlike its sibling delegations this one is implemented directly
-    /// (observationally identical to `apply(Update::RemoveObject(id))`,
-    /// epoch bump included) so the removed object *moves* out to the
-    /// caller instead of being deep-cloned for the return value.
+    /// Removes an object, returning it (a copy — the versions pinned by
+    /// older snapshots keep the entry; the new version does not).
     pub fn remove_object(&mut self, id: ObjectId) -> Result<UncertainObject, EngineError> {
-        self.store.get(id)?;
-        self.index.remove_object(id)?;
-        let object = self.store.remove(id)?;
-        self.epoch += 1;
+        let object = self.state.store.get(id)?.clone();
+        self.apply(Update::RemoveObject(id))?;
         Ok(object)
     }
 
     /// Moves an object: deletion followed by insertion with a re-sampled
     /// uncertainty region at the new position (§III-C.2's update flow).
-    /// The new region is sampled (and can fail) *before* the old object is
-    /// touched, so a failed move leaves the object exactly where it was.
+    /// The new region is sampled (and can fail) *before* anything commits,
+    /// so a failed move leaves the object exactly where it was.
     pub fn move_object(
         &mut self,
         id: ObjectId,
@@ -838,14 +794,15 @@ impl IndoorEngine {
         .map(|_| ())
     }
 
-    // ---- queries (§IV) -------------------------------------------------------
+    // ---- queries (§IV) ---------------------------------------------------
     //
     // Stability contract: these convenience methods are kept indefinitely
     // as thin delegations onto a default snapshot — existing callers never
-    // need to name `Query` or `Outcome`. New code (and anything issuing
-    // several queries against one consistent view) should prefer
-    // [`IndoorEngine::snapshot`] + [`EngineSnapshot::execute`] /
-    // [`EngineSnapshot::execute_batch`].
+    // need to name `Query` or `Outcome`. All of them route through the
+    // owned [`Snapshot`] (one code path with the concurrent sessions). New
+    // code (and anything issuing several queries against one consistent
+    // view) should prefer [`IndoorEngine::snapshot`] +
+    // [`Snapshot::execute`] / [`Snapshot::execute_batch`].
 
     /// `iRQ(q, r)` with the engine's default options.
     pub fn range_query(&self, q: IndoorPoint, r: f64) -> Result<RangeResult, EngineError> {
@@ -909,7 +866,7 @@ impl IndoorEngine {
             .path)
     }
 
-    // ---- topology updates (§III-C.1) --------------------------------------------
+    // ---- topology updates (§III-C.1) -------------------------------------
     //
     // Same stability contract: thin delegations onto [`IndoorEngine::apply`].
 
@@ -994,9 +951,18 @@ impl IndoorEngine {
     /// panics on broken index-internal invariants (those indicate a bug,
     /// never an operational state).
     pub fn validate(&self) -> Result<(), EngineError> {
-        self.index.validate();
-        self.index.check_fresh(&self.space)?;
+        self.state.index.validate();
+        self.state.index.check_fresh(&self.state.space)?;
         Ok(())
+    }
+}
+
+impl Drop for IndoorEngine {
+    /// Retires the writer: every subscription's stream ends (blocked
+    /// `wait()`s wake up with `None`); service handles keep answering
+    /// queries on the final committed version.
+    fn drop(&mut self) {
+        self.shared.retire_writer();
     }
 }
 
@@ -1126,7 +1092,7 @@ mod tests {
             .insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 1)
             .unwrap();
         // Moving to a position outside every partition fails in sampling,
-        // before the old object is touched.
+        // before anything commits.
         assert!(e.move_object(id, Point2::new(-50.0, -50.0), 0, 9).is_err());
         e.validate().unwrap();
         assert!(e.store().contains(id));
@@ -1223,7 +1189,7 @@ mod tests {
     }
 
     #[test]
-    fn failed_topology_batch_restores_via_checkpoint() {
+    fn failed_topology_batch_leaves_the_committed_version() {
         let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
         let o1 = e
             .insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 4, 1)
@@ -1233,8 +1199,9 @@ mod tests {
         let d_before = e.indoor_distance(q, p).unwrap();
         let version = e.space().version();
         let (_, doors) = e.shortest_path(q, p).unwrap().unwrap();
-        // A move, a door closure, then a failing update: the closure must
-        // be undone too (checkpoint restore), not just the object ops.
+        // A move, a door closure, then a failing update: the closure ran
+        // on the dropped transaction copy, so the committed space is
+        // untouched (structurally, not via undo).
         let err = e.apply_batch(&[
             Update::MoveObject {
                 id: o1,
@@ -1247,7 +1214,7 @@ mod tests {
         ]);
         assert!(err.is_err());
         e.validate().unwrap();
-        assert_eq!(e.space().version(), version, "space restored exactly");
+        assert_eq!(e.space().version(), version, "space untouched");
         assert!((e.indoor_distance(q, p).unwrap() - d_before).abs() < 1e-9);
         assert_eq!(
             e.store().get(o1).unwrap().region.center,
@@ -1355,5 +1322,39 @@ mod tests {
             bat.range_query(q, 30.0).unwrap(),
         );
         assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn parallel_sessions_read_while_the_writer_commits() {
+        // The tentpole demo in miniature (the full grid lives in
+        // tests/concurrency_stress.rs): four reader threads execute
+        // sessions on service snapshots while the writer commits, and
+        // every answer is consistent with the version its snapshot pins.
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1)
+            .unwrap();
+        let service = e.service();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let service = service.clone();
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let snap = service.snapshot();
+                        let out = snap.execute(&Query::Range { q, r: 40.0 }).unwrap();
+                        let hits = out.as_range().unwrap().results.len();
+                        // Epoch e has exactly 1 + (e - 1) live objects
+                        // (first insert above, then one per commit below).
+                        assert_eq!(hits as u64, snap.version(), "pinned answers");
+                    }
+                });
+            }
+            for seed in 2..=8u64 {
+                e.insert_object_at(Point2::new(14.0 + seed as f64, 5.0), 0, 1.0, 8, seed)
+                    .unwrap();
+            }
+        });
+        assert_eq!(e.epoch(), 8);
+        assert_eq!(service.epoch(), 8);
     }
 }

@@ -13,6 +13,9 @@ pub enum EngineError {
     Distance(idq_distance::DistanceError),
     /// Query evaluation error.
     Query(idq_query::QueryError),
+    /// The query kind cannot back a standing subscription (only
+    /// [`idq_query::Query::Range`] has an incremental maintenance path).
+    UnsupportedSubscription(idq_query::Query),
 }
 
 impl std::fmt::Display for EngineError {
@@ -23,6 +26,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Index(e) => write!(f, "{e}"),
             EngineError::Distance(e) => write!(f, "{e}"),
             EngineError::Query(e) => write!(f, "{e}"),
+            EngineError::UnsupportedSubscription(q) => {
+                write!(f, "subscription requires a range query, got {q}")
+            }
         }
     }
 }

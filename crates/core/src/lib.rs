@@ -1,12 +1,15 @@
-//! `IndoorEngine` — the integrated public API of the reproduction.
+//! `IndoorEngine` — the integrated public API of the reproduction, served
+//! concurrently.
 //!
-//! The engine owns the three mutable parts of the system — the
-//! [`idq_model::IndoorSpace`], the [`idq_objects::ObjectStore`] and the
-//! [`idq_index::CompositeIndex`] — and
-//! keeps them consistent across object updates and topology updates, so a
-//! downstream application only talks to one object. Queries run through a
-//! [`EngineSnapshot`]: a cheap, consistent read view executing typed
-//! [`idq_query::Query`]s one at a time or batched with cross-query reuse:
+//! The engine is the **single writer** of an MVCC service: its state —
+//! the [`idq_model::IndoorSpace`], the [`idq_objects::ObjectStore`] and
+//! the [`idq_index::CompositeIndex`] — lives in an immutable, `Arc`-shared
+//! [`EngineState`], and every committed write publishes a *new* version
+//! via an epoch-stamped atomic swap (copy-on-write of the touched
+//! layers). Reads go through owned [`Snapshot`]s pinned to a version:
+//! `Clone + Send + Sync`, so any number of threads execute typed
+//! [`idq_query::Query`] sessions in parallel with an active writer, with
+//! no locks held during evaluation:
 //!
 //! ```
 //! use idq_core::{EngineConfig, IndoorEngine};
@@ -24,13 +27,23 @@
 //! let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
 //!
 //! // One snapshot answers a whole wave of queries consistently; sharing
-//! // the query point shares one door-distance Dijkstra across them.
+//! // the query point shares one door-distance Dijkstra across them. The
+//! // snapshot is owned: clone it, send it to other threads, keep it —
+//! // it stays pinned to its version while the writer commits.
 //! let snapshot = engine.snapshot();
 //! let outcomes = snapshot
 //!     .execute_batch(&[Query::Range { q, r: 30.0 }, Query::Knn { q, k: 1 }])
 //!     .unwrap();
 //! assert_eq!(outcomes[0].as_range().unwrap().results[0].object, id);
 //! assert_eq!(outcomes[1].as_knn().unwrap().results[0].object, id);
+//!
+//! // Reader threads use a service handle instead of borrowing the engine.
+//! let service = engine.service();
+//! let worker = std::thread::spawn(move || {
+//!     service.execute(&Query::Range { q, r: 30.0 }).unwrap()
+//! });
+//! engine.insert_object_at(Point2::new(18.0, 5.0), 0, 1.0, 8, 43).unwrap();
+//! worker.join().unwrap();
 //!
 //! // The pre-session convenience methods remain as thin delegations.
 //! assert_eq!(engine.range_query(q, 30.0).unwrap().results[0].object, id);
@@ -39,13 +52,16 @@
 //! Writes mirror the read side: typed [`Update`]s through
 //! [`IndoorEngine::apply`], or whole streams through
 //! [`IndoorEngine::apply_batch`] — one atomic transaction whose
-//! [`UpdateReport`] feeds standing monitors via [`MonitorExt::absorb`]:
+//! [`UpdateReport`] feeds standing queries. The first-class form of a
+//! standing query is a [`Subscription`]
+//! ([`IndoorService::subscribe`]): it yields the initial result at its
+//! baseline epoch and one delta [`Notification`] per commit:
 //!
 //! ```
-//! use idq_core::{EngineConfig, IndoorEngine, MonitorExt, Update};
+//! use idq_core::{EngineConfig, IndoorEngine, Update};
 //! use idq_geom::{Point2, Rect2};
 //! use idq_model::{FloorPlanBuilder, IndoorPoint};
-//! use idq_query::{QueryOptions, RangeMonitor};
+//! use idq_query::Query;
 //!
 //! let mut b = FloorPlanBuilder::new(4.0);
 //! let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
@@ -54,11 +70,11 @@
 //! let mut engine = IndoorEngine::new(b.finish().unwrap(), EngineConfig::default()).unwrap();
 //!
 //! let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
-//! let mut monitor = RangeMonitor::new(q, 12.0, QueryOptions::default()).unwrap();
-//! monitor.refresh_on(&engine.snapshot()).unwrap();
+//! let mut sub = engine.service().subscribe(Query::Range { q, r: 12.0 }).unwrap();
+//! assert!(sub.initial().is_empty());
 //!
-//! // One atomic, amortized transaction; one epoch bump.
-//! let report = engine
+//! // One atomic, amortized transaction; one epoch bump; one notification.
+//! engine
 //!     .apply_batch(&[
 //!         Update::InsertObjectAt {
 //!             center: Point2::new(8.0, 5.0), floor: 0, radius: 1.0, instances: 8, seed: 1,
@@ -68,22 +84,25 @@
 //!         },
 //!     ])
 //!     .unwrap();
-//! assert_eq!(report.delta.inserted.len(), 2);
-//! assert_eq!(engine.snapshot().version(), report.epoch);
-//!
-//! // The monitor re-evaluates exactly what the delta names.
-//! let changes = monitor.absorb(&report, &engine.snapshot()).unwrap();
-//! assert_eq!(changes.len(), 1); // only the near object entered
+//! let n = sub.wait().unwrap().expect("one commit");
+//! assert_eq!(n.changes.len(), 1); // only the near object entered
+//! assert_eq!(sub.epoch(), engine.epoch());
 //! ```
 
 pub mod engine;
 pub mod error;
 pub mod monitor;
+pub mod service;
 pub mod snapshot;
+pub mod state;
 pub mod update;
 
 pub use engine::{EngineConfig, IndoorEngine};
 pub use error::EngineError;
 pub use monitor::MonitorExt;
+pub use service::{IndoorService, Notification, Subscription};
+#[allow(deprecated)]
 pub use snapshot::EngineSnapshot;
+pub use snapshot::Snapshot;
+pub use state::EngineState;
 pub use update::{Update, UpdateDelta, UpdateOutcome, UpdateReport, UpdateStats};

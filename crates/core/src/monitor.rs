@@ -4,15 +4,19 @@
 //! `RangeMonitor` lives in `idq-query` beneath the engine, so its raw
 //! methods take the `(space, index, store)` triple. The [`MonitorExt`]
 //! extension trait closes that gap for engine users: every method reads
-//! the layers out of an [`EngineSnapshot`], and `absorb` consumes the
+//! the layers out of an owned [`Snapshot`], and `absorb` consumes the
 //! [`UpdateReport`] a committed [`crate::IndoorEngine::apply_batch`]
 //! returns — the monitor re-evaluates exactly the objects the batch's net
 //! delta names (falling back to one full refresh when the topology
 //! changed), replacing the caller-orchestrated
 //! `on_object_update`/`invalidate` dance.
+//!
+//! For a monitor that is *fed automatically* on every commit — without
+//! the caller routing reports — see [`crate::IndoorService::subscribe`],
+//! which wraps a `RangeMonitor` in a [`crate::Subscription`].
 
 use crate::error::EngineError;
-use crate::snapshot::EngineSnapshot;
+use crate::snapshot::Snapshot;
 use crate::update::UpdateReport;
 use idq_objects::ObjectId;
 use idq_query::{MonitorChange, RangeMonitor};
@@ -21,13 +25,13 @@ use idq_query::{MonitorChange, RangeMonitor};
 pub trait MonitorExt {
     /// Full re-evaluation through the indexed pipeline on a snapshot
     /// (see [`RangeMonitor::refresh`]). Returns the objects inside.
-    fn refresh_on(&mut self, snapshot: &EngineSnapshot<'_>) -> Result<Vec<ObjectId>, EngineError>;
+    fn refresh_on(&mut self, snapshot: &Snapshot) -> Result<Vec<ObjectId>, EngineError>;
 
     /// Re-evaluates one updated object against the cached distance tree
     /// (see [`RangeMonitor::on_object_update`]).
     fn on_object_update_on(
         &mut self,
-        snapshot: &EngineSnapshot<'_>,
+        snapshot: &Snapshot,
         id: ObjectId,
     ) -> Result<MonitorChange, EngineError>;
 
@@ -37,18 +41,18 @@ pub trait MonitorExt {
     fn absorb(
         &mut self,
         report: &UpdateReport,
-        snapshot: &EngineSnapshot<'_>,
+        snapshot: &Snapshot,
     ) -> Result<Vec<(ObjectId, MonitorChange)>, EngineError>;
 }
 
 impl MonitorExt for RangeMonitor {
-    fn refresh_on(&mut self, snapshot: &EngineSnapshot<'_>) -> Result<Vec<ObjectId>, EngineError> {
+    fn refresh_on(&mut self, snapshot: &Snapshot) -> Result<Vec<ObjectId>, EngineError> {
         Ok(self.refresh(snapshot.space(), snapshot.index(), snapshot.store())?)
     }
 
     fn on_object_update_on(
         &mut self,
-        snapshot: &EngineSnapshot<'_>,
+        snapshot: &Snapshot,
         id: ObjectId,
     ) -> Result<MonitorChange, EngineError> {
         Ok(self.on_object_update(snapshot.space(), snapshot.index(), snapshot.store(), id)?)
@@ -57,7 +61,7 @@ impl MonitorExt for RangeMonitor {
     fn absorb(
         &mut self,
         report: &UpdateReport,
-        snapshot: &EngineSnapshot<'_>,
+        snapshot: &Snapshot,
     ) -> Result<Vec<(ObjectId, MonitorChange)>, EngineError> {
         let updated = report.delta.updated();
         Ok(self.absorb_delta(

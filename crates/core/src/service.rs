@@ -1,0 +1,679 @@
+//! The concurrent service surface: [`IndoorService`] read/subscribe
+//! handles and [`Subscription`] standing queries.
+//!
+//! An [`crate::IndoorEngine`] is the single writer; any number of
+//! [`IndoorService`] clones (cheap, `Send + Sync`) hand out version-pinned
+//! [`crate::Snapshot`]s to reader threads and register standing-query
+//! subscriptions. A committing write publishes its new [`EngineState`]
+//! with one brief write-lock on the current-version cell (readers hold it
+//! only long enough to clone an `Arc`), then broadcasts the commit's
+//! [`UpdateReport`] to every live subscription — so query evaluation and
+//! delta absorption run entirely outside locks, on pinned versions.
+
+use crate::error::EngineError;
+use crate::monitor::MonitorExt;
+use crate::snapshot::Snapshot;
+use crate::state::EngineState;
+use crate::update::UpdateReport;
+use idq_objects::ObjectId;
+use idq_query::{MonitorChange, Outcome, Query, QueryOptions, RangeMonitor};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+// ---- commit-notice channel ------------------------------------------------
+//
+// A minimal unbounded MPSC channel (std-only, `Send + Sync` on both ends)
+// carrying commit notices from the writer to one subscription. Unbounded
+// and lossless: a subscription absorbs *every* commit, in order, which is
+// what makes delta application equal a from-scratch refresh at any epoch.
+
+/// What the writer broadcasts per commit: the receipt and a snapshot
+/// pinned to the committed version (both cheap to clone).
+#[derive(Clone, Debug)]
+struct CommitNotice {
+    report: Arc<UpdateReport>,
+    snapshot: Snapshot,
+}
+
+#[derive(Debug, Default)]
+struct ChannelQueue {
+    notices: VecDeque<CommitNotice>,
+    /// Writer retired: no further notices will ever arrive.
+    closed: bool,
+    /// Receiver dropped: sending is pointless, prune the sender.
+    receiver_gone: bool,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    queue: Mutex<ChannelQueue>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+pub(crate) struct NoticeSender {
+    channel: Arc<Channel>,
+}
+
+impl NoticeSender {
+    /// Queues a notice; `false` means the receiver is gone and the sender
+    /// should be pruned from the registry.
+    fn send(&self, notice: CommitNotice) -> bool {
+        let mut q = self.channel.queue.lock().expect("channel lock");
+        if q.receiver_gone {
+            return false;
+        }
+        q.notices.push_back(notice);
+        self.channel.ready.notify_all();
+        true
+    }
+
+    /// Marks the channel closed (writer retired); wakes blocked receivers.
+    pub(crate) fn close(&self) {
+        let mut q = self.channel.queue.lock().expect("channel lock");
+        q.closed = true;
+        self.channel.ready.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct NoticeReceiver {
+    channel: Arc<Channel>,
+}
+
+impl NoticeReceiver {
+    /// Takes the next queued notice without blocking.
+    fn try_recv(&self) -> Option<CommitNotice> {
+        self.channel
+            .queue
+            .lock()
+            .expect("channel lock")
+            .notices
+            .pop_front()
+    }
+
+    /// Blocks until a notice arrives or the writer retires; `None` means
+    /// closed-and-drained (no commit will ever arrive again).
+    fn recv(&self) -> Option<CommitNotice> {
+        let mut q = self.channel.queue.lock().expect("channel lock");
+        loop {
+            if let Some(n) = q.notices.pop_front() {
+                return Some(n);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.channel.ready.wait(q).expect("channel lock");
+        }
+    }
+}
+
+impl Drop for NoticeReceiver {
+    fn drop(&mut self) {
+        let mut q = self.channel.queue.lock().expect("channel lock");
+        q.receiver_gone = true;
+        // Release the backlog now: every queued notice pins a committed
+        // version, and the writer may never broadcast (and prune) again.
+        q.notices.clear();
+    }
+}
+
+fn notice_channel() -> (NoticeSender, NoticeReceiver) {
+    let channel = Arc::new(Channel::default());
+    (
+        NoticeSender {
+            channel: Arc::clone(&channel),
+        },
+        NoticeReceiver { channel },
+    )
+}
+
+// ---- shared service state -------------------------------------------------
+
+/// The subscriber registry plus the writer-liveness flag, under **one**
+/// mutex: registration checks liveness and registers atomically, so a
+/// concurrently retiring writer either sees the new sender (and closes
+/// it) or the subscriber sees the retirement (and starts closed) — a
+/// sender can never be stranded open with no writer left to close it.
+#[derive(Debug)]
+struct Registry {
+    senders: Vec<NoticeSender>,
+    writer_alive: bool,
+}
+
+/// The state shared between the writing [`crate::IndoorEngine`] and every
+/// [`IndoorService`] / [`Subscription`] handle.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    /// The current committed version. Writers hold the write lock only for
+    /// the pointer swap; readers only for an `Arc` clone — never across
+    /// query evaluation.
+    current: RwLock<Arc<EngineState>>,
+    /// Live standing-query subscriptions (writer broadcasts per commit).
+    registry: Mutex<Registry>,
+}
+
+impl Shared {
+    pub(crate) fn new(state: Arc<EngineState>) -> Self {
+        Shared {
+            current: RwLock::new(state),
+            registry: Mutex::new(Registry {
+                senders: Vec::new(),
+                writer_alive: true,
+            }),
+        }
+    }
+
+    /// The current committed version (an `Arc` clone under a brief read
+    /// lock).
+    pub(crate) fn current(&self) -> Arc<EngineState> {
+        Arc::clone(&self.current.read().expect("current-version lock"))
+    }
+
+    /// Publishes a committed version: the epoch-stamped atomic swap.
+    pub(crate) fn publish(&self, state: Arc<EngineState>) {
+        *self.current.write().expect("current-version lock") = state;
+    }
+
+    /// Registers a subscription channel, returning its receiver. When the
+    /// writer has already retired the channel starts out closed (the
+    /// subscriber's `wait()` reports the end of the stream immediately).
+    fn register(&self) -> NoticeReceiver {
+        let (tx, rx) = notice_channel();
+        let mut registry = self.registry.lock().expect("subscriber registry lock");
+        if registry.writer_alive {
+            registry.senders.push(tx);
+        } else {
+            tx.close();
+        }
+        rx
+    }
+
+    /// Broadcasts a committed report to every live subscription, pruning
+    /// the dead ones. Called by the writer *after* [`Shared::publish`],
+    /// outside the current-version lock.
+    pub(crate) fn broadcast(&self, report: &UpdateReport, snapshot: &Snapshot) {
+        // First lock: cheap emptiness check, so commits without
+        // subscribers never copy the report. The O(batch) report clone
+        // then happens *outside* the lock; a subscriber registering in
+        // between simply misses this notice, which is sound — its
+        // baseline is pinned after registration, hence at or past this
+        // commit, and its epoch guard drops duplicates.
+        {
+            let registry = self.registry.lock().expect("subscriber registry lock");
+            if registry.senders.is_empty() {
+                return;
+            }
+        }
+        let notice = CommitNotice {
+            report: Arc::new(report.clone()),
+            snapshot: snapshot.clone(),
+        };
+        let mut registry = self.registry.lock().expect("subscriber registry lock");
+        registry.senders.retain(|tx| tx.send(notice.clone()));
+    }
+
+    /// Retires the writer: closes every subscription channel (blocked
+    /// `wait()`s return `None`) and marks the service read-only.
+    pub(crate) fn retire_writer(&self) {
+        let mut registry = self.registry.lock().expect("subscriber registry lock");
+        registry.writer_alive = false;
+        for tx in registry.senders.drain(..) {
+            tx.close();
+        }
+    }
+}
+
+// ---- service handle -------------------------------------------------------
+
+/// A cloneable, thread-safe handle to a served engine: version-pinned
+/// snapshots, query sessions and standing-query subscriptions.
+///
+/// Obtain one from [`crate::IndoorEngine::service`] and clone it freely
+/// across threads; the handle stays valid after the engine is dropped
+/// (snapshots keep working on the last committed version; subscriptions
+/// drain and report the end of the stream).
+///
+/// ```
+/// use idq_core::{EngineConfig, IndoorEngine};
+/// use idq_geom::{Point2, Rect2};
+/// use idq_model::{FloorPlanBuilder, IndoorPoint};
+/// use idq_query::Query;
+///
+/// let mut b = FloorPlanBuilder::new(4.0);
+/// let a = b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+/// let c = b.add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0)).unwrap();
+/// b.add_door_between(a, c, Point2::new(10.0, 5.0)).unwrap();
+/// let mut engine = IndoorEngine::new(b.finish().unwrap(), EngineConfig::default()).unwrap();
+/// let service = engine.service();
+///
+/// // Reader threads execute sessions on pinned versions while the writer
+/// // keeps committing.
+/// let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+/// let reader = std::thread::spawn({
+///     let service = service.clone();
+///     move || service.execute(&Query::Range { q, r: 30.0 }).unwrap()
+/// });
+/// engine.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 7).unwrap();
+/// reader.join().unwrap();
+/// assert_eq!(service.snapshot().version(), engine.epoch());
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndoorService {
+    shared: Arc<Shared>,
+}
+
+impl IndoorService {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        IndoorService { shared }
+    }
+
+    /// The epoch of the latest committed version.
+    pub fn epoch(&self) -> u64 {
+        self.shared.current().epoch
+    }
+
+    /// A snapshot pinned to the latest committed version, with that
+    /// version's effective default options.
+    pub fn snapshot(&self) -> Snapshot {
+        let state = self.shared.current();
+        let options = state.effective_options();
+        Snapshot::from_state(state, options)
+    }
+
+    /// A snapshot pinned to the latest committed version, with explicit
+    /// query options (ablations, exact refinement…).
+    pub fn snapshot_with(&self, options: QueryOptions) -> Snapshot {
+        Snapshot::from_state(self.shared.current(), options)
+    }
+
+    /// Evaluates one typed [`Query`] on a fresh snapshot of the latest
+    /// version.
+    pub fn execute(&self, query: &Query) -> Result<Outcome, EngineError> {
+        self.snapshot().execute(query)
+    }
+
+    /// Evaluates a batch of typed [`Query`]s on one fresh snapshot,
+    /// reusing one evaluation context per (query point, floor) group.
+    pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<Outcome>, EngineError> {
+        self.snapshot().execute_batch(queries)
+    }
+
+    /// Registers a standing query with the serving engine's effective
+    /// default options, which the subscription keeps *tracking*: when a
+    /// later commit widens the effective options (a larger uncertainty
+    /// region arrived), the subscription adopts them before absorbing that
+    /// commit, so its refreshes always match what a fresh default query
+    /// would return. See [`IndoorService::subscribe_with`].
+    pub fn subscribe(&self, query: Query) -> Result<Subscription, EngineError> {
+        self.subscribe_inner(query, None)
+    }
+
+    /// Registers a standing query with explicit, **frozen** query options
+    /// (ablations, exact refinement…): evaluates it once on the latest
+    /// committed version (the [`Subscription::initial`] result) and
+    /// arranges for every subsequent commit's [`UpdateReport`] to be
+    /// delivered, so the subscription keeps itself current by absorbing
+    /// deltas instead of re-running the query.
+    ///
+    /// Only [`Query::Range`] is supported today — the incremental
+    /// maintenance path (the paper's standing `iRQ` of §I) exists for
+    /// range semantics; other kinds return
+    /// [`EngineError::UnsupportedSubscription`].
+    pub fn subscribe_with(
+        &self,
+        query: Query,
+        options: QueryOptions,
+    ) -> Result<Subscription, EngineError> {
+        self.subscribe_inner(query, Some(options))
+    }
+
+    /// `explicit_options: None` means "track the effective defaults". The
+    /// options used for the initial refresh are derived from the **same**
+    /// state read as the baseline snapshot — deriving them from an earlier
+    /// read would let a commit slip in between, refreshing a newer-epoch
+    /// baseline with a staler (narrower) slack.
+    fn subscribe_inner(
+        &self,
+        query: Query,
+        explicit_options: Option<QueryOptions>,
+    ) -> Result<Subscription, EngineError> {
+        let Query::Range { q, r } = query else {
+            return Err(EngineError::UnsupportedSubscription(query));
+        };
+        // Register the channel *before* pinning the baseline: a commit
+        // that lands in between is then either visible in the baseline
+        // (and skipped by its epoch guard) or queued on the channel —
+        // never lost.
+        let rx = self.shared.register();
+        let state = self.shared.current();
+        let options = explicit_options.unwrap_or_else(|| state.effective_options());
+        let baseline = Snapshot::from_state(state, options);
+        let mut monitor = RangeMonitor::new(q, r, options)?;
+        let initial = monitor.refresh(baseline.space(), baseline.index(), baseline.store())?;
+        Ok(Subscription {
+            query,
+            monitor,
+            rx,
+            epoch: baseline.version(),
+            initial,
+            track_options: explicit_options.is_none(),
+        })
+    }
+}
+
+// ---- subscription ---------------------------------------------------------
+
+/// One delta notification of a [`Subscription`]: the membership changes a
+/// committed batch caused, together with the commit's receipt.
+#[derive(Clone, Debug)]
+pub struct Notification {
+    /// The epoch of the commit this notification reflects; after handling
+    /// it the subscription's result set is current as of this epoch.
+    pub epoch: u64,
+    /// Every membership change the commit caused, ascending by object id.
+    /// May be empty — a commit that did not move the standing result still
+    /// advances the subscription's epoch.
+    pub changes: Vec<(ObjectId, MonitorChange)>,
+    /// The commit's full receipt (shared with other subscriptions).
+    pub report: Arc<UpdateReport>,
+}
+
+/// A standing query kept current by commit deltas.
+///
+/// Created by [`IndoorService::subscribe`]: the subscription starts from
+/// the [`Subscription::initial`] result evaluated at its baseline epoch,
+/// then absorbs every commit's [`UpdateReport`] — removals leave the
+/// result set, inserted and moved objects are re-evaluated against the
+/// monitor's cached distance tree, and a topology change triggers one
+/// full refresh (see [`RangeMonitor`]). Absorption happens on the
+/// *subscriber's* thread, against the snapshot pinned to the commit, so
+/// a slow consumer never blocks the writer or other readers.
+///
+/// Consume with [`Subscription::poll`] (non-blocking drain) or
+/// [`Subscription::wait`] (block until the next commit; `None` once the
+/// writer is gone and the queue is drained).
+///
+/// **Consumption keeps memory bounded.** The notice queue is lossless
+/// and unbounded, and every queued notice pins its commit's version
+/// (space + store + index) until absorbed — that pinning is what lets
+/// absorption run lock-free on the consumer's thread. A subscription
+/// that is held but never polled under a steady writer therefore retains
+/// one version per commit; drain it promptly (or drop it: a dropped
+/// subscription is pruned at the writer's next broadcast).
+#[derive(Debug)]
+pub struct Subscription {
+    query: Query,
+    monitor: RangeMonitor,
+    rx: NoticeReceiver,
+    epoch: u64,
+    initial: Vec<ObjectId>,
+    /// Adopt each commit's effective options before absorbing it (true
+    /// for [`IndoorService::subscribe`]; explicit-options subscriptions
+    /// keep theirs frozen).
+    track_options: bool,
+}
+
+impl Subscription {
+    /// The standing query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The result of the initial evaluation at the baseline epoch,
+    /// ascending by object id.
+    pub fn initial(&self) -> &[ObjectId] {
+        &self.initial
+    }
+
+    /// The current standing result set (initial + every absorbed delta),
+    /// ascending by object id.
+    pub fn current(&self) -> Vec<ObjectId> {
+        self.monitor.current()
+    }
+
+    /// Whether an object is currently in the standing result set.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.monitor.contains(id)
+    }
+
+    /// The epoch the standing result set is current as of.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Absorbs every queued commit without blocking, returning one
+    /// [`Notification`] per commit in epoch order.
+    pub fn poll(&mut self) -> Result<Vec<Notification>, EngineError> {
+        let mut out = Vec::new();
+        while let Some(notice) = self.rx.try_recv() {
+            if let Some(n) = self.absorb(notice)? {
+                out.push(n);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Blocks until the next commit arrives and absorbs it. Returns
+    /// `Ok(None)` once the writer is gone and every queued commit has been
+    /// absorbed — the stream has ended and the result set is final.
+    pub fn wait(&mut self) -> Result<Option<Notification>, EngineError> {
+        loop {
+            match self.rx.recv() {
+                None => return Ok(None),
+                Some(notice) => {
+                    if let Some(n) = self.absorb(notice)? {
+                        return Ok(Some(n));
+                    }
+                    // A pre-baseline notice carries nothing new; keep
+                    // waiting for a real commit.
+                }
+            }
+        }
+    }
+
+    /// Absorbs one notice; `None` when the commit is already reflected in
+    /// the baseline (a registration race, see `subscribe_with`).
+    fn absorb(&mut self, notice: CommitNotice) -> Result<Option<Notification>, EngineError> {
+        let report = notice.report;
+        if report.epoch <= self.epoch {
+            return Ok(None);
+        }
+        let snapshot = notice.snapshot;
+        if self.track_options {
+            // Default-options subscriptions follow the engine's effective
+            // options as they widen (e.g. a larger uncertainty radius
+            // arrived), so a topology-triggered refresh inside the absorb
+            // matches a fresh default query at the same epoch.
+            self.monitor.set_options(*snapshot.options());
+        }
+        let changes = MonitorExt::absorb(&mut self.monitor, &report, &snapshot)?;
+        self.epoch = report.epoch;
+        Ok(Some(Notification {
+            epoch: report.epoch,
+            changes,
+            report,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::Update;
+    use crate::{EngineConfig, IndoorEngine};
+    use idq_geom::{Point2, Rect2};
+    use idq_model::{FloorPlanBuilder, IndoorPoint, IndoorSpace};
+
+    fn three_rooms() -> IndoorSpace {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let r0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let r2 = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
+        b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
+        b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn service_snapshots_track_commits() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let service = e.service();
+        assert_eq!(service.epoch(), 0);
+        let pinned = service.snapshot();
+        e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1)
+            .unwrap();
+        assert_eq!(service.epoch(), 1);
+        assert_eq!(pinned.version(), 0, "pinned snapshots do not move");
+        assert_eq!(pinned.store().len(), 0);
+        assert_eq!(service.snapshot().store().len(), 1);
+    }
+
+    #[test]
+    fn subscription_tracks_commits_and_ends_with_the_writer() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let service = e.service();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut sub = service.subscribe(Query::Range { q, r: 15.0 }).unwrap();
+        assert!(sub.initial().is_empty());
+        assert_eq!(sub.epoch(), 0);
+
+        // One commit inside the range, one outside.
+        e.apply_batch(&[
+            Update::InsertObjectAt {
+                center: Point2::new(12.0, 5.0),
+                floor: 0,
+                radius: 1.0,
+                instances: 4,
+                seed: 1,
+            },
+            Update::InsertObjectAt {
+                center: Point2::new(28.0, 5.0),
+                floor: 0,
+                radius: 1.0,
+                instances: 4,
+                seed: 2,
+            },
+        ])
+        .unwrap();
+        let n = sub.wait().unwrap().expect("one commit queued");
+        assert_eq!(n.epoch, 1);
+        assert_eq!(n.changes.len(), 1, "only the near object entered");
+        assert_eq!(n.changes[0].1, MonitorChange::Entered);
+        assert_eq!(sub.current().len(), 1);
+        assert_eq!(sub.epoch(), 1);
+
+        // A topology commit falls back to a refresh inside absorb.
+        let door = e.space().doors().next().unwrap().id;
+        e.apply_batch(&[Update::CloseDoor(door)]).unwrap();
+        let n = sub.wait().unwrap().expect("topology commit queued");
+        assert!(n.report.delta.topology_changed);
+        assert_eq!(n.changes.len(), 1, "the near object left");
+        assert!(sub.current().is_empty());
+
+        // Dropping the engine ends the stream.
+        drop(e);
+        assert!(sub.wait().unwrap().is_none());
+        assert!(sub.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn poll_drains_multiple_commits_in_order() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let service = e.service();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut sub = service.subscribe(Query::Range { q, r: 40.0 }).unwrap();
+        for seed in 1..=3u64 {
+            e.insert_object_at(Point2::new(5.0 + seed as f64, 5.0), 0, 1.0, 4, seed)
+                .unwrap();
+        }
+        let notifications = sub.poll().unwrap();
+        assert_eq!(notifications.len(), 3);
+        assert_eq!(
+            notifications.iter().map(|n| n.epoch).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(sub.current().len(), 3);
+        // Fresh evaluation agrees.
+        let fresh = service.execute(&Query::Range { q, r: 40.0 }).unwrap();
+        assert_eq!(fresh.as_range().unwrap().results.len(), 3);
+    }
+
+    #[test]
+    fn default_subscriptions_track_widening_options() {
+        // Subscribe while only small objects exist, then insert a
+        // larger-radius object and reconfigure topology: the default
+        // subscription must adopt the widened effective options, so its
+        // internal refresh matches a fresh default query at that epoch.
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 4, 1)
+            .unwrap();
+        let service = e.service();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut sub = service.subscribe(Query::Range { q, r: 30.0 }).unwrap();
+        let narrow_slack = sub.monitor.options().subgraph_slack;
+
+        // Radius 15 pushes the effective slack past the 60 m floor
+        // (`QueryOptions::for_max_radius`: max(4r + 20, 60)).
+        e.insert_object_at(Point2::new(25.0, 5.0), 0, 15.0, 8, 2)
+            .unwrap();
+        let door = e.space().doors().next().unwrap().id;
+        e.apply_batch(&[Update::CloseDoor(door), Update::OpenDoor(door)])
+            .unwrap();
+        while sub.wait().unwrap().is_some() {
+            if sub.epoch() == e.epoch() {
+                break;
+            }
+        }
+        assert!(
+            sub.monitor.options().subgraph_slack > narrow_slack,
+            "subscription adopted the widened slack"
+        );
+        assert_eq!(
+            sub.monitor.options().subgraph_slack,
+            e.query_options().subgraph_slack
+        );
+        let fresh: Vec<ObjectId> = e
+            .range_query(q, 30.0)
+            .unwrap()
+            .results
+            .iter()
+            .map(|h| h.object)
+            .collect();
+        assert_eq!(sub.current(), fresh);
+    }
+
+    #[test]
+    fn only_range_queries_subscribe() {
+        let e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let service = e.service();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let err = service.subscribe(Query::Knn { q, k: 1 }).unwrap_err();
+        assert!(matches!(err, EngineError::UnsupportedSubscription(_)));
+        assert!(err.to_string().contains("subscription"));
+    }
+
+    #[test]
+    fn subscribing_after_writer_retirement_yields_a_closed_stream() {
+        let e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let service = e.service();
+        drop(e);
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut sub = service.subscribe(Query::Range { q, r: 15.0 }).unwrap();
+        assert!(sub.wait().unwrap().is_none(), "no writer, stream is over");
+        // The service still answers queries on the final version.
+        assert!(service
+            .execute(&Query::Range { q, r: 15.0 })
+            .unwrap()
+            .as_range()
+            .unwrap()
+            .results
+            .is_empty());
+    }
+}

@@ -1,30 +1,152 @@
-//! `EngineSnapshot` — a cheap, consistent read view over an engine's
-//! space, objects and index, executing typed [`Query`]s.
+//! [`Snapshot`] — an owned, consistent read view over one committed
+//! version of the indoor world, executing typed [`Query`]s from any
+//! thread.
+//!
+//! A snapshot pins an [`EngineState`] by reference count: it is `Clone +
+//! Send + Sync + 'static`, costs six machine words to copy, and never
+//! blocks or is blocked by the writer — a committing
+//! [`crate::IndoorEngine::apply_batch`] publishes a *new* state and
+//! leaves every pinned version untouched. The borrowed
+//! [`EngineSnapshot`] it replaces is kept as a deprecated shim.
 
 use crate::error::EngineError;
+use crate::state::EngineState;
 use idq_index::CompositeIndex;
 use idq_model::IndoorSpace;
 use idq_objects::ObjectStore;
 use idq_query::{execute, execute_batch, Outcome, Query, QueryOptions};
+use std::sync::Arc;
 
-/// A consistent read view of the indoor world.
+/// An owned, consistent read view of the indoor world.
 ///
-/// A snapshot borrows the engine's three layers immutably, so holding one
-/// keeps writers out (Rust's borrow rules are the isolation mechanism):
-/// every query issued through one snapshot sees the same space version,
-/// object population and index state. Creating a snapshot is free — it
-/// copies three references and the effective [`QueryOptions`] — so create
-/// one per request wave and drop it when the answers are out.
+/// A snapshot pins one committed [`EngineState`] version: every query
+/// issued through it sees the same space version, object population and
+/// index state, no matter how many batches the writer commits in the
+/// meantime. Because the pin is a reference count rather than a borrow,
+/// snapshots are freely cloned, sent to other threads, and held across
+/// `await`-points or work queues — this is the session handle the
+/// concurrent service API hands to reader threads.
 ///
-/// [`EngineSnapshot::execute_batch`] is the reuse path of the paper's
-/// §VII future-work item: queries in one batch that share a query point
-/// and floor share one restricted door-distance Dijkstra and one
+/// [`Snapshot::execute_batch`] is the reuse path of the paper's §VII
+/// future-work item: queries in one batch that share a query point and
+/// floor share one restricted door-distance Dijkstra and one
 /// subregion-decomposition cache. Results are identical to issuing the
 /// queries one at a time; only the `QueryStats` reuse counters differ.
 ///
-/// Snapshots can also be assembled from bare parts with
-/// [`EngineSnapshot::new`] — benchmark harnesses that own a space, store
-/// and index without an engine use this.
+/// Query evaluation holds **no locks**: the layers are reached through
+/// the pinned `Arc`s, so a Dijkstra in one session never serialises
+/// against other sessions or the writer.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    state: Arc<EngineState>,
+    options: QueryOptions,
+}
+
+impl Snapshot {
+    /// Pins a state with explicit query options (the engine's
+    /// [`crate::IndoorEngine::snapshot`] and the service's
+    /// [`crate::IndoorService::snapshot`] are the usual entry points).
+    pub fn from_state(state: Arc<EngineState>, options: QueryOptions) -> Self {
+        Snapshot { state, options }
+    }
+
+    /// Assembles a snapshot from bare layers at version 0 — benchmark
+    /// harnesses that own a space, store and index without an engine use
+    /// this.
+    pub fn from_parts(
+        space: Arc<IndoorSpace>,
+        store: Arc<ObjectStore>,
+        index: Arc<CompositeIndex>,
+        options: QueryOptions,
+    ) -> Self {
+        Snapshot {
+            state: Arc::new(EngineState::from_parts(space, store, index, options)),
+            options,
+        }
+    }
+
+    /// The engine epoch this snapshot is pinned to: two snapshots with the
+    /// same version saw the identical world, and a monitor fed from a
+    /// [`crate::UpdateReport`] is current iff its last absorbed report's
+    /// epoch matches the snapshot version.
+    pub fn version(&self) -> u64 {
+        self.state.epoch
+    }
+
+    /// The pinned state.
+    pub fn state(&self) -> &EngineState {
+        &self.state
+    }
+
+    /// The indoor space this snapshot reads.
+    pub fn space(&self) -> &IndoorSpace {
+        self.state.space()
+    }
+
+    /// The object population this snapshot reads.
+    pub fn store(&self) -> &ObjectStore {
+        self.state.store()
+    }
+
+    /// The composite index this snapshot reads.
+    pub fn index(&self) -> &CompositeIndex {
+        self.state.index()
+    }
+
+    /// The query options every execution uses.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// A copy of this snapshot with different query options, pinned to the
+    /// same version.
+    pub fn with_options(self, options: QueryOptions) -> Self {
+        Snapshot { options, ..self }
+    }
+
+    /// Evaluates one query.
+    pub fn execute(&self, query: &Query) -> Result<Outcome, EngineError> {
+        Ok(execute(
+            self.space(),
+            self.index(),
+            self.store(),
+            query,
+            &self.options,
+        )?)
+    }
+
+    /// Evaluates a batch of queries with cross-query computation reuse,
+    /// returning outcomes in input order. Queries sharing a query point
+    /// and floor share one evaluation context (one restricted Dijkstra +
+    /// one subregion cache); see [`idq_query::execute_batch`].
+    pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<Outcome>, EngineError> {
+        Ok(execute_batch(
+            self.space(),
+            self.index(),
+            self.store(),
+            queries,
+            &self.options,
+        )?)
+    }
+}
+
+/// A borrowed read view of the indoor world — superseded by [`Snapshot`].
+///
+/// This was PR 2's session type: it borrows the engine's three layers, so
+/// holding one keeps the writer out by Rust's borrow rules. That borrow is
+/// exactly what caps the system at one thread — no query can run while a
+/// write batch holds `&mut` — so the concurrent service API replaced it
+/// with the owned, version-pinned [`Snapshot`].
+///
+/// Migration: `engine.snapshot()` already returns the owned [`Snapshot`];
+/// harnesses holding bare layers move from `EngineSnapshot::new(&space,
+/// &store, &index, options)` to [`Snapshot::from_parts`] with `Arc`-wrapped
+/// layers. The two execute identically (one code path underneath).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the owned, thread-safe `Snapshot` (engine/service `snapshot()`, or \
+            `Snapshot::from_parts` for bare layers) instead"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct EngineSnapshot<'a> {
     space: &'a IndoorSpace,
@@ -34,11 +156,10 @@ pub struct EngineSnapshot<'a> {
     version: u64,
 }
 
+#[allow(deprecated)]
 impl<'a> EngineSnapshot<'a> {
-    /// Assembles a snapshot from bare layers (the engine's
-    /// [`crate::IndoorEngine::snapshot`] is the usual entry point). A
-    /// bare-parts snapshot reports version 0; use
-    /// [`EngineSnapshot::with_version`] to stamp one.
+    /// Assembles a borrowed snapshot from bare layers; reports version 0
+    /// unless stamped with [`EngineSnapshot::with_version`].
     pub fn new(
         space: &'a IndoorSpace,
         store: &'a ObjectStore,
@@ -54,16 +175,12 @@ impl<'a> EngineSnapshot<'a> {
         }
     }
 
-    /// Stamps the snapshot with an engine epoch (see
-    /// [`crate::IndoorEngine::epoch`]).
+    /// Stamps the snapshot with an engine epoch.
     pub fn with_version(self, version: u64) -> Self {
         EngineSnapshot { version, ..self }
     }
 
-    /// The engine epoch this snapshot was taken at: two snapshots with the
-    /// same version saw the identical world, and a monitor fed from an
-    /// [`crate::UpdateReport`] is current iff its last absorbed report's
-    /// epoch matches the snapshot version.
+    /// The engine epoch this snapshot was taken at.
     pub fn version(&self) -> u64 {
         self.version
     }
@@ -105,9 +222,7 @@ impl<'a> EngineSnapshot<'a> {
     }
 
     /// Evaluates a batch of queries with cross-query computation reuse,
-    /// returning outcomes in input order. Queries sharing a query point
-    /// and floor share one evaluation context (one restricted Dijkstra +
-    /// one subregion cache); see [`idq_query::execute_batch`].
+    /// returning outcomes in input order.
     pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<Outcome>, EngineError> {
         Ok(execute_batch(
             self.space,
@@ -198,7 +313,9 @@ mod tests {
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
         let base = e.snapshot();
         assert!(base.options().use_pruning);
-        let ablated = base.with_options(QueryOptions::builder().pruning(false).build());
+        let ablated = base
+            .clone()
+            .with_options(QueryOptions::builder().pruning(false).build());
         let out = ablated.execute(&Query::Range { q, r: 20.0 }).unwrap();
         assert_eq!(out.as_range().unwrap().stats.accepted_by_bounds, 0);
         // The pre-sized snapshot from the engine widens the slack like
@@ -207,5 +324,50 @@ mod tests {
             base.options().subgraph_slack,
             e.query_options().subgraph_slack
         );
+    }
+
+    #[test]
+    fn snapshots_pin_their_version_across_writes() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let o1 = e
+            .insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1)
+            .unwrap();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let pinned = e.snapshot();
+        assert_eq!(pinned.version(), 1);
+
+        // Writer keeps committing; the pinned snapshot must not notice.
+        e.remove_object(o1).unwrap();
+        let o2 = e
+            .insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 8, 2)
+            .unwrap();
+        assert_eq!(e.epoch(), 3);
+
+        let old = pinned.execute(&Query::Range { q, r: 20.0 }).unwrap();
+        assert_eq!(old.as_range().unwrap().results[0].object, o1);
+        let new = e.snapshot().execute(&Query::Range { q, r: 40.0 }).unwrap();
+        assert_eq!(new.as_range().unwrap().results[0].object, o2);
+        // A clone pins the same version.
+        let clone = pinned.clone();
+        assert_eq!(clone.version(), pinned.version());
+    }
+
+    #[test]
+    fn from_parts_assembles_a_bare_snapshot() {
+        use idq_index::IndexConfig;
+        use std::sync::Arc;
+        let space = three_rooms();
+        let store = ObjectStore::new();
+        let index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
+        let snap = Snapshot::from_parts(
+            Arc::new(space),
+            Arc::new(store),
+            Arc::new(index),
+            QueryOptions::default(),
+        );
+        assert_eq!(snap.version(), 0);
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let out = snap.execute(&Query::Range { q, r: 10.0 }).unwrap();
+        assert!(out.as_range().unwrap().results.is_empty());
     }
 }

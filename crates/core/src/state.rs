@@ -1,0 +1,94 @@
+//! [`EngineState`] — one immutable, epoch-stamped version of the indoor
+//! world, shared by reference counting.
+//!
+//! This is the MVCC substrate of the concurrent service API: every
+//! committed write produces a *new* `EngineState` (copy-on-write of the
+//! layers it touched; untouched layers are shared through [`Arc`]s) and
+//! swaps it into the service's current-version cell. Old versions are
+//! never mutated — they live for exactly as long as some
+//! [`crate::Snapshot`] pins them, so any number of reader threads can
+//! evaluate queries against consistent versions while a writer commits,
+//! with no locks held during evaluation.
+
+use idq_index::CompositeIndex;
+use idq_model::IndoorSpace;
+use idq_objects::ObjectStore;
+use idq_query::QueryOptions;
+use std::sync::Arc;
+
+/// One immutable version of the engine's world: the indoor space, the
+/// object population and the composite index, stamped with the write
+/// epoch that produced it.
+///
+/// States are built by [`crate::IndoorEngine`] commits and read through
+/// [`crate::Snapshot`]s; they are exposed so harnesses can assemble
+/// snapshots from bare layers (see [`crate::Snapshot::from_parts`]).
+#[derive(Clone, Debug)]
+pub struct EngineState {
+    pub(crate) space: Arc<IndoorSpace>,
+    pub(crate) store: Arc<ObjectStore>,
+    pub(crate) index: Arc<CompositeIndex>,
+    /// Base query options configured at engine construction.
+    pub(crate) options: QueryOptions,
+    /// Largest uncertainty radius ever inserted, used to widen the
+    /// subgraph slack of the effective options.
+    pub(crate) max_radius: f64,
+    /// The write epoch this state is the result of (0 for the initial
+    /// population).
+    pub(crate) epoch: u64,
+}
+
+impl EngineState {
+    /// Assembles a state from bare layers at epoch 0 (benchmark harnesses;
+    /// engine-produced states carry their commit epoch). Costs three
+    /// pointer moves: the store is *not* scanned, so
+    /// [`EngineState::effective_options`] of a bare-parts state is just
+    /// `options` — harnesses size their options explicitly (e.g. with
+    /// [`QueryOptions::for_max_radius`]).
+    pub fn from_parts(
+        space: Arc<IndoorSpace>,
+        store: Arc<ObjectStore>,
+        index: Arc<CompositeIndex>,
+        options: QueryOptions,
+    ) -> Self {
+        EngineState {
+            space,
+            store,
+            index,
+            options,
+            max_radius: 0.0,
+            epoch: 0,
+        }
+    }
+
+    /// The indoor space of this version.
+    pub fn space(&self) -> &IndoorSpace {
+        &self.space
+    }
+
+    /// The object population of this version.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The composite index of this version.
+    pub fn index(&self) -> &CompositeIndex {
+        &self.index
+    }
+
+    /// The write epoch this version is the result of.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The effective default query options of this version: the base
+    /// options with the subgraph slack widened to the largest uncertainty
+    /// region ever inserted.
+    pub fn effective_options(&self) -> QueryOptions {
+        let by_radius = QueryOptions::for_max_radius(self.max_radius);
+        QueryOptions {
+            subgraph_slack: self.options.subgraph_slack.max(by_radius.subgraph_slack),
+            ..self.options
+        }
+    }
+}

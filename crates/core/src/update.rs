@@ -12,7 +12,7 @@
 //! topology events coalesced into a single skeleton repair).
 //!
 //! Every successful apply bumps the engine's monotone *epoch*, which
-//! snapshots expose as [`crate::EngineSnapshot::version`]; a committed
+//! snapshots expose as [`crate::Snapshot::version`]; a committed
 //! batch additionally returns an [`UpdateReport`] whose [`UpdateDelta`]
 //! feeds standing monitors (`RangeMonitor::absorb`) without the caller
 //! re-deriving what changed.
@@ -288,8 +288,8 @@ pub struct UpdateStats {
     pub footprint_searches: usize,
     /// Skeleton-tier rebuilds (coalesced: at most one per topology run).
     pub skeleton_rebuilds: usize,
-    /// Whether the batch contained topology updates and therefore took the
-    /// rollback checkpoint (one clone of space, store and index).
+    /// Whether the batch contained topology updates and therefore
+    /// copy-on-wrote the space layer in addition to the object layers.
     pub checkpointed: bool,
 }
 

@@ -4,6 +4,7 @@
 use crate::error::ObjectError;
 use crate::object::{ObjectId, UncertainObject};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Owns all live uncertain objects, addressed by [`ObjectId`].
 ///
@@ -11,9 +12,16 @@ use std::collections::HashMap;
 /// layer (buckets + o-table) references objects by id and is maintained by
 /// the engine on every store mutation (the paper's §III-C.2 update flow:
 /// an object update is a deletion followed by an insertion).
+///
+/// Entries are reference-counted internally, so cloning a store shares
+/// every object's instance set with the original instead of deep-copying
+/// it. This is what makes the engine's copy-on-write commit cheap: each
+/// committed version of the world holds its own `ObjectStore` value, but
+/// the (potentially hundreds-of-instances) objects untouched by a batch
+/// are shared across all versions that contain them.
 #[derive(Clone, Debug, Default)]
 pub struct ObjectStore {
-    objects: HashMap<ObjectId, UncertainObject>,
+    objects: HashMap<ObjectId, Arc<UncertainObject>>,
     next_id: u64,
 }
 
@@ -37,7 +45,7 @@ impl ObjectStore {
             return Err(ObjectError::DuplicateObject(id));
         }
         self.reserve_id(id);
-        self.objects.insert(id, object);
+        self.objects.insert(id, Arc::new(object));
         Ok(())
     }
 
@@ -50,37 +58,71 @@ impl ObjectStore {
         self.next_id = self.next_id.max(id.0 + 1);
     }
 
-    /// Removes an object, returning it.
+    /// Removes an object, returning it. When the entry is still shared with
+    /// another store version (copy-on-write clones), the returned value is
+    /// a copy and the shared entry stays intact in the other versions.
     pub fn remove(&mut self, id: ObjectId) -> Result<UncertainObject, ObjectError> {
         self.objects
             .remove(&id)
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
+            .ok_or(ObjectError::UnknownObject(id))
+    }
+
+    /// Removes an object without materialising the removed value — the
+    /// cheap form of [`ObjectStore::remove`] for callers that only need the
+    /// entry gone (a shared entry is just un-referenced, never copied).
+    pub fn discard(&mut self, id: ObjectId) -> Result<(), ObjectError> {
+        self.objects
+            .remove(&id)
+            .map(|_| ())
             .ok_or(ObjectError::UnknownObject(id))
     }
 
     /// Replaces an existing object in place, returning the previous value —
     /// the atomic move primitive (a move never leaves the store without the
     /// object, unlike a remove-then-insert pair). The id must be present.
+    /// As with [`ObjectStore::remove`], a previous value still shared with
+    /// another store version is returned as a copy.
     pub fn replace(&mut self, object: UncertainObject) -> Result<UncertainObject, ObjectError> {
         let id = object.id;
         match self.objects.get_mut(&id) {
-            Some(slot) => Ok(std::mem::replace(slot, object)),
+            Some(slot) => {
+                let old = std::mem::replace(slot, Arc::new(object));
+                Ok(Arc::try_unwrap(old).unwrap_or_else(|shared| (*shared).clone()))
+            }
+            None => Err(ObjectError::UnknownObject(id)),
+        }
+    }
+
+    /// Replaces an existing object without materialising the previous
+    /// value — the cheap form of [`ObjectStore::replace`] for callers that
+    /// do not need the old state back (a shared previous entry is just
+    /// un-referenced, never copied).
+    pub fn replace_discarding(&mut self, object: UncertainObject) -> Result<(), ObjectError> {
+        let id = object.id;
+        match self.objects.get_mut(&id) {
+            Some(slot) => {
+                *slot = Arc::new(object);
+                Ok(())
+            }
             None => Err(ObjectError::UnknownObject(id)),
         }
     }
 
     /// The id-allocation watermark: the next id [`ObjectStore::allocate_id`]
-    /// would hand out. Batch rollback support, paired with
-    /// [`ObjectStore::restore_id_watermark`].
+    /// would hand out. The allocator is part of a store value's observable
+    /// state — a copy-on-write transaction that is dropped discards its
+    /// allocations with it, which tests assert through this accessor.
     pub fn id_watermark(&self) -> u64 {
         self.next_id
     }
 
     /// Rewinds the id allocator to a watermark previously read with
-    /// [`ObjectStore::id_watermark`], so a rolled-back batch does not leak
-    /// the ids it allocated. The caller must guarantee no live object holds
-    /// an id at or above `watermark` (true whenever every insert since the
-    /// read has been rolled back); otherwise the watermark is kept ahead of
-    /// the live population and the call only shrinks it as far as is safe.
+    /// [`ObjectStore::id_watermark`] — for callers managing a store value
+    /// directly (the engine's transactions instead discard their whole
+    /// store copy, allocator included). If a live object holds an id at or
+    /// above `watermark`, the rewind stops just past the live population's
+    /// ceiling rather than risking a duplicate allocation.
     pub fn restore_id_watermark(&mut self, watermark: u64) {
         let floor = self.objects.keys().map(|id| id.0 + 1).max().unwrap_or(0);
         self.next_id = watermark.max(floor);
@@ -88,7 +130,10 @@ impl ObjectStore {
 
     /// Looks up an object.
     pub fn get(&self, id: ObjectId) -> Result<&UncertainObject, ObjectError> {
-        self.objects.get(&id).ok_or(ObjectError::UnknownObject(id))
+        self.objects
+            .get(&id)
+            .map(|arc| arc.as_ref())
+            .ok_or(ObjectError::UnknownObject(id))
     }
 
     /// Returns `true` if `id` is present.
@@ -98,7 +143,7 @@ impl ObjectStore {
 
     /// Iterates over all objects (unordered).
     pub fn iter(&self) -> impl Iterator<Item = &UncertainObject> {
-        self.objects.values()
+        self.objects.values().map(|arc| arc.as_ref())
     }
 
     /// Object ids, sorted (deterministic iteration for tests/benches).
@@ -198,6 +243,40 @@ mod tests {
         let id = s.allocate_id();
         assert!(id.0 > 10);
         assert!(!s.contains(id));
+    }
+
+    #[test]
+    fn cloned_stores_share_entries_until_mutated() {
+        let mut a = ObjectStore::new();
+        a.insert(point_obj(1)).unwrap();
+        a.insert(point_obj(2)).unwrap();
+        let mut b = a.clone();
+        // Removing from the clone leaves the original intact, and the
+        // removed value is a faithful copy of the shared entry.
+        let o = b.remove(ObjectId(1)).unwrap();
+        assert_eq!(o.id, ObjectId(1));
+        assert!(a.contains(ObjectId(1)));
+        assert!(!b.contains(ObjectId(1)));
+        // Replacing in the clone does not disturb the original either.
+        let replacement =
+            UncertainObject::point_object(ObjectId(2), IndoorPoint::new(Point2::new(7.0, 7.0), 0));
+        let old = b.replace(replacement).unwrap();
+        assert_eq!(old.region.center, Point2::new(0.0, 0.0));
+        assert_eq!(
+            a.get(ObjectId(2)).unwrap().region.center,
+            Point2::new(0.0, 0.0)
+        );
+        assert_eq!(
+            b.get(ObjectId(2)).unwrap().region.center,
+            Point2::new(7.0, 7.0)
+        );
+        // discard drops without materialising.
+        b.discard(ObjectId(2)).unwrap();
+        assert!(b.is_empty());
+        assert!(matches!(
+            b.discard(ObjectId(2)),
+            Err(ObjectError::UnknownObject(_))
+        ));
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub enum MonitorChange {
     Unchanged,
 }
 
+impl std::fmt::Display for MonitorChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorChange::Entered => write!(f, "entered"),
+            MonitorChange::Left => write!(f, "left"),
+            MonitorChange::Unchanged => write!(f, "unchanged"),
+        }
+    }
+}
+
 impl RangeMonitor {
     /// Creates a monitor; call [`RangeMonitor::refresh`] to initialise the
     /// result set.
@@ -70,6 +80,20 @@ impl RangeMonitor {
     /// The standing radius.
     pub fn radius(&self) -> f64 {
         self.r
+    }
+
+    /// The query options evaluations use.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// Replaces the query options (e.g. a serving engine's effective
+    /// options widened because a larger uncertainty region arrived).
+    /// Takes effect from the next evaluation; the cached distance tree
+    /// stays valid — it is a full-graph artefact, independent of the
+    /// options.
+    pub fn set_options(&mut self, options: QueryOptions) {
+        self.options = options;
     }
 
     /// Objects currently inside the range, ascending by id.

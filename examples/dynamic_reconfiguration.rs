@@ -7,9 +7,11 @@
 //! maintenance argument, §V-B.4).
 //!
 //! The write side uses PR 3's typed updates: each reconfiguration is one
-//! atomic `apply_batch` transaction whose report feeds the standing
-//! coffee-call monitor through `absorb` — no caller-side bookkeeping of
-//! what changed.
+//! atomic `apply_batch` transaction. The standing coffee-call range query
+//! is a service *subscription*: every committed report is delivered to it
+//! automatically and absorbed as a delta — no caller-side bookkeeping of
+//! what changed (the promoted form of the old `RangeMonitor::absorb`
+//! flow).
 //!
 //! ```text
 //! cargo run --release --example dynamic_reconfiguration
@@ -56,13 +58,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // An usher stands near the west end of the hall, with a standing 40 m
-    // "coffee call" range monitor — updates keep it current, no re-query.
+    // "coffee call" range subscription — every commit feeds it a delta
+    // notification, no re-query, no caller bookkeeping.
     let usher = IndoorPoint::new(Point2::new(25.0, 30.0), 0);
-    let mut coffee_call = RangeMonitor::new(usher, 40.0, engine.query_options())?;
-    coffee_call.refresh_on(&engine.snapshot())?;
+    let service = engine.service();
+    let mut coffee_call = service.subscribe(Query::Range { q: usher, r: 40.0 })?;
     println!(
-        "40 m coffee call reaches {} attendee(s) in banquet style",
-        coffee_call.current().len()
+        "40 m coffee call reaches {} attendee(s) in banquet style (epoch {})",
+        coffee_call.initial().len(),
+        coffee_call.epoch()
     );
 
     let banquet = engine
@@ -77,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Mount the sliding wall at x = 50 (meeting style, no connecting
     // door): the hall becomes two rooms and the east attendee must now be
     // reached through the lobby via d41 and d42. One typed update, one
-    // epoch; the monitor absorbs the report and re-evaluates itself.
+    // epoch; the subscription receives the commit and re-evaluates itself.
     let report = engine.apply_batch(&[Update::SplitPartition {
         partition: hall,
         line: SplitLine::AtX(50.0),
@@ -90,13 +94,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nsliding wall mounted: room 21 → {} + {} (epoch {})",
         halves[0], halves[1], report.epoch
     );
-    let changes = coffee_call.absorb(&report, &engine.snapshot())?;
-    for (id, change) in &changes {
-        println!("  coffee call: {id} {change:?}");
+    let notice = coffee_call.wait()?.expect("the split was committed");
+    for (id, change) in &notice.changes {
+        println!("  coffee call: {id} {change}");
     }
     println!(
-        "40 m coffee call now reaches {} attendee(s): {:?}",
+        "40 m coffee call now reaches {} attendee(s) at epoch {}: {:?}",
         coffee_call.current().len(),
+        coffee_call.epoch(),
         coffee_call.current()
     );
     assert!(coffee_call.contains(west_attendee));
@@ -150,11 +155,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .merged_partition()
         .expect("merge outcome");
     println!("\nwall dismounted: hall restored as {restored}");
-    let changes = coffee_call.absorb(&report, &engine.snapshot())?;
+    let notice = coffee_call.wait()?.expect("the restore was committed");
     println!(
-        "coffee call after restore: {:?} ({} change(s) absorbed)",
+        "coffee call after restore: {:?} ({} change(s) absorbed at epoch {})",
         coffee_call.current(),
-        changes.len()
+        notice.changes.len(),
+        notice.epoch
     );
     assert!(coffee_call.contains(east_attendee));
     let back = engine.knn(usher, 2)?;

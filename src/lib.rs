@@ -24,10 +24,13 @@
 //!
 //! ## Quickstart
 //!
-//! Queries are typed [`query::Query`] values executed through an
-//! [`core::EngineSnapshot`] — a cheap, consistent read view of the
-//! engine. Batched execution reuses one door-distance Dijkstra and one
-//! subregion cache across queries that share a query point. See
+//! Queries are typed [`query::Query`] values executed through a
+//! [`core::Snapshot`] — an owned, consistent read view pinned to one
+//! committed version of the engine (`Clone + Send + Sync`, so sessions
+//! run from any thread in parallel with the writer; see
+//! [`core::IndoorService`] and `examples/live_service.rs`). Batched
+//! execution reuses one door-distance Dijkstra and one subregion cache
+//! across queries that share a query point. See
 //! `examples/quickstart.rs`; in short:
 //!
 //! ```
@@ -79,9 +82,11 @@ pub use idq_workloads as workloads;
 
 /// Convenience re-exports of the types most applications need.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use idq_core::EngineSnapshot;
     pub use idq_core::{
-        EngineConfig, EngineSnapshot, IndoorEngine, MonitorExt, Update, UpdateDelta, UpdateOutcome,
-        UpdateReport, UpdateStats,
+        EngineConfig, EngineError, IndoorEngine, IndoorService, MonitorExt, Notification, Snapshot,
+        Subscription, Update, UpdateDelta, UpdateOutcome, UpdateReport, UpdateStats,
     };
     pub use idq_geom::{Circle, Point2, Point3, Rect2};
     pub use idq_index::CompositeIndex;

@@ -16,9 +16,23 @@ use proptest::prelude::*;
 
 struct World {
     building: GeneratedBuilding,
-    store: indoor_dq::objects::ObjectStore,
-    index: CompositeIndex,
+    space: std::sync::Arc<indoor_dq::model::IndoorSpace>,
+    store: std::sync::Arc<indoor_dq::objects::ObjectStore>,
+    index: std::sync::Arc<CompositeIndex>,
     points: Vec<IndoorPoint>,
+}
+
+impl World {
+    /// An owned snapshot over the world's layers (the session entry point
+    /// the engine-less harness uses) — three pointer clones per call.
+    fn snapshot(&self, options: QueryOptions) -> Snapshot {
+        Snapshot::from_parts(
+            std::sync::Arc::clone(&self.space),
+            std::sync::Arc::clone(&self.store),
+            std::sync::Arc::clone(&self.index),
+            options,
+        )
+    }
 }
 
 fn world(seed: u64) -> World {
@@ -47,10 +61,12 @@ fn world(seed: u64) -> World {
             seed: seed ^ 0xAB,
         },
     );
+    let space = std::sync::Arc::new(building.space.clone());
     World {
         building,
-        store,
-        index,
+        space,
+        store: std::sync::Arc::new(store),
+        index: std::sync::Arc::new(index),
         points,
     }
 }
@@ -126,12 +142,7 @@ proptest! {
 #[test]
 fn shared_point_batch_runs_exactly_one_dijkstra() {
     let w = world(7);
-    let snapshot = EngineSnapshot::new(
-        &w.building.space,
-        &w.store,
-        &w.index,
-        QueryOptions::for_max_radius(10.0),
-    );
+    let snapshot = w.snapshot(QueryOptions::for_max_radius(10.0));
     let q = w.points[0];
     let queries: Vec<Query> = [40.0, 60.0, 80.0, 100.0, 120.0, 150.0]
         .iter()
@@ -155,12 +166,7 @@ fn shared_point_batch_runs_exactly_one_dijkstra() {
 #[test]
 fn groups_split_by_floor_and_merge_by_point() {
     let w = world(9);
-    let snapshot = EngineSnapshot::new(
-        &w.building.space,
-        &w.store,
-        &w.index,
-        QueryOptions::for_max_radius(10.0),
-    );
+    let snapshot = w.snapshot(QueryOptions::for_max_radius(10.0));
     let planar = w.points[0].point;
     let q0 = IndoorPoint::new(planar, 0);
     let q1 = IndoorPoint::new(planar, 1);
@@ -184,12 +190,7 @@ fn groups_split_by_floor_and_merge_by_point() {
 #[test]
 fn knn_seeds_feed_the_shared_cache() {
     let w = world(11);
-    let snapshot = EngineSnapshot::new(
-        &w.building.space,
-        &w.store,
-        &w.index,
-        QueryOptions::for_max_radius(10.0),
-    );
+    let snapshot = w.snapshot(QueryOptions::for_max_radius(10.0));
     let q = w.points[1];
     let queries = vec![Query::Knn { q, k: 15 }, Query::Range { q, r: 100.0 }];
     let outcomes = snapshot.execute_batch(&queries).unwrap();
