@@ -29,7 +29,7 @@ use idq_objects::{GaussianSampler, ObjectError, ObjectId, ObjectStore, Uncertain
 use idq_query::{KnnResult, Outcome, Query, QueryOptions, RangeResult};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Engine configuration: index layout plus default query options.
@@ -76,10 +76,11 @@ enum Intent {
     InsertReady(Box<UncertainObject>),
     /// Sample a fresh object, then insert it.
     SampleInsert(SampleSpec),
-    /// Sample the moved object's new state, then replace the old one.
-    SampleMove(SampleSpec),
-    /// Remove this object.
-    Remove(ObjectId),
+    /// Sample the moved object's new state, then replace the old one
+    /// (currently filed under the carried floor).
+    SampleMove(SampleSpec, Floor),
+    /// Remove this object (filed under the carried floor).
+    Remove(ObjectId, Floor),
 }
 
 impl Intent {
@@ -91,11 +92,11 @@ impl Intent {
                 o.floor,
                 space.elevation(o.floor),
             )),
-            Intent::SampleInsert(s) | Intent::SampleMove(s) => {
+            Intent::SampleInsert(s) | Intent::SampleMove(s, _) => {
                 let rect = Circle::new(s.center, s.radius).bbox();
                 Some(Mbr3::planar(rect, s.floor, space.elevation(s.floor)))
             }
-            Intent::Remove(_) => None,
+            Intent::Remove(..) => None,
         }
     }
 
@@ -103,8 +104,8 @@ impl Intent {
     fn group_key(&self) -> Option<(Floor, i64, i64)> {
         let (center, floor) = match self {
             Intent::InsertReady(o) => (o.region.center, o.floor),
-            Intent::SampleInsert(s) | Intent::SampleMove(s) => (s.center, s.floor),
-            Intent::Remove(_) => return None,
+            Intent::SampleInsert(s) | Intent::SampleMove(s, _) => (s.center, s.floor),
+            Intent::Remove(..) => return None,
         };
         let cx = (center.x / GROUP_CELL_M).floor() as i64;
         let cy = (center.y / GROUP_CELL_M).floor() as i64;
@@ -116,8 +117,13 @@ impl Intent {
 /// sequential semantics without splitting the run on repeated ids.
 #[derive(Clone, Copy, Debug)]
 enum PendingState {
-    /// The object will be live with this region radius / instance count.
-    Live { radius: f64, instances: usize },
+    /// The object will be live with this region radius / instance count,
+    /// filed under this floor's shard.
+    Live {
+        radius: f64,
+        instances: usize,
+        floor: Floor,
+    },
     /// The object will be gone.
     Removed,
 }
@@ -128,10 +134,12 @@ enum PendingState {
 enum PreparedOp {
     /// Insert this object under the prepared footprint.
     Insert(Box<UncertainObject>, Vec<UnitId>, Mbr3),
-    /// Replace the same-id object under the prepared footprint.
-    Move(Box<UncertainObject>, Vec<UnitId>, Mbr3),
-    /// Remove this object.
-    Remove(ObjectId),
+    /// Replace the same-id object under the prepared footprint; the
+    /// carried floor is where the object currently lives, so the commit
+    /// routes straight to the touched shard(s) without probing.
+    Move(Box<UncertainObject>, Vec<UnitId>, Mbr3, Floor),
+    /// Remove this object from the carried floor's shards.
+    Remove(ObjectId, Floor),
 }
 
 /// Accumulators of one in-flight `apply_batch` transaction.
@@ -140,16 +148,28 @@ struct BatchState {
     outcomes: Vec<UpdateOutcome>,
     delta: DeltaBuilder,
     stats: UpdateStats,
+    /// Floors whose shards the batch's object ops landed in — reported as
+    /// `UpdateStats::shards_touched`.
+    floors: BTreeSet<Floor>,
 }
 
 /// The copy-on-write working state of one write transaction.
 ///
-/// Begins as cheap `Arc` clones of the committed version's layers; the
-/// first mutation of a layer clones it (`Arc::make_mut` — the committed
-/// version always holds a second reference), later mutations run in
-/// place. On success the `Arc`s become the next [`EngineState`]; on error
-/// the transaction is dropped and the committed version was never touched
-/// — rollback is structural, not compensating.
+/// Begins as cheap `Arc` clones of the committed version's layers. The
+/// layers themselves are **sharded by floor** (`ObjectStore` into
+/// `StoreShard`s, the index's object tier into `FloorShard`s with
+/// `Arc`-per-bucket, the index's geometry tiers each behind their own
+/// `Arc`), so "cloning a layer" here is a handful of pointer bumps: the
+/// first mutation of a *shard* is what deep-copies it (`Arc::make_mut`
+/// inside the layer — the committed version always holds a second
+/// reference), and everything the batch never touches is shared
+/// structurally with the committed version. A pure object batch
+/// deep-copies exactly the floor shards its updates land in plus the
+/// buckets whose membership changes; a batch containing topology updates
+/// degrades to also copying the space and the index's geometry tiers. On
+/// success the `Arc`s become the next [`EngineState`]; on error the
+/// transaction is dropped and the committed version was never touched —
+/// rollback is structural, not compensating.
 #[derive(Debug)]
 struct Txn {
     space: Arc<IndoorSpace>,
@@ -207,7 +227,7 @@ impl Txn {
                 }
                 let ops = self.stage_run(intents, &mut state.stats)?;
                 for op in ops {
-                    let outcome = self.apply_object_op(op)?;
+                    let outcome = self.apply_object_op(op, &mut state.floors)?;
                     state.delta.record(&outcome);
                     state.outcomes.push(outcome);
                 }
@@ -237,6 +257,16 @@ impl Txn {
                 if exists {
                     return Err(ObjectError::DuplicateObject(id).into());
                 }
+                // A fully-formed insert is the one object path with no
+                // sampling step to reject a floor the space does not
+                // cover — and an out-of-space floor would permanently
+                // grow the per-floor shard vectors.
+                if object.floor as usize >= self.space.num_floors() {
+                    return Err(EngineError::FloorOutOfSpace {
+                        floor: object.floor,
+                        num_floors: self.space.num_floors(),
+                    });
+                }
                 // The insert itself is deferred, so reserve the external id
                 // now: a later `InsertObjectAt` in this run must allocate
                 // past it, exactly as sequential application would after
@@ -247,6 +277,7 @@ impl Txn {
                     PendingState::Live {
                         radius: object.region.radius,
                         instances: object.len(),
+                        floor: object.floor,
                     },
                 );
                 Ok(Intent::InsertReady(object.clone()))
@@ -265,6 +296,7 @@ impl Txn {
                     PendingState::Live {
                         radius: *radius,
                         instances,
+                        floor: *floor,
                     },
                 );
                 Ok(Intent::SampleInsert(SampleSpec {
@@ -282,38 +314,50 @@ impl Txn {
                 floor,
                 seed,
             } => {
-                let (radius, instances) = match pending.get(id) {
+                let (radius, instances, old_floor) = match pending.get(id) {
                     Some(PendingState::Removed) => {
                         return Err(ObjectError::UnknownObject(*id).into())
                     }
-                    Some(PendingState::Live { radius, instances }) => (*radius, *instances),
+                    Some(PendingState::Live {
+                        radius,
+                        instances,
+                        floor,
+                    }) => (*radius, *instances, *floor),
                     None => {
                         let old = self.store.get(*id)?;
-                        (old.region.radius, old.len())
+                        (old.region.radius, old.len(), old.floor)
                     }
                 };
-                pending.insert(*id, PendingState::Live { radius, instances });
-                Ok(Intent::SampleMove(SampleSpec {
-                    id: *id,
-                    center: *center,
-                    floor: *floor,
-                    radius,
-                    instances,
-                    seed: *seed,
-                }))
+                pending.insert(
+                    *id,
+                    PendingState::Live {
+                        radius,
+                        instances,
+                        floor: *floor,
+                    },
+                );
+                Ok(Intent::SampleMove(
+                    SampleSpec {
+                        id: *id,
+                        center: *center,
+                        floor: *floor,
+                        radius,
+                        instances,
+                        seed: *seed,
+                    },
+                    old_floor,
+                ))
             }
             Update::RemoveObject(id) => {
-                match pending.get(id) {
+                let old_floor = match pending.get(id) {
                     Some(PendingState::Removed) => {
                         return Err(ObjectError::UnknownObject(*id).into())
                     }
-                    Some(PendingState::Live { .. }) => {}
-                    None => {
-                        self.store.get(*id)?;
-                    }
-                }
+                    Some(PendingState::Live { floor, .. }) => *floor,
+                    None => self.store.get(*id)?.floor,
+                };
                 pending.insert(*id, PendingState::Removed);
-                Ok(Intent::Remove(*id))
+                Ok(Intent::Remove(*id, old_floor))
             }
             _ => unreachable!("prepare_intent only sees position updates"),
         }
@@ -376,12 +420,12 @@ impl Txn {
                     let object = self.sample_spec(&spec, &units)?;
                     Ok(PreparedOp::Insert(Box::new(object), units, mbr))
                 }
-                Intent::SampleMove(spec) => {
+                Intent::SampleMove(spec, old_floor) => {
                     let (units, mbr) = footprint.expect("writes carry a footprint");
                     let object = self.sample_spec(&spec, &units)?;
-                    Ok(PreparedOp::Move(Box::new(object), units, mbr))
+                    Ok(PreparedOp::Move(Box::new(object), units, mbr, old_floor))
                 }
-                Intent::Remove(id) => Ok(PreparedOp::Remove(id)),
+                Intent::Remove(id, floor) => Ok(PreparedOp::Remove(id, floor)),
             })
             .collect()
     }
@@ -416,27 +460,41 @@ impl Txn {
         )?)
     }
 
-    /// Applies one staged op to the transaction's store + index copies. By
+    /// Applies one staged op to the transaction's store + index copies,
+    /// recording the floor shard(s) it lands in (the floors carried on
+    /// the staged op feed `UpdateStats::shards_touched`; the layers route
+    /// by their O(1) directories). The `Arc::make_mut`s on the layer
+    /// handles cost a few pointer bumps — the deep copies happen *inside*
+    /// the layers, per touched floor shard and changed bucket. By
     /// construction (validation + staging) these layer operations cannot
     /// fail on user input; an error simply aborts the transaction with the
     /// committed version untouched.
-    fn apply_object_op(&mut self, op: PreparedOp) -> Result<UpdateOutcome, EngineError> {
+    fn apply_object_op(
+        &mut self,
+        op: PreparedOp,
+        floors: &mut BTreeSet<Floor>,
+    ) -> Result<UpdateOutcome, EngineError> {
         match op {
             PreparedOp::Insert(object, units, mbr) => {
                 let id = object.id;
                 let radius = object.region.radius;
+                floors.insert(object.floor);
                 Arc::make_mut(&mut self.index).insert_object_prepared(id, units, mbr)?;
                 Arc::make_mut(&mut self.store).insert(*object)?;
                 self.max_radius = self.max_radius.max(radius);
                 Ok(UpdateOutcome::ObjectInserted(id))
             }
-            PreparedOp::Move(object, units, mbr) => {
+            PreparedOp::Move(object, units, mbr, old_floor) => {
                 let id = object.id;
+                // A cross-floor move touches the old floor's shard too.
+                floors.insert(old_floor);
+                floors.insert(object.floor);
                 Arc::make_mut(&mut self.store).replace_discarding(*object)?;
                 Arc::make_mut(&mut self.index).update_object_prepared(id, units, mbr)?;
                 Ok(UpdateOutcome::ObjectMoved(id))
             }
-            PreparedOp::Remove(id) => {
+            PreparedOp::Remove(id, floor) => {
+                floors.insert(floor);
                 Arc::make_mut(&mut self.index).remove_object(id)?;
                 Arc::make_mut(&mut self.store).discard(id)?;
                 Ok(UpdateOutcome::ObjectRemoved(id))
@@ -646,12 +704,17 @@ impl IndoorEngine {
     /// the [`IndoorEngine::epoch`], publishes the new version to every
     /// service handle and notifies subscriptions.
     ///
-    /// **Cost note:** under MVCC every commit copy-on-writes the layers
-    /// it touches, and a single-update commit pays the same copy a whole
-    /// batch does. High-frequency writers must batch: on the `ingest`
-    /// benchmark workload, [`IndoorEngine::apply_batch`] sustains
-    /// hundreds of thousands of updates/s while per-update `apply` is
-    /// limited by one store+index copy per call.
+    /// **Cost note:** under MVCC every commit copy-on-writes what it
+    /// touches — which, with the state sharded by floor, is the store and
+    /// o-table slice of the touched floor(s) plus the buckets whose
+    /// membership changes, never the whole object population. A
+    /// single-update commit therefore costs O(objects on its floor)
+    /// rather than O(all objects). Batching still wins (shared footprint
+    /// traversals, one shard copy amortized over the whole batch instead
+    /// of one per update): on the `ingest` benchmark workload,
+    /// [`IndoorEngine::apply_batch`] sustains hundreds of thousands of
+    /// updates/s, while per-update `apply` runs at one floor-shard copy
+    /// per call.
     pub fn apply(&mut self, update: Update) -> Result<UpdateOutcome, EngineError> {
         let report = self.apply_batch(std::slice::from_ref(&update))?;
         Ok(report
@@ -688,6 +751,7 @@ impl IndoorEngine {
         };
         txn.run_batch(updates, &mut batch)?;
         batch.stats.checkpointed = txn.space_cloned;
+        batch.stats.shards_touched = batch.floors.len();
         if updates.is_empty() {
             // A committed no-op: nothing to publish, epoch unchanged.
             return Ok(UpdateReport {
@@ -734,9 +798,9 @@ impl IndoorEngine {
     // [`Update`]. New code, and anything issuing several updates that must
     // commit or fail together, should prefer typed updates and
     // [`IndoorEngine::apply_batch`] — under MVCC each of these calls is
-    // one commit and pays the copy-on-write of the touched layers (see
-    // the cost note on [`IndoorEngine::apply`]), so update streams belong
-    // in batches.
+    // one commit and pays the copy-on-write of the floor shards it
+    // touches (see the cost note on [`IndoorEngine::apply`]), so update
+    // streams belong in batches.
 
     /// Inserts a fully-formed uncertain object.
     pub fn insert_object(&mut self, object: UncertainObject) -> Result<(), EngineError> {
@@ -1083,6 +1147,23 @@ mod tests {
         e.validate().unwrap();
         let q = IndoorPoint::new(Point2::new(8.0, 5.0), 0);
         assert_eq!(e.knn(q, 1).unwrap().results[0].object, id);
+    }
+
+    #[test]
+    fn insert_on_an_uncovered_floor_is_rejected() {
+        // A fully-formed object names its floor directly (no sampling to
+        // reject it); the engine must refuse floors the space does not
+        // cover, or the shard vectors would grow to the bogus floor.
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let epoch = e.epoch();
+        let stray =
+            UncertainObject::point_object(ObjectId(7), IndoorPoint::new(Point2::new(5.0, 5.0), 9));
+        let err = e.insert_object(stray).unwrap_err();
+        assert!(matches!(err, EngineError::FloorOutOfSpace { floor: 9, .. }));
+        assert!(err.to_string().contains("floor 9"));
+        assert_eq!(e.epoch(), epoch);
+        assert_eq!(e.store().shard_count(), 0, "no shard slot was created");
+        e.validate().unwrap();
     }
 
     #[test]

@@ -16,6 +16,16 @@ pub enum EngineError {
     /// The query kind cannot back a standing subscription (only
     /// [`idq_query::Query::Range`] has an incremental maintenance path).
     UnsupportedSubscription(idq_query::Query),
+    /// An object update named a floor no partition of the space covers.
+    /// Rejected up front: beyond being unanswerable by every query, an
+    /// out-of-space floor would permanently grow the per-floor shard
+    /// vectors of the copy-on-write state.
+    FloorOutOfSpace {
+        /// The floor the update named.
+        floor: idq_model::Floor,
+        /// Floors the space covers (valid floors are `0..num_floors`).
+        num_floors: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -28,6 +38,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Query(e) => write!(f, "{e}"),
             EngineError::UnsupportedSubscription(q) => {
                 write!(f, "subscription requires a range query, got {q}")
+            }
+            EngineError::FloorOutOfSpace { floor, num_floors } => {
+                write!(
+                    f,
+                    "floor {floor} is outside the space (covers {num_floors} floor(s))"
+                )
             }
         }
     }

@@ -101,8 +101,6 @@ pub use engine::{EngineConfig, IndoorEngine};
 pub use error::EngineError;
 pub use monitor::MonitorExt;
 pub use service::{IndoorService, Notification, Subscription};
-#[allow(deprecated)]
-pub use snapshot::EngineSnapshot;
 pub use snapshot::Snapshot;
 pub use state::EngineState;
 pub use update::{Update, UpdateDelta, UpdateOutcome, UpdateReport, UpdateStats};

@@ -6,8 +6,9 @@
 //! Send + Sync + 'static`, costs six machine words to copy, and never
 //! blocks or is blocked by the writer — a committing
 //! [`crate::IndoorEngine::apply_batch`] publishes a *new* state and
-//! leaves every pinned version untouched. The borrowed
-//! [`EngineSnapshot`] it replaces is kept as a deprecated shim.
+//! leaves every pinned version untouched. (The borrowed
+//! `EngineSnapshot<'_>` of the single-threaded era is gone; harnesses
+//! holding bare layers use [`Snapshot::from_parts`].)
 
 use crate::error::EngineError;
 use crate::state::EngineState;
@@ -124,110 +125,6 @@ impl Snapshot {
             self.space(),
             self.index(),
             self.store(),
-            queries,
-            &self.options,
-        )?)
-    }
-}
-
-/// A borrowed read view of the indoor world — superseded by [`Snapshot`].
-///
-/// This was PR 2's session type: it borrows the engine's three layers, so
-/// holding one keeps the writer out by Rust's borrow rules. That borrow is
-/// exactly what caps the system at one thread — no query can run while a
-/// write batch holds `&mut` — so the concurrent service API replaced it
-/// with the owned, version-pinned [`Snapshot`].
-///
-/// Migration: `engine.snapshot()` already returns the owned [`Snapshot`];
-/// harnesses holding bare layers move from `EngineSnapshot::new(&space,
-/// &store, &index, options)` to [`Snapshot::from_parts`] with `Arc`-wrapped
-/// layers. The two execute identically (one code path underneath).
-#[deprecated(
-    since = "0.1.0",
-    note = "use the owned, thread-safe `Snapshot` (engine/service `snapshot()`, or \
-            `Snapshot::from_parts` for bare layers) instead"
-)]
-#[derive(Clone, Copy, Debug)]
-pub struct EngineSnapshot<'a> {
-    space: &'a IndoorSpace,
-    store: &'a ObjectStore,
-    index: &'a CompositeIndex,
-    options: QueryOptions,
-    version: u64,
-}
-
-#[allow(deprecated)]
-impl<'a> EngineSnapshot<'a> {
-    /// Assembles a borrowed snapshot from bare layers; reports version 0
-    /// unless stamped with [`EngineSnapshot::with_version`].
-    pub fn new(
-        space: &'a IndoorSpace,
-        store: &'a ObjectStore,
-        index: &'a CompositeIndex,
-        options: QueryOptions,
-    ) -> Self {
-        EngineSnapshot {
-            space,
-            store,
-            index,
-            options,
-            version: 0,
-        }
-    }
-
-    /// Stamps the snapshot with an engine epoch.
-    pub fn with_version(self, version: u64) -> Self {
-        EngineSnapshot { version, ..self }
-    }
-
-    /// The engine epoch this snapshot was taken at.
-    pub fn version(&self) -> u64 {
-        self.version
-    }
-
-    /// The indoor space this snapshot reads.
-    pub fn space(&self) -> &'a IndoorSpace {
-        self.space
-    }
-
-    /// The object population this snapshot reads.
-    pub fn store(&self) -> &'a ObjectStore {
-        self.store
-    }
-
-    /// The composite index this snapshot reads.
-    pub fn index(&self) -> &'a CompositeIndex {
-        self.index
-    }
-
-    /// The query options every execution uses.
-    pub fn options(&self) -> &QueryOptions {
-        &self.options
-    }
-
-    /// A copy of this snapshot with different query options.
-    pub fn with_options(self, options: QueryOptions) -> Self {
-        EngineSnapshot { options, ..self }
-    }
-
-    /// Evaluates one query.
-    pub fn execute(&self, query: &Query) -> Result<Outcome, EngineError> {
-        Ok(execute(
-            self.space,
-            self.index,
-            self.store,
-            query,
-            &self.options,
-        )?)
-    }
-
-    /// Evaluates a batch of queries with cross-query computation reuse,
-    /// returning outcomes in input order.
-    pub fn execute_batch(&self, queries: &[Query]) -> Result<Vec<Outcome>, EngineError> {
-        Ok(execute_batch(
-            self.space,
-            self.index,
-            self.store,
             queries,
             &self.options,
         )?)

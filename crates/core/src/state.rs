@@ -2,13 +2,33 @@
 //! world, shared by reference counting.
 //!
 //! This is the MVCC substrate of the concurrent service API: every
-//! committed write produces a *new* `EngineState` (copy-on-write of the
-//! layers it touched; untouched layers are shared through [`Arc`]s) and
-//! swaps it into the service's current-version cell. Old versions are
-//! never mutated — they live for exactly as long as some
-//! [`crate::Snapshot`] pins them, so any number of reader threads can
-//! evaluate queries against consistent versions while a writer commits,
-//! with no locks held during evaluation.
+//! committed write produces a *new* `EngineState` (copy-on-write of what
+//! it touched; everything else is shared through [`Arc`]s) and swaps it
+//! into the service's current-version cell. Old versions are never
+//! mutated — they live for exactly as long as some [`crate::Snapshot`]
+//! pins them, so any number of reader threads can evaluate queries
+//! against consistent versions while a writer commits, with no locks held
+//! during evaluation.
+//!
+//! # Sharding
+//!
+//! Structural sharing between versions is **per floor shard**, not per
+//! layer. A state decomposes into:
+//!
+//! * **per-floor shards** — floor `f`'s slice of the object population
+//!   ([`idq_objects::StoreShard`]) and of the index's o-table
+//!   ([`idq_index::FloorShard`]), plus the `Arc`-per-bucket unit buckets —
+//!   deep-copied by a commit **only for the floors its updates land in**;
+//! * **a cross-floor core** — the space, the index's geometry tiers (unit
+//!   store, R-tree, skeleton, doors graph) and the query options — shared
+//!   untouched across every version a pure object commit produces, and
+//!   copied only when a topology update rewires the building.
+//!
+//! The `space`/`store`/`index` fields below keep their façade types (the
+//! read path — [`crate::Snapshot`], the query crate — is oblivious to
+//! sharding); the shards live *inside* `ObjectStore` and
+//! `CompositeIndex`, which is what keeps their public APIs and every
+//! query answer observably identical to the unsharded engine.
 
 use idq_index::CompositeIndex;
 use idq_model::IndoorSpace;

@@ -288,8 +288,15 @@ pub struct UpdateStats {
     pub footprint_searches: usize,
     /// Skeleton-tier rebuilds (coalesced: at most one per topology run).
     pub skeleton_rebuilds: usize,
+    /// Distinct floor shards the batch's object updates landed in — the
+    /// number of per-floor store/o-table slices the commit deep-copied
+    /// (everything else was shared structurally with the previous
+    /// version). A single-object commit reports 1 (2 for a cross-floor
+    /// move); topology updates are accounted by `checkpointed` instead.
+    pub shards_touched: usize,
     /// Whether the batch contained topology updates and therefore
-    /// copy-on-wrote the space layer in addition to the object layers.
+    /// copy-on-wrote the space layer — and with it the index's shared
+    /// geometry tiers — in addition to the touched object shards.
     pub checkpointed: bool,
 }
 

@@ -1,5 +1,15 @@
 //! The composite index (§III): all three layers plus `RangeSearch`
 //! (Algorithm 4) and incremental maintenance (§III-C).
+//!
+//! Copy-on-write layout: every tier sits behind its own [`Arc`], so
+//! cloning the index (the MVCC engine does this once per commit) is a
+//! handful of pointer bumps, and a mutation deep-copies only the tiers it
+//! touches. Object updates touch nothing but the [`ObjectLayer`] — which
+//! is itself sharded by floor ([`crate::FloorShard`]) and `Arc`-per-bucket
+//! — while topology updates degrade to copying the tree tier (unit store +
+//! R-tree) and, for staircase-affecting events, rebuilding the skeleton
+//! tier. See the README's "Architecture" section for the full sharding
+//! invariant.
 
 use crate::error::IndexError;
 use crate::object_layer::ObjectLayer;
@@ -10,6 +20,7 @@ use idq_geom::{DecomposeConfig, Mbr3, Rect2};
 use idq_model::{DoorKind, DoorsGraph, IndoorPoint, IndoorSpace, PartitionId, TopologyEvent};
 use idq_objects::{ObjectId, ObjectStore, UncertainObject};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the composite index.
@@ -63,13 +74,19 @@ pub struct RangeSearchOutcome {
 }
 
 /// The three-layer composite index.
+///
+/// Cheap to clone: the object-independent tiers (unit store, R-tree,
+/// skeleton, doors graph) are `Arc`-shared and only copied by the topology
+/// operations that mutate them; the object layer shares per-floor o-table
+/// shards and per-unit buckets. Object maintenance on a cloned index
+/// therefore costs O(touched floor + changed buckets), not O(world).
 #[derive(Clone, Debug)]
 pub struct CompositeIndex {
     config: IndexConfig,
-    units: UnitStore,
-    rtree: RTree,
-    skeleton: SkeletonTier,
-    graph: DoorsGraph,
+    units: Arc<UnitStore>,
+    rtree: Arc<RTree>,
+    skeleton: Arc<SkeletonTier>,
+    graph: Arc<DoorsGraph>,
     objects: ObjectLayer,
     space_version: u64,
     /// Construction timing, for the Fig. 15(b) experiment.
@@ -129,10 +146,10 @@ impl CompositeIndex {
         let t = Instant::now();
         let mut index = CompositeIndex {
             config,
-            units,
-            rtree,
-            skeleton,
-            graph,
+            units: Arc::new(units),
+            rtree: Arc::new(rtree),
+            skeleton: Arc::new(skeleton),
+            graph: Arc::new(graph),
             objects: ObjectLayer::new(),
             space_version: space.version(),
             build_stats: stats,
@@ -169,6 +186,18 @@ impl CompositeIndex {
     /// The tree tier.
     pub fn rtree(&self) -> &RTree {
         &self.rtree
+    }
+
+    /// Whether `self` and `other` share **all** object-independent tiers
+    /// (unit store, R-tree, skeleton, doors graph) structurally — true for
+    /// any two index versions related by commits that contained no
+    /// topology update. Tests use this to pin down the degradation
+    /// contract: only topology commits copy the geometry.
+    pub fn shares_geometry_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.units, &other.units)
+            && Arc::ptr_eq(&self.rtree, &other.rtree)
+            && Arc::ptr_eq(&self.skeleton, &other.skeleton)
+            && Arc::ptr_eq(&self.graph, &other.graph)
     }
 
     /// The index configuration.
@@ -462,15 +491,17 @@ impl CompositeIndex {
                 }
             }
         }
-        self.graph.apply(space, event);
+        Arc::make_mut(&mut self.graph).apply(space, event);
         self.space_version = space.version();
         Ok(skeleton_dirty)
     }
 
     /// Rebuilds the skeleton tier from the current space — the repair a
-    /// deferred topology pass owes after any event returned `true`.
+    /// deferred topology pass owes after any event returned `true`. The
+    /// new tier replaces the shared one wholesale (older index versions
+    /// keep theirs).
     pub fn rebuild_skeleton(&mut self, space: &IndoorSpace) {
-        self.skeleton = SkeletonTier::build(space);
+        self.skeleton = Arc::new(SkeletonTier::build(space));
     }
 
     /// Indexes a partition's units into the tree tier, growing the object
@@ -482,13 +513,10 @@ impl CompositeIndex {
             t_shape: self.config.t_shape,
             ..DecomposeConfig::default()
         };
-        let ids = self.units.add_partition(space, partition, &decomp);
+        let ids = Arc::make_mut(&mut self.units).add_partition(space, partition, &decomp);
         for u in ids {
-            let unit = self.units.get(u).expect("freshly added");
-            self.rtree.insert(LeafEntry {
-                unit: u,
-                mbr: unit.mbr,
-            });
+            let mbr = self.units.get(u).expect("freshly added").mbr;
+            Arc::make_mut(&mut self.rtree).insert(LeafEntry { unit: u, mbr });
         }
         self.objects.grow(self.units.slots());
         Ok(partition.kind == idq_model::PartitionKind::Staircase)
@@ -507,10 +535,10 @@ impl CompositeIndex {
         for u in &removed_units {
             if let Some(unit) = self.units.get(*u) {
                 let mbr = unit.mbr;
-                self.rtree.remove(*u, &mbr);
+                Arc::make_mut(&mut self.rtree).remove(*u, &mbr);
             }
         }
-        self.units.remove_partition(p);
+        Arc::make_mut(&mut self.units).remove_partition(p);
         // Re-footprint displaced objects against the remaining units.
         for id in displaced {
             if let Ok(obj) = store.get(id) {

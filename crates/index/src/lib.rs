@@ -10,7 +10,9 @@
 //!   (inter-partition links) plus the `h-table` mapping index units to
 //!   their partitions;
 //! * **Object layer** — per-unit object buckets plus the `o-table` mapping
-//!   each object to the units it overlaps.
+//!   each object to the units it overlaps, sharded by floor
+//!   ([`object_layer::FloorShard`]) so copy-on-write index versions share
+//!   every untouched floor's slice structurally.
 //!
 //! [`CompositeIndex`] ties the layers together, offers `RangeSearch`
 //! (Algorithm 4), and maintains every layer incrementally under both
@@ -26,7 +28,7 @@ pub mod units;
 
 pub use composite::{BuildStats, CompositeIndex, IndexConfig, RangeSearchOutcome};
 pub use error::IndexError;
-pub use object_layer::ObjectLayer;
+pub use object_layer::{FloorShard, ObjectLayer};
 pub use rtree::RTree;
 pub use skeleton::SkeletonTier;
 pub use units::{IndexUnit, UnitId, UnitStore};

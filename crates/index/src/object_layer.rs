@@ -1,27 +1,85 @@
-//! The object layer (§III-A.3): per-unit buckets plus the `o-table`.
+//! The object layer (§III-A.3): per-unit buckets plus the `o-table` —
+//! **sharded by floor** for fine-grained structural sharing.
 //!
 //! Every leaf index unit carries a bucket of the objects overlapping it;
 //! the `o-table` maps each object to all units it overlaps (an uncertain
 //! object may straddle several partitions, hence several buckets). Both
 //! directions are maintained under object and topology updates.
+//!
+//! Copy-on-write layout: the o-table is split into one [`FloorShard`] per
+//! floor behind its own [`Arc`] (routed by the floor of each object's
+//! search MBR), and every bucket is individually `Arc`-shared. Cloning a
+//! layer is therefore O(floors + units) pointer bumps, and a mutation
+//! deep-copies only the o-table shard(s) of the touched floor(s) plus the
+//! buckets whose membership actually changes — an intra-floor move costs
+//! O(objects on that floor) map entries and O(changed buckets) bucket
+//! copies, never O(all objects).
 
 use crate::error::IndexError;
 use crate::units::UnitId;
 use idq_geom::Mbr3;
-use idq_objects::ObjectId;
+use idq_model::Floor;
+use idq_objects::{FloorShards, ObjectId, Shard};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 struct ObjEntry {
-    units: Vec<UnitId>,
+    /// Units the object overlaps, `Arc`-shared so shard copies bump a
+    /// refcount instead of reallocating every unit list.
+    units: Arc<[UnitId]>,
     mbr: Mbr3,
+}
+
+/// One floor's slice of the `o-table`: the per-floor unit of structural
+/// sharing between object-layer versions (the index-side sibling of
+/// `idq_objects::StoreShard`).
+///
+/// A shard records every object whose search MBR lies on its floor; all
+/// mutation goes through the owning [`ObjectLayer`], which routes by the
+/// MBR's floor and copy-on-writes only the shard(s) it lands in.
+#[derive(Clone, Debug, Default)]
+pub struct FloorShard {
+    o_table: HashMap<ObjectId, ObjEntry>,
+}
+
+impl FloorShard {
+    /// Number of objects filed on this floor.
+    pub fn len(&self) -> usize {
+        self.o_table.len()
+    }
+
+    /// `true` iff no objects are filed on this floor.
+    pub fn is_empty(&self) -> bool {
+        self.o_table.is_empty()
+    }
+
+    /// Whether this shard holds `id`.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.o_table.contains_key(&id)
+    }
+}
+
+impl Shard for FloorShard {
+    fn contains_id(&self, id: ObjectId) -> bool {
+        self.contains(id)
+    }
+    fn is_empty(&self) -> bool {
+        self.is_empty()
+    }
 }
 
 /// Buckets + o-table.
 #[derive(Clone, Debug, Default)]
 pub struct ObjectLayer {
-    buckets: Vec<Vec<ObjectId>>,
-    o_table: HashMap<ObjectId, ObjEntry>,
+    /// Per-unit buckets, individually `Arc`-shared: a layer clone bumps
+    /// one refcount per unit slot, and an update deep-copies only the
+    /// buckets whose membership changes.
+    buckets: Vec<Arc<Vec<ObjectId>>>,
+    /// The o-table, sharded by floor (see [`FloorShard`]).
+    shards: FloorShards<FloorShard>,
+    /// Total indexed objects across all shards.
+    count: usize,
 }
 
 impl ObjectLayer {
@@ -33,112 +91,163 @@ impl ObjectLayer {
     /// Ensures bucket slots exist for `slots` units.
     pub fn grow(&mut self, slots: usize) {
         if self.buckets.len() < slots {
-            self.buckets.resize(slots, Vec::new());
+            self.buckets.resize_with(slots, Arc::default);
         }
     }
 
-    /// Registers an object in the given units with its search MBR.
+    fn bucket_push(&mut self, u: UnitId, id: ObjectId) {
+        self.grow(u.index() + 1);
+        Arc::make_mut(&mut self.buckets[u.index()]).push(id);
+    }
+
+    fn bucket_drop(&mut self, u: UnitId, id: ObjectId) {
+        if let Some(bucket) = self.buckets.get_mut(u.index()) {
+            Arc::make_mut(bucket).retain(|&o| o != id);
+        }
+    }
+
+    /// Registers an object in the given units with its search MBR. The
+    /// object is filed under the MBR's floor (object MBRs are planar).
     pub fn insert(
         &mut self,
         id: ObjectId,
         units: Vec<UnitId>,
         mbr: Mbr3,
     ) -> Result<(), IndexError> {
-        if self.o_table.contains_key(&id) {
+        if self.shards.find(id).is_some() {
             return Err(IndexError::ObjectAlreadyIndexed(id));
         }
         for &u in &units {
-            self.grow(u.index() + 1);
-            self.buckets[u.index()].push(id);
+            self.bucket_push(u, id);
         }
-        self.o_table.insert(id, ObjEntry { units, mbr });
+        self.shards.slot_mut(mbr.floor_lo).o_table.insert(
+            id,
+            ObjEntry {
+                units: units.into(),
+                mbr,
+            },
+        );
+        self.shards.file(id, mbr.floor_lo);
+        self.count += 1;
         Ok(())
     }
 
     /// Re-registers an object under a new unit set and search MBR, editing
     /// only the buckets whose membership actually changes. A move within
     /// one partition typically keeps an identical unit list, reducing the
-    /// bucket maintenance to an MBR overwrite.
+    /// bucket maintenance to an MBR overwrite; a move across floors
+    /// re-homes the o-table entry, touching both floors' shards.
     pub fn update(
         &mut self,
         id: ObjectId,
         units: Vec<UnitId>,
         mbr: Mbr3,
     ) -> Result<(), IndexError> {
-        let ObjectLayer { buckets, o_table } = self;
-        let entry = o_table
-            .get_mut(&id)
+        let old_f = self
+            .shards
+            .find(id)
             .ok_or(IndexError::ObjectNotIndexed(id))?;
-        if entry.units != units {
-            for &u in entry.units.iter().filter(|u| !units.contains(u)) {
-                if let Some(bucket) = buckets.get_mut(u.index()) {
-                    bucket.retain(|&o| o != id);
-                }
-            }
-            for &u in units.iter().filter(|u| !entry.units.contains(u)) {
-                if buckets.len() <= u.index() {
-                    buckets.resize(u.index() + 1, Vec::new());
-                }
-                buckets[u.index()].push(id);
-            }
-            entry.units = units;
-        }
-        entry.mbr = mbr;
+        self.update_in_shard(old_f, id, units, mbr);
         Ok(())
     }
 
-    /// Unregisters an object, returning the units it occupied.
-    pub fn remove(&mut self, id: ObjectId) -> Result<Vec<UnitId>, IndexError> {
+    fn update_in_shard(&mut self, old_f: usize, id: ObjectId, units: Vec<UnitId>, mbr: Mbr3) {
+        let old_units = Arc::clone(
+            &self
+                .shards
+                .get(old_f as Floor)
+                .expect("caller located the shard")
+                .o_table[&id]
+                .units,
+        );
+        let units = if old_units.as_ref() == units.as_slice() {
+            // Same unit set: no bucket edits, and the shared unit list is
+            // reused (the update reduces to an o-table entry overwrite).
+            old_units
+        } else {
+            for &u in old_units.iter().filter(|u| !units.contains(u)) {
+                self.bucket_drop(u, id);
+            }
+            for &u in units.iter().filter(|u| !old_units.contains(u)) {
+                self.bucket_push(u, id);
+            }
+            units.into()
+        };
+        let new_f = self.shards.slot(mbr.floor_lo);
+        let entry = ObjEntry { units, mbr };
+        if old_f != new_f {
+            self.shards.make_mut(old_f).o_table.remove(&id);
+            self.shards.file(id, mbr.floor_lo);
+        }
+        self.shards.make_mut(new_f).o_table.insert(id, entry);
+    }
+
+    /// Unregisters an object, returning the (shared) unit list it
+    /// occupied — an `Arc`, not a copy, since most callers discard it.
+    pub fn remove(&mut self, id: ObjectId) -> Result<Arc<[UnitId]>, IndexError> {
+        let f = self
+            .shards
+            .find(id)
+            .ok_or(IndexError::ObjectNotIndexed(id))?;
+        Ok(self.remove_in_shard(f, id))
+    }
+
+    fn remove_in_shard(&mut self, f: usize, id: ObjectId) -> Arc<[UnitId]> {
         let entry = self
+            .shards
+            .make_mut(f)
             .o_table
             .remove(&id)
-            .ok_or(IndexError::ObjectNotIndexed(id))?;
-        for &u in &entry.units {
-            if let Some(bucket) = self.buckets.get_mut(u.index()) {
-                bucket.retain(|&o| o != id);
-            }
+            .expect("caller located the id");
+        self.shards.unfile(id);
+        for &u in entry.units.iter() {
+            self.bucket_drop(u, id);
         }
-        Ok(entry.units)
+        self.count -= 1;
+        entry.units
     }
 
     /// The bucket of one unit.
     pub fn objects_in(&self, u: UnitId) -> &[ObjectId] {
         self.buckets
             .get(u.index())
-            .map(Vec::as_slice)
+            .map(|b| b.as_slice())
             .unwrap_or(&[])
+    }
+
+    fn entry(&self, id: ObjectId) -> Option<&ObjEntry> {
+        let f = self.shards.find(id)?;
+        self.shards.get(f as Floor)?.o_table.get(&id)
     }
 
     /// The units an object overlaps — the `o-table` lookup.
     pub fn units_of(&self, id: ObjectId) -> Result<&[UnitId], IndexError> {
-        self.o_table
-            .get(&id)
-            .map(|e| e.units.as_slice())
+        self.entry(id)
+            .map(|e| e.units.as_ref())
             .ok_or(IndexError::ObjectNotIndexed(id))
     }
 
     /// The search MBR stored for an object (uncertainty region ∪
     /// instances).
     pub fn object_mbr(&self, id: ObjectId) -> Result<Mbr3, IndexError> {
-        self.o_table
-            .get(&id)
+        self.entry(id)
             .map(|e| e.mbr)
             .ok_or(IndexError::ObjectNotIndexed(id))
     }
 
     /// Whether the object is indexed.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.o_table.contains_key(&id)
+        self.shards.find(id).is_some()
     }
 
     /// Number of indexed objects.
     pub fn len(&self) -> usize {
-        self.o_table.len()
+        self.count
     }
 
     /// `true` iff no objects are indexed.
     pub fn is_empty(&self) -> bool {
-        self.o_table.is_empty()
+        self.count == 0
     }
 
     /// All object ids registered in any of the given units (deduplicated).
@@ -155,20 +264,62 @@ impl ObjectLayer {
         out
     }
 
-    /// Test/maintenance helper: verifies bucket ↔ o-table consistency.
-    /// Panics on violation.
+    // ---- shard introspection (structural-sharing contract) ---------------
+
+    /// Number of floor shards (highest floor an object was ever filed
+    /// under, plus one — shards are never dropped, only emptied).
+    pub fn shard_count(&self) -> usize {
+        self.shards.slot_count()
+    }
+
+    /// Read access to one floor's shard, if that floor has a slot.
+    pub fn shard(&self, floor: Floor) -> Option<&FloorShard> {
+        self.shards.get(floor)
+    }
+
+    /// Whether `self` and `other` share floor `floor`'s o-table shard
+    /// **structurally** (see [`FloorShards::same_shard`]).
+    pub fn same_shard(&self, other: &Self, floor: Floor) -> bool {
+        self.shards.same_shard(&other.shards, floor)
+    }
+
+    /// Fraction-free count of buckets `self` shares structurally with
+    /// `other` (same heap allocation), over the slots both have. The
+    /// complement is exactly the buckets a commit deep-copied.
+    pub fn shared_buckets_with(&self, other: &Self) -> usize {
+        self.buckets
+            .iter()
+            .zip(&other.buckets)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Test/maintenance helper: verifies bucket ↔ o-table consistency
+    /// (including that every entry is filed under its MBR's floor and the
+    /// object count matches). Panics on violation.
     pub fn validate(&self) {
-        for (id, entry) in &self.o_table {
-            for u in &entry.units {
-                assert!(
-                    self.objects_in(*u).contains(id),
-                    "o-table says {id} in {u} but bucket disagrees"
+        let mut entries = 0;
+        for (f, shard) in self.shards.iter().enumerate() {
+            for (id, entry) in &shard.o_table {
+                entries += 1;
+                assert_eq!(
+                    entry.mbr.floor_lo as usize, f,
+                    "{id} filed under shard {f} but its MBR says floor {}",
+                    entry.mbr.floor_lo
                 );
+                self.shards.assert_routed(*id, Some(f as Floor));
+                for u in entry.units.iter() {
+                    assert!(
+                        self.objects_in(*u).contains(id),
+                        "o-table says {id} in {u} but bucket disagrees"
+                    );
+                }
             }
         }
+        assert_eq!(entries, self.count, "shard entries == len");
         for (u, bucket) in self.buckets.iter().enumerate() {
-            for id in bucket {
-                let entry = self.o_table.get(id).expect("bucket object in o-table");
+            for id in bucket.iter() {
+                let entry = self.entry(*id).expect("bucket object in o-table");
                 assert!(
                     entry.units.iter().any(|x| x.index() == u),
                     "bucket {u} holds {id} but o-table disagrees"
@@ -187,6 +338,14 @@ mod tests {
         Mbr3::planar(Rect2::from_bounds(0.0, 0.0, 5.0, 5.0), 0, 0.0)
     }
 
+    fn mbr_on(floor: Floor) -> Mbr3 {
+        Mbr3::planar(
+            Rect2::from_bounds(0.0, 0.0, 5.0, 5.0),
+            floor,
+            floor as f64 * 4.0,
+        )
+    }
+
     #[test]
     fn insert_remove_roundtrip() {
         let mut l = ObjectLayer::new();
@@ -197,7 +356,7 @@ mod tests {
         assert_eq!(l.objects_in(UnitId(1)), &[] as &[ObjectId]);
         l.validate();
         let units = l.remove(ObjectId(1)).unwrap();
-        assert_eq!(units, vec![UnitId(0), UnitId(2)]);
+        assert_eq!(units.as_ref(), &[UnitId(0), UnitId(2)]);
         assert!(l.is_empty());
         assert!(l.objects_in(UnitId(0)).is_empty());
         l.validate();
@@ -209,6 +368,11 @@ mod tests {
         l.insert(ObjectId(1), vec![UnitId(0)], mbr()).unwrap();
         assert!(matches!(
             l.insert(ObjectId(1), vec![UnitId(1)], mbr()),
+            Err(IndexError::ObjectAlreadyIndexed(_))
+        ));
+        // Across floors too: the o-table is global even though sharded.
+        assert!(matches!(
+            l.insert(ObjectId(1), vec![UnitId(1)], mbr_on(2)),
             Err(IndexError::ObjectAlreadyIndexed(_))
         ));
         assert!(matches!(
@@ -229,10 +393,16 @@ mod tests {
         l.insert(ObjectId(2), vec![UnitId(1)], mbr()).unwrap();
         // Same units: pure MBR overwrite, bucket order untouched.
         let m2 = Mbr3::planar(Rect2::from_bounds(1.0, 1.0, 2.0, 2.0), 0, 0.0);
+        let before = l.clone();
         l.update(ObjectId(1), vec![UnitId(0), UnitId(1)], m2)
             .unwrap();
         assert_eq!(l.objects_in(UnitId(1)), &[ObjectId(1), ObjectId(2)]);
         assert_eq!(l.object_mbr(ObjectId(1)).unwrap(), m2);
+        assert_eq!(
+            before.shared_buckets_with(&l),
+            l.buckets.len(),
+            "same-units update touches no bucket"
+        );
         // Shifted units: leaves unit 0, enters unit 2, stays in unit 1.
         l.update(ObjectId(1), vec![UnitId(1), UnitId(2)], mbr())
             .unwrap();
@@ -244,6 +414,40 @@ mod tests {
             l.update(ObjectId(9), vec![UnitId(0)], mbr()),
             Err(IndexError::ObjectNotIndexed(_))
         ));
+    }
+
+    #[test]
+    fn cross_floor_update_rehomes_the_entry() {
+        let mut l = ObjectLayer::new();
+        l.insert(ObjectId(1), vec![UnitId(0)], mbr_on(0)).unwrap();
+        l.insert(ObjectId(2), vec![UnitId(5)], mbr_on(2)).unwrap();
+        l.update(ObjectId(1), vec![UnitId(5)], mbr_on(2)).unwrap();
+        assert!(l.shard(0).unwrap().is_empty());
+        assert_eq!(l.shard(2).unwrap().len(), 2);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.objects_in(UnitId(5)), &[ObjectId(2), ObjectId(1)]);
+        l.validate();
+    }
+
+    #[test]
+    fn clones_share_untouched_shards_and_buckets() {
+        let mut a = ObjectLayer::new();
+        a.insert(ObjectId(1), vec![UnitId(0)], mbr_on(0)).unwrap();
+        a.insert(ObjectId(2), vec![UnitId(7)], mbr_on(1)).unwrap();
+        let mut b = a.clone();
+        assert!(a.same_shard(&b, 0) && a.same_shard(&b, 1));
+        assert_eq!(a.shared_buckets_with(&b), a.buckets.len());
+        // Mutate floor 1 only: floor 0's shard and unit 0's bucket stay
+        // structurally shared.
+        b.update(ObjectId(2), vec![UnitId(6)], mbr_on(1)).unwrap();
+        assert!(a.same_shard(&b, 0), "floor 0 untouched");
+        assert!(!a.same_shard(&b, 1), "floor 1 copied");
+        assert!(
+            Arc::ptr_eq(&a.buckets[0], &b.buckets[0]),
+            "unit 0's bucket untouched"
+        );
+        a.validate();
+        b.validate();
     }
 
     #[test]

@@ -12,16 +12,19 @@
 //! * [`GaussianSampler`] — the paper's instance generator (§V-A: 100
 //!   samples, Gaussian around the region centre, σ = diameter/6);
 //! * [`ObjectStore`] — the mutable population of objects, the ground truth
-//!   beneath the index's object layer.
+//!   beneath the index's object layer, sharded by floor ([`StoreShard`])
+//!   so copy-on-write store versions share every untouched floor.
 
 pub mod error;
 pub mod object;
 pub mod sampler;
+pub mod shards;
 pub mod store;
 pub mod subregion;
 
 pub use error::ObjectError;
 pub use object::{Instance, ObjectId, UncertainObject};
 pub use sampler::GaussianSampler;
-pub use store::ObjectStore;
+pub use shards::{FloorShards, Shard};
+pub use store::{ObjectStore, StoreShard};
 pub use subregion::{Subregion, Subregions};

@@ -1,10 +1,64 @@
 //! The object store: the mutable ground-truth population of uncertain
-//! objects beneath the index's object layer.
+//! objects beneath the index's object layer — **sharded by floor**.
+//!
+//! The store is split into one [`StoreShard`] per floor, each behind its
+//! own [`Arc`]. Cloning a store therefore costs one reference-count bump
+//! per floor, and mutating it deep-copies **only the shard(s) of the
+//! floor(s) the mutation touches** (`Arc::make_mut` per shard): this is
+//! what makes the engine's copy-on-write commits cheap — a version chain
+//! of stores shares every untouched floor's population structurally.
+//! Entries are additionally `Arc`-shared *within* a shard, so even the
+//! touched shard's copy is one map clone of pointer-sized values, never a
+//! deep copy of instance sets.
 
 use crate::error::ObjectError;
 use crate::object::{ObjectId, UncertainObject};
+use crate::shards::{FloorShards, Shard};
+use idq_model::Floor;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// One floor's slice of the object population: the per-floor unit of
+/// structural sharing between store versions.
+///
+/// Shards are reached through [`ObjectStore::shard`] (read-only); all
+/// mutation goes through the owning [`ObjectStore`], which routes by each
+/// object's floor and copy-on-writes only the shards it lands in.
+#[derive(Clone, Debug, Default)]
+pub struct StoreShard {
+    objects: HashMap<ObjectId, Arc<UncertainObject>>,
+}
+
+impl StoreShard {
+    /// Number of objects on this floor.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` iff the floor is unpopulated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Whether this shard holds `id`.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Iterates over the floor's objects (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &UncertainObject> {
+        self.objects.values().map(|arc| arc.as_ref())
+    }
+}
+
+impl Shard for StoreShard {
+    fn contains_id(&self, id: ObjectId) -> bool {
+        self.contains(id)
+    }
+    fn is_empty(&self) -> bool {
+        self.is_empty()
+    }
+}
 
 /// Owns all live uncertain objects, addressed by [`ObjectId`].
 ///
@@ -13,15 +67,18 @@ use std::sync::Arc;
 /// the engine on every store mutation (the paper's §III-C.2 update flow:
 /// an object update is a deletion followed by an insertion).
 ///
-/// Entries are reference-counted internally, so cloning a store shares
-/// every object's instance set with the original instead of deep-copying
-/// it. This is what makes the engine's copy-on-write commit cheap: each
-/// committed version of the world holds its own `ObjectStore` value, but
-/// the (potentially hundreds-of-instances) objects untouched by a batch
-/// are shared across all versions that contain them.
+/// Internally the population is sharded by floor (see [`StoreShard`]):
+/// lookups that only carry an id land on their shard through the O(1)
+/// route directory (reads cost what they did before sharding), while
+/// mutations route by the object's floor and copy-on-write exactly the
+/// touched shard(s). A move across floors touches two shards; everything
+/// else touches one.
 #[derive(Clone, Debug, Default)]
 pub struct ObjectStore {
-    objects: HashMap<ObjectId, Arc<UncertainObject>>,
+    /// `shards[f]` is floor `f`'s slice of the population.
+    shards: FloorShards<StoreShard>,
+    /// Total live objects across all shards.
+    count: usize,
     next_id: u64,
 }
 
@@ -38,14 +95,20 @@ impl ObjectStore {
         id
     }
 
-    /// Inserts an object; the id must be unused.
+    /// Inserts an object; the id must be unused (on *any* floor).
     pub fn insert(&mut self, object: UncertainObject) -> Result<(), ObjectError> {
         let id = object.id;
-        if self.objects.contains_key(&id) {
+        if self.shards.find(id).is_some() {
             return Err(ObjectError::DuplicateObject(id));
         }
         self.reserve_id(id);
-        self.objects.insert(id, Arc::new(object));
+        let floor = object.floor;
+        self.shards
+            .slot_mut(floor)
+            .objects
+            .insert(id, Arc::new(object));
+        self.shards.file(id, floor);
+        self.count += 1;
         Ok(())
     }
 
@@ -62,36 +125,63 @@ impl ObjectStore {
     /// another store version (copy-on-write clones), the returned value is
     /// a copy and the shared entry stays intact in the other versions.
     pub fn remove(&mut self, id: ObjectId) -> Result<UncertainObject, ObjectError> {
-        self.objects
+        let f = self.shards.find(id).ok_or(ObjectError::UnknownObject(id))?;
+        let arc = self
+            .shards
+            .make_mut(f)
+            .objects
             .remove(&id)
-            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
-            .ok_or(ObjectError::UnknownObject(id))
+            .expect("the route located the id");
+        self.shards.unfile(id);
+        self.count -= 1;
+        Ok(Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Removes an object without materialising the removed value — the
     /// cheap form of [`ObjectStore::remove`] for callers that only need the
     /// entry gone (a shared entry is just un-referenced, never copied).
     pub fn discard(&mut self, id: ObjectId) -> Result<(), ObjectError> {
-        self.objects
-            .remove(&id)
-            .map(|_| ())
-            .ok_or(ObjectError::UnknownObject(id))
+        let f = self.shards.find(id).ok_or(ObjectError::UnknownObject(id))?;
+        self.shards.make_mut(f).objects.remove(&id);
+        self.shards.unfile(id);
+        self.count -= 1;
+        Ok(())
     }
 
     /// Replaces an existing object in place, returning the previous value —
     /// the atomic move primitive (a move never leaves the store without the
     /// object, unlike a remove-then-insert pair). The id must be present.
     /// As with [`ObjectStore::remove`], a previous value still shared with
-    /// another store version is returned as a copy.
+    /// another store version is returned as a copy. A move across floors
+    /// re-homes the entry, touching both floors' shards.
     pub fn replace(&mut self, object: UncertainObject) -> Result<UncertainObject, ObjectError> {
         let id = object.id;
-        match self.objects.get_mut(&id) {
-            Some(slot) => {
-                let old = std::mem::replace(slot, Arc::new(object));
-                Ok(Arc::try_unwrap(old).unwrap_or_else(|shared| (*shared).clone()))
-            }
-            None => Err(ObjectError::UnknownObject(id)),
-        }
+        let old_f = self.shards.find(id).ok_or(ObjectError::UnknownObject(id))?;
+        let new_f = self.shards.slot(object.floor);
+        let old = if old_f == new_f {
+            let slot = self
+                .shards
+                .make_mut(new_f)
+                .objects
+                .get_mut(&id)
+                .expect("caller located the id");
+            std::mem::replace(slot, Arc::new(object))
+        } else {
+            let floor = object.floor;
+            let old = self
+                .shards
+                .make_mut(old_f)
+                .objects
+                .remove(&id)
+                .expect("caller located the id");
+            self.shards
+                .make_mut(new_f)
+                .objects
+                .insert(id, Arc::new(object));
+            self.shards.file(id, floor);
+            old
+        };
+        Ok(Arc::try_unwrap(old).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Replaces an existing object without materialising the previous
@@ -100,13 +190,24 @@ impl ObjectStore {
     /// un-referenced, never copied).
     pub fn replace_discarding(&mut self, object: UncertainObject) -> Result<(), ObjectError> {
         let id = object.id;
-        match self.objects.get_mut(&id) {
-            Some(slot) => {
-                *slot = Arc::new(object);
-                Ok(())
-            }
-            None => Err(ObjectError::UnknownObject(id)),
+        let old_f = self.shards.find(id).ok_or(ObjectError::UnknownObject(id))?;
+        self.replace_in_shard(old_f, object);
+        Ok(())
+    }
+
+    /// Re-files the entry held by shard `old_f` under the object's floor.
+    fn replace_in_shard(&mut self, old_f: usize, object: UncertainObject) {
+        let id = object.id;
+        let floor = object.floor;
+        let new_f = self.shards.slot(floor);
+        if old_f != new_f {
+            self.shards.make_mut(old_f).objects.remove(&id);
+            self.shards.file(id, floor);
         }
+        self.shards
+            .make_mut(new_f)
+            .objects
+            .insert(id, Arc::new(object));
     }
 
     /// The id-allocation watermark: the next id [`ObjectStore::allocate_id`]
@@ -124,43 +225,73 @@ impl ObjectStore {
     /// above `watermark`, the rewind stops just past the live population's
     /// ceiling rather than risking a duplicate allocation.
     pub fn restore_id_watermark(&mut self, watermark: u64) {
-        let floor = self.objects.keys().map(|id| id.0 + 1).max().unwrap_or(0);
+        let floor = self.iter().map(|o| o.id.0 + 1).max().unwrap_or(0);
         self.next_id = watermark.max(floor);
     }
 
     /// Looks up an object.
     pub fn get(&self, id: ObjectId) -> Result<&UncertainObject, ObjectError> {
-        self.objects
-            .get(&id)
+        self.shards
+            .find(id)
+            .and_then(|f| self.shards.get(f as Floor))
+            .and_then(|s| s.objects.get(&id))
             .map(|arc| arc.as_ref())
             .ok_or(ObjectError::UnknownObject(id))
     }
 
     /// Returns `true` if `id` is present.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.objects.contains_key(&id)
+        self.shards.find(id).is_some()
+    }
+
+    /// The floor whose shard holds `id`, if present. Note this is the
+    /// *shard* floor (where the object was filed), always equal to the
+    /// object's own `floor` field.
+    pub fn floor_of(&self, id: ObjectId) -> Option<Floor> {
+        self.shards.find(id).map(|f| f as Floor)
     }
 
     /// Iterates over all objects (unordered).
     pub fn iter(&self) -> impl Iterator<Item = &UncertainObject> {
-        self.objects.values().map(|arc| arc.as_ref())
+        self.shards.iter().flat_map(|s| s.iter())
     }
 
     /// Object ids, sorted (deterministic iteration for tests/benches).
     pub fn ids_sorted(&self) -> Vec<ObjectId> {
-        let mut v: Vec<ObjectId> = self.objects.keys().copied().collect();
+        let mut v: Vec<ObjectId> = self.iter().map(|o| o.id).collect();
         v.sort_unstable();
         v
     }
 
     /// Number of live objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.count
     }
 
     /// `true` iff no objects are stored.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.count == 0
+    }
+
+    // ---- shard introspection (structural-sharing contract) ---------------
+
+    /// Number of floor shards (highest floor an object was ever filed
+    /// under, plus one — shards are never dropped, only emptied).
+    pub fn shard_count(&self) -> usize {
+        self.shards.slot_count()
+    }
+
+    /// Read access to one floor's shard, if that floor has a slot.
+    pub fn shard(&self, floor: Floor) -> Option<&StoreShard> {
+        self.shards.get(floor)
+    }
+
+    /// Whether `self` and `other` share floor `floor`'s shard
+    /// **structurally** (see [`FloorShards::same_shard`]). Tests use this
+    /// to pin down the sharding invariant: a commit deep-copies only the
+    /// shards it touches.
+    pub fn same_shard(&self, other: &Self, floor: Floor) -> bool {
+        self.shards.same_shard(&other.shards, floor)
     }
 }
 
@@ -172,6 +303,10 @@ mod tests {
 
     fn point_obj(id: u64) -> UncertainObject {
         UncertainObject::point_object(ObjectId(id), IndoorPoint::new(Point2::new(0.0, 0.0), 0))
+    }
+
+    fn point_obj_on(id: u64, floor: Floor) -> UncertainObject {
+        UncertainObject::point_object(ObjectId(id), IndoorPoint::new(Point2::new(0.0, 0.0), floor))
     }
 
     #[test]
@@ -198,6 +333,11 @@ mod tests {
             s.insert(point_obj(1)),
             Err(ObjectError::DuplicateObject(_))
         ));
+        // Duplicates are rejected across floors too: ids are global.
+        assert!(matches!(
+            s.insert(point_obj_on(1, 3)),
+            Err(ObjectError::DuplicateObject(_))
+        ));
     }
 
     #[test]
@@ -217,6 +357,23 @@ mod tests {
             s.replace(point_obj(7)),
             Err(ObjectError::UnknownObject(_))
         ));
+    }
+
+    #[test]
+    fn replace_across_floors_rehomes_the_entry() {
+        let mut s = ObjectStore::new();
+        s.insert(point_obj_on(1, 0)).unwrap();
+        let moved = point_obj_on(1, 2);
+        let old = s.replace(moved).unwrap();
+        assert_eq!(old.floor, 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.floor_of(ObjectId(1)), Some(2));
+        assert!(s.shard(0).unwrap().is_empty());
+        assert_eq!(s.shard(2).unwrap().len(), 1);
+        // And the discarding form.
+        s.replace_discarding(point_obj_on(1, 1)).unwrap();
+        assert_eq!(s.floor_of(ObjectId(1)), Some(1));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]
@@ -277,6 +434,32 @@ mod tests {
             b.discard(ObjectId(2)),
             Err(ObjectError::UnknownObject(_))
         ));
+    }
+
+    #[test]
+    fn cloned_stores_share_untouched_floor_shards() {
+        let mut a = ObjectStore::new();
+        a.insert(point_obj_on(1, 0)).unwrap();
+        a.insert(point_obj_on(2, 1)).unwrap();
+        a.insert(point_obj_on(3, 2)).unwrap();
+        let mut b = a.clone();
+        assert!((0..3).all(|f| a.same_shard(&b, f)), "clones share all");
+        // A floor-1 mutation deep-copies floor 1's shard only.
+        b.replace_discarding({
+            let mut o = point_obj_on(2, 1);
+            o.region.center = Point2::new(5.0, 5.0);
+            o
+        })
+        .unwrap();
+        assert!(a.same_shard(&b, 0), "floor 0 untouched");
+        assert!(!a.same_shard(&b, 1), "floor 1 copied");
+        assert!(a.same_shard(&b, 2), "floor 2 untouched");
+        // A cross-floor move touches exactly its two shards.
+        let mut c = b.clone();
+        c.replace_discarding(point_obj_on(3, 0)).unwrap();
+        assert!(!b.same_shard(&c, 0));
+        assert!(b.same_shard(&c, 1));
+        assert!(!b.same_shard(&c, 2));
     }
 
     #[test]

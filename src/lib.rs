@@ -82,8 +82,6 @@ pub use idq_workloads as workloads;
 
 /// Convenience re-exports of the types most applications need.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use idq_core::EngineSnapshot;
     pub use idq_core::{
         EngineConfig, EngineError, IndoorEngine, IndoorService, MonitorExt, Notification, Snapshot,
         Subscription, Update, UpdateDelta, UpdateOutcome, UpdateReport, UpdateStats,
