@@ -1,0 +1,210 @@
+//! Ingest-MT — writer-thread scaling of the parallel sharded write path.
+//!
+//! The multi-writer mirror of `ingest.rs`: a pure position-update stream
+//! (`MoveObject` only, ids partitioned across writers so per-object order
+//! is preserved no matter how the sequencer interleaves batches) is
+//! applied by 1, 2 and 4 concurrent writer threads through cloned
+//! `WriteHandle`s. Staging — validation, footprint search, Gaussian
+//! sampling, shard copy-on-write — runs in parallel on the submitting
+//! threads; only the short conflict-check-and-publish step serializes in
+//! the epoch sequencer, and concurrent batches group-commit into shared
+//! epochs.
+//!
+//! Every writer count must end in the **bit-identical** final state (the
+//! checksum is asserted against the 1-writer reference), so the sweep
+//! doubles as a cheap linearizability smoke test at bench scale. Reports
+//! per writer count: wall-clock, updates/second, committed epochs, and
+//! mean commit-group size (batches / epochs — > 1 means group commit
+//! actually coalesced). Emits a `BENCH_ingest_mt.json` line; `cpus`
+//! records `available_parallelism`, since on a single-CPU container the
+//! curve measures sequencer overhead, not parallel speedup.
+
+use idq_bench::{scale_from_env, scaled_floors, scaled_objects};
+use idq_core::{EngineConfig, IndoorEngine, Update};
+use idq_model::Floor;
+use idq_workloads::{
+    generate_building, generate_objects, BuildingConfig, ObjectConfig, PaperDefaults,
+};
+use std::time::Instant;
+
+/// Writer-thread counts swept.
+const WRITER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Updates per committed batch.
+const BATCH: usize = 256;
+
+fn main() {
+    let scale = scale_from_env();
+    let d = PaperDefaults::default();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("ingest_mt: IDQ_SCALE={scale} cpus={cpus}");
+
+    let floors = scaled_floors(d.floors, scale);
+    let objects = scaled_objects(d.objects, scale);
+    let stream_len = scaled_objects(16_384, scale);
+
+    let building =
+        generate_building(&BuildingConfig::with_floors(floors)).expect("generator invariants hold");
+    let store = generate_objects(
+        &building,
+        &ObjectConfig {
+            count: objects,
+            radius: d.radius,
+            instances: 8,
+            seed: 42,
+        },
+    )
+    .expect("population fits the building");
+
+    // The move stream: deterministic room-to-room hops, one writer per id
+    // (id % writer-count), so per-object ordering survives any interleave
+    // and every writer count converges to the same final state.
+    let ids = store.ids_sorted();
+    let rounds = (stream_len / ids.len().max(1)).max(1);
+    let mut stream = Vec::with_capacity(rounds * ids.len());
+    for k in 0..rounds {
+        for &id in &ids {
+            let floor = ((id.0 as usize + k) % floors as usize) as Floor;
+            let rooms = &building.rooms_by_floor[floor as usize];
+            let room = rooms[(id.0 as usize + k) % rooms.len()];
+            stream.push(Update::MoveObject {
+                id,
+                center: building
+                    .space
+                    .partition(room)
+                    .expect("generated room")
+                    .bbox
+                    .center(),
+                floor,
+                seed: id.0 ^ (k as u64) << 32,
+            });
+        }
+    }
+
+    let fresh_engine = || {
+        IndoorEngine::with_objects(
+            building.space.clone(),
+            store.clone(),
+            EngineConfig::default(),
+        )
+        .expect("engine builds")
+    };
+    let checksum = |e: &IndoorEngine| {
+        let mut sum = 0.0f64;
+        for id in e.store().ids_sorted() {
+            let o = e.store().get(id).expect("listed id");
+            sum += o.region.center.x + o.region.center.y + id.0 as f64;
+        }
+        (e.store().len(), sum)
+    };
+
+    // Warm-up touches every path once.
+    {
+        let mut e = fresh_engine();
+        let take = stream.len().min(256);
+        e.apply_batch(&stream[..take]).expect("warm-up applies");
+    }
+
+    let reps: usize = std::env::var("IDQ_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
+    let mut reference: Option<(usize, f64)> = None;
+    let mut results = Vec::new();
+    for &writers in &WRITER_COUNTS {
+        // Partition by id so each object's updates stay on one writer.
+        let mut streams: Vec<Vec<Update>> = vec![Vec::new(); writers];
+        for u in &stream {
+            let id = u.object_id().expect("pure move stream").0 as usize;
+            streams[id % writers].push(u.clone());
+        }
+        let batches: usize = streams.iter().map(|s| s.chunks(BATCH).count()).sum();
+
+        let mut ms = f64::INFINITY;
+        let mut epochs = 0u64;
+        for _ in 0..reps {
+            let mut engine = fresh_engine();
+            let t = Instant::now();
+            std::thread::scope(|scope| {
+                for s in &streams {
+                    let writer = engine.writer();
+                    scope.spawn(move || {
+                        for chunk in s.chunks(BATCH) {
+                            writer.apply_batch(chunk).expect("moves apply");
+                        }
+                    });
+                }
+            });
+            ms = ms.min(t.elapsed().as_secs_f64() * 1e3);
+            engine.refresh();
+            epochs = engine.epoch();
+            let sum = checksum(&engine);
+            match &reference {
+                None => reference = Some(sum),
+                Some(r) => assert_eq!(&sum, r, "{writers}-writer run ends in the 1-writer state"),
+            }
+        }
+        let ups = stream.len() as f64 / (ms / 1e3);
+        let mean_group = batches as f64 / epochs.max(1) as f64;
+        eprintln!(
+            "ingest_mt: writers={writers} {ups:10.0} updates/s \
+             ({batches} batches in {epochs} epochs, mean group {mean_group:.2})"
+        );
+        results.push((writers, ms, ups, epochs, batches, mean_group));
+    }
+
+    let single_ups = results[0].2;
+    let best_ups = results
+        .iter()
+        .map(|r| r.2)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let scaling = results.last().expect("sweep ran").2 / single_ups;
+
+    let per_writer_json: Vec<String> = results
+        .iter()
+        .map(|(writers, ms, ups, epochs, batches, mean_group)| {
+            format!(
+                concat!(
+                    "{{\"writers\":{},\"ms\":{:.3},\"ups\":{:.1},",
+                    "\"epochs\":{},\"batches\":{},\"mean_group\":{:.3}}}"
+                ),
+                writers, ms, ups, epochs, batches, mean_group
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"ingest_mt\",\"scale\":{},\"cpus\":{},\"floors\":{},",
+            "\"objects\":{},\"updates\":{},\"batch\":{},",
+            "\"writers\":[{}],\"best_ups\":{:.1},\"scaling_max_writers\":{:.3}}}"
+        ),
+        scale,
+        cpus,
+        floors,
+        objects,
+        stream.len(),
+        BATCH,
+        per_writer_json.join(","),
+        best_ups,
+        scaling,
+    );
+    println!("{json}");
+    let appended = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open("BENCH_ingest_mt.json")
+        .and_then(|mut f| std::io::Write::write_all(&mut f, format!("{json}\n").as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("ingest_mt: could not append to BENCH_ingest_mt.json: {e}");
+    }
+    eprintln!(
+        "ingest_mt: {} writers reach {scaling:.2}x the 1-writer rate on {cpus} cpu(s) \
+         ({:.0} vs {single_ups:.0} updates/s over {} updates)",
+        WRITER_COUNTS[WRITER_COUNTS.len() - 1],
+        results.last().expect("sweep ran").2,
+        stream.len()
+    );
+}

@@ -1,15 +1,20 @@
 //! The engine: space + objects + index, kept consistent — and served
 //! concurrently.
 //!
-//! [`IndoorEngine`] is the **single writer** of an MVCC service: its state
-//! lives in an immutable, `Arc`-shared [`EngineState`] and every
-//! successful [`IndoorEngine::apply`] / [`IndoorEngine::apply_batch`]
-//! commits by building the *next* state — copy-on-write of the layers the
-//! batch touched, reusing the validate→stage→commit split — and swapping
-//! it into the service cell under its new epoch. Reads go through owned
-//! [`Snapshot`]s pinned to a version ([`IndoorEngine::snapshot`], or any
-//! thread via [`IndoorEngine::service`]); standing queries subscribe
-//! through [`crate::IndoorService::subscribe`] and are fed each commit's
+//! [`IndoorEngine`] owns an MVCC service whose state lives in an
+//! immutable, `Arc`-shared [`EngineState`]: every successful
+//! [`IndoorEngine::apply`] / [`IndoorEngine::apply_batch`] commits by
+//! building the *next* state — copy-on-write of the layers the batch
+//! touched — and swapping it into the service cell under its new epoch.
+//! The write path is **multi-writer**: the engine's own applies delegate
+//! to a [`WriteHandle`] ([`IndoorEngine::writer`] clones more of them for
+//! other threads), and all handles feed one epoch sequencer that stages
+//! batches in parallel, orders them, and group-commits concurrent
+//! submissions into single epochs (see [`crate::write`]). Reads go
+//! through owned [`Snapshot`]s pinned to a version
+//! ([`IndoorEngine::snapshot`], or any thread via
+//! [`IndoorEngine::service`]); standing queries subscribe through
+//! [`crate::IndoorService::subscribe`] and are fed each commit's
 //! [`UpdateReport`]. Failure atomicity is structural: an error anywhere
 //! in a batch drops the in-flight copy, leaving the committed version
 //! untouched.
@@ -18,18 +23,14 @@ use crate::error::EngineError;
 use crate::service::{IndoorService, Shared};
 use crate::snapshot::Snapshot;
 use crate::state::EngineState;
-use crate::update::{DeltaBuilder, Update, UpdateOutcome, UpdateReport, UpdateStats};
-use idq_geom::{Circle, Mbr3, Point2};
-use idq_index::{CompositeIndex, IndexConfig, UnitId};
+use crate::update::{Update, UpdateOutcome, UpdateReport};
+use crate::write::WriteHandle;
+use idq_geom::Point2;
+use idq_index::{CompositeIndex, IndexConfig};
 use idq_model::IndoorPoint;
-use idq_model::{
-    Direction, DoorId, Floor, IndoorSpace, PartitionId, PartitionSpec, SplitLine, TopologyEvent,
-};
-use idq_objects::{GaussianSampler, ObjectError, ObjectId, ObjectStore, UncertainObject};
+use idq_model::{Direction, DoorId, Floor, IndoorSpace, PartitionId, PartitionSpec, SplitLine};
+use idq_objects::{ObjectId, ObjectStore, UncertainObject};
 use idq_query::{KnnResult, Outcome, Query, QueryOptions, RangeResult};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Engine configuration: index layout plus default query options.
@@ -41,562 +42,31 @@ pub struct EngineConfig {
     pub query: QueryOptions,
 }
 
-/// Planar side length (metres) of the spatial cells `apply_batch` groups
-/// position updates by: `(floor, ⌊x/cell⌋, ⌊y/cell⌋)` of the new region
-/// centre is a constant-time proxy for the touched partition (cells are
-/// sized to the §V-A mall generator's room scale), so updates landing in
-/// the same partition share one footprint traversal without paying a
-/// point-location query per update.
-const GROUP_CELL_M: f64 = 60.0;
-
-/// Sampling parameters of a deferred Gaussian draw (resolved during
-/// validation, executed during staging with an index-derived partition
-/// hint).
-#[derive(Debug)]
-struct SampleSpec {
-    id: ObjectId,
-    center: Point2,
-    floor: Floor,
-    radius: f64,
-    instances: usize,
-    seed: u64,
-}
-
-/// A validated position update: existence and duplicate checks done, ids
-/// allocated, sampling parameters resolved — nothing mutated, nothing
-/// sampled yet. Crucially the write MBR is already known (a sampled
-/// object's instances are truncated to its region, so its footprint is the
-/// region's bounding box), which is what lets a run compute all footprints
-/// first — shared traversals, grouped by touched partition — and then feed
-/// each footprint's partitions back to the sampler as a point-location
-/// hint.
-#[derive(Debug)]
-enum Intent {
-    /// Insert this fully-formed object.
-    InsertReady(Box<UncertainObject>),
-    /// Sample a fresh object, then insert it.
-    SampleInsert(SampleSpec),
-    /// Sample the moved object's new state, then replace the old one
-    /// (currently filed under the carried floor).
-    SampleMove(SampleSpec, Floor),
-    /// Remove this object (filed under the carried floor).
-    Remove(ObjectId, Floor),
-}
-
-impl Intent {
-    /// The MBR this intent writes into the index, if it writes one.
-    fn write_mbr(&self, space: &IndoorSpace) -> Option<Mbr3> {
-        match self {
-            Intent::InsertReady(o) => Some(Mbr3::planar(
-                o.footprint_rect(),
-                o.floor,
-                space.elevation(o.floor),
-            )),
-            Intent::SampleInsert(s) | Intent::SampleMove(s, _) => {
-                let rect = Circle::new(s.center, s.radius).bbox();
-                Some(Mbr3::planar(rect, s.floor, space.elevation(s.floor)))
-            }
-            Intent::Remove(..) => None,
-        }
-    }
-
-    /// Grouping key: (floor, partition-scale cell) of the write centre.
-    fn group_key(&self) -> Option<(Floor, i64, i64)> {
-        let (center, floor) = match self {
-            Intent::InsertReady(o) => (o.region.center, o.floor),
-            Intent::SampleInsert(s) | Intent::SampleMove(s, _) => (s.center, s.floor),
-            Intent::Remove(..) => return None,
-        };
-        let cx = (center.x / GROUP_CELL_M).floor() as i64;
-        let cy = (center.y / GROUP_CELL_M).floor() as i64;
-        Some((floor, cx, cy))
-    }
-}
-
-/// What an object carried over from earlier updates of the same run —
-/// sequential semantics without splitting the run on repeated ids.
-#[derive(Clone, Copy, Debug)]
-enum PendingState {
-    /// The object will be live with this region radius / instance count,
-    /// filed under this floor's shard.
-    Live {
-        radius: f64,
-        instances: usize,
-        floor: Floor,
-    },
-    /// The object will be gone.
-    Removed,
-}
-
-/// A staged position update: validated, footprinted and sampled — the
-/// commit can no longer fail on user input.
-#[derive(Debug)]
-enum PreparedOp {
-    /// Insert this object under the prepared footprint.
-    Insert(Box<UncertainObject>, Vec<UnitId>, Mbr3),
-    /// Replace the same-id object under the prepared footprint; the
-    /// carried floor is where the object currently lives, so the commit
-    /// routes straight to the touched shard(s) without probing.
-    Move(Box<UncertainObject>, Vec<UnitId>, Mbr3, Floor),
-    /// Remove this object from the carried floor's shards.
-    Remove(ObjectId, Floor),
-}
-
-/// Accumulators of one in-flight `apply_batch` transaction.
-#[derive(Debug, Default)]
-struct BatchState {
-    outcomes: Vec<UpdateOutcome>,
-    delta: DeltaBuilder,
-    stats: UpdateStats,
-    /// Floors whose shards the batch's object ops landed in — reported as
-    /// `UpdateStats::shards_touched`.
-    floors: BTreeSet<Floor>,
-}
-
-/// The copy-on-write working state of one write transaction.
-///
-/// Begins as cheap `Arc` clones of the committed version's layers. The
-/// layers themselves are **sharded by floor** (`ObjectStore` into
-/// `StoreShard`s, the index's object tier into `FloorShard`s with
-/// `Arc`-per-bucket, the index's geometry tiers each behind their own
-/// `Arc`), so "cloning a layer" here is a handful of pointer bumps: the
-/// first mutation of a *shard* is what deep-copies it (`Arc::make_mut`
-/// inside the layer — the committed version always holds a second
-/// reference), and everything the batch never touches is shared
-/// structurally with the committed version. A pure object batch
-/// deep-copies exactly the floor shards its updates land in plus the
-/// buckets whose membership changes; a batch containing topology updates
-/// degrades to also copying the space and the index's geometry tiers. On
-/// success the `Arc`s become the next [`EngineState`]; on error the
-/// transaction is dropped and the committed version was never touched —
-/// rollback is structural, not compensating.
-#[derive(Debug)]
-struct Txn {
-    space: Arc<IndoorSpace>,
-    store: Arc<ObjectStore>,
-    index: Arc<CompositeIndex>,
-    max_radius: f64,
-    /// Whether the space layer was copy-on-written (i.e. the batch
-    /// contained topology updates) — reported as `UpdateStats::checkpointed`.
-    space_cloned: bool,
-}
-
-impl Txn {
-    fn begin(state: &EngineState) -> Self {
-        Txn {
-            space: Arc::clone(&state.space),
-            store: Arc::clone(&state.store),
-            index: Arc::clone(&state.index),
-            max_radius: state.max_radius,
-            space_cloned: false,
-        }
-    }
-
-    /// The forward pass of one batch: alternating runs of position updates
-    /// (prepared, then committed with grouped footprints) and topology
-    /// updates (applied with one deferred skeleton repair per run).
-    fn run_batch(&mut self, updates: &[Update], state: &mut BatchState) -> Result<(), EngineError> {
-        state.stats.updates = updates.len();
-        let mut i = 0;
-        while i < updates.len() {
-            if updates[i].is_topology() {
-                let mut skeleton_dirty = false;
-                while i < updates.len() && updates[i].is_topology() {
-                    let outcome = self.apply_topology_update(&updates[i], &mut skeleton_dirty)?;
-                    state.delta.record(&outcome);
-                    state.outcomes.push(outcome);
-                    i += 1;
-                }
-                if skeleton_dirty {
-                    Arc::make_mut(&mut self.index).rebuild_skeleton(&self.space);
-                    state.stats.skeleton_rebuilds += 1;
-                }
-            } else {
-                // One run of position updates: validate every update first
-                // (duplicate/existence checks against the store plus the
-                // run's own pending effects), stage the run (shared
-                // footprint traversals, hint-assisted sampling — all
-                // remaining fallible work, still nothing committed), then
-                // apply in input order.
-                let mut intents: Vec<Intent> = Vec::new();
-                let mut pending: HashMap<ObjectId, PendingState> = HashMap::new();
-                while i < updates.len() && !updates[i].is_topology() {
-                    intents.push(self.prepare_intent(&updates[i], &mut pending)?);
-                    state.stats.position_updates += 1;
-                    i += 1;
-                }
-                let ops = self.stage_run(intents, &mut state.stats)?;
-                for op in ops {
-                    let outcome = self.apply_object_op(op, &mut state.floors)?;
-                    state.delta.record(&outcome);
-                    state.outcomes.push(outcome);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Validates one position [`Update`] against the store *and* the run's
-    /// pending effects (so a run may touch the same object repeatedly with
-    /// sequential semantics), allocating ids and resolving sampling
-    /// parameters. Id allocation lands on the transaction's store copy, so
-    /// a failed batch leaks nothing.
-    fn prepare_intent(
-        &mut self,
-        update: &Update,
-        pending: &mut HashMap<ObjectId, PendingState>,
-    ) -> Result<Intent, EngineError> {
-        match update {
-            Update::InsertObject(object) => {
-                let id = object.id;
-                let exists = match pending.get(&id) {
-                    Some(PendingState::Live { .. }) => true,
-                    Some(PendingState::Removed) => false,
-                    None => self.store.contains(id),
-                };
-                if exists {
-                    return Err(ObjectError::DuplicateObject(id).into());
-                }
-                // A fully-formed insert is the one object path with no
-                // sampling step to reject a floor the space does not
-                // cover — and an out-of-space floor would permanently
-                // grow the per-floor shard vectors.
-                if object.floor as usize >= self.space.num_floors() {
-                    return Err(EngineError::FloorOutOfSpace {
-                        floor: object.floor,
-                        num_floors: self.space.num_floors(),
-                    });
-                }
-                // The insert itself is deferred, so reserve the external id
-                // now: a later `InsertObjectAt` in this run must allocate
-                // past it, exactly as sequential application would after
-                // the insert landed.
-                Arc::make_mut(&mut self.store).reserve_id(id);
-                pending.insert(
-                    id,
-                    PendingState::Live {
-                        radius: object.region.radius,
-                        instances: object.len(),
-                        floor: object.floor,
-                    },
-                );
-                Ok(Intent::InsertReady(object.clone()))
-            }
-            Update::InsertObjectAt {
-                center,
-                floor,
-                radius,
-                instances,
-                seed,
-            } => {
-                let id = Arc::make_mut(&mut self.store).allocate_id();
-                let instances = (*instances).max(1);
-                pending.insert(
-                    id,
-                    PendingState::Live {
-                        radius: *radius,
-                        instances,
-                        floor: *floor,
-                    },
-                );
-                Ok(Intent::SampleInsert(SampleSpec {
-                    id,
-                    center: *center,
-                    floor: *floor,
-                    radius: *radius,
-                    instances,
-                    seed: *seed,
-                }))
-            }
-            Update::MoveObject {
-                id,
-                center,
-                floor,
-                seed,
-            } => {
-                let (radius, instances, old_floor) = match pending.get(id) {
-                    Some(PendingState::Removed) => {
-                        return Err(ObjectError::UnknownObject(*id).into())
-                    }
-                    Some(PendingState::Live {
-                        radius,
-                        instances,
-                        floor,
-                    }) => (*radius, *instances, *floor),
-                    None => {
-                        let old = self.store.get(*id)?;
-                        (old.region.radius, old.len(), old.floor)
-                    }
-                };
-                pending.insert(
-                    *id,
-                    PendingState::Live {
-                        radius,
-                        instances,
-                        floor: *floor,
-                    },
-                );
-                Ok(Intent::SampleMove(
-                    SampleSpec {
-                        id: *id,
-                        center: *center,
-                        floor: *floor,
-                        radius,
-                        instances,
-                        seed: *seed,
-                    },
-                    old_floor,
-                ))
-            }
-            Update::RemoveObject(id) => {
-                let old_floor = match pending.get(id) {
-                    Some(PendingState::Removed) => {
-                        return Err(ObjectError::UnknownObject(*id).into())
-                    }
-                    Some(PendingState::Live { floor, .. }) => *floor,
-                    None => self.store.get(*id)?.floor,
-                };
-                pending.insert(*id, PendingState::Removed);
-                Ok(Intent::Remove(*id, old_floor))
-            }
-            _ => unreachable!("prepare_intent only sees position updates"),
-        }
-    }
-
-    /// Stages a validated run: groups writes by touched partition, runs
-    /// one footprint traversal per group, then executes the deferred
-    /// Gaussian draws with each footprint's partitions as the
-    /// point-location hint (identical results to full point location, a
-    /// fraction of the cost). Sampling can fail — a centre outside every
-    /// partition — but nothing is applied until every op is staged.
-    fn stage_run(
-        &self,
-        intents: Vec<Intent>,
-        stats: &mut UpdateStats,
-    ) -> Result<Vec<PreparedOp>, EngineError> {
-        // Sort write indices by (floor, cell): each contiguous key run is
-        // one group sharing a traversal.
-        let mut keyed: Vec<((Floor, i64, i64), usize)> = intents
-            .iter()
-            .enumerate()
-            .filter_map(|(k, intent)| intent.group_key().map(|key| (key, k)))
-            .collect();
-        keyed.sort_unstable();
-        let mut footprints: Vec<Option<(Vec<UnitId>, Mbr3)>> = Vec::new();
-        footprints.resize_with(intents.len(), || None);
-        let mut start = 0;
-        while start < keyed.len() {
-            let key = keyed[start].0;
-            let mut end = start + 1;
-            while end < keyed.len() && keyed[end].0 == key {
-                end += 1;
-            }
-            let members = &keyed[start..end];
-            let mbrs: Vec<Mbr3> = members
-                .iter()
-                .map(|&(_, k)| {
-                    intents[k]
-                        .write_mbr(&self.space)
-                        .expect("grouped intents write an MBR")
-                })
-                .collect();
-            let grouped = self.index.unit_footprints_grouped(&mbrs);
-            stats.footprint_searches += 1;
-            for ((&(_, k), units), mbr) in members.iter().zip(grouped).zip(mbrs) {
-                footprints[k] = Some((units, mbr));
-            }
-            start = end;
-        }
-        intents
-            .into_iter()
-            .zip(footprints)
-            .map(|(intent, footprint)| match intent {
-                Intent::InsertReady(object) => {
-                    let (units, mbr) = footprint.expect("writes carry a footprint");
-                    Ok(PreparedOp::Insert(object, units, mbr))
-                }
-                Intent::SampleInsert(spec) => {
-                    let (units, mbr) = footprint.expect("writes carry a footprint");
-                    let object = self.sample_spec(&spec, &units)?;
-                    Ok(PreparedOp::Insert(Box::new(object), units, mbr))
-                }
-                Intent::SampleMove(spec, old_floor) => {
-                    let (units, mbr) = footprint.expect("writes carry a footprint");
-                    let object = self.sample_spec(&spec, &units)?;
-                    Ok(PreparedOp::Move(Box::new(object), units, mbr, old_floor))
-                }
-                Intent::Remove(id, floor) => Ok(PreparedOp::Remove(id, floor)),
-            })
-            .collect()
-    }
-
-    /// Executes one deferred Gaussian draw, point-locating against the
-    /// partitions owning the footprint's units (a superset of every
-    /// partition overlapping the region, so the draw is exact).
-    fn sample_spec(
-        &self,
-        spec: &SampleSpec,
-        units: &[UnitId],
-    ) -> Result<UncertainObject, EngineError> {
-        let mut hint: Vec<PartitionId> = units
-            .iter()
-            .filter_map(|&u| self.index.units().partition_of(u))
-            .collect();
-        hint.sort_unstable();
-        hint.dedup();
-        let sampler = GaussianSampler {
-            instances: spec.instances,
-            ..GaussianSampler::default()
-        };
-        let mut rng = StdRng::seed_from_u64(spec.seed ^ spec.id.0);
-        Ok(sampler.sample_with_hint(
-            spec.id,
-            spec.center,
-            spec.floor,
-            spec.radius,
-            &self.space,
-            &hint,
-            &mut rng,
-        )?)
-    }
-
-    /// Applies one staged op to the transaction's store + index copies,
-    /// recording the floor shard(s) it lands in (the floors carried on
-    /// the staged op feed `UpdateStats::shards_touched`; the layers route
-    /// by their O(1) directories). The `Arc::make_mut`s on the layer
-    /// handles cost a few pointer bumps — the deep copies happen *inside*
-    /// the layers, per touched floor shard and changed bucket. By
-    /// construction (validation + staging) these layer operations cannot
-    /// fail on user input; an error simply aborts the transaction with the
-    /// committed version untouched.
-    fn apply_object_op(
-        &mut self,
-        op: PreparedOp,
-        floors: &mut BTreeSet<Floor>,
-    ) -> Result<UpdateOutcome, EngineError> {
-        match op {
-            PreparedOp::Insert(object, units, mbr) => {
-                let id = object.id;
-                let radius = object.region.radius;
-                floors.insert(object.floor);
-                Arc::make_mut(&mut self.index).insert_object_prepared(id, units, mbr)?;
-                Arc::make_mut(&mut self.store).insert(*object)?;
-                self.max_radius = self.max_radius.max(radius);
-                Ok(UpdateOutcome::ObjectInserted(id))
-            }
-            PreparedOp::Move(object, units, mbr, old_floor) => {
-                let id = object.id;
-                // A cross-floor move touches the old floor's shard too.
-                floors.insert(old_floor);
-                floors.insert(object.floor);
-                Arc::make_mut(&mut self.store).replace_discarding(*object)?;
-                Arc::make_mut(&mut self.index).update_object_prepared(id, units, mbr)?;
-                Ok(UpdateOutcome::ObjectMoved(id))
-            }
-            PreparedOp::Remove(id, floor) => {
-                floors.insert(floor);
-                Arc::make_mut(&mut self.index).remove_object(id)?;
-                Arc::make_mut(&mut self.store).discard(id)?;
-                Ok(UpdateOutcome::ObjectRemoved(id))
-            }
-        }
-    }
-
-    /// Applies one topology [`Update`]: the space-layer operation (on the
-    /// transaction's space copy), then its events through the index with
-    /// the skeleton repair deferred into `skeleton_dirty` (callers
-    /// coalesce repairs across a run).
-    fn apply_topology_update(
-        &mut self,
-        update: &Update,
-        skeleton_dirty: &mut bool,
-    ) -> Result<UpdateOutcome, EngineError> {
-        self.space_cloned = true;
-        match update {
-            Update::OpenDoor(d) => {
-                let ev = Arc::make_mut(&mut self.space).open_door(*d)?;
-                self.absorb_events(&[ev], skeleton_dirty)?;
-                Ok(UpdateOutcome::DoorOpened(*d))
-            }
-            Update::CloseDoor(d) => {
-                let ev = Arc::make_mut(&mut self.space).close_door(*d)?;
-                self.absorb_events(&[ev], skeleton_dirty)?;
-                Ok(UpdateOutcome::DoorClosed(*d))
-            }
-            Update::InsertDoor {
-                a,
-                b,
-                position,
-                floor,
-                direction,
-            } => {
-                let (id, ev) = Arc::make_mut(&mut self.space)
-                    .insert_door(*a, *b, *position, *floor, *direction)?;
-                self.absorb_events(&[ev], skeleton_dirty)?;
-                Ok(UpdateOutcome::DoorInserted(id))
-            }
-            Update::InsertPartition(spec) => {
-                let (partition, doors, events) =
-                    Arc::make_mut(&mut self.space).insert_partition(spec.clone())?;
-                self.absorb_events(&events, skeleton_dirty)?;
-                Ok(UpdateOutcome::PartitionInserted { partition, doors })
-            }
-            Update::DeletePartition(p) => {
-                let events = Arc::make_mut(&mut self.space).delete_partition(*p)?;
-                self.absorb_events(&events, skeleton_dirty)?;
-                Ok(UpdateOutcome::PartitionDeleted(*p))
-            }
-            Update::SplitPartition {
-                partition,
-                line,
-                connecting_door,
-            } => {
-                let (halves, events) = Arc::make_mut(&mut self.space).split_partition(
-                    *partition,
-                    *line,
-                    *connecting_door,
-                )?;
-                self.absorb_events(&events, skeleton_dirty)?;
-                Ok(UpdateOutcome::PartitionSplit {
-                    old: *partition,
-                    halves,
-                })
-            }
-            Update::MergePartitions(a, b) => {
-                let (merged, events) = Arc::make_mut(&mut self.space).merge_partitions(*a, *b)?;
-                self.absorb_events(&events, skeleton_dirty)?;
-                Ok(UpdateOutcome::PartitionsMerged { merged })
-            }
-            _ => unreachable!("apply_topology_update only sees topology updates"),
-        }
-    }
-
-    fn absorb_events(
-        &mut self,
-        events: &[TopologyEvent],
-        skeleton_dirty: &mut bool,
-    ) -> Result<(), EngineError> {
-        let index = Arc::make_mut(&mut self.index);
-        for ev in events {
-            *skeleton_dirty |= index.apply_topology_deferred(&self.space, &self.store, ev)?;
-        }
-        Ok(())
-    }
-}
-
-/// The integrated engine: the single writer of one consistent, versioned
+/// The integrated engine: the root owner of one consistent, versioned
 /// indoor world.
 ///
-/// The engine owns the write side; reads and subscriptions go through the
-/// [`IndoorService`] handle ([`IndoorEngine::service`]), which any number
-/// of threads share. Dropping the engine retires the writer: services
-/// keep answering on the final version, subscriptions see their stream
-/// end.
+/// The engine holds the bootstrap writer handle; [`IndoorEngine::writer`]
+/// clones more [`WriteHandle`]s for concurrent writer threads, and reads
+/// and subscriptions go through the [`IndoorService`] handle
+/// ([`IndoorEngine::service`]), which any number of threads share.
+/// Writer retirement is reference-counted: when the engine *and* every
+/// cloned write handle have dropped, services keep answering on the
+/// final version and subscriptions see their stream end.
+///
+/// The engine pins the version its own last apply produced: the borrowing
+/// accessors ([`IndoorEngine::space`], [`IndoorEngine::store`],
+/// [`IndoorEngine::index`], [`IndoorEngine::validate`]) answer on that
+/// pin, which trails the published version only while *other* write
+/// handles commit — [`IndoorEngine::refresh`] re-pins to the latest.
+/// Everything else ([`IndoorEngine::epoch`], [`IndoorEngine::snapshot`],
+/// the query conveniences) reads the latest published version directly.
 #[derive(Debug)]
 pub struct IndoorEngine {
     shared: Arc<Shared>,
-    /// The writer's own pin of the latest committed version (always equal
-    /// to the service cell's — the engine is the only publisher).
+    /// The engine's own writer handle (accounted for by the registry's
+    /// initial writer count).
+    writer: WriteHandle,
+    /// The engine's pin: the version its own last apply produced.
     state: Arc<EngineState>,
 }
 
@@ -622,50 +92,71 @@ impl IndoorEngine {
             max_radius,
             epoch: 0,
         });
+        let shared = Arc::new(Shared::new(Arc::clone(&state)));
+        let writer = WriteHandle::bootstrap(Arc::clone(&shared));
         Ok(IndoorEngine {
-            shared: Arc::new(Shared::new(Arc::clone(&state))),
+            shared,
+            writer,
             state,
         })
     }
 
     // ---- accessors -------------------------------------------------------
 
-    /// The indoor space.
+    /// The indoor space (the engine's pinned version; see
+    /// [`IndoorEngine::refresh`]).
     pub fn space(&self) -> &IndoorSpace {
         &self.state.space
     }
 
-    /// The object population.
+    /// The object population (the engine's pinned version; see
+    /// [`IndoorEngine::refresh`]).
     pub fn store(&self) -> &ObjectStore {
         &self.state.store
     }
 
-    /// The composite index.
+    /// The composite index (the engine's pinned version; see
+    /// [`IndoorEngine::refresh`]).
     pub fn index(&self) -> &CompositeIndex {
         &self.state.index
     }
 
-    /// The engine's write epoch: bumped once per successful
-    /// [`IndoorEngine::apply`] or [`IndoorEngine::apply_batch`] (a batch is
-    /// one transaction, hence one bump). Two snapshots with equal
+    /// The latest committed epoch: bumped once per successful commit (a
+    /// batch is one transaction, hence one bump; concurrent batches may
+    /// group-commit under a single bump). Two snapshots with equal
     /// [`Snapshot::version`] saw the identical world.
     pub fn epoch(&self) -> u64 {
-        self.state.epoch
+        self.shared.current().epoch
     }
 
     /// The effective default query options (slack widened to the largest
     /// uncertainty region inserted so far).
     pub fn query_options(&self) -> QueryOptions {
-        self.state.effective_options()
+        self.shared.current().effective_options()
+    }
+
+    /// Re-pins the engine's borrowing accessors to the latest committed
+    /// version — only needed after *other* [`WriteHandle`]s commit (the
+    /// engine's own applies re-pin automatically).
+    pub fn refresh(&mut self) {
+        self.state = self.shared.current();
     }
 
     // ---- the concurrent service surface ---------------------------------
 
     /// A cloneable, `Send + Sync` handle for reader threads: snapshots,
     /// query sessions and standing-query subscriptions, all pinned to
-    /// committed versions while this engine keeps writing.
+    /// committed versions while writers keep committing.
     pub fn service(&self) -> IndoorService {
         IndoorService::new(Arc::clone(&self.shared))
+    }
+
+    /// A cloneable, `Send + Sync` **writer** handle feeding the engine's
+    /// epoch sequencer: clone it into any number of threads and apply
+    /// batches concurrently — batches are staged in parallel, ordered,
+    /// conflict-checked, and group-committed (see [`crate::write`]).
+    pub fn writer(&self) -> WriteHandle {
+        self.writer.clone()
     }
 
     // ---- snapshots (sessions over a consistent read view) ----------------
@@ -675,13 +166,15 @@ impl IndoorEngine {
     /// Sync`: hand it to any thread, it keeps reading this version no
     /// matter what commits afterwards.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot::from_state(Arc::clone(&self.state), self.query_options())
+        let current = self.shared.current();
+        let options = current.effective_options();
+        Snapshot::from_state(current, options)
     }
 
     /// A pinned snapshot with explicit query options (ablations, exact
     /// refinement…).
     pub fn snapshot_with(&self, options: QueryOptions) -> Snapshot {
-        Snapshot::from_state(Arc::clone(&self.state), options)
+        Snapshot::from_state(self.shared.current(), options)
     }
 
     /// Evaluates one typed [`Query`] on a fresh default snapshot.
@@ -713,8 +206,10 @@ impl IndoorEngine {
     /// traversals, one shard copy amortized over the whole batch instead
     /// of one per update): on the `ingest` benchmark workload,
     /// [`IndoorEngine::apply_batch`] sustains hundreds of thousands of
-    /// updates/s, while per-update `apply` runs at one floor-shard copy
-    /// per call.
+    /// updates/s. Concurrent single-`apply` callers get the same
+    /// amortization automatically through **group commit**: clone
+    /// [`IndoorEngine::writer`] into the submitting threads and their
+    /// commits coalesce into shared epochs (see [`crate::write`]).
     pub fn apply(&mut self, update: Update) -> Result<UpdateOutcome, EngineError> {
         let report = self.apply_batch(std::slice::from_ref(&update))?;
         Ok(report
@@ -742,52 +237,14 @@ impl IndoorEngine {
     /// A successful non-empty batch commits via the epoch-stamped atomic
     /// swap: snapshots pinned to older versions are unaffected, new
     /// snapshots see the new version, and every live subscription receives
-    /// the report.
+    /// the report. This delegates to the engine's [`WriteHandle`], so it
+    /// sequences correctly against any concurrently committing handles
+    /// (and may share its epoch with them — see
+    /// [`UpdateReport::offset_in_epoch`]).
     pub fn apply_batch(&mut self, updates: &[Update]) -> Result<UpdateReport, EngineError> {
-        let mut txn = Txn::begin(&self.state);
-        let mut batch = BatchState {
-            outcomes: Vec::with_capacity(updates.len()),
-            ..BatchState::default()
-        };
-        txn.run_batch(updates, &mut batch)?;
-        batch.stats.checkpointed = txn.space_cloned;
-        batch.stats.shards_touched = batch.floors.len();
-        if updates.is_empty() {
-            // A committed no-op: nothing to publish, epoch unchanged.
-            return Ok(UpdateReport {
-                outcomes: batch.outcomes,
-                delta: batch.delta.finish(),
-                epoch: self.state.epoch,
-                stats: batch.stats,
-            });
-        }
-        Ok(self.commit(txn, batch))
-    }
-
-    /// Publishes a completed transaction as the next version: builds the
-    /// epoch-stamped [`EngineState`], swaps it into the service cell, and
-    /// broadcasts the report to subscriptions (outside every lock that
-    /// readers take across work).
-    fn commit(&mut self, txn: Txn, batch: BatchState) -> UpdateReport {
-        let epoch = self.state.epoch + 1;
-        let next = Arc::new(EngineState {
-            space: txn.space,
-            store: txn.store,
-            index: txn.index,
-            options: self.state.options,
-            max_radius: txn.max_radius,
-            epoch,
-        });
-        self.state = Arc::clone(&next);
-        self.shared.publish(next);
-        let report = UpdateReport {
-            outcomes: batch.outcomes,
-            delta: batch.delta.finish(),
-            epoch,
-            stats: batch.stats,
-        };
-        self.shared.broadcast(&report, &self.snapshot());
-        report
+        let result = self.writer.apply_batch(updates);
+        self.refresh();
+        result
     }
 
     // ---- object management (§III-C.2) ------------------------------------
@@ -833,7 +290,7 @@ impl IndoorEngine {
     /// Removes an object, returning it (a copy — the versions pinned by
     /// older snapshots keep the entry; the new version does not).
     pub fn remove_object(&mut self, id: ObjectId) -> Result<UncertainObject, EngineError> {
-        let object = self.state.store.get(id)?.clone();
+        let object = self.shared.current().store.get(id)?.clone();
         self.apply(Update::RemoveObject(id))?;
         Ok(object)
     }
@@ -1010,23 +467,14 @@ impl IndoorEngine {
             .expect("merge yields a partitions-merged outcome"))
     }
 
-    /// Validates cross-layer invariants (test/diagnostic support): returns
-    /// an error when the index has not absorbed every space mutation, and
-    /// panics on broken index-internal invariants (those indicate a bug,
-    /// never an operational state).
+    /// Validates cross-layer invariants of the engine's pinned version
+    /// (test/diagnostic support): returns an error when the index has not
+    /// absorbed every space mutation, and panics on broken index-internal
+    /// invariants (those indicate a bug, never an operational state).
     pub fn validate(&self) -> Result<(), EngineError> {
         self.state.index.validate();
         self.state.index.check_fresh(&self.state.space)?;
         Ok(())
-    }
-}
-
-impl Drop for IndoorEngine {
-    /// Retires the writer: every subscription's stream ends (blocked
-    /// `wait()`s wake up with `None`); service handles keep answering
-    /// queries on the final committed version.
-    fn drop(&mut self) {
-        self.shared.retire_writer();
     }
 }
 
@@ -1207,9 +655,13 @@ mod tests {
                 },
             ])
             .unwrap();
-        // One batch, one epoch bump — and the report names it.
+        // One batch, one epoch bump — and the report names it (an
+        // uncontended batch forms a group of one).
         assert_eq!(e.epoch(), 2);
         assert_eq!(report.epoch, 2);
+        assert_eq!(report.offset_in_epoch, 0);
+        assert_eq!(report.stats.group_batches, 1);
+        assert!(!report.stats.restaged);
         assert_eq!(e.snapshot().version(), 2);
         assert_eq!(report.delta.inserted.len(), 2);
         assert!(!report.delta.topology_changed);

@@ -1,12 +1,16 @@
 //! `IndoorEngine` — the integrated public API of the reproduction, served
 //! concurrently.
 //!
-//! The engine is the **single writer** of an MVCC service: its state —
-//! the [`idq_model::IndoorSpace`], the [`idq_objects::ObjectStore`] and
-//! the [`idq_index::CompositeIndex`] — lives in an immutable, `Arc`-shared
+//! The engine fronts a **multi-writer** MVCC service: its state — the
+//! [`idq_model::IndoorSpace`], the [`idq_objects::ObjectStore`] and the
+//! [`idq_index::CompositeIndex`] — lives in an immutable, `Arc`-shared
 //! [`EngineState`], and every committed write publishes a *new* version
 //! via an epoch-stamped atomic swap (copy-on-write of the touched
-//! layers). Reads go through owned [`Snapshot`]s pinned to a version:
+//! layers). Concurrent writers clone a [`WriteHandle`]
+//! ([`IndoorEngine::writer`]): batches stage in parallel on their
+//! submitting threads, an epoch sequencer orders and conflict-checks
+//! them, and concurrent submissions **group-commit** into shared epochs
+//! (see [`mod@write`]). Reads go through owned [`Snapshot`]s pinned to a version:
 //! `Clone + Send + Sync`, so any number of threads execute typed
 //! [`idq_query::Query`] sessions in parallel with an active writer, with
 //! no locks held during evaluation:
@@ -96,6 +100,7 @@ pub mod service;
 pub mod snapshot;
 pub mod state;
 pub mod update;
+pub mod write;
 
 pub use engine::{EngineConfig, IndoorEngine};
 pub use error::EngineError;
@@ -104,3 +109,4 @@ pub use service::{IndoorService, Notification, Subscription};
 pub use snapshot::Snapshot;
 pub use state::EngineState;
 pub use update::{Update, UpdateDelta, UpdateOutcome, UpdateReport, UpdateStats};
+pub use write::WriteHandle;

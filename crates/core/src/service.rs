@@ -1,14 +1,18 @@
 //! The concurrent service surface: [`IndoorService`] read/subscribe
 //! handles and [`Subscription`] standing queries.
 //!
-//! An [`crate::IndoorEngine`] is the single writer; any number of
-//! [`IndoorService`] clones (cheap, `Send + Sync`) hand out version-pinned
-//! [`crate::Snapshot`]s to reader threads and register standing-query
-//! subscriptions. A committing write publishes its new [`EngineState`]
-//! with one brief write-lock on the current-version cell (readers hold it
-//! only long enough to clone an `Arc`), then broadcasts the commit's
-//! [`UpdateReport`] to every live subscription — so query evaluation and
-//! delta absorption run entirely outside locks, on pinned versions.
+//! Writes arrive through the [`crate::IndoorEngine`] and its cloned
+//! [`crate::WriteHandle`]s (all sequenced into one total commit order —
+//! see [`crate::write`]); any number of [`IndoorService`] clones (cheap,
+//! `Send + Sync`) hand out version-pinned [`crate::Snapshot`]s to reader
+//! threads and register standing-query subscriptions. A committing write
+//! publishes its new [`EngineState`] with one brief write-lock on the
+//! current-version cell (readers hold it only long enough to clone an
+//! `Arc`), then broadcasts the commit's [`UpdateReport`] to every live
+//! subscription — so query evaluation and delta absorption run entirely
+//! outside locks, on pinned versions. The write side is reference-counted:
+//! subscriptions see their stream end when the engine and every write
+//! handle have dropped.
 
 use crate::error::EngineError;
 use crate::monitor::MonitorExt;
@@ -130,14 +134,17 @@ fn notice_channel() -> (NoticeSender, NoticeReceiver) {
 
 // ---- shared service state -------------------------------------------------
 
-/// The subscriber registry plus the writer-liveness flag, under **one**
-/// mutex: registration checks liveness and registers atomically, so a
+/// The subscriber registry plus the writer refcount, under **one** mutex:
+/// registration checks liveness and registers atomically, so a
 /// concurrently retiring writer either sees the new sender (and closes
 /// it) or the subscriber sees the retirement (and starts closed) — a
 /// sender can never be stranded open with no writer left to close it.
 #[derive(Debug)]
 struct Registry {
     senders: Vec<NoticeSender>,
+    /// Live write handles (the engine's bootstrap handle plus every
+    /// clone). The stream of commits provably ends when this hits zero.
+    writers: usize,
     writer_alive: bool,
 }
 
@@ -159,6 +166,8 @@ impl Shared {
             current: RwLock::new(state),
             registry: Mutex::new(Registry {
                 senders: Vec::new(),
+                // The engine's bootstrap write handle.
+                writers: 1,
                 writer_alive: true,
             }),
         }
@@ -213,13 +222,27 @@ impl Shared {
         registry.senders.retain(|tx| tx.send(notice.clone()));
     }
 
-    /// Retires the writer: closes every subscription channel (blocked
-    /// `wait()`s return `None`) and marks the service read-only.
-    pub(crate) fn retire_writer(&self) {
+    /// Accounts for a cloned [`crate::WriteHandle`].
+    pub(crate) fn add_writer(&self) {
         let mut registry = self.registry.lock().expect("subscriber registry lock");
-        registry.writer_alive = false;
-        for tx in registry.senders.drain(..) {
-            tx.close();
+        debug_assert!(
+            registry.writer_alive,
+            "write handles only clone from live write handles"
+        );
+        registry.writers += 1;
+    }
+
+    /// Releases one write handle; the last release retires the write side:
+    /// every subscription channel closes (blocked `wait()`s return `None`)
+    /// and the service becomes read-only on the final version.
+    pub(crate) fn release_writer(&self) {
+        let mut registry = self.registry.lock().expect("subscriber registry lock");
+        registry.writers = registry.writers.saturating_sub(1);
+        if registry.writers == 0 {
+            registry.writer_alive = false;
+            for tx in registry.senders.drain(..) {
+                tx.close();
+            }
         }
     }
 }

@@ -298,6 +298,31 @@ pub struct UpdateStats {
     /// copy-on-wrote the space layer — and with it the index's shared
     /// geometry tiers — in addition to the touched object shards.
     pub checkpointed: bool,
+    /// How many batches shared this batch's commit epoch (group commit —
+    /// see [`crate::WriteHandle`]). An uncontended batch reports 1; a
+    /// committed no-op (empty batch, no epoch bump) reports 0.
+    pub group_batches: usize,
+    /// Whether the batch lost its optimistic staging race (a conflicting
+    /// batch committed between stage and sequence) and was transparently
+    /// re-validated against the state it actually landed on.
+    pub restaged: bool,
+}
+
+impl UpdateStats {
+    /// Folds one group member's counters into a merged group-commit
+    /// report: work counters add, the checkpoint and re-stage flags OR,
+    /// and `group_batches` counts the members. `shards_touched` is
+    /// deliberately **not** summed — members may share floors, so the
+    /// caller sets it from the union of touched floors.
+    pub fn absorb_group_member(&mut self, member: &UpdateStats) {
+        self.updates += member.updates;
+        self.position_updates += member.position_updates;
+        self.footprint_searches += member.footprint_searches;
+        self.skeleton_rebuilds += member.skeleton_rebuilds;
+        self.checkpointed |= member.checkpointed;
+        self.restaged |= member.restaged;
+        self.group_batches += 1;
+    }
 }
 
 /// The receipt of a committed [`crate::IndoorEngine::apply_batch`]: one
@@ -311,8 +336,15 @@ pub struct UpdateReport {
     /// Net effect on the object population and topology.
     pub delta: UpdateDelta,
     /// Engine epoch after the commit (what subsequent snapshots report as
-    /// their version).
+    /// their version). Under group commit several batches share one
+    /// epoch; `offset_in_epoch` breaks the tie.
     pub epoch: u64,
+    /// This batch's position within its commit group, in sequencer order:
+    /// replaying every committed batch sorted by `(epoch,
+    /// offset_in_epoch)` serially reproduces the state bit-exactly. The
+    /// merged report a subscription receives covers the whole group and
+    /// carries 0.
+    pub offset_in_epoch: usize,
     /// Maintenance counters.
     pub stats: UpdateStats,
 }
@@ -344,6 +376,70 @@ mod tests {
         assert_eq!(d.updated(), vec![ObjectId(2), ObjectId(3)]);
         assert!(!d.is_empty());
         assert!(UpdateDelta::default().is_empty());
+    }
+
+    #[test]
+    fn group_stats_merge_adds_work_and_counts_members() {
+        let a = UpdateStats {
+            updates: 3,
+            position_updates: 3,
+            footprint_searches: 2,
+            shards_touched: 1,
+            group_batches: 1,
+            ..UpdateStats::default()
+        };
+        let b = UpdateStats {
+            updates: 2,
+            position_updates: 1,
+            footprint_searches: 1,
+            skeleton_rebuilds: 1,
+            shards_touched: 2,
+            checkpointed: true,
+            group_batches: 1,
+            restaged: true,
+        };
+        let mut merged = UpdateStats::default();
+        merged.absorb_group_member(&a);
+        merged.absorb_group_member(&b);
+        assert_eq!(merged.updates, 5);
+        assert_eq!(merged.position_updates, 4);
+        assert_eq!(merged.footprint_searches, 3);
+        assert_eq!(merged.skeleton_rebuilds, 1);
+        assert!(
+            merged.checkpointed,
+            "any checkpointing member marks the group"
+        );
+        assert!(merged.restaged, "any re-staged member marks the group");
+        assert_eq!(merged.group_batches, 2, "members counted, not summed");
+        // Shard counts never add across members (floors may be shared):
+        // the caller computes the union and sets it explicitly.
+        assert_eq!(merged.shards_touched, 0);
+        merged.shards_touched = 2;
+        assert_eq!(merged.shards_touched, 2);
+    }
+
+    #[test]
+    fn per_batch_stats_keep_their_own_footprint() {
+        // A group member's own report must reflect its own footprint and
+        // checkpoint flag even when a sibling in the group checkpointed:
+        // merging is one-directional, into the merged report only.
+        let member = UpdateStats {
+            updates: 1,
+            position_updates: 1,
+            footprint_searches: 1,
+            shards_touched: 1,
+            group_batches: 4,
+            ..UpdateStats::default()
+        };
+        let mut merged = UpdateStats {
+            checkpointed: true,
+            shards_touched: 3,
+            ..UpdateStats::default()
+        };
+        merged.absorb_group_member(&member);
+        assert!(!member.checkpointed);
+        assert_eq!(member.shards_touched, 1);
+        assert_eq!(member.group_batches, 4, "member names the group size");
     }
 
     #[test]

@@ -1,0 +1,1268 @@
+//! The parallel sharded write path: concurrent staging, the epoch
+//! sequencer, and group commit.
+//!
+//! [`WriteHandle`] makes the engine **multi-writer**. Commit processing is
+//! split in two:
+//!
+//! 1. **Parallel stage phase** — each submitting thread validates and
+//!    prepares its batch against the latest published version, with no
+//!    locks held: duplicate/existence checks, id allocation, footprint
+//!    traversals and Gaussian sampling all happen here, producing
+//!    shard-local, `Send` `PreparedOp`s.
+//! 2. **Serial epoch sequencer** — staged batches enqueue, and the first
+//!    submitter to take the sequencer lock becomes the *leader*: it drains
+//!    the queue, orders the batches, detects conflicts via floor/id
+//!    `Footprint`s (a conflicting batch re-stages against the working
+//!    state, preserving serial semantics), applies the prepared ops, and
+//!    publishes **one atomic epoch swap for the whole group**. Batches
+//!    that coalesced into the group return without ever leading — their
+//!    result slot is already filled when they acquire the lock.
+//!
+//! Group commit is what makes concurrent single-`apply` callers scale: the
+//! dominant per-commit cost (deep-copying each touched floor shard, the
+//! snapshot, the broadcast) is paid once per *group* rather than once per
+//! batch. The [`WriteHandle::with_commit_window`] knob optionally holds
+//! the window open so more writers can join a group; the default (zero)
+//! already coalesces naturally under contention, because every submitter
+//! blocked on the sequencer lock has its batch in the queue the leader
+//! drains.
+//!
+//! Semantics are unchanged from the single-writer engine: the committed
+//! history is **exactly** a serial execution of the batches in sequencer
+//! order — `(epoch, offset_in_epoch)` — which
+//! `tests/parallel_commit_equivalence.rs` proves bit-exactly against a
+//! serial replay.
+
+use crate::error::EngineError;
+use crate::service::Shared;
+use crate::snapshot::Snapshot;
+use crate::state::EngineState;
+use crate::update::{DeltaBuilder, Update, UpdateOutcome, UpdateReport, UpdateStats};
+use idq_geom::{Circle, Mbr3, Point2};
+use idq_index::{CompositeIndex, UnitId};
+use idq_model::{Floor, IndoorSpace, TopologyEvent};
+use idq_objects::{GaussianSampler, ObjectError, ObjectId, ObjectStore, UncertainObject};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Planar side length (metres) of the spatial cells staging groups
+/// position updates by: `(floor, ⌊x/cell⌋, ⌊y/cell⌋)` of the new region
+/// centre is a constant-time proxy for the touched partition (cells are
+/// sized to the §V-A mall generator's room scale), so updates landing in
+/// the same partition share one footprint traversal without paying a
+/// point-location query per update.
+const GROUP_CELL_M: f64 = 60.0;
+
+/// Commit groups whose merged footprints the sequencer remembers for
+/// conflict detection; batches staged against an epoch older than the
+/// remembered window re-stage conservatively.
+const RECENT_GROUPS: usize = 64;
+
+/// Sampling parameters of a deferred Gaussian draw (resolved during
+/// validation, executed during staging with an index-derived partition
+/// hint).
+#[derive(Debug)]
+struct SampleSpec {
+    id: ObjectId,
+    center: Point2,
+    floor: Floor,
+    radius: f64,
+    instances: usize,
+    seed: u64,
+}
+
+/// A validated position update: existence and duplicate checks done, ids
+/// allocated, sampling parameters resolved — nothing mutated, nothing
+/// sampled yet. Crucially the write MBR is already known (a sampled
+/// object's instances are truncated to its region, so its footprint is the
+/// region's bounding box), which is what lets a run compute all footprints
+/// first — shared traversals, grouped by touched partition — and then feed
+/// each footprint's partitions back to the sampler as a point-location
+/// hint.
+#[derive(Debug)]
+enum Intent {
+    /// Insert this fully-formed object.
+    InsertReady(Box<UncertainObject>),
+    /// Sample a fresh object, then insert it.
+    SampleInsert(SampleSpec),
+    /// Sample the moved object's new state, then replace the old one
+    /// (currently filed under the carried floor).
+    SampleMove(SampleSpec, Floor),
+    /// Remove this object (filed under the carried floor).
+    Remove(ObjectId, Floor),
+}
+
+impl Intent {
+    /// The MBR this intent writes into the index, if it writes one.
+    fn write_mbr(&self, space: &IndoorSpace) -> Option<Mbr3> {
+        match self {
+            Intent::InsertReady(o) => Some(Mbr3::planar(
+                o.footprint_rect(),
+                o.floor,
+                space.elevation(o.floor),
+            )),
+            Intent::SampleInsert(s) | Intent::SampleMove(s, _) => {
+                let rect = Circle::new(s.center, s.radius).bbox();
+                Some(Mbr3::planar(rect, s.floor, space.elevation(s.floor)))
+            }
+            Intent::Remove(..) => None,
+        }
+    }
+
+    /// Grouping key: (floor, partition-scale cell) of the write centre.
+    fn group_key(&self) -> Option<(Floor, i64, i64)> {
+        let (center, floor) = match self {
+            Intent::InsertReady(o) => (o.region.center, o.floor),
+            Intent::SampleInsert(s) | Intent::SampleMove(s, _) => (s.center, s.floor),
+            Intent::Remove(..) => return None,
+        };
+        let cx = (center.x / GROUP_CELL_M).floor() as i64;
+        let cy = (center.y / GROUP_CELL_M).floor() as i64;
+        Some((floor, cx, cy))
+    }
+}
+
+/// What an object carried over from earlier updates of the same run —
+/// sequential semantics without splitting the run on repeated ids.
+#[derive(Clone, Copy, Debug)]
+enum PendingState {
+    /// The object will be live with this region radius / instance count,
+    /// filed under this floor's shard.
+    Live {
+        radius: f64,
+        instances: usize,
+        floor: Floor,
+    },
+    /// The object will be gone.
+    Removed,
+}
+
+/// A staged position update: validated, footprinted and sampled — the
+/// commit can no longer fail on user input. Prepared ops are shard-local
+/// (they carry the floor(s) they land in) and `Send`: staging happens on
+/// the submitting thread, application on whichever thread leads the
+/// commit group.
+#[derive(Debug)]
+enum PreparedOp {
+    /// Insert this object under the prepared footprint.
+    Insert(Box<UncertainObject>, Vec<UnitId>, Mbr3),
+    /// Replace the same-id object under the prepared footprint; the
+    /// carried floor is where the object currently lives, so the commit
+    /// routes straight to the touched shard(s) without probing.
+    Move(Box<UncertainObject>, Vec<UnitId>, Mbr3, Floor),
+    /// Remove this object from the carried floor's shards.
+    Remove(ObjectId, Floor),
+}
+
+/// Accumulators of one in-flight batch transaction.
+#[derive(Debug, Default)]
+struct BatchState {
+    outcomes: Vec<UpdateOutcome>,
+    delta: DeltaBuilder,
+    stats: UpdateStats,
+    /// Floors whose shards the batch's object ops landed in — reported as
+    /// `UpdateStats::shards_touched`.
+    floors: BTreeSet<Floor>,
+}
+
+/// The copy-on-write working state of one write transaction.
+///
+/// Begins as cheap `Arc` clones of a committed version's layers. The
+/// layers themselves are **sharded by floor** (`ObjectStore` into
+/// `StoreShard`s, the index's object tier into `FloorShard`s with
+/// `Arc`-per-bucket, the index's geometry tiers each behind their own
+/// `Arc`), so "cloning a layer" here is a handful of pointer bumps: the
+/// first mutation of a *shard* is what deep-copies it (`Arc::make_mut`
+/// inside the layer — the committed version always holds a second
+/// reference), and everything the batch never touches is shared
+/// structurally with the committed version. A pure object batch
+/// deep-copies exactly the floor shards its updates land in plus the
+/// buckets whose membership changes; a batch containing topology updates
+/// degrades to also copying the space and the index's geometry tiers. On
+/// success the `Arc`s become the next [`EngineState`]; on error the
+/// transaction is dropped and the committed version was never touched —
+/// rollback is structural, not compensating.
+#[derive(Clone, Debug)]
+struct Txn {
+    space: Arc<IndoorSpace>,
+    store: Arc<ObjectStore>,
+    index: Arc<CompositeIndex>,
+    max_radius: f64,
+    /// Whether the space layer was copy-on-written (i.e. the batch
+    /// contained topology updates) — reported as `UpdateStats::checkpointed`.
+    space_cloned: bool,
+}
+
+impl Txn {
+    fn begin(state: &EngineState) -> Self {
+        Txn {
+            space: Arc::clone(&state.space),
+            store: Arc::clone(&state.store),
+            index: Arc::clone(&state.index),
+            max_radius: state.max_radius,
+            space_cloned: false,
+        }
+    }
+
+    /// The forward pass of one batch: alternating runs of position updates
+    /// (prepared, then committed with grouped footprints) and topology
+    /// updates (applied with one deferred skeleton repair per run).
+    fn run_batch(&mut self, updates: &[Update], state: &mut BatchState) -> Result<(), EngineError> {
+        state.stats.updates = updates.len();
+        let mut i = 0;
+        while i < updates.len() {
+            if updates[i].is_topology() {
+                let mut skeleton_dirty = false;
+                while i < updates.len() && updates[i].is_topology() {
+                    let outcome = self.apply_topology_update(&updates[i], &mut skeleton_dirty)?;
+                    state.delta.record(&outcome);
+                    state.outcomes.push(outcome);
+                    i += 1;
+                }
+                if skeleton_dirty {
+                    Arc::make_mut(&mut self.index).rebuild_skeleton(&self.space);
+                    state.stats.skeleton_rebuilds += 1;
+                }
+            } else {
+                let start = i;
+                while i < updates.len() && !updates[i].is_topology() {
+                    i += 1;
+                }
+                let ops = self.stage_position_run(&updates[start..i], &mut state.stats)?;
+                for op in ops {
+                    let outcome = self.apply_object_op(op, &mut state.floors)?;
+                    state.delta.record(&outcome);
+                    state.outcomes.push(outcome);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stages one run of position updates without applying anything — the
+    /// validate + prepare half of [`Txn::run_batch`], and the whole of the
+    /// parallel stage phase. Id allocations and reservations land on this
+    /// transaction's store copy; when the parallel path discards the
+    /// staging transaction, nothing is lost — applying the staged inserts
+    /// re-reserves every id, so the watermark ends identical to a serial
+    /// replay.
+    fn stage_position_run(
+        &mut self,
+        updates: &[Update],
+        stats: &mut UpdateStats,
+    ) -> Result<Vec<PreparedOp>, EngineError> {
+        // Validate every update first (duplicate/existence checks against
+        // the store plus the run's own pending effects), then stage the
+        // run (shared footprint traversals, hint-assisted sampling — all
+        // remaining fallible work, still nothing committed).
+        let mut intents: Vec<Intent> = Vec::with_capacity(updates.len());
+        let mut pending: HashMap<ObjectId, PendingState> = HashMap::new();
+        for update in updates {
+            intents.push(self.prepare_intent(update, &mut pending)?);
+            stats.position_updates += 1;
+        }
+        self.stage_run(intents, stats)
+    }
+
+    /// Validates one position [`Update`] against the store *and* the run's
+    /// pending effects (so a run may touch the same object repeatedly with
+    /// sequential semantics), allocating ids and resolving sampling
+    /// parameters. Id allocation lands on the transaction's store copy, so
+    /// a failed batch leaks nothing.
+    fn prepare_intent(
+        &mut self,
+        update: &Update,
+        pending: &mut HashMap<ObjectId, PendingState>,
+    ) -> Result<Intent, EngineError> {
+        match update {
+            Update::InsertObject(object) => {
+                let id = object.id;
+                let exists = match pending.get(&id) {
+                    Some(PendingState::Live { .. }) => true,
+                    Some(PendingState::Removed) => false,
+                    None => self.store.contains(id),
+                };
+                if exists {
+                    return Err(ObjectError::DuplicateObject(id).into());
+                }
+                // A fully-formed insert is the one object path with no
+                // sampling step to reject a floor the space does not
+                // cover — and an out-of-space floor would permanently
+                // grow the per-floor shard vectors.
+                if object.floor as usize >= self.space.num_floors() {
+                    return Err(EngineError::FloorOutOfSpace {
+                        floor: object.floor,
+                        num_floors: self.space.num_floors(),
+                    });
+                }
+                // The insert itself is deferred, so reserve the external id
+                // now: a later `InsertObjectAt` in this run must allocate
+                // past it, exactly as sequential application would after
+                // the insert landed.
+                Arc::make_mut(&mut self.store).reserve_id(id);
+                pending.insert(
+                    id,
+                    PendingState::Live {
+                        radius: object.region.radius,
+                        instances: object.len(),
+                        floor: object.floor,
+                    },
+                );
+                Ok(Intent::InsertReady(object.clone()))
+            }
+            Update::InsertObjectAt {
+                center,
+                floor,
+                radius,
+                instances,
+                seed,
+            } => {
+                let id = Arc::make_mut(&mut self.store).allocate_id();
+                let instances = (*instances).max(1);
+                pending.insert(
+                    id,
+                    PendingState::Live {
+                        radius: *radius,
+                        instances,
+                        floor: *floor,
+                    },
+                );
+                Ok(Intent::SampleInsert(SampleSpec {
+                    id,
+                    center: *center,
+                    floor: *floor,
+                    radius: *radius,
+                    instances,
+                    seed: *seed,
+                }))
+            }
+            Update::MoveObject {
+                id,
+                center,
+                floor,
+                seed,
+            } => {
+                let (radius, instances, old_floor) = match pending.get(id) {
+                    Some(PendingState::Removed) => {
+                        return Err(ObjectError::UnknownObject(*id).into())
+                    }
+                    Some(PendingState::Live {
+                        radius,
+                        instances,
+                        floor,
+                    }) => (*radius, *instances, *floor),
+                    None => {
+                        let old = self.store.get(*id)?;
+                        (old.region.radius, old.len(), old.floor)
+                    }
+                };
+                pending.insert(
+                    *id,
+                    PendingState::Live {
+                        radius,
+                        instances,
+                        floor: *floor,
+                    },
+                );
+                Ok(Intent::SampleMove(
+                    SampleSpec {
+                        id: *id,
+                        center: *center,
+                        floor: *floor,
+                        radius,
+                        instances,
+                        seed: *seed,
+                    },
+                    old_floor,
+                ))
+            }
+            Update::RemoveObject(id) => {
+                let old_floor = match pending.get(id) {
+                    Some(PendingState::Removed) => {
+                        return Err(ObjectError::UnknownObject(*id).into())
+                    }
+                    Some(PendingState::Live { floor, .. }) => *floor,
+                    None => self.store.get(*id)?.floor,
+                };
+                pending.insert(*id, PendingState::Removed);
+                Ok(Intent::Remove(*id, old_floor))
+            }
+            _ => unreachable!("prepare_intent only sees position updates"),
+        }
+    }
+
+    /// Stages a validated run: groups writes by touched partition, runs
+    /// one footprint traversal per group, then executes the deferred
+    /// Gaussian draws with each footprint's partitions as the
+    /// point-location hint (identical results to full point location, a
+    /// fraction of the cost). Sampling can fail — a centre outside every
+    /// partition — but nothing is applied until every op is staged.
+    fn stage_run(
+        &self,
+        intents: Vec<Intent>,
+        stats: &mut UpdateStats,
+    ) -> Result<Vec<PreparedOp>, EngineError> {
+        // Sort write indices by (floor, cell): each contiguous key run is
+        // one group sharing a traversal.
+        let mut keyed: Vec<((Floor, i64, i64), usize)> = intents
+            .iter()
+            .enumerate()
+            .filter_map(|(k, intent)| intent.group_key().map(|key| (key, k)))
+            .collect();
+        keyed.sort_unstable();
+        let mut footprints: Vec<Option<(Vec<UnitId>, Mbr3)>> = Vec::new();
+        footprints.resize_with(intents.len(), || None);
+        let mut start = 0;
+        while start < keyed.len() {
+            let key = keyed[start].0;
+            let mut end = start + 1;
+            while end < keyed.len() && keyed[end].0 == key {
+                end += 1;
+            }
+            let members = &keyed[start..end];
+            let mbrs: Vec<Mbr3> = members
+                .iter()
+                .map(|&(_, k)| {
+                    intents[k]
+                        .write_mbr(&self.space)
+                        .expect("grouped intents write an MBR")
+                })
+                .collect();
+            let grouped = self.index.unit_footprints_grouped(&mbrs);
+            stats.footprint_searches += 1;
+            for ((&(_, k), units), mbr) in members.iter().zip(grouped).zip(mbrs) {
+                footprints[k] = Some((units, mbr));
+            }
+            start = end;
+        }
+        intents
+            .into_iter()
+            .zip(footprints)
+            .map(|(intent, footprint)| match intent {
+                Intent::InsertReady(object) => {
+                    let (units, mbr) = footprint.expect("writes carry a footprint");
+                    Ok(PreparedOp::Insert(object, units, mbr))
+                }
+                Intent::SampleInsert(spec) => {
+                    let (units, mbr) = footprint.expect("writes carry a footprint");
+                    let object = self.sample_spec(&spec, &units)?;
+                    Ok(PreparedOp::Insert(Box::new(object), units, mbr))
+                }
+                Intent::SampleMove(spec, old_floor) => {
+                    let (units, mbr) = footprint.expect("writes carry a footprint");
+                    let object = self.sample_spec(&spec, &units)?;
+                    Ok(PreparedOp::Move(Box::new(object), units, mbr, old_floor))
+                }
+                Intent::Remove(id, floor) => Ok(PreparedOp::Remove(id, floor)),
+            })
+            .collect()
+    }
+
+    /// Executes one deferred Gaussian draw, point-locating against the
+    /// partitions owning the footprint's units (a superset of every
+    /// partition overlapping the region, so the draw is exact).
+    fn sample_spec(
+        &self,
+        spec: &SampleSpec,
+        units: &[UnitId],
+    ) -> Result<UncertainObject, EngineError> {
+        let mut hint: Vec<_> = units
+            .iter()
+            .filter_map(|&u| self.index.units().partition_of(u))
+            .collect();
+        hint.sort_unstable();
+        hint.dedup();
+        let sampler = GaussianSampler {
+            instances: spec.instances,
+            ..GaussianSampler::default()
+        };
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ spec.id.0);
+        Ok(sampler.sample_with_hint(
+            spec.id,
+            spec.center,
+            spec.floor,
+            spec.radius,
+            &self.space,
+            &hint,
+            &mut rng,
+        )?)
+    }
+
+    /// Applies one staged op to the transaction's store + index copies,
+    /// recording the floor shard(s) it lands in (the floors carried on
+    /// the staged op feed `UpdateStats::shards_touched`; the layers route
+    /// by their O(1) directories). The `Arc::make_mut`s on the layer
+    /// handles cost a few pointer bumps — the deep copies happen *inside*
+    /// the layers, per touched floor shard and changed bucket. By
+    /// construction (validation + staging) these layer operations cannot
+    /// fail on user input; an error simply aborts the transaction with the
+    /// committed version untouched.
+    fn apply_object_op(
+        &mut self,
+        op: PreparedOp,
+        floors: &mut BTreeSet<Floor>,
+    ) -> Result<UpdateOutcome, EngineError> {
+        match op {
+            PreparedOp::Insert(object, units, mbr) => {
+                let id = object.id;
+                let radius = object.region.radius;
+                floors.insert(object.floor);
+                Arc::make_mut(&mut self.index).insert_object_prepared(id, units, mbr)?;
+                Arc::make_mut(&mut self.store).insert(*object)?;
+                self.max_radius = self.max_radius.max(radius);
+                Ok(UpdateOutcome::ObjectInserted(id))
+            }
+            PreparedOp::Move(object, units, mbr, old_floor) => {
+                let id = object.id;
+                // A cross-floor move touches the old floor's shard too.
+                floors.insert(old_floor);
+                floors.insert(object.floor);
+                Arc::make_mut(&mut self.store).replace_discarding(*object)?;
+                Arc::make_mut(&mut self.index).update_object_prepared(id, units, mbr)?;
+                Ok(UpdateOutcome::ObjectMoved(id))
+            }
+            PreparedOp::Remove(id, floor) => {
+                floors.insert(floor);
+                Arc::make_mut(&mut self.index).remove_object(id)?;
+                Arc::make_mut(&mut self.store).discard(id)?;
+                Ok(UpdateOutcome::ObjectRemoved(id))
+            }
+        }
+    }
+
+    /// Applies one topology [`Update`]: the space-layer operation (on the
+    /// transaction's space copy), then its events through the index with
+    /// the skeleton repair deferred into `skeleton_dirty` (callers
+    /// coalesce repairs across a run).
+    fn apply_topology_update(
+        &mut self,
+        update: &Update,
+        skeleton_dirty: &mut bool,
+    ) -> Result<UpdateOutcome, EngineError> {
+        self.space_cloned = true;
+        match update {
+            Update::OpenDoor(d) => {
+                let ev = Arc::make_mut(&mut self.space).open_door(*d)?;
+                self.absorb_events(&[ev], skeleton_dirty)?;
+                Ok(UpdateOutcome::DoorOpened(*d))
+            }
+            Update::CloseDoor(d) => {
+                let ev = Arc::make_mut(&mut self.space).close_door(*d)?;
+                self.absorb_events(&[ev], skeleton_dirty)?;
+                Ok(UpdateOutcome::DoorClosed(*d))
+            }
+            Update::InsertDoor {
+                a,
+                b,
+                position,
+                floor,
+                direction,
+            } => {
+                let (id, ev) = Arc::make_mut(&mut self.space)
+                    .insert_door(*a, *b, *position, *floor, *direction)?;
+                self.absorb_events(&[ev], skeleton_dirty)?;
+                Ok(UpdateOutcome::DoorInserted(id))
+            }
+            Update::InsertPartition(spec) => {
+                let (partition, doors, events) =
+                    Arc::make_mut(&mut self.space).insert_partition(spec.clone())?;
+                self.absorb_events(&events, skeleton_dirty)?;
+                Ok(UpdateOutcome::PartitionInserted { partition, doors })
+            }
+            Update::DeletePartition(p) => {
+                let events = Arc::make_mut(&mut self.space).delete_partition(*p)?;
+                self.absorb_events(&events, skeleton_dirty)?;
+                Ok(UpdateOutcome::PartitionDeleted(*p))
+            }
+            Update::SplitPartition {
+                partition,
+                line,
+                connecting_door,
+            } => {
+                let (halves, events) = Arc::make_mut(&mut self.space).split_partition(
+                    *partition,
+                    *line,
+                    *connecting_door,
+                )?;
+                self.absorb_events(&events, skeleton_dirty)?;
+                Ok(UpdateOutcome::PartitionSplit {
+                    old: *partition,
+                    halves,
+                })
+            }
+            Update::MergePartitions(a, b) => {
+                let (merged, events) = Arc::make_mut(&mut self.space).merge_partitions(*a, *b)?;
+                self.absorb_events(&events, skeleton_dirty)?;
+                Ok(UpdateOutcome::PartitionsMerged { merged })
+            }
+            _ => unreachable!("apply_topology_update only sees topology updates"),
+        }
+    }
+
+    fn absorb_events(
+        &mut self,
+        events: &[TopologyEvent],
+        skeleton_dirty: &mut bool,
+    ) -> Result<(), EngineError> {
+        let index = Arc::make_mut(&mut self.index);
+        for ev in events {
+            *skeleton_dirty |= index.apply_topology_deferred(&self.space, &self.store, ev)?;
+        }
+        Ok(())
+    }
+}
+
+// ---- footprints and conflict detection ------------------------------------
+
+/// What a batch touches, for the sequencer's conflict check. Two batches
+/// staged against the same base may commit in one group without
+/// re-validation only when their footprints are disjoint; otherwise the
+/// later one re-stages against the working state, which restores exact
+/// serial semantics.
+#[derive(Clone, Debug, Default)]
+struct Footprint {
+    /// Floors whose shards the batch reads or writes.
+    floors: BTreeSet<Floor>,
+    /// Object ids the batch names, allocates, or reserves.
+    ids: BTreeSet<ObjectId>,
+    /// The batch allocated fresh ids (`InsertObjectAt`): which ids it got
+    /// depends on the id watermark of the state it staged against.
+    allocates: bool,
+    /// The batch advances the id watermark when it commits — fresh
+    /// allocations, or external-id inserts (the store reserves their id).
+    mints: bool,
+    /// The batch rewires topology: conflicts with everything.
+    topology: bool,
+}
+
+impl Footprint {
+    fn topology() -> Self {
+        Footprint {
+            topology: true,
+            ..Footprint::default()
+        }
+    }
+
+    /// The footprint of a staged position run: floors and ids from the
+    /// prepared ops (which carry the actual allocated ids and routed
+    /// floors), watermark behaviour from the update kinds.
+    fn of_run(ops: &[PreparedOp], updates: &[Update]) -> Self {
+        let mut fp = Footprint::default();
+        for op in ops {
+            match op {
+                PreparedOp::Insert(o, ..) => {
+                    fp.floors.insert(o.floor);
+                    fp.ids.insert(o.id);
+                }
+                PreparedOp::Move(o, _, _, old_floor) => {
+                    fp.floors.insert(o.floor);
+                    fp.floors.insert(*old_floor);
+                    fp.ids.insert(o.id);
+                }
+                PreparedOp::Remove(id, floor) => {
+                    fp.floors.insert(*floor);
+                    fp.ids.insert(*id);
+                }
+            }
+        }
+        for update in updates {
+            match update {
+                Update::InsertObjectAt { .. } => {
+                    fp.allocates = true;
+                    fp.mints = true;
+                }
+                Update::InsertObject(_) => fp.mints = true,
+                _ => {}
+            }
+        }
+        fp
+    }
+
+    /// Whether this (staged) footprint conflicts with a footprint that
+    /// committed after it staged — i.e. whether its optimistic validation
+    /// and preparation may be stale. Conservative in exactly three ways:
+    /// topology conflicts with everything; overlapping floors conflict
+    /// (shard-local reasoning: validation read the whole floor shard);
+    /// and a batch that *allocated* ids conflicts with any batch that
+    /// *moved the watermark*, because its allocated ids would differ
+    /// under serial execution.
+    fn conflicts_with(&self, committed: &Footprint) -> bool {
+        if self.topology || committed.topology {
+            return true;
+        }
+        if self.allocates && committed.mints {
+            return true;
+        }
+        if self.floors.iter().any(|f| committed.floors.contains(f)) {
+            return true;
+        }
+        // Id overlap catches cross-floor races on the same object (e.g.
+        // two external inserts of one id landing on different floors).
+        let (small, large) = if self.ids.len() <= committed.ids.len() {
+            (&self.ids, &committed.ids)
+        } else {
+            (&committed.ids, &self.ids)
+        };
+        small.iter().any(|id| large.contains(id))
+    }
+
+    fn absorb(&mut self, other: &Footprint) {
+        self.floors.extend(other.floors.iter().copied());
+        self.ids.extend(other.ids.iter().copied());
+        self.allocates |= other.allocates;
+        self.mints |= other.mints;
+        self.topology |= other.topology;
+    }
+}
+
+// ---- staged batches and the sequencer -------------------------------------
+
+/// One batch after its parallel stage phase, queued for the sequencer.
+#[derive(Debug)]
+struct StagedBatch {
+    /// The original updates — kept so the sequencer can re-stage the
+    /// batch if it lost its optimistic race.
+    updates: Vec<Update>,
+    /// Epoch of the version the batch staged against.
+    base_epoch: u64,
+    /// The prepared ops (`None` for batches containing topology updates,
+    /// which must run serially in the sequencer: topology both observes
+    /// and mutates the working geometry, and may legitimately fail).
+    ops: Option<Vec<PreparedOp>>,
+    /// What the staged ops touch.
+    footprint: Footprint,
+    /// Counters accumulated by staging (carried into the batch's report
+    /// when the fast path applies the staged ops unchanged).
+    stats: UpdateStats,
+}
+
+/// Result slot a submitter parks on while a sequencer leader commits its
+/// batch. No condvar: a submitter blocked on the sequencer lock either
+/// finds its slot filled when it acquires (a leader committed it), or
+/// finds its entry still queued and leads itself.
+#[derive(Debug, Default)]
+struct Slot(Mutex<Option<Result<UpdateReport, EngineError>>>);
+
+impl Slot {
+    fn take(&self) -> Option<Result<UpdateReport, EngineError>> {
+        self.0.lock().expect("result slot lock").take()
+    }
+
+    fn fill(&self, result: Result<UpdateReport, EngineError>) {
+        *self.0.lock().expect("result slot lock") = Some(result);
+    }
+}
+
+#[derive(Debug)]
+struct PendingEntry {
+    staged: StagedBatch,
+    slot: Arc<Slot>,
+}
+
+/// The sequencer's conflict-detection memory: merged footprints of recent
+/// commit groups, epoch-ascending. Covers epochs in
+/// `(coverage_floor, current]`; a batch staged at or below the floor
+/// re-stages conservatively (its history was evicted).
+#[derive(Debug)]
+struct SequencerState {
+    recent: VecDeque<(u64, Footprint)>,
+    coverage_floor: u64,
+}
+
+impl SequencerState {
+    fn new(epoch: u64) -> Self {
+        SequencerState {
+            recent: VecDeque::new(),
+            coverage_floor: epoch,
+        }
+    }
+
+    /// Whether anything that committed after `base_epoch` conflicts with
+    /// `footprint` (conservatively `true` when the window no longer
+    /// reaches back to `base_epoch`).
+    fn conflicts_since(&self, base_epoch: u64, footprint: &Footprint) -> bool {
+        if base_epoch < self.coverage_floor {
+            return true;
+        }
+        self.recent
+            .iter()
+            .rev()
+            .take_while(|(epoch, _)| *epoch > base_epoch)
+            .any(|(_, committed)| footprint.conflicts_with(committed))
+    }
+
+    fn note_commit(&mut self, epoch: u64, footprint: Footprint) {
+        self.recent.push_back((epoch, footprint));
+        while self.recent.len() > RECENT_GROUPS {
+            let (evicted, _) = self.recent.pop_front().expect("len > cap > 0");
+            self.coverage_floor = evicted;
+        }
+    }
+}
+
+/// State shared by every [`WriteHandle`] clone of one engine: the staged
+/// queue and the sequencer.
+#[derive(Debug)]
+struct WriterCore {
+    /// Batches staged and awaiting sequencing. Submitters push without
+    /// the sequencer lock; the leader drains.
+    queue: Mutex<Vec<PendingEntry>>,
+    /// The serial section: whoever holds it orders, conflict-checks,
+    /// applies and publishes a group.
+    sequencer: Mutex<SequencerState>,
+}
+
+// ---- the write handle -----------------------------------------------------
+
+/// A cloneable, `Send + Sync` **writer** handle: the multi-writer
+/// counterpart of [`crate::IndoorService`].
+///
+/// Obtain one from [`crate::IndoorEngine::writer`] and clone it into any
+/// number of threads; all clones feed one epoch sequencer, so commits
+/// from concurrent writers are totally ordered and each epoch is
+/// published with a single atomic swap. Batches submitted concurrently
+/// may **coalesce into one commit group** (one epoch, one subscription
+/// broadcast): each batch still gets its own [`UpdateReport`] with its
+/// own outcomes, delta and per-batch stats, plus its position in the
+/// group ([`UpdateReport::offset_in_epoch`]) and the group size
+/// ([`UpdateStats::group_batches`]).
+///
+/// Writer retirement is reference-counted: subscriptions see their
+/// stream end when the engine *and* every cloned handle have dropped.
+///
+/// ```
+/// use idq_core::{EngineConfig, IndoorEngine, Update};
+/// use idq_geom::{Point2, Rect2};
+/// use idq_model::FloorPlanBuilder;
+///
+/// let mut b = FloorPlanBuilder::new(4.0);
+/// b.add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+/// let mut engine = IndoorEngine::new(b.finish().unwrap(), EngineConfig::default()).unwrap();
+/// let writer = engine.writer();
+/// let t = std::thread::spawn(move || {
+///     writer
+///         .apply(Update::InsertObjectAt {
+///             center: Point2::new(5.0, 5.0), floor: 0, radius: 1.0, instances: 4, seed: 1,
+///         })
+///         .unwrap()
+/// });
+/// t.join().unwrap();
+/// engine.refresh();
+/// assert_eq!(engine.store().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct WriteHandle {
+    shared: Arc<Shared>,
+    core: Arc<WriterCore>,
+    window: Duration,
+}
+
+impl Clone for WriteHandle {
+    fn clone(&self) -> Self {
+        self.shared.add_writer();
+        WriteHandle {
+            shared: Arc::clone(&self.shared),
+            core: Arc::clone(&self.core),
+            window: self.window,
+        }
+    }
+}
+
+impl Drop for WriteHandle {
+    /// Releases this writer; the last release retires the write side
+    /// (subscription streams end, services keep answering on the final
+    /// version).
+    fn drop(&mut self) {
+        self.shared.release_writer();
+    }
+}
+
+impl WriteHandle {
+    /// The engine's own handle (the writer count starts at 1 in the
+    /// shared registry, accounting for exactly this handle).
+    pub(crate) fn bootstrap(shared: Arc<Shared>) -> Self {
+        let epoch = shared.current().epoch;
+        WriteHandle {
+            shared,
+            core: Arc::new(WriterCore {
+                queue: Mutex::new(Vec::new()),
+                sequencer: Mutex::new(SequencerState::new(epoch)),
+            }),
+            window: Duration::ZERO,
+        }
+    }
+
+    /// The epoch of the latest committed version.
+    pub fn epoch(&self) -> u64 {
+        self.shared.current().epoch
+    }
+
+    /// The commit window this handle leads groups with.
+    pub fn commit_window(&self) -> Duration {
+        self.window
+    }
+
+    /// Returns this handle with a **commit window**: when it leads a
+    /// commit group it holds the group open for `window` before draining
+    /// the queue, so more concurrent submitters coalesce into one epoch
+    /// (fewer shard copies, snapshots and broadcasts per batch — higher
+    /// throughput, higher latency). The default of zero still group-commits
+    /// whatever queued while the previous leader held the sequencer; the
+    /// window only *adds* coalescing time. Per-handle: clones keep the
+    /// window they were cloned with.
+    #[must_use]
+    pub fn with_commit_window(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Applies one typed [`Update`] through the sequencer. See
+    /// [`WriteHandle::apply_batch`] — this is a one-update batch, and the
+    /// cheapest way to issue concurrent small writes (group commit
+    /// amortizes the per-epoch costs across every batch in the group).
+    pub fn apply(&self, update: Update) -> Result<UpdateOutcome, EngineError> {
+        let report = self.apply_batch(std::slice::from_ref(&update))?;
+        Ok(report
+            .outcomes
+            .into_iter()
+            .next()
+            .expect("one update, one outcome"))
+    }
+
+    /// Applies a stream of typed [`Update`]s as **one atomic transaction**,
+    /// concurrently with other writers.
+    ///
+    /// The batch is validated and prepared on the calling thread against
+    /// the latest published version (the parallel stage phase), then
+    /// ordered by the epoch sequencer. If a conflicting batch committed
+    /// in between — overlapping floors, overlapping ids, id allocation
+    /// races, or any topology change — the batch is transparently
+    /// **re-staged** against the state it actually lands on
+    /// ([`UpdateStats::restaged`]), so results are exactly those of a
+    /// serial execution in sequencer order. On error nothing committed
+    /// (staging failures never enter the sequencer; serial failures drop
+    /// the batch from its group).
+    ///
+    /// Batches submitted while another writer leads coalesce into that
+    /// leader's **commit group**: one epoch bump and one subscription
+    /// broadcast (carrying the group's merged outcomes and net delta)
+    /// cover the whole group, and each batch's own report names the
+    /// shared epoch, its offset within it, and its own per-batch stats.
+    pub fn apply_batch(&self, updates: &[Update]) -> Result<UpdateReport, EngineError> {
+        self.apply_batch_gated(updates, || {})
+    }
+
+    /// Test-support entry: like [`WriteHandle::apply_batch`], but calls
+    /// `after_stage` between the parallel stage phase and enqueueing for
+    /// the sequencer — the window in which a concurrent commit can make
+    /// the staged work stale. Deterministic interleaving tests
+    /// (`tests/sequencer_interleavings.rs`) use it to force the
+    /// stage/publish race.
+    #[doc(hidden)]
+    pub fn apply_batch_gated(
+        &self,
+        updates: &[Update],
+        after_stage: impl FnOnce(),
+    ) -> Result<UpdateReport, EngineError> {
+        if updates.is_empty() {
+            // A committed no-op: nothing to stage, sequence or publish.
+            return Ok(UpdateReport {
+                outcomes: Vec::new(),
+                delta: DeltaBuilder::default().finish(),
+                epoch: self.shared.current().epoch,
+                stats: UpdateStats::default(),
+                offset_in_epoch: 0,
+            });
+        }
+        let staged = stage_batch(&self.shared.current(), updates)?;
+        after_stage();
+        let slot = Arc::new(Slot::default());
+        self.core
+            .queue
+            .lock()
+            .expect("staged-batch queue lock")
+            .push(PendingEntry {
+                staged,
+                slot: Arc::clone(&slot),
+            });
+        let mut seq = self.core.sequencer.lock().expect("sequencer lock");
+        if let Some(result) = slot.take() {
+            // A leader drained and committed this batch as part of its
+            // group while we waited for the lock.
+            return result;
+        }
+        self.lead(&mut seq);
+        drop(seq);
+        slot.take()
+            .expect("the leader settles every batch it drains, including its own")
+    }
+
+    /// The serial section: drain the queue, settle every batch in order
+    /// (conflict-check, optionally re-stage, apply), publish one epoch
+    /// for the group, fill every slot.
+    fn lead(&self, seq: &mut SequencerState) {
+        if !self.window.is_zero() {
+            // Hold the group open: submitters enqueue without the
+            // sequencer lock, so everything arriving within the window
+            // coalesces into this commit.
+            std::thread::sleep(self.window);
+        }
+        let entries =
+            std::mem::take(&mut *self.core.queue.lock().expect("staged-batch queue lock"));
+        debug_assert!(!entries.is_empty(), "a leader always has its own entry");
+        let base = self.shared.current();
+        let mut txn = Txn::begin(&base);
+        let mut committed: Vec<(Arc<Slot>, BatchState)> = Vec::new();
+        let mut applied: Vec<Footprint> = Vec::new();
+        for PendingEntry { staged, slot } in entries {
+            match settle(&mut txn, seq, &applied, staged) {
+                Ok((batch, footprint)) => {
+                    applied.push(footprint);
+                    committed.push((slot, batch));
+                }
+                Err(e) => slot.fill(Err(e)),
+            }
+        }
+        if committed.is_empty() {
+            // Every batch in the group failed: nothing to publish, the
+            // epoch does not move.
+            return;
+        }
+
+        let epoch = base.epoch + 1;
+        let next = Arc::new(EngineState {
+            space: txn.space,
+            store: txn.store,
+            index: txn.index,
+            options: base.options,
+            max_radius: txn.max_radius,
+            epoch,
+        });
+        let mut group_footprint = Footprint::default();
+        for footprint in &applied {
+            group_footprint.absorb(footprint);
+        }
+        seq.note_commit(epoch, group_footprint);
+
+        // Per-batch reports carry each batch's own outcomes, delta and
+        // stats (its own floors and checkpoint flag — not the group's);
+        // the merged broadcast report carries the group's concatenated
+        // outcomes, net delta, and union stats.
+        let group_batches = committed.len();
+        let mut merged_outcomes = Vec::new();
+        let mut merged_delta = DeltaBuilder::default();
+        let mut merged_stats = UpdateStats::default();
+        let mut merged_floors: BTreeSet<Floor> = BTreeSet::new();
+        let mut reports: Vec<(Arc<Slot>, UpdateReport)> = Vec::with_capacity(group_batches);
+        for (offset, (slot, batch)) in committed.into_iter().enumerate() {
+            merged_stats.absorb_group_member(&batch.stats);
+            merged_floors.extend(batch.floors.iter().copied());
+            for outcome in &batch.outcomes {
+                merged_delta.record(outcome);
+                merged_outcomes.push(outcome.clone());
+            }
+            let mut stats = batch.stats;
+            stats.group_batches = group_batches;
+            stats.shards_touched = batch.floors.len();
+            reports.push((
+                slot,
+                UpdateReport {
+                    outcomes: batch.outcomes,
+                    delta: batch.delta.finish(),
+                    epoch,
+                    stats,
+                    offset_in_epoch: offset,
+                },
+            ));
+        }
+        merged_stats.shards_touched = merged_floors.len();
+        let merged = UpdateReport {
+            outcomes: merged_outcomes,
+            delta: merged_delta.finish(),
+            epoch,
+            stats: merged_stats,
+            offset_in_epoch: 0,
+        };
+
+        self.shared.publish(Arc::clone(&next));
+        let snapshot = Snapshot::from_state(Arc::clone(&next), next.effective_options());
+        self.shared.broadcast(&merged, &snapshot);
+        for (slot, report) in reports {
+            slot.fill(Ok(report));
+        }
+    }
+}
+
+/// The parallel stage phase: validate + prepare one batch against a
+/// published version, on the submitting thread, with no locks held.
+/// Batches containing topology updates are marked serial instead (the
+/// sequencer runs them with classic all-or-nothing transaction
+/// semantics).
+fn stage_batch(base: &Arc<EngineState>, updates: &[Update]) -> Result<StagedBatch, EngineError> {
+    let mut stats = UpdateStats {
+        updates: updates.len(),
+        ..UpdateStats::default()
+    };
+    if updates.iter().any(Update::is_topology) {
+        return Ok(StagedBatch {
+            updates: updates.to_vec(),
+            base_epoch: base.epoch,
+            ops: None,
+            footprint: Footprint::topology(),
+            stats,
+        });
+    }
+    let mut stager = Txn::begin(base);
+    let ops = stager.stage_position_run(updates, &mut stats)?;
+    let footprint = Footprint::of_run(&ops, updates);
+    Ok(StagedBatch {
+        updates: updates.to_vec(),
+        base_epoch: base.epoch,
+        ops: Some(ops),
+        footprint,
+        stats,
+    })
+}
+
+/// Settles one batch inside the serial section: serial (topology) batches
+/// run as a classic transaction on a clone of the working state; staged
+/// position batches apply their prepared ops directly — after a conflict
+/// check against everything that committed since they staged (and against
+/// earlier members of this group), re-staging when they lost the race.
+fn settle(
+    txn: &mut Txn,
+    seq: &SequencerState,
+    applied: &[Footprint],
+    staged: StagedBatch,
+) -> Result<(BatchState, Footprint), EngineError> {
+    let StagedBatch {
+        updates,
+        base_epoch,
+        ops,
+        footprint,
+        stats,
+    } = staged;
+    let Some(ops) = ops else {
+        // Topology (or mixed) batch: must observe and mutate the group's
+        // working geometry, and may legitimately fail — run it on a clone
+        // so a failure drops out of the group structurally.
+        let mut attempt = txn.clone();
+        let mut batch = BatchState::default();
+        attempt.run_batch(&updates, &mut batch)?;
+        batch.stats.checkpointed = true;
+        batch.stats.shards_touched = batch.floors.len();
+        *txn = attempt;
+        return Ok((batch, Footprint::topology()));
+    };
+    let lost_race = seq.conflicts_since(base_epoch, &footprint)
+        || applied.iter().any(|fp| footprint.conflicts_with(fp));
+    let (ops, stats, footprint) = if lost_race {
+        // Re-stage against the state the batch actually lands on: full
+        // re-validation and re-preparation, exactly as if it had been
+        // submitted serially at this point in the order. The staging
+        // clone is discarded; only the re-staged ops touch the working
+        // transaction.
+        let mut stager = txn.clone();
+        let mut stats = UpdateStats {
+            updates: updates.len(),
+            restaged: true,
+            ..UpdateStats::default()
+        };
+        let ops = stager.stage_position_run(&updates, &mut stats)?;
+        let footprint = Footprint::of_run(&ops, &updates);
+        (ops, stats, footprint)
+    } else {
+        (ops, stats, footprint)
+    };
+    let mut batch = BatchState {
+        stats,
+        ..BatchState::default()
+    };
+    for op in ops {
+        let outcome = txn
+            .apply_object_op(op, &mut batch.floors)
+            .expect("staged ops apply cleanly to the state they were validated against");
+        batch.delta.record(&outcome);
+        batch.outcomes.push(outcome);
+    }
+    Ok((batch, footprint))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(floors: &[Floor], ids: &[u64]) -> Footprint {
+        Footprint {
+            floors: floors.iter().copied().collect(),
+            ids: ids.iter().map(|&i| ObjectId(i)).collect(),
+            ..Footprint::default()
+        }
+    }
+
+    #[test]
+    fn footprint_conflict_rules() {
+        // Disjoint floors and ids: no conflict.
+        assert!(!fp(&[0], &[1]).conflicts_with(&fp(&[1], &[2])));
+        // Shared floor conflicts even with disjoint ids.
+        assert!(fp(&[0], &[1]).conflicts_with(&fp(&[0], &[2])));
+        // Shared id conflicts even across disjoint floors (the same
+        // external id raced onto two floors).
+        assert!(fp(&[0], &[7]).conflicts_with(&fp(&[1], &[7])));
+        // Topology conflicts with everything, both ways.
+        assert!(Footprint::topology().conflicts_with(&fp(&[3], &[9])));
+        assert!(fp(&[3], &[9]).conflicts_with(&Footprint::topology()));
+        // An allocating batch conflicts with any watermark move…
+        let alloc = Footprint {
+            allocates: true,
+            mints: true,
+            ..fp(&[0], &[5])
+        };
+        let mint = Footprint {
+            mints: true,
+            ..fp(&[1], &[6])
+        };
+        assert!(alloc.conflicts_with(&mint));
+        // …but a non-allocating batch does not care about the watermark.
+        assert!(!mint.conflicts_with(&fp(&[2], &[8])));
+        assert!(!fp(&[2], &[8]).conflicts_with(&mint));
+    }
+
+    #[test]
+    fn sequencer_window_is_conservative_beyond_coverage() {
+        let mut seq = SequencerState::new(0);
+        // Nothing committed yet: nothing conflicts.
+        assert!(!seq.conflicts_since(0, &fp(&[0], &[1])));
+        seq.note_commit(1, fp(&[0], &[1]));
+        seq.note_commit(2, fp(&[1], &[2]));
+        // Staged at epoch 1: only the epoch-2 commit is "since".
+        assert!(!seq.conflicts_since(1, &fp(&[0], &[1])));
+        assert!(seq.conflicts_since(1, &fp(&[1], &[9])));
+        // Staged at the current epoch: nothing is "since".
+        assert!(!seq.conflicts_since(2, &fp(&[1], &[2])));
+        // Evict past the window: old bases become conservative conflicts.
+        for e in 3..(RECENT_GROUPS as u64 + 10) {
+            seq.note_commit(e, fp(&[2], &[3]));
+        }
+        assert!(seq.coverage_floor > 0);
+        assert!(
+            seq.conflicts_since(0, &fp(&[9], &[99])),
+            "evicted history must force a re-stage"
+        );
+        assert!(!seq.conflicts_since(seq.coverage_floor, &fp(&[9], &[99])));
+    }
+
+    #[test]
+    fn staged_batches_cross_threads() {
+        // The whole pipeline hinges on staging on one thread and applying
+        // on another: a field change that loses `Send` must fail here.
+        const fn assert_send<T: Send>() {}
+        assert_send::<StagedBatch>();
+        assert_send::<PreparedOp>();
+        assert_send::<PendingEntry>();
+        assert_send::<WriteHandle>();
+    }
+}

@@ -334,6 +334,14 @@ mod tests {
     use super::*;
     use idq_geom::Rect2;
 
+    // Per-floor shards are staged on writer threads and `Arc`-shared with
+    // reader snapshots; they must stay `Send + Sync` by construction.
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const _: () = {
+        assert_send_sync::<FloorShard>();
+        assert_send_sync::<ObjectLayer>();
+    };
+
     fn mbr() -> Mbr3 {
         Mbr3::planar(Rect2::from_bounds(0.0, 0.0, 5.0, 5.0), 0, 0.0)
     }

@@ -301,6 +301,17 @@ mod tests {
     use idq_geom::Point2;
     use idq_model::IndoorPoint;
 
+    // Shards cross thread boundaries twice in the engine: staged batches
+    // carry prepared objects onto submitting threads, and committed
+    // stores are `Arc`-shared with reader snapshots. Losing `Send`/`Sync`
+    // must be a compile error, not a stress-test failure.
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const _: () = {
+        assert_send_sync::<StoreShard>();
+        assert_send_sync::<ObjectStore>();
+        assert_send_sync::<UncertainObject>();
+    };
+
     fn point_obj(id: u64) -> UncertainObject {
         UncertainObject::point_object(ObjectId(id), IndoorPoint::new(Point2::new(0.0, 0.0), 0))
     }

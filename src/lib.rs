@@ -84,7 +84,7 @@ pub use idq_workloads as workloads;
 pub mod prelude {
     pub use idq_core::{
         EngineConfig, EngineError, IndoorEngine, IndoorService, MonitorExt, Notification, Snapshot,
-        Subscription, Update, UpdateDelta, UpdateOutcome, UpdateReport, UpdateStats,
+        Subscription, Update, UpdateDelta, UpdateOutcome, UpdateReport, UpdateStats, WriteHandle,
     };
     pub use idq_geom::{Circle, Point2, Point3, Rect2};
     pub use idq_index::CompositeIndex;

@@ -17,12 +17,13 @@
 //! No locks are held across evaluation (queries run on pinned `Arc`s), so
 //! this is also the ≥4-readers-with-an-active-writer demo.
 
+use indoor_dq::model::Floor;
 use indoor_dq::prelude::*;
 use indoor_dq::workloads::{
     generate_building, generate_objects, generate_query_points, generate_update_stream,
     GeneratedBuilding, QueryPointConfig, UpdateStreamConfig,
 };
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -278,4 +279,238 @@ fn parallel_sessions_and_subscriptions_reproduce_their_epochs() {
             "subscription set at epoch {epoch} diverges from a fresh refresh"
         );
     }
+}
+
+const WRITERS: usize = 4;
+const WRITER_ROUNDS: usize = 5;
+
+/// 4 writers × 4 readers × a subscription, all concurrent. Writers commit
+/// through cloned `WriteHandle`s with a small commit window, so batches
+/// race, conflict (shared floors force re-stages) and group-commit into
+/// merged epochs. The oracle then replays every epoch's commit group —
+/// ordered by `(epoch, offset_in_epoch)` — as one serial batch on a fresh
+/// engine and asserts:
+///
+/// 1. every reader observation is bit-reproducible at its pinned epoch;
+/// 2. the subscription's delta trajectory hits every merged epoch exactly
+///    once (no drops, no double delivery) and equals a from-scratch
+///    refresh at each;
+/// 3. commit bookkeeping is self-consistent: epochs contiguous, offsets
+///    contiguous within each group, every member naming the group size.
+#[test]
+fn four_writers_group_commits_stay_epoch_reproducible() {
+    let b = building();
+    let points = generate_query_points(&b, &QueryPointConfig { count: 3, seed: 78 });
+    let queries = query_batch(&points);
+    let sub_q = points[0];
+    let sub_r = 80.0;
+
+    let mut writer_engine = engine(&b);
+    let service = writer_engine.service();
+    let done = AtomicBool::new(false);
+
+    // Writer w owns every WRITERS-th object and moves it between rooms
+    // and floors each round — disjoint id sets (all batches succeed),
+    // overlapping floor footprints (conflicts and re-stages are routine).
+    let all_ids = writer_engine.store().ids_sorted();
+    let owned: Vec<Vec<ObjectId>> = (0..WRITERS)
+        .map(|w| {
+            all_ids
+                .iter()
+                .skip(w)
+                .step_by(WRITERS)
+                .take(6)
+                .copied()
+                .collect()
+        })
+        .collect();
+    let room = |floor: Floor, i: usize| {
+        let rooms = &b.rooms_by_floor[floor as usize];
+        b.space
+            .partition(rooms[i % rooms.len()])
+            .unwrap()
+            .bbox
+            .center()
+    };
+
+    let mut observations: Vec<Observation> = Vec::new();
+    let mut committed: Vec<(Vec<Update>, UpdateReport)> = Vec::new();
+    let mut sub_trajectory: Vec<(u64, BTreeSet<ObjectId>)> = Vec::new();
+    let mut final_epoch = 0;
+
+    let mut sub = service
+        .subscribe(Query::Range { q: sub_q, r: sub_r })
+        .unwrap();
+    assert_eq!(sub.epoch(), 0);
+
+    std::thread::scope(|scope| {
+        let sub_handle = scope.spawn(move || {
+            let mut set: BTreeSet<ObjectId> = sub.initial().iter().copied().collect();
+            let mut trajectory = vec![(sub.epoch(), set.clone())];
+            while let Some(n) = sub.wait().unwrap() {
+                for (id, change) in &n.changes {
+                    match change {
+                        MonitorChange::Entered => {
+                            assert!(set.insert(*id), "duplicate enter for {id}")
+                        }
+                        MonitorChange::Left => assert!(set.remove(id), "spurious leave for {id}"),
+                        MonitorChange::Unchanged => panic!("notifications carry changes only"),
+                    }
+                }
+                assert_eq!(
+                    set.iter().copied().collect::<Vec<_>>(),
+                    sub.current(),
+                    "delta-applied set diverged at epoch {}",
+                    n.epoch
+                );
+                trajectory.push((n.epoch, set.clone()));
+            }
+            trajectory
+        });
+
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            let service = service.clone();
+            let done = &done;
+            let queries = &queries;
+            readers.push(scope.spawn(move || {
+                let mut seen: Vec<Observation> = Vec::new();
+                let pinned = service.snapshot();
+                let pinned_digests: Vec<_> = pinned
+                    .execute_batch(queries)
+                    .unwrap()
+                    .iter()
+                    .map(digest)
+                    .collect();
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let snap = service.snapshot();
+                    let outcomes = snap.execute_batch(queries).unwrap();
+                    seen.push((snap.version(), outcomes.iter().map(digest).collect()));
+                    if finished {
+                        break;
+                    }
+                }
+                let again: Vec<_> = pinned
+                    .execute_batch(queries)
+                    .unwrap()
+                    .iter()
+                    .map(digest)
+                    .collect();
+                assert_eq!(pinned_digests, again, "pinned snapshot drifted");
+                seen.push((pinned.version(), pinned_digests));
+                seen
+            }));
+        }
+
+        // Four concurrent writers through cloned handles; the commit
+        // window invites group formation without the test depending on it.
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let writer = writer_engine
+                    .writer()
+                    .with_commit_window(Duration::from_millis(3));
+                let owned = &owned;
+                let room = &room;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for round in 0..WRITER_ROUNDS {
+                        let updates: Vec<Update> = owned[w]
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &id)| {
+                                let floor = ((id.0 as usize + round) % 2) as Floor;
+                                Update::MoveObject {
+                                    id,
+                                    center: room(floor, i + round + w),
+                                    floor,
+                                    seed: (w as u64) << 16 | round as u64,
+                                }
+                            })
+                            .collect();
+                        let report = writer.apply_batch(&updates).unwrap();
+                        mine.push((updates, report));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for w in writers {
+            committed.extend(w.join().unwrap());
+        }
+        writer_engine.refresh();
+        final_epoch = writer_engine.epoch();
+        done.store(true, Ordering::Release);
+        // Retire the engine (and with it the last write handle): the
+        // subscription stream ends.
+        drop(writer_engine);
+
+        for r in readers {
+            observations.extend(r.join().unwrap());
+        }
+        sub_trajectory = sub_handle.join().unwrap();
+    });
+
+    // Commit bookkeeping: group the receipts by epoch; epochs contiguous
+    // from 1, offsets contiguous from 0, group sizes consistent.
+    committed.sort_by_key(|(_, r)| (r.epoch, r.offset_in_epoch));
+    let mut groups: BTreeMap<u64, Vec<&(Vec<Update>, UpdateReport)>> = BTreeMap::new();
+    for entry in &committed {
+        groups.entry(entry.1.epoch).or_default().push(entry);
+    }
+    assert_eq!(
+        groups.keys().copied().collect::<Vec<_>>(),
+        (1..=final_epoch).collect::<Vec<_>>(),
+        "every epoch is one commit group"
+    );
+    for (epoch, members) in &groups {
+        for (offset, (_, report)) in members.iter().enumerate() {
+            assert_eq!(report.offset_in_epoch, offset, "offsets at epoch {epoch}");
+            assert_eq!(report.stats.group_batches, members.len());
+        }
+    }
+
+    // The subscription saw every merged epoch exactly once, in order.
+    assert_eq!(
+        sub_trajectory.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+        (0..=final_epoch).collect::<Vec<_>>(),
+        "subscription must hit every group commit exactly once"
+    );
+
+    // Replay each commit group as one serial batch: the fresh engine walks
+    // the same epoch numbers, and at every epoch all concurrent
+    // observations and the subscription set are bit-reproducible.
+    let mut replay = engine(&b);
+    for epoch in 0..=final_epoch {
+        if epoch > 0 {
+            let merged: Vec<Update> = groups[&epoch]
+                .iter()
+                .flat_map(|(updates, _)| updates.iter().cloned())
+                .collect();
+            replay.apply_batch(&merged).unwrap();
+        }
+        assert_eq!(replay.epoch(), epoch);
+        let fresh: Vec<_> = replay
+            .execute_batch(&queries)
+            .unwrap()
+            .iter()
+            .map(digest)
+            .collect();
+        for (e, digests) in observations.iter().filter(|(e, _)| *e == epoch) {
+            assert_eq!(digests, &fresh, "observation at epoch {e} not reproducible");
+        }
+        let fresh_members: BTreeSet<ObjectId> = replay
+            .range_query(sub_q, sub_r)
+            .unwrap()
+            .results
+            .iter()
+            .map(|h| h.object)
+            .collect();
+        let (_, absorbed) = &sub_trajectory[epoch as usize];
+        assert_eq!(
+            absorbed, &fresh_members,
+            "subscription set at epoch {epoch} diverges from a fresh refresh"
+        );
+    }
+    replay.validate().unwrap();
 }

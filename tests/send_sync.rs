@@ -43,6 +43,12 @@ const _: () = {
     assert_clone::<IndoorService>();
     assert_send::<IndoorEngine>();
     assert_sync::<IndoorEngine>();
+    // Write handles are cloned into concurrent writer threads; they stage
+    // batches on their own threads and meet only at the sequencer.
+    assert_send::<WriteHandle>();
+    assert_sync::<WriteHandle>();
+    assert_static::<WriteHandle>();
+    assert_clone::<WriteHandle>();
     // The state a snapshot pins.
     assert_send::<indoor_dq::core::EngineState>();
     assert_sync::<indoor_dq::core::EngineState>();

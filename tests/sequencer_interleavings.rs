@@ -1,0 +1,319 @@
+//! Deterministic interleaving tests for the sequencer's conflict window.
+//!
+//! The dangerous interval in the parallel write path is between a batch's
+//! **stage** (validated against the version it read) and its **sequencing**
+//! (ordered against whatever committed meanwhile). `WriteHandle`'s
+//! test-support `apply_batch_gated` hook parks a batch exactly in that
+//! window, so each test here pins one adversarial schedule — the
+//! hand-rolled equivalent of a model-checked interleaving — and asserts
+//! the sequencer's answer matches a serial execution in commit order.
+
+use indoor_dq::model::Floor;
+use indoor_dq::objects::ObjectError;
+use indoor_dq::prelude::*;
+use indoor_dq::workloads::{generate_building, generate_objects, GeneratedBuilding};
+use std::sync::mpsc;
+
+fn building() -> GeneratedBuilding {
+    generate_building(&BuildingConfig {
+        bands: 2,
+        rooms_per_side: 3,
+        ..BuildingConfig::with_floors(3)
+    })
+    .unwrap()
+}
+
+fn engine(b: &GeneratedBuilding, seed: u64) -> IndoorEngine {
+    let store = generate_objects(
+        b,
+        &ObjectConfig {
+            count: 60,
+            radius: 6.0,
+            instances: 6,
+            seed,
+        },
+    )
+    .unwrap();
+    IndoorEngine::with_objects(b.space.clone(), store, EngineConfig::default()).unwrap()
+}
+
+fn room_center(b: &GeneratedBuilding, floor: Floor, i: usize) -> Point2 {
+    let rooms = &b.rooms_by_floor[floor as usize];
+    b.space
+        .partition(rooms[i % rooms.len()])
+        .unwrap()
+        .bbox
+        .center()
+}
+
+fn floor_ids(e: &IndoorEngine, floor: Floor) -> Vec<ObjectId> {
+    let mut ids: Vec<ObjectId> = e
+        .store()
+        .shard(floor)
+        .unwrap()
+        .iter()
+        .map(|o| o.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn assert_same_objects(a: &IndoorEngine, b: &IndoorEngine) {
+    assert_eq!(a.store().ids_sorted(), b.store().ids_sorted());
+    for id in a.store().ids_sorted() {
+        let (x, y) = (a.store().get(id).unwrap(), b.store().get(id).unwrap());
+        assert_eq!(x.region.center, y.region.center, "object {id}");
+        assert_eq!(x.floor, y.floor, "object {id}");
+        assert_eq!(x.len(), y.len(), "object {id}");
+    }
+}
+
+/// Stages `batch` on a separate thread, parks it in the stage/sequence
+/// window, runs `interfere` on this thread while it is parked, then lets
+/// the batch proceed into the sequencer and returns its result.
+fn stage_then(
+    writer: WriteHandle,
+    batch: Vec<Update>,
+    interfere: impl FnOnce(),
+) -> Result<UpdateReport, EngineError> {
+    let (staged_tx, staged_rx) = mpsc::channel();
+    let (go_tx, go_rx) = mpsc::channel::<()>();
+    let parked = std::thread::spawn(move || {
+        writer.apply_batch_gated(&batch, move || {
+            staged_tx.send(()).unwrap();
+            go_rx.recv().unwrap();
+        })
+    });
+    staged_rx.recv().unwrap();
+    interfere();
+    go_tx.send(()).unwrap();
+    parked.join().unwrap()
+}
+
+/// Stages every batch in its own thread, releases none until all are
+/// parked in the conflict window, then lets them all race to sequence.
+fn race_all(
+    writers: Vec<WriteHandle>,
+    batches: Vec<Vec<Update>>,
+) -> Vec<Result<UpdateReport, EngineError>> {
+    let (staged_tx, staged_rx) = mpsc::channel();
+    let mut gates = Vec::new();
+    let threads: Vec<_> = writers
+        .into_iter()
+        .zip(batches)
+        .map(|(writer, batch)| {
+            let staged_tx = staged_tx.clone();
+            let (go_tx, go_rx) = mpsc::channel::<()>();
+            gates.push(go_tx);
+            std::thread::spawn(move || {
+                writer.apply_batch_gated(&batch, move || {
+                    staged_tx.send(()).unwrap();
+                    go_rx.recv().unwrap();
+                })
+            })
+        })
+        .collect();
+    for _ in 0..threads.len() {
+        staged_rx.recv().unwrap();
+    }
+    for gate in gates {
+        gate.send(()).unwrap();
+    }
+    threads.into_iter().map(|t| t.join().unwrap()).collect()
+}
+
+/// A commit on the same floor lands inside the window: the parked batch
+/// must detect the floor-footprint conflict, re-stage against the new
+/// state, and still end bit-equal to the serial schedule B-then-A.
+#[test]
+fn same_floor_commit_in_window_forces_restage() {
+    let b = building();
+    let mut e = engine(&b, 31);
+    let ids = floor_ids(&e, 0);
+    let (x, y) = (ids[0], ids[1]);
+    let batch_a = vec![Update::MoveObject {
+        id: x,
+        center: room_center(&b, 0, 1),
+        floor: 0,
+        seed: 71,
+    }];
+    let batch_b = vec![Update::MoveObject {
+        id: y,
+        center: room_center(&b, 0, 2),
+        floor: 0,
+        seed: 72,
+    }];
+
+    let writer_b = e.writer();
+    let report = stage_then(e.writer(), batch_a.clone(), || {
+        writer_b.apply_batch(&batch_b).unwrap();
+    })
+    .unwrap();
+    assert!(
+        report.stats.restaged,
+        "a same-floor commit inside the window must force a re-stage"
+    );
+    e.refresh();
+    assert_eq!(e.epoch(), 2);
+
+    let mut serial = engine(&b, 31);
+    serial.apply_batch(&batch_b).unwrap();
+    serial.apply_batch(&batch_a).unwrap();
+    assert_same_objects(&e, &serial);
+    e.validate().unwrap();
+}
+
+/// Two writers race the same external id onto *different* floors, both
+/// staging before either sequences (so both stage-time checks pass).
+/// Exactly one may win; the other must surface `DuplicateObject`, not
+/// silently clobber or double-insert.
+#[test]
+fn duplicate_external_id_race_has_one_winner() {
+    let b = building();
+    let mut e = engine(&b, 32);
+    let id = ObjectId(5_000);
+    let batches: Vec<Vec<Update>> = (0..2)
+        .map(|f| {
+            vec![Update::InsertObject(Box::new(
+                UncertainObject::point_object(
+                    id,
+                    IndoorPoint::new(room_center(&b, f as Floor, 0), f as Floor),
+                ),
+            ))]
+        })
+        .collect();
+    let results = race_all(vec![e.writer(), e.writer()], batches);
+
+    let wins = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(wins, 1, "exactly one insert of a raced id may commit");
+    let err = results.iter().find(|r| r.is_err()).unwrap().as_ref();
+    assert!(
+        matches!(
+            err.unwrap_err(),
+            EngineError::Object(ObjectError::DuplicateObject(dup)) if *dup == id
+        ),
+        "the loser sees the duplicate it raced against"
+    );
+    e.refresh();
+    assert_eq!(e.epoch(), 1, "one commit, one epoch");
+    assert!(e.store().get(id).is_ok());
+    e.validate().unwrap();
+}
+
+/// Two allocating inserts race: both stage against the same watermark and
+/// would mint the same id. The sequencer must serialize the allocation —
+/// the loser re-stages and mints the next id, never a duplicate.
+#[test]
+fn allocator_race_mints_distinct_ids() {
+    let b = building();
+    let mut e = engine(&b, 33);
+    let watermark = e.store().id_watermark();
+    let batches: Vec<Vec<Update>> = (0..2)
+        .map(|f| {
+            vec![Update::InsertObjectAt {
+                center: room_center(&b, f as Floor, 1),
+                floor: f as Floor,
+                radius: 2.0,
+                instances: 4,
+                seed: 90 + f as u64,
+            }]
+        })
+        .collect();
+    let reports: Vec<UpdateReport> = race_all(vec![e.writer(), e.writer()], batches)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    let mut minted: Vec<u64> = reports
+        .iter()
+        .map(|r| match r.outcomes[0] {
+            UpdateOutcome::ObjectInserted(id) => id.0,
+            ref other => panic!("unexpected outcome {other:?}"),
+        })
+        .collect();
+    minted.sort_unstable();
+    assert_eq!(
+        minted,
+        vec![watermark, watermark + 1],
+        "raced allocations mint consecutive distinct ids"
+    );
+    assert_eq!(
+        reports.iter().filter(|r| r.stats.restaged).count(),
+        1,
+        "exactly one side loses the allocation race and re-stages"
+    );
+    e.refresh();
+    assert!(e.store().get(ObjectId(watermark)).is_ok());
+    assert!(e.store().get(ObjectId(watermark + 1)).is_ok());
+    e.validate().unwrap();
+}
+
+/// Disjoint floor footprints staged concurrently never conflict: both
+/// batches keep the fast path (prepared ops applied as staged) whichever
+/// order the sequencer picks.
+#[test]
+fn disjoint_floors_race_keeps_the_fast_path() {
+    let b = building();
+    let mut e = engine(&b, 34);
+    let batches: Vec<Vec<Update>> = (0..2)
+        .map(|f| {
+            vec![Update::MoveObject {
+                id: floor_ids(&e, f as Floor)[0],
+                center: room_center(&b, f as Floor, 2),
+                floor: f as Floor,
+                seed: 50 + f as u64,
+            }]
+        })
+        .collect();
+    let reports: Vec<UpdateReport> = race_all(vec![e.writer(), e.writer()], batches)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    for report in &reports {
+        assert!(
+            !report.stats.restaged,
+            "disjoint footprints must not re-stage"
+        );
+    }
+    e.refresh();
+    e.validate().unwrap();
+}
+
+/// A topology change (door closed) commits inside a position batch's
+/// window. Topology conflicts with everything: the parked batch re-stages
+/// against the post-topology state and the result equals the serial
+/// schedule topology-then-move.
+#[test]
+fn topology_commit_in_window_forces_restage() {
+    let b = building();
+    let mut e = engine(&b, 35);
+    let door = e.space().doors().next().unwrap().id;
+    let mover = floor_ids(&e, 0)[0];
+    let batch_a = vec![Update::MoveObject {
+        id: mover,
+        center: room_center(&b, 0, 1),
+        floor: 0,
+        seed: 77,
+    }];
+
+    let writer_b = e.writer();
+    let report = stage_then(e.writer(), batch_a.clone(), || {
+        writer_b.apply_batch(&[Update::CloseDoor(door)]).unwrap();
+    })
+    .unwrap();
+    assert!(
+        report.stats.restaged,
+        "a topology commit invalidates every staged batch"
+    );
+    e.refresh();
+
+    let mut serial = engine(&b, 35);
+    serial.apply_batch(&[Update::CloseDoor(door)]).unwrap();
+    serial.apply_batch(&batch_a).unwrap();
+    assert_same_objects(&e, &serial);
+    assert_eq!(
+        e.space().door(door).unwrap().open,
+        serial.space().door(door).unwrap().open
+    );
+    e.validate().unwrap();
+}
