@@ -1,0 +1,392 @@
+//! Subscriptions — standing-query scaling of the query-indexed dispatcher.
+//!
+//! Registers 1K / 10K / 100K standing queries (mixed range/kNN, skewed
+//! floors — the `generate_subscription_set` workload) against a live
+//! service, then drives a pure position-update stream through the write
+//! path and measures what serving the fleet costs:
+//!
+//! * **registration** — building each query's candidate-partition
+//!   footprint and inserting it into the routing index;
+//! * **routing** — per-commit dispatch wall time over an apply-only
+//!   reference run of the same stream with no subscriptions attached
+//!   (single-CPU containers serialize the dispatch thread behind the
+//!   writer, so the difference is the dispatch cost);
+//! * **hit rate** — delivered vs skipped subscriptions per commit, from
+//!   the dispatcher's own counters: the fraction of the fleet each
+//!   commit actually touches;
+//! * **threads** — the process's OS thread count while the whole fleet
+//!   is live (the dispatcher serves every subscription from one thread);
+//! * **broadcast baseline** — the pre-dispatch semantics: every commit's
+//!   full report absorbed into every subscription's monitor. Measured on
+//!   a bounded sample of monitors × commits and extrapolated linearly
+//!   (absorption cost is per-monitor), because running it exactly at
+//!   100K subscriptions is precisely the quadratic blow-up the
+//!   dispatcher exists to avoid. `speedup` is broadcast-vs-routed
+//!   per-commit cost.
+//!
+//! Emits a `BENCH_subscriptions.json` line per run.
+
+use idq_bench::{scale_from_env, scaled_floors, scaled_objects};
+use idq_core::{EngineConfig, IndoorEngine, Update};
+use idq_model::Floor;
+use idq_query::{KnnMonitor, Query, RangeMonitor};
+use idq_workloads::{
+    generate_building, generate_objects, generate_subscription_set, BuildingConfig, ObjectConfig,
+    PaperDefaults, SubscriptionSetConfig,
+};
+use std::time::Instant;
+
+/// Standing-query counts swept (scaled by `IDQ_SCALE`).
+const SUB_COUNTS: [usize; 3] = [1_000, 10_000, 100_000];
+/// Committed batches per run.
+const COMMITS: usize = 32;
+/// Updates per committed batch.
+const BATCH: usize = 64;
+/// Rooms per batch locality window.
+const WINDOW: usize = 4;
+/// Monitor sample bound for the broadcast baseline.
+const BASELINE_SAMPLE: usize = 2_000;
+/// Commits the broadcast baseline replays.
+const BASELINE_COMMITS: usize = 4;
+
+fn scaled_subs(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale) as usize).max(10)
+}
+
+/// OS threads of this process (Linux; 0 when unreadable).
+fn os_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let d = PaperDefaults::default();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("subscriptions: IDQ_SCALE={scale} cpus={cpus}");
+
+    // Routing is a building-scale feature — a two-floor smoke building
+    // leaves nothing to skip — so the floor count bottoms out at 4. The
+    // population preserves the paper's object *density* (~20 per room)
+    // rather than scaling the count directly: a sparse smoke building
+    // would push every kNN threshold — and so every kNN footprint — to
+    // building scale, which no real deployment of a 100k-subscription
+    // fleet exhibits.
+    let floors = scaled_floors(d.floors, scale).max(4);
+    let objects = scaled_objects(d.objects, floors as f64 / d.floors as f64);
+    let building =
+        generate_building(&BuildingConfig::with_floors(floors)).expect("generator invariants hold");
+    let store = generate_objects(
+        &building,
+        &ObjectConfig {
+            count: objects,
+            radius: d.radius,
+            instances: 8,
+            seed: 42,
+        },
+    )
+    .expect("population fits the building");
+
+    // A pure move stream (no inserts: the effective query options stay
+    // fixed, so routing — not option churn — is what's measured) with
+    // **spatial locality**: every object lives in a home *neighborhood*
+    // — `WINDOW` consecutive rooms of its floor — and each batch moves
+    // the objects of one rotating neighborhood between its rooms, the
+    // way position reports arrive from people milling around one shop
+    // cluster. Both the "before" and "after" partitions of a commit
+    // stay inside one neighborhood, while the population keeps paper
+    // density across the whole building (a commit footprint scattered
+    // building-wide would touch every subscription and degrade to
+    // broadcast by construction — and a population squeezed into one
+    // corner would blow every kNN threshold up to building scale).
+    let ids = store.ids_sorted();
+    let mut by_floor: Vec<Vec<_>> = vec![Vec::new(); floors as usize];
+    for &id in &ids {
+        by_floor[(id.0 % floors as u64) as usize].push(id);
+    }
+    let neighborhoods: Vec<usize> = (0..floors as usize)
+        .map(|f| (building.rooms_by_floor[f].len() / WINDOW).max(1))
+        .collect();
+    // by_nbhd[f][n]: the objects homed in neighborhood n of floor f.
+    let by_nbhd: Vec<Vec<Vec<_>>> = by_floor
+        .iter()
+        .enumerate()
+        .map(|(f, pool)| {
+            let mut groups = vec![Vec::new(); neighborhoods[f]];
+            for (j, &id) in pool.iter().enumerate() {
+                groups[j % neighborhoods[f]].push(id);
+            }
+            groups
+        })
+        .collect();
+    let room_center = |f: usize, nbhd: usize, slot: usize| {
+        let rooms = &building.rooms_by_floor[f];
+        let room = rooms[(nbhd * WINDOW + slot % WINDOW) % rooms.len()];
+        building
+            .space
+            .partition(room)
+            .expect("generated room")
+            .bbox
+            .center()
+    };
+    let mut batches: Vec<Vec<Update>> = Vec::with_capacity(COMMITS);
+    for k in 0..COMMITS {
+        let f = k % floors as usize;
+        let nbhd = (k / floors as usize * 7 + k) % neighborhoods[f];
+        let group = &by_nbhd[f][nbhd];
+        let mut batch = Vec::with_capacity(BATCH);
+        for (j, &id) in group.iter().take(BATCH).enumerate() {
+            batch.push(Update::MoveObject {
+                id,
+                center: room_center(f, nbhd, id.0 as usize + j + k),
+                floor: f as Floor,
+                seed: id.0 ^ (k as u64) << 32,
+            });
+        }
+        batches.push(batch);
+    }
+
+    // Settle every object into its home neighborhood (the generated
+    // population is scattered building-wide; without this, each
+    // object's first move drags a random faraway "before" partition
+    // into the commit footprint and the early commits route widely).
+    let store = {
+        let mut e =
+            IndoorEngine::with_objects(building.space.clone(), store, EngineConfig::default())
+                .expect("engine builds");
+        for (f, groups) in by_nbhd.iter().enumerate() {
+            let prelude: Vec<Update> = groups
+                .iter()
+                .enumerate()
+                .flat_map(|(nbhd, group)| {
+                    group.iter().map(move |&id| Update::MoveObject {
+                        id,
+                        center: room_center(f, nbhd, id.0 as usize),
+                        floor: f as Floor,
+                        seed: id.0,
+                    })
+                })
+                .collect();
+            e.apply_batch(&prelude).expect("pre-positioning applies");
+        }
+        e.store().clone()
+    };
+
+    let fresh_engine = || {
+        IndoorEngine::with_objects(
+            building.space.clone(),
+            store.clone(),
+            EngineConfig::default(),
+        )
+        .expect("engine builds")
+    };
+
+    // Apply-only reference: the same stream with no subscriptions (the
+    // dispatch thread is never spawned) — pure sequencer cost.
+    let apply_ref_ms = {
+        let mut e = fresh_engine();
+        let t = Instant::now();
+        for batch in &batches {
+            e.apply_batch(batch).expect("moves apply");
+        }
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    eprintln!("subscriptions: apply-only reference {apply_ref_ms:9.1} ms for {COMMITS} commits");
+
+    let mut results = Vec::new();
+    for &base_count in &SUB_COUNTS {
+        let count = scaled_subs(base_count, scale);
+        let queries = generate_subscription_set(
+            &building,
+            &SubscriptionSetConfig {
+                count,
+                knn_fraction: 0.2,
+                radii: vec![15.0, 30.0],
+                ks: vec![5, 10],
+                floor_skew: 1.5,
+                seed: 0x5B5 ^ base_count as u64,
+            },
+        );
+
+        let mut e = fresh_engine();
+        let service = e.service();
+        let t = Instant::now();
+        let subs: Vec<_> = queries
+            .iter()
+            .map(|&q| service.subscribe(q).expect("range/knn subscribe"))
+            .collect();
+        let register_ms = t.elapsed().as_secs_f64() * 1e3;
+        let threads = os_threads();
+        let (indexed_partitions, links, everything) = service.dispatch_index_load();
+        let mean_footprint = links as f64 / count.max(1) as f64;
+
+        let t = Instant::now();
+        for batch in &batches {
+            e.apply_batch(batch).expect("moves apply");
+        }
+        service.quiesce();
+        let total_ms = t.elapsed().as_secs_f64() * 1e3;
+        let stats = service.dispatch_stats();
+        assert_eq!(stats.commits, COMMITS as u64, "every commit dispatched");
+        let pairs = stats.deliveries + stats.skipped;
+        let hit_rate = stats.deliveries as f64 / pairs.max(1) as f64;
+        let dispatch_ms_per_commit = (total_ms - apply_ref_ms).max(0.0) / COMMITS as f64;
+        let notifications_per_s = stats.deliveries as f64 / (total_ms / 1e3);
+        drop(subs);
+        drop(service);
+        drop(e);
+
+        // Broadcast baseline: replay the first commits on a fresh engine
+        // and absorb each full report into a sample of the same
+        // monitors; extrapolate the per-commit cost to the whole fleet.
+        let sample = count.min(BASELINE_SAMPLE);
+        let mut replay = fresh_engine();
+        let snap = replay.snapshot();
+        let mut monitors: Vec<_> = queries[..sample]
+            .iter()
+            .map(|q| match *q {
+                Query::Range { q, r } => {
+                    let mut m = RangeMonitor::new(q, r, *snap.options()).expect("positive radius");
+                    m.refresh(snap.space(), snap.index(), snap.store())
+                        .expect("refresh succeeds");
+                    Either::Range(m)
+                }
+                Query::Knn { q, k } => {
+                    let mut m = KnnMonitor::new(q, k, *snap.options()).expect("positive k");
+                    m.refresh(snap.space(), snap.index(), snap.store())
+                        .expect("refresh succeeds");
+                    Either::Knn(m)
+                }
+                _ => unreachable!("subscription workloads are range and kNN"),
+            })
+            .collect();
+        let baseline_commits = COMMITS.min(BASELINE_COMMITS);
+        let mut absorb_s = 0.0f64;
+        for batch in batches.iter().take(baseline_commits) {
+            let report = replay.apply_batch(batch).expect("moves apply");
+            let snap = replay.snapshot();
+            let updated = report.delta.updated();
+            let t = Instant::now();
+            for m in &mut monitors {
+                m.absorb(
+                    &updated,
+                    &report.delta.removed,
+                    report.delta.topology_changed,
+                    &snap,
+                );
+            }
+            absorb_s += t.elapsed().as_secs_f64();
+        }
+        let broadcast_ms_per_commit =
+            absorb_s * 1e3 / baseline_commits as f64 * (count as f64 / sample as f64);
+        let speedup = broadcast_ms_per_commit / dispatch_ms_per_commit.max(1e-6);
+
+        eprintln!(
+            "subscriptions: subs={count:7} register {register_ms:9.1} ms \
+             (mean footprint {mean_footprint:.1}/{indexed_partitions} partitions, \
+             {everything} route-all) | dispatch {dispatch_ms_per_commit:8.3} ms/commit \
+             (hit rate {hit_rate:.3}, {:.0} notifications/s) | broadcast \
+             {broadcast_ms_per_commit:8.3} ms/commit => {speedup:6.1}x | {threads} threads",
+            notifications_per_s
+        );
+        results.push(format!(
+            concat!(
+                "{{\"subs\":{},\"register_ms\":{:.3},\"threads\":{},",
+                "\"mean_footprint\":{:.1},\"route_all\":{},\"total_ms\":{:.3},",
+                "\"dispatch_ms_per_commit\":{:.4},\"deliveries\":{},\"skipped\":{},",
+                "\"coalesced\":{},\"hit_rate\":{:.4},\"notifications_per_s\":{:.1},",
+                "\"broadcast_ms_per_commit\":{:.4},\"speedup\":{:.2}}}"
+            ),
+            count,
+            register_ms,
+            threads,
+            mean_footprint,
+            everything,
+            total_ms,
+            dispatch_ms_per_commit,
+            stats.deliveries,
+            stats.skipped,
+            stats.coalesced,
+            hit_rate,
+            notifications_per_s,
+            broadcast_ms_per_commit,
+            speedup,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"subscriptions\",\"scale\":{},\"cpus\":{},\"floors\":{},",
+            "\"objects\":{},\"commits\":{},\"batch\":{},\"apply_ref_ms\":{:.3},",
+            "\"counts\":[{}]}}"
+        ),
+        scale,
+        cpus,
+        floors,
+        objects,
+        COMMITS,
+        BATCH,
+        apply_ref_ms,
+        results.join(","),
+    );
+    println!("{json}");
+    let appended = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open("BENCH_subscriptions.json")
+        .and_then(|mut f| std::io::Write::write_all(&mut f, format!("{json}\n").as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("subscriptions: could not append to BENCH_subscriptions.json: {e}");
+    }
+}
+
+/// A baseline monitor of either kind, absorbing full reports the way the
+/// pre-dispatch broadcast path did.
+enum Either {
+    Range(RangeMonitor),
+    Knn(KnnMonitor),
+}
+
+impl Either {
+    fn absorb(
+        &mut self,
+        updated: &[idq_objects::ObjectId],
+        removed: &[idq_objects::ObjectId],
+        topology_changed: bool,
+        snap: &idq_core::Snapshot,
+    ) {
+        match self {
+            Either::Range(m) => {
+                m.absorb_delta(
+                    updated,
+                    removed,
+                    topology_changed,
+                    snap.space(),
+                    snap.index(),
+                    snap.store(),
+                )
+                .expect("absorb succeeds");
+            }
+            Either::Knn(m) => {
+                m.absorb_delta(
+                    updated,
+                    removed,
+                    topology_changed,
+                    snap.space(),
+                    snap.index(),
+                    snap.store(),
+                )
+                .expect("absorb succeeds");
+            }
+        }
+    }
+}

@@ -13,8 +13,11 @@ pub enum EngineError {
     Distance(idq_distance::DistanceError),
     /// Query evaluation error.
     Query(idq_query::QueryError),
-    /// The query kind cannot back a standing subscription (only
-    /// [`idq_query::Query::Range`] has an incremental maintenance path).
+    /// The query kind cannot back a standing subscription. Range
+    /// ([`idq_query::Query::Range`]) and kNN ([`idq_query::Query::Knn`])
+    /// queries have incremental maintenance paths and subscribe fine;
+    /// point-to-point distance and path queries have no object-dependent
+    /// result to maintain — re-run those on a fresh snapshot instead.
     UnsupportedSubscription(idq_query::Query),
     /// An object update named a floor no partition of the space covers.
     /// Rejected up front: beyond being unanswerable by every query, an
@@ -37,7 +40,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Distance(e) => write!(f, "{e}"),
             EngineError::Query(e) => write!(f, "{e}"),
             EngineError::UnsupportedSubscription(q) => {
-                write!(f, "subscription requires a range query, got {q}")
+                write!(
+                    f,
+                    "standing subscription requires a range or kNN query \
+                     (distance and path queries have no incremental \
+                     maintenance path), got {q}"
+                )
             }
             EngineError::FloorOutOfSpace { floor, num_floors } => {
                 write!(

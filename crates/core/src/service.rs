@@ -1,163 +1,183 @@
 //! The concurrent service surface: [`IndoorService`] read/subscribe
-//! handles and [`Subscription`] standing queries.
+//! handles and [`Subscription`] standing queries, served by a
+//! query-indexed dispatcher.
 //!
 //! Writes arrive through the [`crate::IndoorEngine`] and its cloned
 //! [`crate::WriteHandle`]s (all sequenced into one total commit order —
 //! see [`crate::write`]); any number of [`IndoorService`] clones (cheap,
 //! `Send + Sync`) hand out version-pinned [`crate::Snapshot`]s to reader
-//! threads and register standing-query subscriptions. A committing write
-//! publishes its new [`EngineState`] with one brief write-lock on the
-//! current-version cell (readers hold it only long enough to clone an
-//! `Arc`), then broadcasts the commit's [`UpdateReport`] to every live
-//! subscription — so query evaluation and delta absorption run entirely
-//! outside locks, on pinned versions. The write side is reference-counted:
-//! subscriptions see their stream end when the engine and every write
-//! handle have dropped.
+//! threads and register standing-query subscriptions.
+//!
+//! Standing queries scale through *routing*, not broadcast. A committing
+//! write publishes its new [`EngineState`] with one brief write-lock on
+//! the current-version cell, then hands the commit's merged
+//! [`UpdateReport`] (plus a snapshot pinned to the committed version) to
+//! a single **dispatch thread** via an unbounded inbox — the sequencer
+//! never waits on subscription work. The dispatch thread intersects the
+//! commit's routing footprint (the partitions its object updates touched,
+//! carried by [`crate::update::UpdateDelta`]) against an
+//! [`idq_dispatch::Dispatcher`] query index over every subscription's
+//! candidate partitions, absorbs the delta into exactly the affected
+//! monitors, and pushes precomputed per-subscription [`Notification`]s
+//! into bounded mailboxes. Subscriptions whose footprint is disjoint are
+//! skipped with zero per-subscription work, which is what lets one
+//! engine serve 100k+ standing queries without a thread or a full report
+//! scan per subscription. A consumer that falls behind its mailbox
+//! capacity gets consecutive commits coalesced into one notification
+//! marked [`Notification::lagged`] — bounded memory per subscription,
+//! and the writer is never blocked by a slow consumer.
+//!
+//! The write side is reference-counted: subscriptions see their stream
+//! end when the engine and every write handle have dropped.
 
 use crate::error::EngineError;
-use crate::monitor::MonitorExt;
 use crate::snapshot::Snapshot;
 use crate::state::EngineState;
 use crate::update::UpdateReport;
+use idq_dispatch::{
+    CommitDelta, DeltaMsg, DispatchStats, Dispatcher, MailboxReceiver, StandingMonitor, SubId,
+};
 use idq_objects::ObjectId;
-use idq_query::{MonitorChange, Outcome, Query, QueryOptions, RangeMonitor};
-use std::collections::VecDeque;
+use idq_query::{KnnMonitor, MonitorChange, Outcome, Query, QueryOptions, RangeMonitor};
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
-// ---- commit-notice channel ------------------------------------------------
-//
-// A minimal unbounded MPSC channel (std-only, `Send + Sync` on both ends)
-// carrying commit notices from the writer to one subscription. Unbounded
-// and lossless: a subscription absorbs *every* commit, in order, which is
-// what makes delta application equal a from-scratch refresh at any epoch.
+/// Default bound of a subscription's notification mailbox; consumers
+/// further behind than this see coalesced, [`Notification::lagged`]
+/// deliveries. See [`IndoorService::subscribe_bounded`] to choose.
+pub const DEFAULT_MAILBOX_CAPACITY: usize = 256;
 
-/// What the writer broadcasts per commit: the receipt and a snapshot
-/// pinned to the committed version (both cheap to clone).
-#[derive(Clone, Debug)]
-struct CommitNotice {
+// ---- commit inbox ---------------------------------------------------------
+//
+// The writer → dispatch-thread hand-off: an unbounded FIFO of committed
+// reports. Unbounded so the sequencer never blocks on subscription work;
+// each queued entry pins its commit's version until routed, so the
+// dispatch thread drains it promptly (its per-commit work is bounded by
+// the routing intersection, not the subscription count).
+
+#[derive(Debug)]
+struct CommitMsg {
     report: Arc<UpdateReport>,
     snapshot: Snapshot,
 }
 
 #[derive(Debug, Default)]
-struct ChannelQueue {
-    notices: VecDeque<CommitNotice>,
-    /// Writer retired: no further notices will ever arrive.
+struct InboxQueue {
+    queue: VecDeque<CommitMsg>,
+    /// Writer retired: nothing will ever be pushed again.
     closed: bool,
-    /// Receiver dropped: sending is pointless, prune the sender.
-    receiver_gone: bool,
 }
 
 #[derive(Debug, Default)]
-struct Channel {
-    queue: Mutex<ChannelQueue>,
+struct Inbox {
+    queue: Mutex<InboxQueue>,
     ready: Condvar,
 }
 
-#[derive(Debug)]
-pub(crate) struct NoticeSender {
-    channel: Arc<Channel>,
-}
-
-impl NoticeSender {
-    /// Queues a notice; `false` means the receiver is gone and the sender
-    /// should be pruned from the registry.
-    fn send(&self, notice: CommitNotice) -> bool {
-        let mut q = self.channel.queue.lock().expect("channel lock");
-        if q.receiver_gone {
-            return false;
+impl Inbox {
+    fn push(&self, msg: CommitMsg) {
+        let mut q = self.queue.lock().expect("inbox lock");
+        if q.closed {
+            return;
         }
-        q.notices.push_back(notice);
-        self.channel.ready.notify_all();
-        true
+        q.queue.push_back(msg);
+        self.ready.notify_all();
     }
 
-    /// Marks the channel closed (writer retired); wakes blocked receivers.
-    pub(crate) fn close(&self) {
-        let mut q = self.channel.queue.lock().expect("channel lock");
+    fn close(&self) {
+        let mut q = self.queue.lock().expect("inbox lock");
         q.closed = true;
-        self.channel.ready.notify_all();
-    }
-}
-
-#[derive(Debug)]
-struct NoticeReceiver {
-    channel: Arc<Channel>,
-}
-
-impl NoticeReceiver {
-    /// Takes the next queued notice without blocking.
-    fn try_recv(&self) -> Option<CommitNotice> {
-        self.channel
-            .queue
-            .lock()
-            .expect("channel lock")
-            .notices
-            .pop_front()
+        self.ready.notify_all();
     }
 
-    /// Blocks until a notice arrives or the writer retires; `None` means
-    /// closed-and-drained (no commit will ever arrive again).
-    fn recv(&self) -> Option<CommitNotice> {
-        let mut q = self.channel.queue.lock().expect("channel lock");
+    /// Blocks until a commit arrives; `None` once closed **and** drained.
+    fn pop(&self) -> Option<CommitMsg> {
+        let mut q = self.queue.lock().expect("inbox lock");
         loop {
-            if let Some(n) = q.notices.pop_front() {
-                return Some(n);
+            if let Some(msg) = q.queue.pop_front() {
+                return Some(msg);
             }
             if q.closed {
                 return None;
             }
-            q = self.channel.ready.wait(q).expect("channel lock");
+            q = self.ready.wait(q).expect("inbox lock");
         }
     }
 }
 
-impl Drop for NoticeReceiver {
-    fn drop(&mut self) {
-        let mut q = self.channel.queue.lock().expect("channel lock");
-        q.receiver_gone = true;
-        // Release the backlog now: every queued notice pins a committed
-        // version, and the writer may never broadcast (and prune) again.
-        q.notices.clear();
-    }
+// ---- dispatch progress ----------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ProgressState {
+    /// Highest epoch the dispatch thread has fully routed.
+    epoch: u64,
+    /// The dispatch thread has exited (every stream is closed).
+    done: bool,
 }
 
-fn notice_channel() -> (NoticeSender, NoticeReceiver) {
-    let channel = Arc::new(Channel::default());
-    (
-        NoticeSender {
-            channel: Arc::clone(&channel),
-        },
-        NoticeReceiver { channel },
-    )
+/// Watermark tests, benches and shutdown wait on: which epoch the
+/// dispatch thread has caught up to.
+#[derive(Debug, Default)]
+struct Progress {
+    state: Mutex<ProgressState>,
+    moved: Condvar,
+}
+
+impl Progress {
+    fn advance(&self, epoch: u64) {
+        let mut s = self.state.lock().expect("progress lock");
+        if epoch > s.epoch {
+            s.epoch = epoch;
+            self.moved.notify_all();
+        }
+    }
+
+    fn finish(&self) {
+        let mut s = self.state.lock().expect("progress lock");
+        s.done = true;
+        self.moved.notify_all();
+    }
+
+    fn wait_for(&self, target: u64) {
+        let mut s = self.state.lock().expect("progress lock");
+        while s.epoch < target && !s.done {
+            s = self.moved.wait(s).expect("progress lock");
+        }
+    }
 }
 
 // ---- shared service state -------------------------------------------------
 
-/// The subscriber registry plus the writer refcount, under **one** mutex:
-/// registration checks liveness and registers atomically, so a
-/// concurrently retiring writer either sees the new sender (and closes
-/// it) or the subscriber sees the retirement (and starts closed) — a
-/// sender can never be stranded open with no writer left to close it.
+/// Writer refcount and dispatch-thread bookkeeping.
 #[derive(Debug)]
 struct Registry {
-    senders: Vec<NoticeSender>,
     /// Live write handles (the engine's bootstrap handle plus every
     /// clone). The stream of commits provably ends when this hits zero.
     writers: usize,
     writer_alive: bool,
+    /// The dispatch thread exists (spawned lazily by the first
+    /// subscription; never despawned while the writer lives).
+    thread_spawned: bool,
 }
 
 /// The state shared between the writing [`crate::IndoorEngine`] and every
 /// [`IndoorService`] / [`Subscription`] handle.
+///
+/// Lock order: `registry` → `dispatcher`. The inbox and progress locks
+/// are leaves (never held while taking another lock).
 #[derive(Debug)]
 pub(crate) struct Shared {
     /// The current committed version. Writers hold the write lock only for
     /// the pointer swap; readers only for an `Arc` clone — never across
     /// query evaluation.
     current: RwLock<Arc<EngineState>>,
-    /// Live standing-query subscriptions (writer broadcasts per commit).
     registry: Mutex<Registry>,
+    /// The query index over every live subscription. Locked by the
+    /// dispatch thread per commit and briefly by subscribe/drop; never by
+    /// the committing writer.
+    dispatcher: Mutex<Dispatcher<Arc<UpdateReport>>>,
+    inbox: Inbox,
+    progress: Progress,
 }
 
 impl Shared {
@@ -165,11 +185,14 @@ impl Shared {
         Shared {
             current: RwLock::new(state),
             registry: Mutex::new(Registry {
-                senders: Vec::new(),
                 // The engine's bootstrap write handle.
                 writers: 1,
                 writer_alive: true,
+                thread_spawned: false,
             }),
+            dispatcher: Mutex::new(Dispatcher::new()),
+            inbox: Inbox::default(),
+            progress: Progress::default(),
         }
     }
 
@@ -184,47 +207,70 @@ impl Shared {
         *self.current.write().expect("current-version lock") = state;
     }
 
-    /// Registers a subscription channel, returning its receiver. When the
-    /// writer has already retired the channel starts out closed (the
-    /// subscriber's `wait()` reports the end of the stream immediately).
-    fn register(&self) -> NoticeReceiver {
-        let (tx, rx) = notice_channel();
-        let mut registry = self.registry.lock().expect("subscriber registry lock");
-        if registry.writer_alive {
-            registry.senders.push(tx);
-        } else {
-            tx.close();
-        }
-        rx
-    }
-
-    /// Broadcasts a committed report to every live subscription, pruning
-    /// the dead ones. Called by the writer *after* [`Shared::publish`],
-    /// outside the current-version lock.
+    /// Hands a committed report to the dispatch thread. Called by the
+    /// writer *after* [`Shared::publish`]; enqueue-only, so the sequencer
+    /// never waits on routing or absorption. A no-op until the first
+    /// subscription spawns the dispatch thread.
     pub(crate) fn broadcast(&self, report: &UpdateReport, snapshot: &Snapshot) {
-        // First lock: cheap emptiness check, so commits without
-        // subscribers never copy the report. The O(batch) report clone
-        // then happens *outside* the lock; a subscriber registering in
-        // between simply misses this notice, which is sound — its
-        // baseline is pinned after registration, hence at or past this
-        // commit, and its epoch guard drops duplicates.
         {
-            let registry = self.registry.lock().expect("subscriber registry lock");
-            if registry.senders.is_empty() {
+            let registry = self.registry.lock().expect("registry lock");
+            if !registry.thread_spawned {
                 return;
             }
         }
-        let notice = CommitNotice {
+        self.inbox.push(CommitMsg {
             report: Arc::new(report.clone()),
             snapshot: snapshot.clone(),
-        };
-        let mut registry = self.registry.lock().expect("subscriber registry lock");
-        registry.senders.retain(|tx| tx.send(notice.clone()));
+        });
+    }
+
+    /// Spawns the dispatch thread on first use. After writer retirement
+    /// (with no thread ever spawned) it instead closes the dispatcher so
+    /// late registrations start pre-closed.
+    fn ensure_dispatch_thread(self: &Arc<Self>) {
+        let mut registry = self.registry.lock().expect("registry lock");
+        if registry.thread_spawned {
+            // The thread owns stream lifecycle from here on — including
+            // close_all once the retired writer's backlog is drained.
+            return;
+        }
+        if !registry.writer_alive {
+            drop(registry);
+            let mut dispatcher = self.dispatcher.lock().expect("dispatcher lock");
+            if !dispatcher.is_closed() {
+                dispatcher.close_all();
+            }
+            return;
+        }
+        registry.thread_spawned = true;
+        // Commits published before this point were never enqueued; fold
+        // them into the progress watermark so quiesce() has nothing
+        // phantom to wait for. Linearized by the registry lock against
+        // broadcast's thread_spawned check.
+        self.progress.advance(self.current().epoch);
+        let shared = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("idq-dispatch".into())
+            .spawn(move || dispatch_loop(shared))
+            .expect("spawn dispatch thread");
+    }
+
+    /// Blocks until the dispatch thread has routed every commit published
+    /// before the call (immediately when no subscription ever existed).
+    pub(crate) fn quiesce(&self) {
+        {
+            let registry = self.registry.lock().expect("registry lock");
+            if !registry.thread_spawned {
+                return;
+            }
+        }
+        let target = self.current().epoch;
+        self.progress.wait_for(target);
     }
 
     /// Accounts for a cloned [`crate::WriteHandle`].
     pub(crate) fn add_writer(&self) {
-        let mut registry = self.registry.lock().expect("subscriber registry lock");
+        let mut registry = self.registry.lock().expect("registry lock");
         debug_assert!(
             registry.writer_alive,
             "write handles only clone from live write handles"
@@ -233,18 +279,54 @@ impl Shared {
     }
 
     /// Releases one write handle; the last release retires the write side:
-    /// every subscription channel closes (blocked `wait()`s return `None`)
-    /// and the service becomes read-only on the final version.
+    /// the inbox closes, the dispatch thread routes the remaining backlog,
+    /// ends every subscription stream (blocked `wait()`s return `None`)
+    /// and exits, and the service becomes read-only on the final version.
+    /// Never takes the dispatcher lock (registry → dispatcher is the lock
+    /// order and the dispatch thread holds the latter for long stretches).
     pub(crate) fn release_writer(&self) {
-        let mut registry = self.registry.lock().expect("subscriber registry lock");
+        let mut registry = self.registry.lock().expect("registry lock");
         registry.writers = registry.writers.saturating_sub(1);
         if registry.writers == 0 {
             registry.writer_alive = false;
-            for tx in registry.senders.drain(..) {
-                tx.close();
-            }
+            drop(registry);
+            self.inbox.close();
         }
     }
+}
+
+/// The dispatch thread: pops committed reports in publish order, routes
+/// each through the query index, and on shutdown (writer retired, inbox
+/// drained) ends every subscription stream.
+fn dispatch_loop(shared: Arc<Shared>) {
+    while let Some(CommitMsg { report, snapshot }) = shared.inbox.pop() {
+        {
+            let mut dispatcher = shared.dispatcher.lock().expect("dispatcher lock");
+            let updated = report.delta.updated();
+            let delta = CommitDelta {
+                epoch: report.epoch,
+                updated: &updated,
+                removed: &report.delta.removed,
+                topology_changed: report.delta.topology_changed,
+                partitions: &report.delta.partitions,
+            };
+            dispatcher.dispatch(
+                &delta,
+                snapshot.space(),
+                snapshot.index(),
+                snapshot.store(),
+                snapshot.options(),
+                &report,
+            );
+        }
+        shared.progress.advance(report.epoch);
+    }
+    shared
+        .dispatcher
+        .lock()
+        .expect("dispatcher lock")
+        .close_all();
+    shared.progress.finish();
 }
 
 // ---- service handle -------------------------------------------------------
@@ -281,9 +363,17 @@ impl Shared {
 /// reader.join().unwrap();
 /// assert_eq!(service.snapshot().version(), engine.epoch());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct IndoorService {
     shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for IndoorService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndoorService")
+            .field("epoch", &self.epoch())
+            .finish()
+    }
 }
 
 impl IndoorService {
@@ -325,30 +415,80 @@ impl IndoorService {
     /// Registers a standing query with the serving engine's effective
     /// default options, which the subscription keeps *tracking*: when a
     /// later commit widens the effective options (a larger uncertainty
-    /// region arrived), the subscription adopts them before absorbing that
-    /// commit, so its refreshes always match what a fresh default query
-    /// would return. See [`IndoorService::subscribe_with`].
+    /// region arrived), the dispatcher has the monitor adopt them before
+    /// absorbing that commit, so its results always match what a fresh
+    /// default query would return.
+    ///
+    /// Supported query kinds:
+    ///
+    /// | Kind | Standing form | Maintenance |
+    /// |---|---|---|
+    /// | [`Query::Range`] | continuous `iRQ(q, r)` | incremental per updated object ([`RangeMonitor`]) |
+    /// | [`Query::Knn`] | continuous `ikNNQ(q, k)` | incremental top-k, re-verified on shrink ([`KnnMonitor`]) |
+    /// | [`Query::Distance`] | — | [`EngineError::UnsupportedSubscription`] |
+    /// | [`Query::Path`] | — | [`EngineError::UnsupportedSubscription`] |
+    ///
+    /// Point-to-point distance and path queries have no object-dependent
+    /// result to maintain incrementally — re-run them on a
+    /// [`IndoorService::snapshot`] when the topology changes.
     pub fn subscribe(&self, query: Query) -> Result<Subscription, EngineError> {
-        self.subscribe_inner(query, None)
+        self.subscribe_inner(query, None, DEFAULT_MAILBOX_CAPACITY)
     }
 
     /// Registers a standing query with explicit, **frozen** query options
     /// (ablations, exact refinement…): evaluates it once on the latest
-    /// committed version (the [`Subscription::initial`] result) and
-    /// arranges for every subsequent commit's [`UpdateReport`] to be
-    /// delivered, so the subscription keeps itself current by absorbing
-    /// deltas instead of re-running the query.
-    ///
-    /// Only [`Query::Range`] is supported today — the incremental
-    /// maintenance path (the paper's standing `iRQ` of §I) exists for
-    /// range semantics; other kinds return
-    /// [`EngineError::UnsupportedSubscription`].
+    /// committed version (the [`Subscription::initial`] result) and has
+    /// every subsequent commit that can affect it routed to it, so the
+    /// subscription stays current without re-running the query. See
+    /// [`IndoorService::subscribe`] for the supported query kinds.
     pub fn subscribe_with(
         &self,
         query: Query,
         options: QueryOptions,
     ) -> Result<Subscription, EngineError> {
-        self.subscribe_inner(query, Some(options))
+        self.subscribe_inner(query, Some(options), DEFAULT_MAILBOX_CAPACITY)
+    }
+
+    /// [`IndoorService::subscribe`] with an explicit mailbox bound. A
+    /// consumer more than `capacity` notifications behind gets newer
+    /// commits coalesced into one [`Notification::lagged`] delivery —
+    /// memory stays bounded and the dispatcher never blocks on it.
+    pub fn subscribe_bounded(
+        &self,
+        query: Query,
+        capacity: usize,
+    ) -> Result<Subscription, EngineError> {
+        self.subscribe_inner(query, None, capacity)
+    }
+
+    /// Routing counters of the dispatch layer (deliveries, proven skips,
+    /// coalesced lag deliveries…). Zeros until the first subscription.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.shared
+            .dispatcher
+            .lock()
+            .expect("dispatcher lock")
+            .stats()
+    }
+
+    /// Load of the routing index: `(distinct partitions indexed, total
+    /// partition → subscription links, subscriptions routing on
+    /// everything)`. Links divided by live subscriptions is the mean
+    /// candidate-footprint size — a routing-precision diagnostic.
+    pub fn dispatch_index_load(&self) -> (usize, usize, usize) {
+        self.shared
+            .dispatcher
+            .lock()
+            .expect("dispatcher lock")
+            .index_load()
+    }
+
+    /// Blocks until every commit published before this call has been
+    /// routed to subscriptions (immediately if none exist). Useful for
+    /// tests and benches that want deterministic delivery points; regular
+    /// consumers just [`Subscription::wait`].
+    pub fn quiesce(&self) {
+        self.shared.quiesce()
     }
 
     /// `explicit_options: None` means "track the effective defaults". The
@@ -360,27 +500,48 @@ impl IndoorService {
         &self,
         query: Query,
         explicit_options: Option<QueryOptions>,
+        capacity: usize,
     ) -> Result<Subscription, EngineError> {
-        let Query::Range { q, r } = query else {
+        if !matches!(query, Query::Range { .. } | Query::Knn { .. }) {
             return Err(EngineError::UnsupportedSubscription(query));
-        };
-        // Register the channel *before* pinning the baseline: a commit
-        // that lands in between is then either visible in the baseline
-        // (and skipped by its epoch guard) or queued on the channel —
-        // never lost.
-        let rx = self.shared.register();
+        }
+        self.shared.ensure_dispatch_thread();
+        // Hold the dispatcher for the pin + refresh + register sequence:
+        // the dispatch thread cannot route anything in between, so every
+        // commit is either visible in the baseline (epoch ≤ baseline,
+        // dropped by the dispatcher's per-subscription guard) or routed
+        // to the registered entry afterwards — never lost. Only the
+        // dispatch thread waits on this; the committing writer does not.
+        let mut dispatcher = self.shared.dispatcher.lock().expect("dispatcher lock");
         let state = self.shared.current();
         let options = explicit_options.unwrap_or_else(|| state.effective_options());
         let baseline = Snapshot::from_state(state, options);
-        let mut monitor = RangeMonitor::new(q, r, options)?;
+        let mut monitor = match query {
+            Query::Range { q, r } => StandingMonitor::Range(RangeMonitor::new(q, r, options)?),
+            Query::Knn { q, k } => StandingMonitor::Knn(KnnMonitor::new(q, k, options)?),
+            _ => unreachable!("validated above"),
+        };
         let initial = monitor.refresh(baseline.space(), baseline.index(), baseline.store())?;
+        let ranked = monitor.ranked();
+        let inside: BTreeSet<ObjectId> = initial.iter().copied().collect();
+        let (id, rx) = dispatcher.register(
+            monitor,
+            baseline.version(),
+            explicit_options.is_none(),
+            capacity,
+            baseline.space(),
+            baseline.index(),
+        );
+        drop(dispatcher);
         Ok(Subscription {
             query,
-            monitor,
+            shared: Arc::clone(&self.shared),
+            id,
             rx,
             epoch: baseline.version(),
             initial,
-            track_options: explicit_options.is_none(),
+            inside,
+            ranked,
         })
     }
 }
@@ -395,46 +556,57 @@ pub struct Notification {
     /// it the subscription's result set is current as of this epoch.
     pub epoch: u64,
     /// Every membership change the commit caused, ascending by object id.
-    /// May be empty — a commit that did not move the standing result still
-    /// advances the subscription's epoch.
+    /// May be empty — a routed commit that did not move the standing
+    /// result still advances the subscription's epoch.
     pub changes: Vec<(ObjectId, MonitorChange)>,
-    /// The commit's full receipt (shared with other subscriptions).
+    /// For kNN subscriptions: the full ranked top-k after this commit,
+    /// ascending `(distance, id)`. `None` for range subscriptions.
+    pub ranked: Option<Vec<(ObjectId, f64)>>,
+    /// This notification coalesces two or more commits because the
+    /// consumer fell behind its mailbox capacity: intermediate epochs
+    /// were skipped, with their net membership effect folded into
+    /// `changes` (the result set is still exact).
+    pub lagged: bool,
+    /// The (newest coalesced) commit's full receipt (shared with other
+    /// subscriptions).
     pub report: Arc<UpdateReport>,
 }
 
-/// A standing query kept current by commit deltas.
+/// A standing query kept current by routed commit deltas.
 ///
 /// Created by [`IndoorService::subscribe`]: the subscription starts from
-/// the [`Subscription::initial`] result evaluated at its baseline epoch,
-/// then absorbs every commit's [`UpdateReport`] — removals leave the
-/// result set, inserted and moved objects are re-evaluated against the
-/// monitor's cached distance tree, and a topology change triggers one
-/// full refresh (see [`RangeMonitor`]). Absorption happens on the
-/// *subscriber's* thread, against the snapshot pinned to the commit, so
-/// a slow consumer never blocks the writer or other readers.
+/// the [`Subscription::initial`] result evaluated at its baseline epoch;
+/// afterwards the service's dispatch thread absorbs every commit that
+/// can affect the query into the subscription's monitor and queues the
+/// membership changes here. Commits whose routing footprint is disjoint
+/// from the query's candidate partitions are **skipped entirely** — they
+/// produce no notification and do not advance
+/// [`Subscription::epoch`]; the skip is sound because such a commit
+/// provably cannot change the result (see [`idq_dispatch`]).
 ///
 /// Consume with [`Subscription::poll`] (non-blocking drain) or
-/// [`Subscription::wait`] (block until the next commit; `None` once the
-/// writer is gone and the queue is drained).
+/// [`Subscription::wait`] (block until the next routed commit; `None`
+/// once the writer is gone and the queue is drained). The mailbox is
+/// **bounded**: a consumer that falls behind gets newer commits
+/// coalesced into one [`Notification::lagged`] delivery instead of
+/// unbounded queue growth, and never slows the writer or the dispatch
+/// thread.
 ///
-/// **Consumption keeps memory bounded.** The notice queue is lossless
-/// and unbounded, and every queued notice pins its commit's version
-/// (space + store + index) until absorbed — that pinning is what lets
-/// absorption run lock-free on the consumer's thread. A subscription
-/// that is held but never polled under a steady writer therefore retains
-/// one version per commit; drain it promptly (or drop it: a dropped
-/// subscription is pruned at the writer's next broadcast).
+/// Dropping a subscription deregisters it from the dispatcher
+/// immediately — an unpolled, forgotten handle stops costing routing
+/// work at the next commit.
 #[derive(Debug)]
 pub struct Subscription {
     query: Query,
-    monitor: RangeMonitor,
-    rx: NoticeReceiver,
+    shared: Arc<Shared>,
+    id: SubId,
+    rx: MailboxReceiver<Arc<UpdateReport>>,
     epoch: u64,
     initial: Vec<ObjectId>,
-    /// Adopt each commit's effective options before absorbing it (true
-    /// for [`IndoorService::subscribe`]; explicit-options subscriptions
-    /// keep theirs frozen).
-    track_options: bool,
+    /// The standing result set, maintained by applying routed changes.
+    inside: BTreeSet<ObjectId>,
+    /// The ranked top-k (kNN subscriptions only).
+    ranked: Option<Vec<(ObjectId, f64)>>,
 }
 
 impl Subscription {
@@ -449,74 +621,85 @@ impl Subscription {
         &self.initial
     }
 
-    /// The current standing result set (initial + every absorbed delta),
+    /// The current standing result set (initial + every applied delta),
     /// ascending by object id.
     pub fn current(&self) -> Vec<ObjectId> {
-        self.monitor.current()
+        self.inside.iter().copied().collect()
     }
 
     /// Whether an object is currently in the standing result set.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.monitor.contains(id)
+        self.inside.contains(&id)
     }
 
-    /// The epoch the standing result set is current as of.
+    /// The epoch the standing result set is current as of. Advances only
+    /// on routed commits; commits proven irrelevant leave it unchanged.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
-    /// Absorbs every queued commit without blocking, returning one
-    /// [`Notification`] per commit in epoch order.
+    /// For kNN subscriptions, the current ranked top-k, ascending
+    /// `(distance, id)`; `None` for range subscriptions.
+    pub fn ranked(&self) -> Option<&[(ObjectId, f64)]> {
+        self.ranked.as_deref()
+    }
+
+    /// Applies every queued notification without blocking, returning them
+    /// in epoch order.
     pub fn poll(&mut self) -> Result<Vec<Notification>, EngineError> {
         let mut out = Vec::new();
-        while let Some(notice) = self.rx.try_recv() {
-            if let Some(n) = self.absorb(notice)? {
-                out.push(n);
-            }
+        while let Some(msg) = self.rx.try_recv() {
+            out.push(self.apply(msg));
         }
         Ok(out)
     }
 
-    /// Blocks until the next commit arrives and absorbs it. Returns
-    /// `Ok(None)` once the writer is gone and every queued commit has been
-    /// absorbed — the stream has ended and the result set is final.
+    /// Blocks until the next routed commit's notification arrives and
+    /// applies it. Returns `Ok(None)` once the writer is gone and every
+    /// queued notification has been applied — the stream has ended and
+    /// the result set is final.
     pub fn wait(&mut self) -> Result<Option<Notification>, EngineError> {
-        loop {
-            match self.rx.recv() {
-                None => return Ok(None),
-                Some(notice) => {
-                    if let Some(n) = self.absorb(notice)? {
-                        return Ok(Some(n));
-                    }
-                    // A pre-baseline notice carries nothing new; keep
-                    // waiting for a real commit.
-                }
-            }
+        match self.rx.recv() {
+            None => Ok(None),
+            Some(msg) => Ok(Some(self.apply(msg))),
         }
     }
 
-    /// Absorbs one notice; `None` when the commit is already reflected in
-    /// the baseline (a registration race, see `subscribe_with`).
-    fn absorb(&mut self, notice: CommitNotice) -> Result<Option<Notification>, EngineError> {
-        let report = notice.report;
-        if report.epoch <= self.epoch {
-            return Ok(None);
+    /// Folds one precomputed delta message into the local result set.
+    fn apply(&mut self, msg: DeltaMsg<Arc<UpdateReport>>) -> Notification {
+        for &(id, change) in &msg.changes {
+            match change {
+                MonitorChange::Entered => {
+                    self.inside.insert(id);
+                }
+                MonitorChange::Left => {
+                    self.inside.remove(&id);
+                }
+                MonitorChange::Unchanged => {}
+            }
         }
-        let snapshot = notice.snapshot;
-        if self.track_options {
-            // Default-options subscriptions follow the engine's effective
-            // options as they widen (e.g. a larger uncertainty radius
-            // arrived), so a topology-triggered refresh inside the absorb
-            // matches a fresh default query at the same epoch.
-            self.monitor.set_options(*snapshot.options());
+        self.epoch = msg.epoch;
+        if msg.ranked.is_some() {
+            self.ranked = msg.ranked.clone();
         }
-        let changes = MonitorExt::absorb(&mut self.monitor, &report, &snapshot)?;
-        self.epoch = report.epoch;
-        Ok(Some(Notification {
-            epoch: report.epoch,
-            changes,
-            report,
-        }))
+        Notification {
+            epoch: msg.epoch,
+            changes: msg.changes,
+            ranked: msg.ranked,
+            lagged: msg.lagged,
+            report: msg.payload,
+        }
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        // Eager deregistration: the dispatcher stops routing to this
+        // subscription at the next commit instead of discovering the
+        // dead mailbox lazily.
+        if let Ok(mut dispatcher) = self.shared.dispatcher.lock() {
+            dispatcher.deregister(self.id);
+        }
     }
 }
 
@@ -585,17 +768,19 @@ mod tests {
             },
         ])
         .unwrap();
-        let n = sub.wait().unwrap().expect("one commit queued");
+        let n = sub.wait().unwrap().expect("one commit routed");
         assert_eq!(n.epoch, 1);
         assert_eq!(n.changes.len(), 1, "only the near object entered");
         assert_eq!(n.changes[0].1, MonitorChange::Entered);
+        assert!(!n.lagged);
+        assert!(n.ranked.is_none(), "range subscriptions carry no ranking");
         assert_eq!(sub.current().len(), 1);
         assert_eq!(sub.epoch(), 1);
 
-        // A topology commit falls back to a refresh inside absorb.
+        // A topology commit routes to everyone and refreshes internally.
         let door = e.space().doors().next().unwrap().id;
         e.apply_batch(&[Update::CloseDoor(door)]).unwrap();
-        let n = sub.wait().unwrap().expect("topology commit queued");
+        let n = sub.wait().unwrap().expect("topology commit routed");
         assert!(n.report.delta.topology_changed);
         assert_eq!(n.changes.len(), 1, "the near object left");
         assert!(sub.current().is_empty());
@@ -607,7 +792,7 @@ mod tests {
     }
 
     #[test]
-    fn poll_drains_multiple_commits_in_order() {
+    fn poll_drains_routed_commits_in_order() {
         let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
         let service = e.service();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
@@ -616,6 +801,9 @@ mod tests {
             e.insert_object_at(Point2::new(5.0 + seed as f64, 5.0), 0, 1.0, 4, seed)
                 .unwrap();
         }
+        // Routing is asynchronous; wait for the dispatch thread to catch
+        // up before draining.
+        service.quiesce();
         let notifications = sub.poll().unwrap();
         assert_eq!(notifications.len(), 3);
         assert_eq!(
@@ -626,6 +814,118 @@ mod tests {
         // Fresh evaluation agrees.
         let fresh = service.execute(&Query::Range { q, r: 40.0 }).unwrap();
         assert_eq!(fresh.as_range().unwrap().results.len(), 3);
+    }
+
+    #[test]
+    fn irrelevant_commits_are_never_delivered() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let service = e.service();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        // Frozen zero-slack options keep the candidate footprint to the
+        // query's own room inside this small floorplan.
+        let tight = QueryOptions::builder().subgraph_slack(0.0).build();
+        let mut sub = service
+            .subscribe_with(Query::Range { q, r: 5.0 }, tight)
+            .unwrap();
+
+        // Far-room churn: provably outside the footprint.
+        for seed in 1..=4u64 {
+            e.insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 4, seed)
+                .unwrap();
+        }
+        service.quiesce();
+        assert!(
+            sub.poll().unwrap().is_empty(),
+            "disjoint commits produce no notifications"
+        );
+        assert_eq!(sub.epoch(), 0, "epoch advances only on routed commits");
+        let stats = service.dispatch_stats();
+        assert_eq!(stats.skipped, 4);
+        assert_eq!(stats.deliveries, 0);
+
+        // A commit inside the footprint still gets through.
+        e.insert_object_at(Point2::new(3.0, 5.0), 0, 1.0, 4, 9)
+            .unwrap();
+        let n = sub.wait().unwrap().expect("near commit routed");
+        assert_eq!(n.changes.len(), 1);
+        assert_eq!(sub.epoch(), e.epoch());
+    }
+
+    #[test]
+    fn knn_subscription_tracks_fresh_queries() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let service = e.service();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut sub = service.subscribe(Query::Knn { q, k: 2 }).unwrap();
+        assert!(sub.initial().is_empty());
+        assert_eq!(sub.ranked().map(|r| r.len()), Some(0));
+
+        e.insert_object_at(Point2::new(12.0, 5.0), 0, 1.0, 4, 1)
+            .unwrap();
+        e.insert_object_at(Point2::new(25.0, 5.0), 0, 1.0, 4, 2)
+            .unwrap();
+        e.insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 3)
+            .unwrap();
+        let mut last_ranked = None;
+        while sub.epoch() < e.epoch() {
+            let n = sub.wait().unwrap().expect("stream is live");
+            last_ranked = n.ranked;
+        }
+        // The maintained ranking equals a fresh ikNNQ at the final epoch.
+        let fresh = e.knn(q, 2).unwrap();
+        let fresh_ranked: Vec<(ObjectId, f64)> = fresh
+            .results
+            .iter()
+            .map(|h| (h.object, h.distance))
+            .collect();
+        assert_eq!(last_ranked.as_deref(), Some(&fresh_ranked[..]));
+        assert_eq!(sub.ranked(), Some(&fresh_ranked[..]));
+        let fresh_ids: Vec<ObjectId> = {
+            let mut ids: Vec<ObjectId> = fresh.results.iter().map(|h| h.object).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(sub.current(), fresh_ids);
+
+        // A door close re-verifies through a full refresh.
+        let door = e.space().doors().next().unwrap().id;
+        e.apply_batch(&[Update::CloseDoor(door)]).unwrap();
+        let n = sub.wait().unwrap().expect("topology routed");
+        assert!(n.report.delta.topology_changed);
+        let fresh = e.knn(q, 2).unwrap();
+        assert_eq!(
+            sub.ranked().map(|r| r.len()),
+            Some(fresh.results.len()),
+            "ranking matches the post-topology fresh query"
+        );
+    }
+
+    #[test]
+    fn bounded_subscription_coalesces_with_a_lag_marker() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let service = e.service();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut sub = service
+            .subscribe_bounded(Query::Range { q, r: 40.0 }, 2)
+            .unwrap();
+        // Never polled while 5 commits land: capacity 2 forces the tail
+        // to coalesce.
+        for seed in 1..=5u64 {
+            e.insert_object_at(Point2::new(5.0 + seed as f64, 5.0), 0, 1.0, 4, seed)
+                .unwrap();
+        }
+        service.quiesce();
+        let notifications = sub.poll().unwrap();
+        assert!(notifications.len() < 5, "tail commits were coalesced");
+        let last = notifications.last().unwrap();
+        assert!(last.lagged, "the merged delivery is marked");
+        assert_eq!(last.epoch, 5, "coalesced delivery reports the newest epoch");
+        assert_eq!(
+            sub.current().len(),
+            5,
+            "coalesced changes still reconstruct the exact result set"
+        );
+        assert!(service.dispatch_stats().coalesced > 0);
     }
 
     #[test]
@@ -640,7 +940,6 @@ mod tests {
         let service = e.service();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
         let mut sub = service.subscribe(Query::Range { q, r: 30.0 }).unwrap();
-        let narrow_slack = sub.monitor.options().subgraph_slack;
 
         // Radius 15 pushes the effective slack past the 60 m floor
         // (`QueryOptions::for_max_radius`: max(4r + 20, 60)).
@@ -649,19 +948,9 @@ mod tests {
         let door = e.space().doors().next().unwrap().id;
         e.apply_batch(&[Update::CloseDoor(door), Update::OpenDoor(door)])
             .unwrap();
-        while sub.wait().unwrap().is_some() {
-            if sub.epoch() == e.epoch() {
-                break;
-            }
+        while sub.epoch() < e.epoch() {
+            assert!(sub.wait().unwrap().is_some(), "writer is still alive");
         }
-        assert!(
-            sub.monitor.options().subgraph_slack > narrow_slack,
-            "subscription adopted the widened slack"
-        );
-        assert_eq!(
-            sub.monitor.options().subgraph_slack,
-            e.query_options().subgraph_slack
-        );
         let fresh: Vec<ObjectId> = e
             .range_query(q, 30.0)
             .unwrap()
@@ -669,17 +958,52 @@ mod tests {
             .iter()
             .map(|h| h.object)
             .collect();
-        assert_eq!(sub.current(), fresh);
+        assert_eq!(
+            sub.current(),
+            fresh,
+            "the tracked options match a fresh default query"
+        );
     }
 
     #[test]
-    fn only_range_queries_subscribe() {
+    fn distance_and_path_queries_do_not_subscribe() {
         let e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
         let service = e.service();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
-        let err = service.subscribe(Query::Knn { q, k: 1 }).unwrap_err();
+        let p = IndoorPoint::new(Point2::new(15.0, 5.0), 0);
+        let err = service.subscribe(Query::Distance { q, p }).unwrap_err();
         assert!(matches!(err, EngineError::UnsupportedSubscription(_)));
         assert!(err.to_string().contains("subscription"));
+        assert!(
+            err.to_string().contains("range") && err.to_string().contains("kNN"),
+            "the error names the supported kinds: {err}"
+        );
+        let err = service.subscribe(Query::Path { q, p }).unwrap_err();
+        assert!(matches!(err, EngineError::UnsupportedSubscription(_)));
+        // kNN now subscribes fine.
+        let sub = service.subscribe(Query::Knn { q, k: 1 }).unwrap();
+        assert!(sub.initial().is_empty());
+    }
+
+    #[test]
+    fn dropped_subscriptions_deregister_eagerly() {
+        let mut e = IndoorEngine::new(three_rooms(), EngineConfig::default()).unwrap();
+        let service = e.service();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let sub = service.subscribe(Query::Range { q, r: 40.0 }).unwrap();
+        let keeper = service.subscribe(Query::Range { q, r: 40.0 }).unwrap();
+        drop(sub);
+        e.insert_object_at(Point2::new(5.0, 5.0), 0, 1.0, 4, 1)
+            .unwrap();
+        service.quiesce();
+        let stats = service.dispatch_stats();
+        assert_eq!(stats.registered, 2);
+        assert_eq!(stats.dropped, 1, "drop deregistered immediately");
+        assert_eq!(
+            stats.deliveries, 1,
+            "only the surviving subscription was routed"
+        );
+        drop(keeper);
     }
 
     #[test]

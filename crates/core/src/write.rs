@@ -40,7 +40,7 @@ use crate::state::EngineState;
 use crate::update::{DeltaBuilder, Update, UpdateOutcome, UpdateReport, UpdateStats};
 use idq_geom::{Circle, Mbr3, Point2};
 use idq_index::{CompositeIndex, UnitId};
-use idq_model::{Floor, IndoorSpace, TopologyEvent};
+use idq_model::{Floor, IndoorSpace, PartitionId, TopologyEvent};
 use idq_objects::{GaussianSampler, ObjectError, ObjectId, ObjectStore, UncertainObject};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -166,6 +166,11 @@ struct BatchState {
     /// Floors whose shards the batch's object ops landed in — reported as
     /// `UpdateStats::shards_touched`.
     floors: BTreeSet<Floor>,
+    /// Partitions whose object population the batch changed — every
+    /// partition an object op's instances occupied before or after the op
+    /// — reported as the commit's routing footprint
+    /// (`UpdateDelta::partitions`).
+    partitions: BTreeSet<PartitionId>,
 }
 
 /// The copy-on-write working state of one write transaction.
@@ -233,7 +238,8 @@ impl Txn {
                 }
                 let ops = self.stage_position_run(&updates[start..i], &mut state.stats)?;
                 for op in ops {
-                    let outcome = self.apply_object_op(op, &mut state.floors)?;
+                    let outcome =
+                        self.apply_object_op(op, &mut state.floors, &mut state.partitions)?;
                     state.delta.record(&outcome);
                     state.outcomes.push(outcome);
                 }
@@ -504,12 +510,14 @@ impl Txn {
         &mut self,
         op: PreparedOp,
         floors: &mut BTreeSet<Floor>,
+        partitions: &mut BTreeSet<PartitionId>,
     ) -> Result<UpdateOutcome, EngineError> {
         match op {
             PreparedOp::Insert(object, units, mbr) => {
                 let id = object.id;
                 let radius = object.region.radius;
                 floors.insert(object.floor);
+                self.note_partitions(&units, partitions);
                 Arc::make_mut(&mut self.index).insert_object_prepared(id, units, mbr)?;
                 Arc::make_mut(&mut self.store).insert(*object)?;
                 self.max_radius = self.max_radius.max(radius);
@@ -520,15 +528,35 @@ impl Txn {
                 // A cross-floor move touches the old floor's shard too.
                 floors.insert(old_floor);
                 floors.insert(object.floor);
+                // The partitions the object is *leaving* belong to the
+                // routing footprint too: capture them before the index
+                // forgets the old placement.
+                if let Ok(old_units) = self.index.object_layer().units_of(id) {
+                    self.note_partitions(old_units, partitions);
+                }
+                self.note_partitions(&units, partitions);
                 Arc::make_mut(&mut self.store).replace_discarding(*object)?;
                 Arc::make_mut(&mut self.index).update_object_prepared(id, units, mbr)?;
                 Ok(UpdateOutcome::ObjectMoved(id))
             }
             PreparedOp::Remove(id, floor) => {
                 floors.insert(floor);
+                if let Ok(old_units) = self.index.object_layer().units_of(id) {
+                    self.note_partitions(old_units, partitions);
+                }
                 Arc::make_mut(&mut self.index).remove_object(id)?;
                 Arc::make_mut(&mut self.store).discard(id)?;
                 Ok(UpdateOutcome::ObjectRemoved(id))
+            }
+        }
+    }
+
+    /// Folds the partitions owning `units` into the batch's routing
+    /// footprint.
+    fn note_partitions(&self, units: &[UnitId], partitions: &mut BTreeSet<PartitionId>) {
+        for &u in units {
+            if let Some(p) = self.index.units().partition_of(u) {
+                partitions.insert(p);
             }
         }
     }
@@ -1056,10 +1084,12 @@ impl WriteHandle {
         let mut merged_delta = DeltaBuilder::default();
         let mut merged_stats = UpdateStats::default();
         let mut merged_floors: BTreeSet<Floor> = BTreeSet::new();
+        let mut merged_partitions: BTreeSet<PartitionId> = BTreeSet::new();
         let mut reports: Vec<(Arc<Slot>, UpdateReport)> = Vec::with_capacity(group_batches);
         for (offset, (slot, batch)) in committed.into_iter().enumerate() {
             merged_stats.absorb_group_member(&batch.stats);
             merged_floors.extend(batch.floors.iter().copied());
+            merged_partitions.extend(batch.partitions.iter().copied());
             for outcome in &batch.outcomes {
                 merged_delta.record(outcome);
                 merged_outcomes.push(outcome.clone());
@@ -1067,11 +1097,14 @@ impl WriteHandle {
             let mut stats = batch.stats;
             stats.group_batches = group_batches;
             stats.shards_touched = batch.floors.len();
+            let mut delta = batch.delta.finish();
+            delta.floors = batch.floors.into_iter().collect();
+            delta.partitions = batch.partitions.into_iter().collect();
             reports.push((
                 slot,
                 UpdateReport {
                     outcomes: batch.outcomes,
-                    delta: batch.delta.finish(),
+                    delta,
                     epoch,
                     stats,
                     offset_in_epoch: offset,
@@ -1079,9 +1112,12 @@ impl WriteHandle {
             ));
         }
         merged_stats.shards_touched = merged_floors.len();
+        let mut delta = merged_delta.finish();
+        delta.floors = merged_floors.into_iter().collect();
+        delta.partitions = merged_partitions.into_iter().collect();
         let merged = UpdateReport {
             outcomes: merged_outcomes,
-            delta: merged_delta.finish(),
+            delta,
             epoch,
             stats: merged_stats,
             offset_in_epoch: 0,
@@ -1183,7 +1219,7 @@ fn settle(
     };
     for op in ops {
         let outcome = txn
-            .apply_object_op(op, &mut batch.floors)
+            .apply_object_op(op, &mut batch.floors, &mut batch.partitions)
             .expect("staged ops apply cleanly to the state they were validated against");
         batch.delta.record(&outcome);
         batch.outcomes.push(outcome);

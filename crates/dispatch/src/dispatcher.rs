@@ -1,0 +1,996 @@
+//! The query index and routing core: footprints, the inverted
+//! partition → subscription map, and per-commit delta dispatch.
+
+use crate::mailbox::{DeltaMsg, Mailbox, MailboxReceiver, PushOutcome};
+use idq_index::CompositeIndex;
+use idq_model::{IndoorSpace, PartitionId};
+use idq_objects::{ObjectId, ObjectStore};
+use idq_query::{KnnMonitor, MonitorChange, QueryError, QueryOptions, RangeMonitor};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Handle identifying one registered subscription.
+pub type SubId = u64;
+
+/// The candidate partitions a standing query could ever draw members
+/// from — the subscription side of the routing intersection.
+///
+/// Soundness: an object can change the query's result only if its
+/// expected distance crosses the query threshold, which requires its
+/// distance **lower bound** — the minimum over its instances' partition
+/// bounds — to be at or below the threshold. Every partition whose
+/// geometric bound is within the threshold is retrieved by
+/// [`CompositeIndex::range_search`] (no false negatives, with or
+/// without the skeleton), so a commit whose routing footprint is
+/// disjoint from this set provably cannot change the result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryFootprint {
+    /// Candidate partitions, ascending and deduplicated.
+    partitions: Vec<PartitionId>,
+    /// The query can currently be affected by a change anywhere — a kNN
+    /// subscription holding fewer than `k` reachable objects (threshold
+    /// `+∞`: any object becoming reachable enters the result).
+    everything: bool,
+}
+
+impl QueryFootprint {
+    /// A footprint over an explicit candidate-partition set.
+    pub fn over(mut partitions: Vec<PartitionId>) -> Self {
+        partitions.sort_unstable();
+        partitions.dedup();
+        QueryFootprint {
+            partitions,
+            everything: false,
+        }
+    }
+
+    /// The footprint that intersects every commit.
+    pub fn everything() -> Self {
+        QueryFootprint {
+            partitions: Vec::new(),
+            everything: true,
+        }
+    }
+
+    /// Whether this footprint matches every commit.
+    pub fn covers_everything(&self) -> bool {
+        self.everything
+    }
+
+    /// The candidate partitions (ascending; empty when
+    /// [`QueryFootprint::covers_everything`]).
+    pub fn partitions(&self) -> &[PartitionId] {
+        &self.partitions
+    }
+
+    /// Whether a commit with the given routing footprint (ascending)
+    /// can affect this query. A merge walk over two sorted lists.
+    pub fn intersects(&self, commit_partitions: &[PartitionId]) -> bool {
+        if self.everything {
+            return true;
+        }
+        let (mut i, mut j) = (0, 0);
+        while i < self.partitions.len() && j < commit_partitions.len() {
+            match self.partitions[i].cmp(&commit_partitions[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+/// A standing query's monitor, range or kNN — the two subscription
+/// kinds the dispatcher serves.
+#[derive(Debug)]
+pub enum StandingMonitor {
+    /// A standing `iRQ(q, r)`.
+    Range(RangeMonitor),
+    /// A standing `ikNNQ(q, k)`.
+    Knn(KnnMonitor),
+}
+
+impl StandingMonitor {
+    /// Full re-evaluation; returns the objects currently in the result,
+    /// ascending by id.
+    pub fn refresh(
+        &mut self,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+    ) -> Result<Vec<ObjectId>, QueryError> {
+        match self {
+            StandingMonitor::Range(m) => m.refresh(space, index, store),
+            StandingMonitor::Knn(m) => {
+                m.refresh(space, index, store)?;
+                Ok(m.current())
+            }
+        }
+    }
+
+    /// Absorbs one committed delta; returns the membership changes,
+    /// ascending by object id.
+    pub fn absorb_delta(
+        &mut self,
+        updated: &[ObjectId],
+        removed: &[ObjectId],
+        topology_changed: bool,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+    ) -> Result<Vec<(ObjectId, MonitorChange)>, QueryError> {
+        match self {
+            StandingMonitor::Range(m) => {
+                m.absorb_delta(updated, removed, topology_changed, space, index, store)
+            }
+            StandingMonitor::Knn(m) => {
+                m.absorb_delta(updated, removed, topology_changed, space, index, store)
+            }
+        }
+    }
+
+    /// Objects currently in the result, ascending by id.
+    pub fn current(&self) -> Vec<ObjectId> {
+        match self {
+            StandingMonitor::Range(m) => m.current(),
+            StandingMonitor::Knn(m) => m.current(),
+        }
+    }
+
+    /// The ranked top-k for a kNN monitor, `None` for range.
+    pub fn ranked(&self) -> Option<Vec<(ObjectId, f64)>> {
+        match self {
+            StandingMonitor::Range(_) => None,
+            StandingMonitor::Knn(m) => Some(m.ranked()),
+        }
+    }
+
+    /// Whether an object is currently in the result.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        match self {
+            StandingMonitor::Range(m) => m.contains(id),
+            StandingMonitor::Knn(m) => m.contains(id),
+        }
+    }
+
+    /// The query options evaluations use.
+    pub fn options(&self) -> &QueryOptions {
+        match self {
+            StandingMonitor::Range(m) => m.options(),
+            StandingMonitor::Knn(m) => m.options(),
+        }
+    }
+
+    /// Replaces the query options.
+    pub fn set_options(&mut self, options: QueryOptions) {
+        match self {
+            StandingMonitor::Range(m) => m.set_options(options),
+            StandingMonitor::Knn(m) => m.set_options(options),
+        }
+    }
+
+    /// The threshold the footprint was derived from: `Some(kth
+    /// distance)` for kNN (whose footprint must be recomputed when it
+    /// changes), `None` for range (fixed radius, fixed footprint).
+    fn footprint_threshold(&self) -> Option<f64> {
+        match self {
+            StandingMonitor::Range(_) => None,
+            StandingMonitor::Knn(m) => Some(m.threshold()),
+        }
+    }
+
+    /// Computes the current candidate-partition footprint through the
+    /// same retrieval the query pipeline's filtering phase uses, at the
+    /// query threshold itself — **without** the subgraph slack. The
+    /// slack widens Phase 2's restricted distance computation, but
+    /// distances depend on the topology alone (and topology commits
+    /// route to every subscription regardless of footprints), while an
+    /// object in a slack-only partition has a geometric lower bound
+    /// above the threshold and can never be a member — so object churn
+    /// there is provably irrelevant and the tighter set routes exactly.
+    pub fn footprint(&self, space: &IndoorSpace, index: &CompositeIndex) -> QueryFootprint {
+        let (q, threshold, options) = match self {
+            StandingMonitor::Range(m) => (m.query_point(), m.radius(), m.options()),
+            StandingMonitor::Knn(m) => (m.query_point(), m.threshold(), m.options()),
+        };
+        if !threshold.is_finite() {
+            return QueryFootprint::everything();
+        }
+        let out = index.range_search(space, q, threshold, options.use_skeleton);
+        QueryFootprint::over(out.partitions)
+    }
+}
+
+/// The routing footprint of one committed group: what changed, and
+/// which partitions the object changes touched (before and after).
+#[derive(Clone, Copy, Debug)]
+pub struct CommitDelta<'a> {
+    /// Epoch the commit published.
+    pub epoch: u64,
+    /// Objects inserted, moved or re-sampled, ascending.
+    pub updated: &'a [ObjectId],
+    /// Objects removed, ascending.
+    pub removed: &'a [ObjectId],
+    /// The commit changed the space topology: cached distances and all
+    /// footprints are invalid, so it routes to **every** subscription.
+    pub topology_changed: bool,
+    /// Partitions the object changes touched before or after the batch,
+    /// ascending and deduplicated.
+    pub partitions: &'a [PartitionId],
+}
+
+/// Counters describing the dispatcher's routing behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Commits dispatched.
+    pub commits: u64,
+    /// Per-subscription deliveries (messages accepted by a mailbox,
+    /// whether queued or coalesced).
+    pub deliveries: u64,
+    /// Per-subscription skips — commit × subscription pairs proved
+    /// unaffected with zero absorption work, either by the partition
+    /// index (footprint disjoint) or by the per-object filter (no
+    /// updated object relevant to this subscription).
+    pub skipped: u64,
+    /// Deliveries folded into an already-queued message because the
+    /// consumer's mailbox was full.
+    pub coalesced: u64,
+    /// Subscriptions ever registered.
+    pub registered: u64,
+    /// Subscriptions deregistered (consumer drop or absorb failure).
+    pub dropped: u64,
+    /// Absorptions that failed; the subscription's stream is closed and
+    /// the entry removed.
+    pub absorb_errors: u64,
+}
+
+#[derive(Debug)]
+struct SubEntry<R> {
+    monitor: StandingMonitor,
+    footprint: QueryFootprint,
+    /// kNN threshold the footprint was computed at (`None` for range).
+    /// Growth past it forces a repair (the footprint could miss
+    /// partitions); shrinks keep a sound superset and only rebuild for
+    /// precision once the threshold has halved.
+    footprint_threshold: Option<f64>,
+    mailbox: Arc<Mailbox<R>>,
+    /// Baseline guard: commits at or below this epoch are already
+    /// reflected in the monitor's initial state and must not be
+    /// re-absorbed.
+    epoch: u64,
+    track_options: bool,
+}
+
+/// The query-indexed routing core. Single-threaded by design — the
+/// serving engine drives it from one dispatch thread; interior
+/// synchronisation lives in the engine, not here.
+#[derive(Debug)]
+pub struct Dispatcher<R> {
+    subs: HashMap<SubId, SubEntry<R>>,
+    /// Inverted index: partition → subscriptions whose footprint holds it.
+    by_partition: HashMap<PartitionId, BTreeSet<SubId>>,
+    /// Subscriptions whose footprint covers everything.
+    everything: BTreeSet<SubId>,
+    next_id: SubId,
+    closed: bool,
+    stats: DispatchStats,
+}
+
+impl<R> Default for Dispatcher<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn link(
+    by_partition: &mut HashMap<PartitionId, BTreeSet<SubId>>,
+    everything: &mut BTreeSet<SubId>,
+    id: SubId,
+    fp: &QueryFootprint,
+) {
+    if fp.covers_everything() {
+        everything.insert(id);
+    } else {
+        for &p in fp.partitions() {
+            by_partition.entry(p).or_default().insert(id);
+        }
+    }
+}
+
+fn unlink(
+    by_partition: &mut HashMap<PartitionId, BTreeSet<SubId>>,
+    everything: &mut BTreeSet<SubId>,
+    id: SubId,
+    fp: &QueryFootprint,
+) {
+    if fp.covers_everything() {
+        everything.remove(&id);
+    } else {
+        for p in fp.partitions() {
+            if let Some(ids) = by_partition.get_mut(p) {
+                ids.remove(&id);
+                if ids.is_empty() {
+                    by_partition.remove(p);
+                }
+            }
+        }
+    }
+}
+
+impl<R> Dispatcher<R> {
+    /// An empty dispatcher.
+    pub fn new() -> Self {
+        Dispatcher {
+            subs: HashMap::new(),
+            by_partition: HashMap::new(),
+            everything: BTreeSet::new(),
+            next_id: 0,
+            closed: false,
+            stats: DispatchStats::default(),
+        }
+    }
+
+    /// Registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether no subscriptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Whether [`Dispatcher::close_all`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Routing counters so far.
+    pub fn stats(&self) -> DispatchStats {
+        self.stats
+    }
+
+    /// Load of the routing index: `(distinct partitions indexed, total
+    /// partition → subscription links, subscriptions routing on
+    /// everything)`. Links divided by subscriptions is the mean
+    /// footprint size — the precision the partition index routes at.
+    pub fn index_load(&self) -> (usize, usize, usize) {
+        (
+            self.by_partition.len(),
+            self.by_partition.values().map(BTreeSet::len).sum(),
+            self.everything.len(),
+        )
+    }
+
+    /// Registers a subscription whose monitor is already refreshed
+    /// against the caller's baseline snapshot. Commits with epoch at or
+    /// below `baseline_epoch` are dropped by the per-subscription guard
+    /// (they are already reflected in the monitor's state). Returns the
+    /// consumer end of the subscription's bounded mailbox; after
+    /// [`Dispatcher::close_all`] the stream comes back already ended.
+    pub fn register(
+        &mut self,
+        monitor: StandingMonitor,
+        baseline_epoch: u64,
+        track_options: bool,
+        capacity: usize,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+    ) -> (SubId, MailboxReceiver<R>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let (mailbox, receiver) = Mailbox::channel(capacity, self.closed);
+        if self.closed {
+            return (id, receiver);
+        }
+        let footprint = monitor.footprint(space, index);
+        link(&mut self.by_partition, &mut self.everything, id, &footprint);
+        let footprint_threshold = monitor.footprint_threshold();
+        self.subs.insert(
+            id,
+            SubEntry {
+                monitor,
+                footprint,
+                footprint_threshold,
+                mailbox,
+                epoch: baseline_epoch,
+                track_options,
+            },
+        );
+        self.stats.registered += 1;
+        (id, receiver)
+    }
+
+    /// Removes a subscription and closes its stream. A no-op for ids
+    /// already gone — consumer-side drops and absorb-failure removals
+    /// may race benignly.
+    pub fn deregister(&mut self, id: SubId) -> bool {
+        let Some(entry) = self.subs.remove(&id) else {
+            return false;
+        };
+        unlink(
+            &mut self.by_partition,
+            &mut self.everything,
+            id,
+            &entry.footprint,
+        );
+        entry.mailbox.close();
+        self.stats.dropped += 1;
+        true
+    }
+
+    /// Ends every stream (the writer retired). Queued messages stay
+    /// drainable; later registrations come back pre-closed.
+    pub fn close_all(&mut self) {
+        self.closed = true;
+        for entry in self.subs.values() {
+            entry.mailbox.close();
+        }
+    }
+
+    /// Routes one committed delta: intersects its footprint against the
+    /// query index, absorbs it into exactly the affected subscriptions'
+    /// monitors and pushes the resulting changes into their mailboxes.
+    /// Everything else is skipped with zero per-subscription work.
+    ///
+    /// `options` are the commit's effective query options; subscriptions
+    /// registered with `track_options` adopt them before absorbing.
+    pub fn dispatch(
+        &mut self,
+        delta: &CommitDelta<'_>,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+        options: &QueryOptions,
+        payload: &R,
+    ) where
+        R: Clone,
+    {
+        debug_assert!(delta.partitions.windows(2).all(|w| w[0] < w[1]));
+        self.stats.commits += 1;
+        let has_object_changes = !delta.updated.is_empty() || !delta.removed.is_empty();
+        // Conservative guard: object changes that report no footprint
+        // (nothing resolvable to a partition) route everywhere rather
+        // than risk an unsound skip.
+        let route_all =
+            delta.topology_changed || (has_object_changes && delta.partitions.is_empty());
+        let targets: Vec<SubId> = if route_all {
+            let mut ids: Vec<SubId> = self.subs.keys().copied().collect();
+            ids.sort_unstable();
+            ids
+        } else if !has_object_changes {
+            Vec::new()
+        } else {
+            let mut ids: BTreeSet<SubId> = self.everything.iter().copied().collect();
+            for p in delta.partitions {
+                if let Some(set) = self.by_partition.get(p) {
+                    ids.extend(set.iter().copied());
+                }
+            }
+            ids.into_iter().collect()
+        };
+        self.stats.skipped += (self.subs.len() - targets.len()) as u64;
+
+        // Per-object after-partitions, resolved once per commit. The
+        // commit-level intersection routes on the *union* of the delta's
+        // partitions, so a routed subscription still sees many updates
+        // that cannot concern it; re-deriving each updated object's
+        // current partitions lets every target absorb only its relevant
+        // subset. `None` marks an object the index cannot place (not
+        // indexed, or spanning no partition) — conservatively relevant
+        // to everyone, mirroring the commit-level empty-footprint guard.
+        let object_partitions: Vec<(ObjectId, Option<Vec<PartitionId>>)> =
+            if route_all || targets.is_empty() {
+                Vec::new()
+            } else {
+                delta
+                    .updated
+                    .iter()
+                    .map(|&oid| {
+                        let parts = index.object_layer().units_of(oid).ok().and_then(|units| {
+                            let mut ps: Vec<PartitionId> = units
+                                .iter()
+                                .filter_map(|&u| index.units().partition_of(u))
+                                .collect();
+                            ps.sort_unstable();
+                            ps.dedup();
+                            if ps.is_empty() {
+                                None
+                            } else {
+                                Some(ps)
+                            }
+                        });
+                        (oid, parts)
+                    })
+                    .collect()
+            };
+        let mut relevant: Vec<ObjectId> = Vec::with_capacity(delta.updated.len());
+
+        let mut dead: Vec<SubId> = Vec::new();
+        for id in targets {
+            let Some(entry) = self.subs.get_mut(&id) else {
+                continue;
+            };
+            if delta.epoch <= entry.epoch {
+                // Registered at a baseline at or past this commit: the
+                // monitor's initial refresh already reflects it.
+                continue;
+            }
+            // Per-object filter. An updated object outside the footprint
+            // after the commit has a distance lower bound above the
+            // query threshold (the footprint soundness argument, per
+            // object), so it cannot *enter* the result; if it is not a
+            // current member it cannot *leave* either, and absorbing it
+            // would be a no-op. A member is always evaluated — it may
+            // leave, or (kNN) grow the threshold, which the monitor
+            // answers with a full re-query against the index, so the
+            // trimmed update list never hides an admissible object.
+            let updated: &[ObjectId] = if route_all || entry.footprint.covers_everything() {
+                delta.updated
+            } else {
+                relevant.clear();
+                for (oid, parts) in &object_partitions {
+                    match parts {
+                        Some(ps)
+                            if !entry.footprint.intersects(ps) && !entry.monitor.contains(*oid) => {
+                        }
+                        _ => relevant.push(*oid),
+                    }
+                }
+                if relevant.is_empty()
+                    && !delta.removed.iter().any(|&oid| entry.monitor.contains(oid))
+                {
+                    // Nothing this subscription could observe: the
+                    // commit-level route was a false positive of the
+                    // union footprint.
+                    self.stats.skipped += 1;
+                    continue;
+                }
+                &relevant
+            };
+            let opts_changed = entry.track_options && entry.monitor.options() != options;
+            if opts_changed {
+                entry.monitor.set_options(*options);
+            }
+            let changes = match entry.monitor.absorb_delta(
+                updated,
+                delta.removed,
+                delta.topology_changed,
+                space,
+                index,
+                store,
+            ) {
+                Ok(changes) => changes,
+                Err(_) => {
+                    // The monitor is no longer trustworthy; end the
+                    // stream rather than deliver wrong results.
+                    entry.mailbox.close();
+                    self.stats.absorb_errors += 1;
+                    dead.push(id);
+                    continue;
+                }
+            };
+            entry.epoch = delta.epoch;
+
+            // Footprint repair: topology invalidates every footprint; a
+            // kNN threshold that *grew* past the one the footprint was
+            // built at can reach partitions the footprint misses. A
+            // shrunken threshold keeps the footprint a sound superset
+            // (candidate retrieval is monotone in the threshold), so
+            // shrinks only trigger a precision rebuild once the
+            // threshold has halved — the hysteresis keeps ordinary
+            // top-k jitter from re-running candidate retrieval on every
+            // routed commit.
+            let threshold_now = entry.monitor.footprint_threshold();
+            let drifted = match (entry.footprint_threshold, threshold_now) {
+                (Some(built), Some(now)) => now > built || now < built * 0.5,
+                _ => false,
+            };
+            if delta.topology_changed || opts_changed || drifted {
+                let fresh = entry.monitor.footprint(space, index);
+                if fresh != entry.footprint {
+                    unlink(
+                        &mut self.by_partition,
+                        &mut self.everything,
+                        id,
+                        &entry.footprint,
+                    );
+                    link(&mut self.by_partition, &mut self.everything, id, &fresh);
+                    entry.footprint = fresh;
+                }
+                entry.footprint_threshold = threshold_now;
+            }
+
+            let msg = DeltaMsg {
+                epoch: delta.epoch,
+                changes,
+                ranked: entry.monitor.ranked(),
+                lagged: false,
+                payload: payload.clone(),
+            };
+            match entry.mailbox.push(msg) {
+                PushOutcome::Delivered => self.stats.deliveries += 1,
+                PushOutcome::Coalesced => {
+                    self.stats.deliveries += 1;
+                    self.stats.coalesced += 1;
+                }
+                PushOutcome::Closed => {}
+            }
+        }
+        for id in dead {
+            self.deregister(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::{Point2, Rect2};
+    use idq_index::IndexConfig;
+    use idq_model::{FloorPlanBuilder, IndoorPoint};
+    use idq_objects::UncertainObject;
+
+    fn setup() -> (IndoorSpace, ObjectStore, CompositeIndex) {
+        let mut b = FloorPlanBuilder::new(4.0);
+        let r0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let r2 = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
+        b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
+        b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
+        let space = b.finish().unwrap();
+        let store = ObjectStore::new();
+        let index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
+        (space, store, index)
+    }
+
+    fn q() -> IndoorPoint {
+        IndoorPoint::new(Point2::new(2.0, 5.0), 0)
+    }
+
+    /// Tight options so footprints stay local inside the small test
+    /// floorplan (the default 60 m slack would cover every room).
+    fn tight() -> QueryOptions {
+        QueryOptions::builder().subgraph_slack(0.0).build()
+    }
+
+    fn place(
+        store: &mut ObjectStore,
+        index: &mut CompositeIndex,
+        space: &IndoorSpace,
+        id: u64,
+        x: f64,
+    ) -> Vec<PartitionId> {
+        let obj =
+            UncertainObject::point_object(ObjectId(id), IndoorPoint::new(Point2::new(x, 5.0), 0));
+        let mut touched = BTreeSet::new();
+        if store.contains(ObjectId(id)) {
+            for &u in index.object_layer().units_of(ObjectId(id)).unwrap() {
+                touched.extend(index.units().partition_of(u));
+            }
+            store.remove(ObjectId(id)).unwrap();
+            store.insert(obj).unwrap();
+            index
+                .update_object(space, store.get(ObjectId(id)).unwrap())
+                .unwrap();
+        } else {
+            index.insert_object(space, &obj).unwrap();
+            store.insert(obj).unwrap();
+        }
+        for &u in index.object_layer().units_of(ObjectId(id)).unwrap() {
+            touched.extend(index.units().partition_of(u));
+        }
+        touched.into_iter().collect()
+    }
+
+    fn range_monitor(
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+        r: f64,
+    ) -> StandingMonitor {
+        let mut m = RangeMonitor::new(q(), r, tight()).unwrap();
+        m.refresh(space, index, store).unwrap();
+        StandingMonitor::Range(m)
+    }
+
+    #[test]
+    fn disjoint_commits_are_skipped_without_absorption() {
+        let (space, mut store, mut index) = setup();
+        let mut d: Dispatcher<u64> = Dispatcher::new();
+        let (_, rx) = d.register(
+            range_monitor(&space, &index, &store, 5.0),
+            0,
+            false,
+            16,
+            &space,
+            &index,
+        );
+
+        // An object appears at the far end of the floor: its partitions
+        // are outside the query's footprint, so nothing is delivered.
+        let far = place(&mut store, &mut index, &space, 1, 25.0);
+        d.dispatch(
+            &CommitDelta {
+                epoch: 1,
+                updated: &[ObjectId(1)],
+                removed: &[],
+                topology_changed: false,
+                partitions: &far,
+            },
+            &space,
+            &index,
+            &store,
+            &tight(),
+            &1,
+        );
+        assert_eq!(d.stats().skipped, 1);
+        assert_eq!(d.stats().deliveries, 0);
+        assert!(rx.try_recv().is_none());
+
+        // An object appears next to the query point: routed, absorbed,
+        // delivered.
+        let near = place(&mut store, &mut index, &space, 2, 4.0);
+        d.dispatch(
+            &CommitDelta {
+                epoch: 2,
+                updated: &[ObjectId(2)],
+                removed: &[],
+                topology_changed: false,
+                partitions: &near,
+            },
+            &space,
+            &index,
+            &store,
+            &tight(),
+            &2,
+        );
+        let msg = rx.try_recv().expect("routed commit delivers");
+        assert_eq!(msg.epoch, 2);
+        assert_eq!(msg.payload, 2);
+        assert_eq!(msg.changes, vec![(ObjectId(2), MonitorChange::Entered)]);
+        assert_eq!(d.stats().deliveries, 1);
+    }
+
+    #[test]
+    fn topology_routes_to_every_subscription() {
+        let (mut space, mut store, mut index) = setup();
+        let mut d: Dispatcher<u64> = Dispatcher::new();
+        place(&mut store, &mut index, &space, 1, 12.0);
+        let (_, rx) = d.register(
+            range_monitor(&space, &index, &store, 15.0),
+            0,
+            false,
+            16,
+            &space,
+            &index,
+        );
+
+        // Close the door between r0 and r1: object 1 becomes
+        // unreachable. Topology commits carry no partition footprint
+        // yet must reach everyone.
+        let door = space.doors().next().unwrap().id;
+        let ev = space.close_door(door).unwrap();
+        index.apply_topology(&space, &store, &ev).unwrap();
+        d.dispatch(
+            &CommitDelta {
+                epoch: 1,
+                updated: &[],
+                removed: &[],
+                topology_changed: true,
+                partitions: &[],
+            },
+            &space,
+            &index,
+            &store,
+            &tight(),
+            &1,
+        );
+        let msg = rx.try_recv().expect("topology commit always routes");
+        assert_eq!(msg.changes, vec![(ObjectId(1), MonitorChange::Left)]);
+    }
+
+    #[test]
+    fn baseline_epoch_guard_drops_already_seen_commits() {
+        let (space, mut store, mut index) = setup();
+        let near = place(&mut store, &mut index, &space, 1, 4.0);
+        let mut d: Dispatcher<u64> = Dispatcher::new();
+        // Monitor refreshed at epoch 5 already sees object 1.
+        let (_, rx) = d.register(
+            range_monitor(&space, &index, &store, 5.0),
+            5,
+            false,
+            16,
+            &space,
+            &index,
+        );
+        let stale = CommitDelta {
+            epoch: 5,
+            updated: &[ObjectId(1)],
+            removed: &[],
+            topology_changed: false,
+            partitions: &near,
+        };
+        d.dispatch(&stale, &space, &index, &store, &tight(), &5);
+        assert!(rx.try_recv().is_none(), "epoch 5 predates the baseline");
+
+        let fresh = CommitDelta { epoch: 6, ..stale };
+        d.dispatch(&fresh, &space, &index, &store, &tight(), &6);
+        let msg = rx.try_recv().expect("epoch 6 is news");
+        assert_eq!(msg.epoch, 6);
+        assert_eq!(
+            msg.changes,
+            vec![],
+            "object 1 was already in the baseline result"
+        );
+    }
+
+    #[test]
+    fn knn_threshold_growth_moves_the_footprint() {
+        let (space, mut store, mut index) = setup();
+        let mut d: Dispatcher<u64> = Dispatcher::new();
+        let mut m = KnnMonitor::new(q(), 1, tight()).unwrap();
+        m.refresh(&space, &index, &store).unwrap();
+        let mon = StandingMonitor::Knn(m);
+        assert!(
+            mon.footprint(&space, &index).covers_everything(),
+            "empty top-k: infinite threshold routes everything"
+        );
+        let (_, rx) = d.register(mon, 0, false, 16, &space, &index);
+
+        // While the top-k is underfull, even a far-away appearance must
+        // route (it enters the result).
+        let far = place(&mut store, &mut index, &space, 1, 25.0);
+        d.dispatch(
+            &CommitDelta {
+                epoch: 1,
+                updated: &[ObjectId(1)],
+                removed: &[],
+                topology_changed: false,
+                partitions: &far,
+            },
+            &space,
+            &index,
+            &store,
+            &tight(),
+            &1,
+        );
+        let msg = rx.try_recv().expect("underfull kNN routes everywhere");
+        assert_eq!(msg.changes, vec![(ObjectId(1), MonitorChange::Entered)]);
+        let ranked = msg.ranked.expect("kNN deliveries carry the ranking");
+        assert_eq!(ranked.len(), 1);
+
+        // The top-k is now full: the footprint shrank to the partitions
+        // within the kth distance, so the same far partitions still
+        // route (the sole member lives there) but a second, even
+        // farther object cannot evict it... and updates in the member's
+        // own partitions keep routing.
+        let same_far = place(&mut store, &mut index, &space, 2, 28.0);
+        d.dispatch(
+            &CommitDelta {
+                epoch: 2,
+                updated: &[ObjectId(2)],
+                removed: &[],
+                topology_changed: false,
+                partitions: &same_far,
+            },
+            &space,
+            &index,
+            &store,
+            &tight(),
+            &2,
+        );
+        let msg = rx.try_recv().expect("member partition still routed");
+        assert_eq!(msg.changes, vec![], "object 2 is farther, no change");
+
+        // The member moves next to the query point: threshold shrinks
+        // again, and the footprint follows — a commit back in the far
+        // room is now provably irrelevant and gets skipped.
+        let moved = place(&mut store, &mut index, &space, 1, 4.0);
+        d.dispatch(
+            &CommitDelta {
+                epoch: 3,
+                updated: &[ObjectId(1)],
+                removed: &[],
+                topology_changed: false,
+                partitions: &moved,
+            },
+            &space,
+            &index,
+            &store,
+            &tight(),
+            &3,
+        );
+        assert_eq!(rx.try_recv().expect("member move routes").changes, vec![]);
+        let skipped_before = d.stats().skipped;
+        let far2 = place(&mut store, &mut index, &space, 3, 25.0);
+        d.dispatch(
+            &CommitDelta {
+                epoch: 4,
+                updated: &[ObjectId(3)],
+                removed: &[],
+                topology_changed: false,
+                partitions: &far2,
+            },
+            &space,
+            &index,
+            &store,
+            &tight(),
+            &4,
+        );
+        assert_eq!(d.stats().skipped, skipped_before + 1);
+        assert!(
+            rx.try_recv().is_none(),
+            "shrunk footprint skips the far room"
+        );
+    }
+
+    #[test]
+    fn deregister_unlinks_and_closes_the_stream() {
+        let (space, mut store, mut index) = setup();
+        let mut d: Dispatcher<u64> = Dispatcher::new();
+        let (id, rx) = d.register(
+            range_monitor(&space, &index, &store, 5.0),
+            0,
+            false,
+            16,
+            &space,
+            &index,
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d.deregister(id));
+        assert!(!d.deregister(id), "second deregister is a no-op");
+        assert_eq!(d.len(), 0);
+        assert!(rx.recv().is_none(), "stream ended");
+
+        let near = place(&mut store, &mut index, &space, 1, 4.0);
+        d.dispatch(
+            &CommitDelta {
+                epoch: 1,
+                updated: &[ObjectId(1)],
+                removed: &[],
+                topology_changed: false,
+                partitions: &near,
+            },
+            &space,
+            &index,
+            &store,
+            &tight(),
+            &1,
+        );
+        assert_eq!(d.stats().deliveries, 0);
+    }
+
+    #[test]
+    fn close_all_preorders_future_registrations_closed() {
+        let (space, store, index) = setup();
+        let mut d: Dispatcher<u64> = Dispatcher::new();
+        let (_, rx_live) = d.register(
+            range_monitor(&space, &index, &store, 5.0),
+            0,
+            false,
+            16,
+            &space,
+            &index,
+        );
+        d.close_all();
+        assert!(rx_live.recv().is_none());
+        let (_, rx_late) = d.register(
+            range_monitor(&space, &index, &store, 5.0),
+            0,
+            false,
+            16,
+            &space,
+            &index,
+        );
+        assert!(rx_late.recv().is_none(), "late registration is pre-closed");
+        assert_eq!(d.len(), 1, "closed registrations are not indexed");
+    }
+}

@@ -45,7 +45,7 @@ pub mod stats;
 pub use error::QueryError;
 pub use iknn::{knn_query, KnnHit, KnnResult};
 pub use irq::{range_query, RangeHit, RangeResult};
-pub use monitor::{MonitorChange, RangeMonitor};
+pub use monitor::{KnnMonitor, MonitorChange, RangeMonitor};
 pub use naive::{naive_knn, naive_range};
 pub use options::{QueryOptions, QueryOptionsBuilder};
 pub use pipeline::SubregionCache;

@@ -8,7 +8,10 @@
 //! [`RangeMonitor`] therefore caches full-graph [`DoorDistances`] for its
 //! query point and re-evaluates **only the updated object** on each object
 //! update, falling back to a full refresh when the topology changes
-//! (which invalidates cached distances).
+//! (which invalidates cached distances). [`KnnMonitor`] applies the same
+//! idea to a standing `ikNNQ(q, k)`: incremental top-k maintenance where
+//! it is provably exact, and threshold re-verification (one fresh query)
+//! whenever the result set may shrink.
 
 use crate::error::QueryError;
 use crate::options::QueryOptions;
@@ -243,6 +246,247 @@ impl RangeMonitor {
     }
 }
 
+/// A standing `ikNNQ(q, k)` kept current under object updates — the kNN
+/// twin of [`RangeMonitor`].
+///
+/// Caches the full-graph door-distance tree from `q` and maintains the
+/// ranked top-k in exactly [`crate::iknn::knn_query`]'s order (ascending
+/// `(distance, id)`). Object updates fold in incrementally where that is
+/// provably equivalent to a fresh query: a non-member beating the current
+/// kth (bounds first, exact expected distance only when they straddle the
+/// threshold), a member improving, or any change while fewer than `k`
+/// objects are reachable. When the result set may *shrink* — a member
+/// worsened, became unreachable, or was removed — the kth threshold can
+/// grow, which can admit objects the monitor never evaluated; the monitor
+/// then **re-verifies** with one fresh query per absorbed batch rather
+/// than guess. Either path leaves the ranking bit-identical to evaluating
+/// `ikNNQ(q, k)` from scratch on the current state.
+#[derive(Debug)]
+pub struct KnnMonitor {
+    q: IndoorPoint,
+    k: usize,
+    options: QueryOptions,
+    /// Cached single-source door distances from `q` (full graph).
+    dd: Option<DoorDistances>,
+    /// Space version the cache is valid for.
+    cached_version: u64,
+    /// Current top-k, ascending by `(distance, id)` — fresh-query order.
+    topk: Vec<(f64, ObjectId)>,
+}
+
+impl KnnMonitor {
+    /// Creates a monitor; call [`KnnMonitor::refresh`] to initialise the
+    /// result set.
+    pub fn new(q: IndoorPoint, k: usize, options: QueryOptions) -> Result<Self, QueryError> {
+        if k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        Ok(KnnMonitor {
+            q,
+            k,
+            options,
+            dd: None,
+            cached_version: u64::MAX,
+            topk: Vec::new(),
+        })
+    }
+
+    /// The standing query point.
+    pub fn query_point(&self) -> IndoorPoint {
+        self.q
+    }
+
+    /// The standing `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The query options evaluations use.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// Replaces the query options (see [`RangeMonitor::set_options`]).
+    pub fn set_options(&mut self, options: QueryOptions) {
+        self.options = options;
+    }
+
+    /// The current top-k as `(object, distance)`, ascending by
+    /// `(distance, id)` — the exact order a fresh
+    /// [`crate::iknn::knn_query`] returns. May hold fewer than `k` entries
+    /// when fewer objects are reachable.
+    pub fn ranked(&self) -> Vec<(ObjectId, f64)> {
+        self.topk.iter().map(|&(d, id)| (id, d)).collect()
+    }
+
+    /// Objects currently in the top-k, ascending by id.
+    pub fn current(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.topk.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether an object is currently in the top-k.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.topk.iter().any(|&(_, m)| m == id)
+    }
+
+    /// The distance a candidate must beat to enter the result — the kth
+    /// distance, or `+∞` while fewer than `k` objects are reachable (then
+    /// *every* reachable object qualifies).
+    pub fn threshold(&self) -> f64 {
+        if self.topk.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.topk.last().map_or(f64::INFINITY, |&(d, _)| d)
+        }
+    }
+
+    fn ensure_dd(&mut self, space: &IndoorSpace, index: &CompositeIndex) -> Result<(), QueryError> {
+        if self.dd.is_none() || self.cached_version != space.version() {
+            self.dd = Some(DoorDistances::compute(space, index.doors_graph(), self.q)?);
+            self.cached_version = space.version();
+        }
+        Ok(())
+    }
+
+    fn resort(&mut self) {
+        self.topk.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite distances")
+                .then(a.1.cmp(&b.1))
+        });
+    }
+
+    /// Full re-evaluation through the indexed pipeline (used at start-up
+    /// and after topology changes or shrink re-verification). Returns the
+    /// ranked result.
+    pub fn refresh(
+        &mut self,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+    ) -> Result<Vec<(ObjectId, f64)>, QueryError> {
+        let out = crate::iknn::knn_query(space, index, store, self.q, self.k, &self.options)?;
+        self.topk = out.results.iter().map(|h| (h.distance, h.object)).collect();
+        // Re-arm the distance cache for subsequent incremental updates.
+        self.dd = None;
+        self.ensure_dd(space, index)?;
+        Ok(self.ranked())
+    }
+
+    /// Folds one object update into the top-k. Returns `true` when the
+    /// incremental step is not provably exact — the result set may shrink,
+    /// raising the threshold — and the caller must fall back to a fresh
+    /// re-query.
+    fn absorb_object_update(
+        &mut self,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+        id: ObjectId,
+    ) -> Result<bool, QueryError> {
+        self.ensure_dd(space, index)?;
+        let dd = self.dd.as_ref().expect("ensured above");
+        let obj = store.get(id)?;
+        let hint = object_partition_hint(index, id);
+        let subs = Subregions::compute_with_hint(obj, space, &hint)?;
+
+        if let Some(pos) = self.topk.iter().position(|&(_, m)| m == id) {
+            let old = self.topk[pos].0;
+            let d = expected_indoor_distance(space, dd, obj, &subs).value;
+            if !d.is_finite() || d > old {
+                // A member worsened: objects the monitor never evaluated
+                // may now beat the (grown) threshold. Re-verify.
+                return Ok(true);
+            }
+            self.topk[pos].0 = d;
+            self.resort();
+            return Ok(false);
+        }
+
+        if self.topk.len() < self.k {
+            // Fewer than k reachable: every reachable object qualifies.
+            let d = expected_indoor_distance(space, dd, obj, &subs).value;
+            if d.is_finite() {
+                self.topk.push((d, id));
+                self.resort();
+            }
+            return Ok(false);
+        }
+
+        let &(dk, idk) = self.topk.last().expect("len == k >= 1");
+        let d = if self.options.use_pruning {
+            let b = object_bounds(space, dd, obj, &subs);
+            if b.lower > dk {
+                // Cannot beat the kth even on a tie: d ≥ lower > dk.
+                return Ok(false);
+            }
+            expected_indoor_distance(space, dd, obj, &subs).value
+        } else {
+            expected_indoor_distance(space, dd, obj, &subs).value
+        };
+        if d.is_finite() && (d < dk || (d == dk && id < idk)) {
+            self.topk.pop();
+            self.topk.push((d, id));
+            self.resort();
+        }
+        Ok(false)
+    }
+
+    /// Absorbs a whole update delta in one call — the kNN counterpart of
+    /// [`RangeMonitor::absorb_delta`]. Incremental per-object maintenance
+    /// where exact, one fresh re-query for the whole batch when the
+    /// threshold may have grown. Returns every **membership** change,
+    /// ascending by object id (rank-only changes are visible through
+    /// [`KnnMonitor::ranked`]).
+    pub fn absorb_delta(
+        &mut self,
+        updated: &[ObjectId],
+        removed: &[ObjectId],
+        topology_changed: bool,
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+    ) -> Result<Vec<(ObjectId, MonitorChange)>, QueryError> {
+        let before: BTreeSet<ObjectId> = self.topk.iter().map(|&(_, id)| id).collect();
+        let mut need_refresh = topology_changed;
+        if topology_changed {
+            self.invalidate();
+        }
+        // A removed member shrinks the set: the threshold grows.
+        need_refresh = need_refresh || removed.iter().any(|id| before.contains(id));
+        if !need_refresh {
+            for &id in updated {
+                if self.absorb_object_update(space, index, store, id)? {
+                    need_refresh = true;
+                    break;
+                }
+            }
+        }
+        if need_refresh {
+            self.refresh(space, index, store)?;
+        }
+        let after: BTreeSet<ObjectId> = self.topk.iter().map(|&(_, id)| id).collect();
+        let mut changes: Vec<(ObjectId, MonitorChange)> = Vec::new();
+        for &id in before.difference(&after) {
+            changes.push((id, MonitorChange::Left));
+        }
+        for &id in after.difference(&before) {
+            changes.push((id, MonitorChange::Entered));
+        }
+        changes.sort_unstable_by_key(|(id, _)| *id);
+        Ok(changes)
+    }
+
+    /// Invalidate after a topology change (see
+    /// [`RangeMonitor::invalidate`]).
+    pub fn invalidate(&mut self) {
+        self.dd = None;
+        self.cached_version = u64::MAX;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,5 +667,101 @@ mod tests {
         let q = idq_model::IndoorPoint::new(Point2::new(2.0, 5.0), 0);
         assert!(RangeMonitor::new(q, f64::NAN, QueryOptions::default()).is_err());
         assert!(RangeMonitor::new(q, -1.0, QueryOptions::default()).is_err());
+        assert!(KnnMonitor::new(q, 0, QueryOptions::default()).is_err());
+    }
+
+    /// Ranked result of a fresh kNN on the current state.
+    fn fresh_knn(
+        space: &IndoorSpace,
+        index: &CompositeIndex,
+        store: &ObjectStore,
+        q: idq_model::IndoorPoint,
+        k: usize,
+    ) -> Vec<(ObjectId, f64)> {
+        crate::iknn::knn_query(space, index, store, q, k, &QueryOptions::default())
+            .unwrap()
+            .results
+            .iter()
+            .map(|h| (h.object, h.distance))
+            .collect()
+    }
+
+    #[test]
+    fn knn_monitor_tracks_fresh_queries_incrementally() {
+        let (space, mut store, mut index) = setup();
+        let q = idq_model::IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut mon = KnnMonitor::new(q, 2, QueryOptions::default()).unwrap();
+        mon.refresh(&space, &index, &store).unwrap();
+        assert!(mon.ranked().is_empty());
+        assert_eq!(mon.threshold(), f64::INFINITY, "fewer than k reachable");
+
+        // Fill up below k, then admit a closer non-member, then worsen a
+        // member (the shrink path), checking the ranking against a fresh
+        // query after every absorbed delta.
+        type Step<'a> = (&'a [(u64, f64)], &'a [u64]);
+        let steps: &[Step] = &[
+            (&[(1, 12.0)], &[]),           // first object: len < k
+            (&[(2, 25.0)], &[]),           // second: len == k
+            (&[(3, 5.0)], &[]),            // closer non-member admits
+            (&[(1, 28.0)], &[]),           // member worsens: re-verify
+            (&[(2, 6.0), (4, 14.0)], &[]), // mixed batch
+            (&[], &[3]),                   // removed member: re-verify
+        ];
+        for (moves, removals) in steps {
+            for &(id, x) in *moves {
+                move_to(&mut store, &mut index, &space, id, x);
+            }
+            for &id in *removals {
+                index.remove_object(ObjectId(id)).unwrap();
+                store.remove(ObjectId(id)).unwrap();
+            }
+            let updated: Vec<ObjectId> = moves.iter().map(|&(id, _)| ObjectId(id)).collect();
+            let removed: Vec<ObjectId> = removals.iter().map(|&id| ObjectId(id)).collect();
+            mon.absorb_delta(&updated, &removed, false, &space, &index, &store)
+                .unwrap();
+            assert_eq!(
+                mon.ranked(),
+                fresh_knn(&space, &index, &store, q, 2),
+                "after moves {moves:?} removals {removals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_monitor_membership_changes_and_topology_refresh() {
+        let (mut space, mut store, mut index) = setup();
+        let q = idq_model::IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let mut mon = KnnMonitor::new(q, 1, QueryOptions::default()).unwrap();
+        move_to(&mut store, &mut index, &space, 1, 15.0);
+        move_to(&mut store, &mut index, &space, 2, 25.0);
+        mon.refresh(&space, &index, &store).unwrap();
+        assert!(mon.contains(ObjectId(1)));
+        assert_eq!(mon.current(), vec![ObjectId(1)]);
+
+        // The far object moves closer than the current 1-NN (staying
+        // behind the first door, so the door close below cuts it off).
+        move_to(&mut store, &mut index, &space, 2, 12.0);
+        let changes = mon
+            .absorb_delta(&[ObjectId(2)], &[], false, &space, &index, &store)
+            .unwrap();
+        assert_eq!(
+            changes,
+            vec![
+                (ObjectId(1), MonitorChange::Left),
+                (ObjectId(2), MonitorChange::Entered)
+            ]
+        );
+
+        // Closing the first door makes everything unreachable: the
+        // topology flag forces a refresh and the set empties.
+        let d = space.doors().next().unwrap().id;
+        let ev = space.close_door(d).unwrap();
+        index.apply_topology(&space, &store, &ev).unwrap();
+        let changes = mon
+            .absorb_delta(&[], &[], true, &space, &index, &store)
+            .unwrap();
+        assert_eq!(changes, vec![(ObjectId(2), MonitorChange::Left)]);
+        assert!(mon.ranked().is_empty());
+        assert_eq!(mon.ranked(), fresh_knn(&space, &index, &store, q, 1));
     }
 }

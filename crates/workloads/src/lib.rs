@@ -13,6 +13,8 @@
 //! * [`QueryPointConfig`] / [`generate_query_points`] — query workloads;
 //! * [`UpdateStreamConfig`] / [`generate_update_stream`] — mixed typed
 //!   update streams (position reports + door churn) for ingest benchmarks;
+//! * [`SubscriptionSetConfig`] / [`generate_subscription_set`] — standing
+//!   continuous-query fleets for the dispatch engine's routing benchmarks;
 //! * [`experiment`] — timing, statistics and paper-style table printing
 //!   shared by the figure binaries and Criterion benches.
 
@@ -21,6 +23,7 @@ pub mod defaults;
 pub mod experiment;
 pub mod objects;
 pub mod queries;
+pub mod subscriptions;
 pub mod updates;
 
 pub use building::{generate_building, BuildingConfig, GeneratedBuilding};
@@ -28,4 +31,5 @@ pub use defaults::PaperDefaults;
 pub use experiment::{mean, percentile, SeriesTable, Stopwatch};
 pub use objects::{generate_objects, sample_one, ObjectConfig};
 pub use queries::{generate_query_points, generate_range_batches, QueryPointConfig};
+pub use subscriptions::{generate_subscription_set, SubscriptionSetConfig};
 pub use updates::{generate_update_stream, UpdateStreamConfig};

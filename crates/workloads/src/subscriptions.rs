@@ -1,0 +1,201 @@
+//! Standing-query subscription workloads for the dispatch engine.
+//!
+//! A subscription-set workload models a fleet of long-lived continuous
+//! queries parked over the building — the "100k standing queries"
+//! scenario the query-indexed dispatcher serves. The generator controls
+//! the knobs that shape the dispatcher's routing index: how many
+//! subscriptions, the range/kNN mix, the distribution of radii and `k`s
+//! (which set each query's candidate-partition footprint), and a floor
+//! skew concentrating queries on the lower floors the way mall traffic
+//! concentrates near entrances — the skew is what makes routing pay,
+//! because commits on quiet floors then miss most footprints.
+
+use crate::building::GeneratedBuilding;
+use idq_geom::Point2;
+use idq_model::IndoorPoint;
+use idq_query::Query;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of a standing-subscription workload.
+#[derive(Clone, Debug)]
+pub struct SubscriptionSetConfig {
+    /// Number of standing queries to generate.
+    pub count: usize,
+    /// Fraction of subscriptions that are kNN (the rest are range),
+    /// clamped to `[0, 1]`. Applied deterministically: subscription `i`
+    /// is kNN iff the running quota crosses an integer at `i`, so the
+    /// realized mix is exact to within one query.
+    pub knn_fraction: f64,
+    /// Radii range subscriptions cycle through (metres).
+    pub radii: Vec<f64>,
+    /// `k` values kNN subscriptions cycle through.
+    pub ks: Vec<usize>,
+    /// Floor-popularity skew: floor `f` is drawn with weight
+    /// `(f + 1)^-skew`. `0.0` is uniform; larger values concentrate
+    /// queries on the lower floors.
+    pub floor_skew: f64,
+    /// RNG seed (positions and floors are the only random choices).
+    pub seed: u64,
+}
+
+impl Default for SubscriptionSetConfig {
+    fn default() -> Self {
+        SubscriptionSetConfig {
+            count: 1000,
+            knn_fraction: 0.25,
+            radii: vec![25.0, 50.0, 100.0],
+            ks: vec![1, 5, 10],
+            floor_skew: 1.0,
+            seed: 0x5AB5,
+        }
+    }
+}
+
+/// Generates a standing-query set over the building: each subscription
+/// anchors at a random in-partition point on a skew-weighted floor and
+/// is a range or kNN query per the configured mix, cycling through the
+/// configured radii / `k`s. Deterministic in the config.
+///
+/// # Panics
+///
+/// Panics if `radii` is empty while the mix includes range queries, or
+/// `ks` is empty while it includes kNN queries.
+pub fn generate_subscription_set(
+    building: &GeneratedBuilding,
+    config: &SubscriptionSetConfig,
+) -> Vec<Query> {
+    let space = &building.space;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let floors = space.num_floors().max(1);
+    // Cumulative floor weights under the skew, for inverse sampling.
+    let mut cumulative = Vec::with_capacity(floors);
+    let mut total = 0.0;
+    for f in 0..floors {
+        total += ((f + 1) as f64).powf(-config.floor_skew);
+        cumulative.push(total);
+    }
+    let knn_fraction = config.knn_fraction.clamp(0.0, 1.0);
+
+    let mut out = Vec::with_capacity(config.count);
+    let (mut ranges, mut knns) = (0usize, 0usize);
+    while out.len() < config.count {
+        let pick = rng.random_range(0.0..total);
+        let floor = cumulative.iter().position(|&c| pick < c).unwrap_or(0) as u16;
+        let p = Point2::new(
+            rng.random_range(0.0..building.config.width),
+            rng.random_range(0.0..building.config.depth),
+        );
+        let q = IndoorPoint::new(p, floor);
+        if space.partition_at(q).is_none() {
+            continue;
+        }
+        // Exact-quota mix: kNN iff admitting one more kNN keeps the
+        // realized fraction at or below the target.
+        let quota = ((out.len() + 1) as f64 * knn_fraction).floor() as usize;
+        out.push(if knns < quota {
+            let k = config.ks[knns % config.ks.len()].max(1);
+            knns += 1;
+            Query::Knn { q, k }
+        } else {
+            let r = config.radii[ranges % config.radii.len()];
+            ranges += 1;
+            Query::Range { q, r }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::{generate_building, BuildingConfig};
+
+    fn mall() -> GeneratedBuilding {
+        generate_building(&BuildingConfig {
+            bands: 2,
+            rooms_per_side: 3,
+            ..BuildingConfig::with_floors(4)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn mix_is_exact_and_parameters_cycle() {
+        let b = mall();
+        let set = generate_subscription_set(
+            &b,
+            &SubscriptionSetConfig {
+                count: 200,
+                knn_fraction: 0.25,
+                ..Default::default()
+            },
+        );
+        assert_eq!(set.len(), 200);
+        let knns: Vec<usize> = set
+            .iter()
+            .filter_map(|q| match q {
+                Query::Knn { k, .. } => Some(*k),
+                _ => None,
+            })
+            .collect();
+        let radii: Vec<f64> = set
+            .iter()
+            .filter_map(|q| match q {
+                Query::Range { r, .. } => Some(*r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(knns.len(), 50, "quarter of 200 subscriptions are kNN");
+        assert_eq!(radii.len(), 150);
+        assert_eq!(&knns[..4], &[1, 5, 10, 1], "k values cycle");
+        assert_eq!(&radii[..4], &[25.0, 50.0, 100.0, 25.0], "radii cycle");
+        for q in &set {
+            assert!(b.space.partition_at(q.query_point()).is_some());
+        }
+    }
+
+    #[test]
+    fn floor_skew_concentrates_low_and_zero_is_uniformish() {
+        let b = mall();
+        let per_floor = |skew: f64| -> Vec<usize> {
+            let set = generate_subscription_set(
+                &b,
+                &SubscriptionSetConfig {
+                    count: 400,
+                    floor_skew: skew,
+                    ..Default::default()
+                },
+            );
+            let mut counts = vec![0usize; 4];
+            for q in &set {
+                counts[q.query_point().floor as usize] += 1;
+            }
+            counts
+        };
+        let skewed = per_floor(2.0);
+        assert!(
+            skewed[0] > 2 * skewed[3],
+            "skew 2.0 concentrates on floor 0: {skewed:?}"
+        );
+        let uniform = per_floor(0.0);
+        assert!(
+            uniform.iter().all(|&c| c > 400 / 8),
+            "skew 0.0 spreads across floors: {uniform:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_the_config() {
+        let b = mall();
+        let cfg = SubscriptionSetConfig {
+            count: 64,
+            seed: 9,
+            ..Default::default()
+        };
+        assert_eq!(
+            generate_subscription_set(&b, &cfg),
+            generate_subscription_set(&b, &cfg)
+        );
+    }
+}

@@ -427,14 +427,20 @@ fn concurrent_applies_coalesce_into_one_epoch() {
                 assert_eq!(r.stats.group_batches, members.len());
             }
         }
-        // One notification per committed epoch, each carrying its whole
-        // group's outcomes — no drops, no double delivery, any schedule.
-        for epoch in (base + 1)..=e.epoch() {
-            let n = sub.wait().unwrap().expect("one notification per epoch");
-            assert_eq!(n.epoch, epoch);
+        // Routed delivery: quiesce the dispatcher past the final commit,
+        // then drain. Each routed epoch arrives at most once, in order,
+        // carrying its whole group's *merged* report — no double
+        // delivery, on any schedule.
+        service.quiesce();
+        let notes = sub.poll().unwrap();
+        let mut last = base;
+        for n in &notes {
+            assert!(n.epoch > last, "delivered epochs strictly increase");
+            assert!(n.epoch <= e.epoch());
+            last = n.epoch;
             assert_eq!(n.report.offset_in_epoch, 0);
-            assert_eq!(n.report.outcomes.len(), by_epoch[&epoch].len());
-            assert_eq!(n.report.stats.group_batches, by_epoch[&epoch].len());
+            assert_eq!(n.report.outcomes.len(), by_epoch[&n.epoch].len());
+            assert_eq!(n.report.stats.group_batches, by_epoch[&n.epoch].len());
         }
         assert!(sub.poll().unwrap().is_empty(), "no extra delivery");
         e.validate().unwrap();
@@ -449,6 +455,11 @@ fn concurrent_applies_coalesce_into_one_epoch() {
             for r in &reports {
                 assert_eq!(r.stats.group_batches, 3);
             }
+            // The merged group moved an object on the subscription's own
+            // floor, so the one commit is necessarily routed — and its
+            // report carries every batch's outcomes exactly once.
+            assert_eq!(notes.len(), 1, "the merged group is one delivery");
+            assert_eq!(notes[0].report.outcomes.len(), 3);
             return;
         }
         eprintln!(
