@@ -1,0 +1,213 @@
+//! Durability — what write-ahead logging costs on the ingest path, and
+//! how fast recovery replays it back.
+//!
+//! Two measurements over the default position-update workload
+//! (`IDQ_SCALE`-scaled, batched `apply_batch` chunks):
+//!
+//! * **ingest** — updates/second for a memory-only engine (the
+//!   `ingest.rs` baseline) against durable engines on a real filesystem
+//!   directory under each fsync policy (`os`, `group`, `always`). The
+//!   `group` row is the durability contract of the service (one fsync
+//!   per commit group, no acknowledged commit ever lost) and the number
+//!   to watch: its ratio to the memory-only baseline is the price of
+//!   crash safety.
+//! * **recovery** — wall-clock to reopen the `group` directory and
+//!   replay the whole log back into a queryable engine, normalized to
+//!   milliseconds per 10k replayed updates.
+//!
+//! Emits a `BENCH_durability.json` line (and prints it) so successive
+//! runs form a trajectory.
+
+use idq_bench::{scale_from_env, scaled_floors, scaled_objects};
+use idq_core::{DurabilityOptions, EngineConfig, IndoorEngine};
+use idq_storage::SyncPolicy;
+use idq_workloads::{
+    generate_building, generate_objects, generate_update_stream, BuildingConfig, ObjectConfig,
+    PaperDefaults, UpdateStreamConfig,
+};
+use std::time::Instant;
+
+const BATCH: usize = 1024;
+
+fn main() {
+    let scale = scale_from_env();
+    let d = PaperDefaults::default();
+    eprintln!("durability: IDQ_SCALE={scale}");
+
+    let floors = scaled_floors(d.floors, scale);
+    let objects = scaled_objects(d.objects, scale);
+    let stream_len = scaled_objects(16_384, scale);
+
+    let building =
+        generate_building(&BuildingConfig::with_floors(floors)).expect("generator invariants hold");
+    let store = generate_objects(
+        &building,
+        &ObjectConfig {
+            count: objects,
+            radius: d.radius,
+            instances: 8,
+            seed: 42,
+        },
+    )
+    .expect("population fits the building");
+    let stream = generate_update_stream(
+        &building,
+        &store,
+        &UpdateStreamConfig {
+            count: stream_len,
+            moves: 0.90,
+            inserts: 0.05,
+            removes: 0.05,
+            door_events: 0.0,
+            radius: d.radius,
+            instances: 8,
+            seed: 7,
+        },
+    );
+
+    let reps: usize = std::env::var("IDQ_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let data_root =
+        std::env::temp_dir().join(format!("idq-durability-bench-{}", std::process::id()));
+
+    // Memory-only baseline: same batched ingest, no log.
+    let mut memory_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let mut engine = IndoorEngine::with_objects(
+            building.space.clone(),
+            store.clone(),
+            EngineConfig::default(),
+        )
+        .expect("engine builds");
+        let t = Instant::now();
+        for chunk in stream.chunks(BATCH) {
+            engine.apply_batch(chunk).expect("batch applies");
+        }
+        memory_ms = memory_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let memory_ups = stream.len() as f64 / (memory_ms / 1e3);
+    eprintln!("durability: memory-only {memory_ups:10.0} updates/s");
+
+    // Durable ingest per fsync policy, on a real directory so `always`
+    // and `group` pay real fsyncs. Checkpoints off: this measures the
+    // log alone.
+    let mut rows = Vec::new();
+    let mut group_dir = None;
+    for policy in [SyncPolicy::Os, SyncPolicy::Group, SyncPolicy::Always] {
+        let mut ms = f64::INFINITY;
+        let mut final_epoch = 0;
+        let dir = data_root.join(policy.as_str());
+        for _ in 0..reps {
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("bench scratch dir");
+            let mut engine = IndoorEngine::create_with(
+                std::sync::Arc::new(idq_storage::FileBackend::open(&dir).expect("backend opens")),
+                building.space.clone(),
+                store.clone(),
+                EngineConfig::default(),
+                DurabilityOptions {
+                    sync: policy,
+                    checkpoint_every: 0,
+                    ..DurabilityOptions::default()
+                },
+            )
+            .expect("durable engine builds");
+            let t = Instant::now();
+            for chunk in stream.chunks(BATCH) {
+                engine.apply_batch(chunk).expect("batch applies");
+            }
+            ms = ms.min(t.elapsed().as_secs_f64() * 1e3);
+            final_epoch = engine.epoch();
+        }
+        let ups = stream.len() as f64 / (ms / 1e3);
+        eprintln!(
+            "durability: wal={:6} {ups:10.0} updates/s ({:.1}% of memory-only)",
+            policy.as_str(),
+            100.0 * ups / memory_ups
+        );
+        rows.push((policy, ms, ups));
+        if policy == SyncPolicy::Group {
+            group_dir = Some((dir, final_epoch));
+        }
+    }
+
+    // Recovery: reopen the `group` directory (base checkpoint + the full
+    // log) and replay everything back.
+    let (dir, logged_epochs) = group_dir.expect("group policy ran");
+    let mut recovery_ms = f64::INFINITY;
+    let mut recovered_epoch = 0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let engine = IndoorEngine::recover_with(
+            std::sync::Arc::new(idq_storage::FileBackend::open(&dir).expect("backend opens")),
+            EngineConfig::default(),
+            DurabilityOptions::default(),
+        )
+        .expect("recovery succeeds");
+        recovery_ms = recovery_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        recovered_epoch = engine.epoch();
+    }
+    assert_eq!(
+        recovered_epoch, logged_epochs,
+        "recovery reaches the last epoch"
+    );
+    let recovery_per_10k = recovery_ms * 10_000.0 / stream.len() as f64;
+    eprintln!(
+        "durability: recovery replayed {} updates ({recovered_epoch} epochs) in {recovery_ms:.1} ms \
+         ({recovery_per_10k:.1} ms per 10k)",
+        stream.len()
+    );
+    let _ = std::fs::remove_dir_all(&data_root);
+
+    let group_ups = rows
+        .iter()
+        .find(|(p, ..)| *p == SyncPolicy::Group)
+        .map(|(_, _, ups)| *ups)
+        .expect("group row");
+    let policy_json: Vec<String> = rows
+        .iter()
+        .map(|(policy, ms, ups)| {
+            format!(
+                "{{\"policy\":\"{}\",\"ms\":{ms:.3},\"ups\":{ups:.1},\"vs_memory\":{:.4}}}",
+                policy.as_str(),
+                ups / memory_ups
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"durability\",\"scale\":{},\"floors\":{},\"objects\":{},",
+            "\"updates\":{},\"batch\":{},\"memory_ms\":{:.3},\"memory_ups\":{:.1},",
+            "\"policies\":[{}],",
+            "\"group_vs_memory\":{:.4},\"recovery_ms\":{:.3},\"recovery_ms_per_10k\":{:.3}}}"
+        ),
+        scale,
+        floors,
+        objects,
+        stream.len(),
+        BATCH,
+        memory_ms,
+        memory_ups,
+        policy_json.join(","),
+        group_ups / memory_ups,
+        recovery_ms,
+        recovery_per_10k,
+    );
+    println!("{json}");
+    let appended = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open("BENCH_durability.json")
+        .and_then(|mut f| std::io::Write::write_all(&mut f, format!("{json}\n").as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("durability: could not append to BENCH_durability.json: {e}");
+    }
+    eprintln!(
+        "durability: wal=group ingests at {:.1}% of memory-only; recovery replays 10k updates \
+         in {recovery_per_10k:.1} ms",
+        100.0 * group_ups / memory_ups
+    );
+}

@@ -19,18 +19,24 @@
 //! in a batch drops the in-flight copy, leaving the committed version
 //! untouched.
 
+use crate::durability::{has_durable_state, load_checkpoint, Durability};
 use crate::error::EngineError;
 use crate::service::{IndoorService, Shared};
 use crate::snapshot::Snapshot;
 use crate::state::EngineState;
 use crate::update::{Update, UpdateOutcome, UpdateReport};
+use crate::wire;
 use crate::write::WriteHandle;
+use crate::DurabilityOptions;
 use idq_geom::Point2;
 use idq_index::{CompositeIndex, IndexConfig};
 use idq_model::IndoorPoint;
 use idq_model::{Direction, DoorId, Floor, IndoorSpace, PartitionId, PartitionSpec, SplitLine};
 use idq_objects::{ObjectId, ObjectStore, UncertainObject};
 use idq_query::{KnnResult, Outcome, Query, QueryOptions, RangeResult};
+use idq_storage::codec::Cursor;
+use idq_storage::{FileBackend, StorageBackend, StorageError, WalRecord};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Engine configuration: index layout plus default query options.
@@ -82,15 +88,31 @@ impl IndoorEngine {
         store: ObjectStore,
         config: EngineConfig,
     ) -> Result<Self, EngineError> {
+        Self::with_objects_at(space, store, config, 0, 0.0)
+    }
+
+    /// [`IndoorEngine::with_objects`] resuming at a given epoch and
+    /// radius high-water mark — recovery builds the post-checkpoint
+    /// engine through this (the index is derived state, rebuilt here).
+    fn with_objects_at(
+        space: IndoorSpace,
+        store: ObjectStore,
+        config: EngineConfig,
+        epoch: u64,
+        radius_floor: f64,
+    ) -> Result<Self, EngineError> {
         let index = CompositeIndex::build(&space, &store, config.index)?;
-        let max_radius = store.iter().map(|o| o.region.radius).fold(0.0f64, f64::max);
+        let max_radius = store
+            .iter()
+            .map(|o| o.region.radius)
+            .fold(radius_floor, f64::max);
         let state = Arc::new(EngineState {
             space: Arc::new(space),
             store: Arc::new(store),
             index: Arc::new(index),
             options: config.query,
             max_radius,
-            epoch: 0,
+            epoch,
         });
         let shared = Arc::new(Shared::new(Arc::clone(&state)));
         let writer = WriteHandle::bootstrap(Arc::clone(&shared));
@@ -99,6 +121,236 @@ impl IndoorEngine {
             writer,
             state,
         })
+    }
+
+    // ---- durability (WAL + checkpoints + recovery) -----------------------
+
+    /// Opens a **durable** engine rooted at a filesystem directory:
+    /// recovers from it when it already holds engine state (checkpoint +
+    /// log — `space_if_new` is ignored then), otherwise creates a fresh
+    /// durable engine over `space_if_new` with an epoch-0 base
+    /// checkpoint. Every subsequent commit is written ahead to the log
+    /// per [`DurabilityOptions::sync`] before it publishes.
+    pub fn open(
+        path: impl AsRef<Path>,
+        space_if_new: IndoorSpace,
+        config: EngineConfig,
+        options: DurabilityOptions,
+    ) -> Result<Self, EngineError> {
+        let path = path.as_ref();
+        let backend = FileBackend::open(path).map_err(|cause| EngineError::Storage {
+            path: path.display().to_string(),
+            epoch: 0,
+            cause,
+        })?;
+        Self::open_with(Arc::new(backend), space_if_new, config, options)
+    }
+
+    /// [`IndoorEngine::open`] over any [`StorageBackend`] (the in-memory
+    /// backend drives the crash-matrix tests).
+    pub fn open_with(
+        backend: Arc<dyn StorageBackend>,
+        space_if_new: IndoorSpace,
+        config: EngineConfig,
+        options: DurabilityOptions,
+    ) -> Result<Self, EngineError> {
+        if has_durable_state(&backend) {
+            Self::recover_with(backend, config, options)
+        } else {
+            Self::create_with(backend, space_if_new, ObjectStore::new(), config, options)
+        }
+    }
+
+    /// Creates a **fresh** durable engine on `backend`: builds the
+    /// initial version, writes its epoch-0 base checkpoint (so recovery
+    /// always has a floor to replay from), and opens the log. Fails if
+    /// the backend already holds log records without a checkpoint —
+    /// that is somebody's data, not a fresh directory.
+    pub fn create_with(
+        backend: Arc<dyn StorageBackend>,
+        space: IndoorSpace,
+        store: ObjectStore,
+        config: EngineConfig,
+        options: DurabilityOptions,
+    ) -> Result<Self, EngineError> {
+        let engine = Self::with_objects(space, store, config)?;
+        let (durability, records) = Durability::open(backend, options, 0)?;
+        if let Some(stray) = records.first() {
+            return Err(EngineError::Recovery {
+                path: durability.backend().label(),
+                epoch: stray.epoch,
+                cause: StorageError::Corrupt {
+                    path: durability.backend().label(),
+                    offset: 0,
+                    reason: "log records present but no checkpoint: refusing to create over \
+                             existing data"
+                        .to_string(),
+                },
+            });
+        }
+        durability.checkpoint_now(&engine.shared.current())?;
+        engine.shared.attach_durability(durability);
+        Ok(engine)
+    }
+
+    /// Recovers an engine from `backend`: loads the newest valid
+    /// checkpoint, rebuilds the derived index, then replays the log
+    /// suffix — each commit group as one atomic batch, in
+    /// `(epoch, offset_in_epoch)` order — verifying epoch continuity and
+    /// that every replayed insert produced exactly the object ids the
+    /// original commit logged. A torn record at the very tail of the log
+    /// (the in-flight append the crash interrupted) was already discarded
+    /// by the log open; corruption anywhere else fails recovery.
+    pub fn recover_with(
+        backend: Arc<dyn StorageBackend>,
+        config: EngineConfig,
+        options: DurabilityOptions,
+    ) -> Result<Self, EngineError> {
+        let label = backend.label();
+        let ckpt = load_checkpoint(&backend)?;
+        let mut c = Cursor::new(&ckpt.payload);
+        let decoded = wire::take_engine_checkpoint(&mut c).and_then(|parts| {
+            c.finish("checkpoint payload")?;
+            Ok(parts)
+        });
+        let (space, store, max_radius) = decoded.map_err(|cause| EngineError::Recovery {
+            path: label.clone(),
+            epoch: ckpt.epoch,
+            cause,
+        })?;
+        let (durability, records) = Durability::open(backend, options, ckpt.epoch)?;
+        let mut engine = Self::with_objects_at(space, store, config, ckpt.epoch, max_radius)?;
+        engine.replay(&records, ckpt.epoch, &label)?;
+        engine.shared.attach_durability(durability);
+        engine.refresh();
+        Ok(engine)
+    }
+
+    /// Replays the recovered log suffix through the ordinary write path.
+    /// Runs *before* durability attaches, so replayed commits are not
+    /// logged a second time; the epoch numbering reproduces the original
+    /// because each logged group was exactly one epoch bump.
+    fn replay(
+        &mut self,
+        records: &[WalRecord],
+        checkpoint_epoch: u64,
+        label: &str,
+    ) -> Result<(), EngineError> {
+        let corrupt = |epoch: u64, reason: String| EngineError::Recovery {
+            path: label.to_string(),
+            epoch,
+            cause: StorageError::Corrupt {
+                path: label.to_string(),
+                offset: 0,
+                reason,
+            },
+        };
+        let mut current = checkpoint_epoch;
+        let mut i = 0;
+        while i < records.len() {
+            let epoch = records[i].epoch;
+            let mut j = i;
+            while j < records.len() && records[j].epoch == epoch {
+                j += 1;
+            }
+            let group = &records[i..j];
+            i = j;
+            if epoch <= current {
+                // Covered by the checkpoint (log truncation is lazy).
+                continue;
+            }
+            if epoch != current + 1 {
+                return Err(corrupt(
+                    epoch,
+                    format!(
+                        "epoch gap in the log: expected {}, found {epoch}",
+                        current + 1
+                    ),
+                ));
+            }
+            // A commit group replays as ONE atomic batch: concatenating
+            // its batches in offset order is equivalent to the serial
+            // execution the group committed as, and produces the same
+            // single epoch bump as the original group commit.
+            let mut updates = Vec::new();
+            let mut logged_inserted = Vec::new();
+            for record in group {
+                let mut c = Cursor::new(&record.payload);
+                let batch = wire::take_batch(&mut c)
+                    .and_then(|b| {
+                        c.finish("wal batch")?;
+                        Ok(b)
+                    })
+                    .map_err(|cause| EngineError::Recovery {
+                        path: label.to_string(),
+                        epoch,
+                        cause,
+                    })?;
+                updates.extend(batch.updates);
+                logged_inserted.extend(batch.inserted);
+            }
+            let report = self
+                .apply_batch(&updates)
+                .map_err(|e| corrupt(epoch, format!("replay of epoch {epoch} failed: {e}")))?;
+            if report.epoch != epoch {
+                return Err(corrupt(
+                    epoch,
+                    format!("replay committed epoch {}, log says {epoch}", report.epoch),
+                ));
+            }
+            let replayed: Vec<ObjectId> = report
+                .outcomes
+                .iter()
+                .filter_map(UpdateOutcome::inserted_object)
+                .collect();
+            if replayed != logged_inserted {
+                return Err(corrupt(
+                    epoch,
+                    format!(
+                        "replay of epoch {epoch} allocated object ids {replayed:?}, \
+                         log recorded {logged_inserted:?}"
+                    ),
+                ));
+            }
+            current = epoch;
+        }
+        Ok(())
+    }
+
+    /// Whether this engine persists its commits (built by one of the
+    /// durable constructors).
+    pub fn is_durable(&self) -> bool {
+        self.shared.durability().is_some()
+    }
+
+    /// Writes a checkpoint of the current version synchronously and
+    /// truncates the log prefix it covers, returning the checkpointed
+    /// epoch — `Ok(None)` on a non-durable engine. Blocks only the
+    /// caller; concurrent writers keep committing (the checkpoint
+    /// encodes a pinned immutable version).
+    pub fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
+        match self.shared.durability() {
+            Some(d) => d.checkpoint_now(&self.shared.current()).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Epoch of the newest durable checkpoint (`None` on a non-durable
+    /// engine). Trails [`IndoorEngine::epoch`] by up to
+    /// [`DurabilityOptions::checkpoint_every`] epochs plus the in-flight
+    /// background checkpoint.
+    pub fn last_checkpoint_epoch(&self) -> Option<u64> {
+        self.shared.durability().map(|d| d.last_checkpoint_epoch())
+    }
+
+    /// Forces every logged commit durable now regardless of the sync
+    /// policy (`Ok` and a no-op on a non-durable engine). The same flush
+    /// runs automatically when the last write handle drops.
+    pub fn flush_wal(&self) -> Result<(), EngineError> {
+        match self.shared.durability() {
+            Some(d) => d.flush(),
+            None => Ok(()),
+        }
     }
 
     // ---- accessors -------------------------------------------------------
@@ -889,5 +1141,157 @@ mod tests {
         });
         assert_eq!(e.epoch(), 8);
         assert_eq!(service.epoch(), 8);
+    }
+
+    fn world_digest(e: &IndoorEngine) -> Vec<u64> {
+        let snap = e.snapshot();
+        let mut digest = vec![e.epoch(), snap.store().len() as u64];
+        let mut ids: Vec<_> = snap.store().iter().map(|o| o.id).collect();
+        ids.sort();
+        for id in ids {
+            let o = snap.store().get(id).unwrap();
+            digest.extend([
+                id.0,
+                o.region.center.x.to_bits(),
+                o.region.center.y.to_bits(),
+                o.region.radius.to_bits(),
+                o.floor as u64,
+            ]);
+        }
+        digest
+    }
+
+    #[test]
+    fn durable_engine_recovers_from_log_replay() {
+        use idq_storage::MemBackend;
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let opts = DurabilityOptions {
+            checkpoint_every: 0, // force pure log replay
+            ..DurabilityOptions::default()
+        };
+        let digest = {
+            let mut e = IndoorEngine::open_with(
+                Arc::clone(&backend),
+                three_rooms(),
+                EngineConfig::default(),
+                opts,
+            )
+            .unwrap();
+            assert!(e.is_durable());
+            assert_eq!(e.last_checkpoint_epoch(), Some(0));
+            let o1 = e
+                .insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1)
+                .unwrap();
+            e.insert_object_at(Point2::new(25.0, 5.0), 0, 2.0, 8, 2)
+                .unwrap();
+            e.move_object(o1, Point2::new(5.0, 5.0), 0, 7).unwrap();
+            world_digest(&e)
+        };
+        // Reopen: same backend now holds a checkpoint, so `open_with`
+        // dispatches to recovery (the fresh space is ignored).
+        let r = IndoorEngine::open_with(
+            Arc::clone(&backend),
+            three_rooms(),
+            EngineConfig::default(),
+            opts,
+        )
+        .unwrap();
+        assert_eq!(world_digest(&r), digest);
+        assert_eq!(r.epoch(), 3);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn durable_engine_recovers_from_checkpoint_plus_suffix() {
+        use idq_storage::MemBackend;
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let opts = DurabilityOptions {
+            checkpoint_every: 0,
+            ..DurabilityOptions::default()
+        };
+        let digest = {
+            let mut e = IndoorEngine::open_with(
+                Arc::clone(&backend),
+                three_rooms(),
+                EngineConfig::default(),
+                opts,
+            )
+            .unwrap();
+            for seed in 1..=4u64 {
+                e.insert_object_at(Point2::new(10.0 + seed as f64, 5.0), 0, 1.0, 8, seed)
+                    .unwrap();
+            }
+            // Mid-stream checkpoint, then more commits: recovery loads the
+            // checkpoint and replays only the suffix.
+            assert_eq!(e.checkpoint().unwrap(), Some(4));
+            assert_eq!(e.last_checkpoint_epoch(), Some(4));
+            for seed in 5..=7u64 {
+                e.insert_object_at(Point2::new(10.0 + seed as f64, 5.0), 0, 1.0, 8, seed)
+                    .unwrap();
+            }
+            world_digest(&e)
+        };
+        let r = IndoorEngine::recover_with(Arc::clone(&backend), EngineConfig::default(), opts)
+            .unwrap();
+        assert_eq!(world_digest(&r), digest);
+        assert_eq!(r.epoch(), 7);
+    }
+
+    #[test]
+    fn create_refuses_a_log_without_a_checkpoint() {
+        use idq_storage::{MemBackend, SyncPolicy, Wal};
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        {
+            let (mut wal, _) =
+                Wal::open(Arc::clone(&backend), SyncPolicy::Always, 1 << 20).unwrap();
+            wal.append_commit(1, &[vec![0u8; 4]]).unwrap();
+        }
+        let err = IndoorEngine::create_with(
+            Arc::clone(&backend),
+            three_rooms(),
+            idq_objects::ObjectStore::new(),
+            EngineConfig::default(),
+            DurabilityOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Recovery { .. }), "{err}");
+    }
+
+    #[test]
+    fn recovery_rejects_an_epoch_gap() {
+        use idq_storage::MemBackend;
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let opts = DurabilityOptions {
+            checkpoint_every: 0,
+            ..DurabilityOptions::default()
+        };
+        {
+            let mut e = IndoorEngine::open_with(
+                Arc::clone(&backend),
+                three_rooms(),
+                EngineConfig::default(),
+                opts,
+            )
+            .unwrap();
+            e.insert_object_at(Point2::new(15.0, 5.0), 0, 1.0, 8, 1)
+                .unwrap();
+        }
+        // Forge a record that skips an epoch.
+        {
+            use idq_storage::{SyncPolicy, Wal};
+            let (mut wal, _) =
+                Wal::open(Arc::clone(&backend), SyncPolicy::Always, 1 << 20).unwrap();
+            let mut payload = Vec::new();
+            wire::put_batch_parts(&mut payload, &[], &[]);
+            wal.append_commit(9, &[payload]).unwrap();
+        }
+        let err = IndoorEngine::recover_with(backend, EngineConfig::default(), opts).unwrap_err();
+        match err {
+            EngineError::Recovery { epoch, cause, .. } => {
+                assert_eq!(epoch, 9);
+                assert!(cause.to_string().contains("epoch gap"), "{cause}");
+            }
+            other => panic!("expected a recovery error, got {other}"),
+        }
     }
 }

@@ -29,6 +29,32 @@ pub enum EngineError {
         /// Floors the space covers (valid floors are `0..num_floors`).
         num_floors: usize,
     },
+    /// A durability operation failed: the write-ahead log or a checkpoint
+    /// could not be written. The failing commit did **not** publish — the
+    /// in-memory state still matches what is durable.
+    Storage {
+        /// Where the storage backend lives (directory path, or the
+        /// in-memory backend's label).
+        path: String,
+        /// The epoch being made durable when the failure hit.
+        epoch: u64,
+        /// The underlying storage failure
+        /// ([`std::error::Error::source`] exposes it).
+        cause: idq_storage::StorageError,
+    },
+    /// Crash recovery failed: the checkpoint or log suffix exists but
+    /// could not be turned back into a consistent engine (corruption past
+    /// the torn tail, an epoch gap, or a replay that diverged from the
+    /// logged outcomes).
+    Recovery {
+        /// Where the storage backend lives.
+        path: String,
+        /// The epoch recovery was processing when it failed.
+        epoch: u64,
+        /// The underlying failure
+        /// ([`std::error::Error::source`] exposes it).
+        cause: idq_storage::StorageError,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -53,11 +79,24 @@ impl std::fmt::Display for EngineError {
                     "floor {floor} is outside the space (covers {num_floors} floor(s))"
                 )
             }
+            EngineError::Storage { path, epoch, .. } => {
+                write!(f, "durability failure at {path} (epoch {epoch})")
+            }
+            EngineError::Recovery { path, epoch, .. } => {
+                write!(f, "recovery failure at {path} (epoch {epoch})")
+            }
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage { cause, .. } | EngineError::Recovery { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
 
 impl From<idq_model::ModelError> for EngineError {
     fn from(e: idq_model::ModelError) -> Self {
@@ -96,5 +135,31 @@ mod tests {
         let e: EngineError =
             idq_model::ModelError::UnknownPartition(idq_model::PartitionId(2)).into();
         assert!(e.to_string().contains("P2"));
+    }
+
+    #[test]
+    fn storage_errors_expose_their_source() {
+        use std::error::Error;
+        let cause = idq_storage::StorageError::Corrupt {
+            path: "wal-0000000000000000.log".into(),
+            offset: 16,
+            reason: "crc mismatch".into(),
+        };
+        let e = EngineError::Storage {
+            path: "/var/lib/idq".into(),
+            epoch: 42,
+            cause: cause.clone(),
+        };
+        assert!(e.to_string().contains("/var/lib/idq"));
+        assert!(e.to_string().contains("42"));
+        let src = e.source().expect("storage errors carry a source");
+        assert!(src.to_string().contains("crc mismatch"));
+        let e = EngineError::Recovery {
+            path: "mem".into(),
+            epoch: 7,
+            cause,
+        };
+        assert!(e.source().is_some());
+        assert!(matches!(e, EngineError::Recovery { epoch: 7, .. }));
     }
 }

@@ -93,6 +93,7 @@
 //! assert_eq!(sub.epoch(), engine.epoch());
 //! ```
 
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod monitor;
@@ -100,8 +101,10 @@ pub mod service;
 pub mod snapshot;
 pub mod state;
 pub mod update;
+pub mod wire;
 pub mod write;
 
+pub use durability::DurabilityOptions;
 pub use engine::{EngineConfig, IndoorEngine};
 pub use error::EngineError;
 pub use monitor::MonitorExt;

@@ -30,6 +30,7 @@
 //! The write side is reference-counted: subscriptions see their stream
 //! end when the engine and every write handle have dropped.
 
+use crate::durability::Durability;
 use crate::error::EngineError;
 use crate::snapshot::Snapshot;
 use crate::state::EngineState;
@@ -178,6 +179,10 @@ pub(crate) struct Shared {
     dispatcher: Mutex<Dispatcher<Arc<UpdateReport>>>,
     inbox: Inbox,
     progress: Progress,
+    /// The engine's durability attachment (WAL + checkpoint worker), set
+    /// once — *after* recovery replay, so replayed commits are not
+    /// re-logged — and read lock-free by every committing leader.
+    durability: std::sync::OnceLock<Durability>,
 }
 
 impl Shared {
@@ -193,7 +198,23 @@ impl Shared {
             dispatcher: Mutex::new(Dispatcher::new()),
             inbox: Inbox::default(),
             progress: Progress::default(),
+            durability: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attaches the durability layer (once, at engine construction —
+    /// after any recovery replay, so replayed commits are never
+    /// re-logged). Commits from this point on log through it before
+    /// publishing.
+    pub(crate) fn attach_durability(&self, durability: Durability) {
+        if self.durability.set(durability).is_err() {
+            unreachable!("durability is attached exactly once, at construction");
+        }
+    }
+
+    /// The durability attachment, if this engine is durable.
+    pub(crate) fn durability(&self) -> Option<&Durability> {
+        self.durability.get()
     }
 
     /// The current committed version (an `Arc` clone under a brief read
@@ -290,6 +311,15 @@ impl Shared {
         if registry.writers == 0 {
             registry.writer_alive = false;
             drop(registry);
+            // Durable shutdown: with the last writer gone the sequencer is
+            // provably drained (every committing thread holds a handle),
+            // so one final WAL sync makes the whole committed history
+            // durable — this is what upgrades `SyncPolicy::Os` to
+            // lose-nothing on clean shutdown. Failure is unreportable
+            // here (no caller); recovery still sees every synced prefix.
+            if let Some(durability) = self.durability() {
+                let _ = durability.flush();
+            }
             self.inbox.close();
         }
     }

@@ -79,6 +79,15 @@ impl Snapshot {
         &self.state
     }
 
+    /// Encodes the pinned version as a checkpoint payload (space, store,
+    /// and the engine's radius high-water mark — the exact bytes
+    /// background checkpoints write). Because the snapshot pins an
+    /// immutable version, this runs concurrently with committing writers
+    /// and always encodes a transactionally consistent world.
+    pub fn encode_checkpoint(&self) -> Vec<u8> {
+        self.state.encode_checkpoint()
+    }
+
     /// The indoor space this snapshot reads.
     pub fn space(&self) -> &IndoorSpace {
         self.state.space()

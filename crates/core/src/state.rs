@@ -111,4 +111,16 @@ impl EngineState {
             ..self.options
         }
     }
+
+    /// Encodes this version's durable content as a checkpoint payload:
+    /// space, store, and the `max_radius` high-water mark. The index is
+    /// derived state (rebuilt on recovery); the epoch travels in the
+    /// checkpoint header. Safe to call from any thread on any pinned
+    /// version — versions are immutable, so checkpointing runs
+    /// concurrently with committing writers.
+    pub(crate) fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        crate::wire::put_engine_checkpoint(&mut buf, &self.space, &self.store, self.max_radius);
+        buf
+    }
 }

@@ -1043,13 +1043,13 @@ impl WriteHandle {
         debug_assert!(!entries.is_empty(), "a leader always has its own entry");
         let base = self.shared.current();
         let mut txn = Txn::begin(&base);
-        let mut committed: Vec<(Arc<Slot>, BatchState)> = Vec::new();
+        let mut committed: Vec<(Arc<Slot>, BatchState, Vec<Update>)> = Vec::new();
         let mut applied: Vec<Footprint> = Vec::new();
         for PendingEntry { staged, slot } in entries {
             match settle(&mut txn, seq, &applied, staged) {
-                Ok((batch, footprint)) => {
+                Ok((batch, footprint, updates)) => {
                     applied.push(footprint);
-                    committed.push((slot, batch));
+                    committed.push((slot, batch, updates));
                 }
                 Err(e) => slot.fill(Err(e)),
             }
@@ -1069,6 +1069,36 @@ impl WriteHandle {
             max_radius: txn.max_radius,
             epoch,
         });
+
+        // The durability hook: the whole group's batches land in the WAL
+        // — one record per batch, in offset order, under the group's
+        // epoch — *before* anything publishes or the sequencer's conflict
+        // ring learns of the commit. A failed append fails every batch in
+        // the group and the epoch never moves: in-memory state stays
+        // exactly as durable state, and nothing conflicting was recorded
+        // against an epoch that does not exist.
+        if let Some(durability) = self.shared.durability() {
+            let payloads: Vec<Vec<u8>> = committed
+                .iter()
+                .map(|(_, batch, updates)| {
+                    let inserted: Vec<ObjectId> = batch
+                        .outcomes
+                        .iter()
+                        .filter_map(UpdateOutcome::inserted_object)
+                        .collect();
+                    let mut buf = Vec::new();
+                    crate::wire::put_batch_parts(&mut buf, updates, &inserted);
+                    buf
+                })
+                .collect();
+            if let Err(e) = durability.log_group(epoch, &payloads) {
+                for (slot, ..) in committed {
+                    slot.fill(Err(e.clone()));
+                }
+                return;
+            }
+        }
+
         let mut group_footprint = Footprint::default();
         for footprint in &applied {
             group_footprint.absorb(footprint);
@@ -1086,7 +1116,7 @@ impl WriteHandle {
         let mut merged_floors: BTreeSet<Floor> = BTreeSet::new();
         let mut merged_partitions: BTreeSet<PartitionId> = BTreeSet::new();
         let mut reports: Vec<(Arc<Slot>, UpdateReport)> = Vec::with_capacity(group_batches);
-        for (offset, (slot, batch)) in committed.into_iter().enumerate() {
+        for (offset, (slot, batch, _)) in committed.into_iter().enumerate() {
             merged_stats.absorb_group_member(&batch.stats);
             merged_floors.extend(batch.floors.iter().copied());
             merged_partitions.extend(batch.partitions.iter().copied());
@@ -1129,6 +1159,11 @@ impl WriteHandle {
         for (slot, report) in reports {
             slot.fill(Ok(report));
         }
+        // After publish: hand the pinned new version to the background
+        // checkpoint worker if one is due. Never blocks this leader.
+        if let Some(durability) = self.shared.durability() {
+            durability.maybe_checkpoint(&next);
+        }
     }
 }
 
@@ -1168,12 +1203,14 @@ fn stage_batch(base: &Arc<EngineState>, updates: &[Update]) -> Result<StagedBatc
 /// position batches apply their prepared ops directly — after a conflict
 /// check against everything that committed since they staged (and against
 /// earlier members of this group), re-staging when they lost the race.
+/// Returns the batch's original updates alongside its results: the
+/// leader's durability hook logs exactly what settled, in settle order.
 fn settle(
     txn: &mut Txn,
     seq: &SequencerState,
     applied: &[Footprint],
     staged: StagedBatch,
-) -> Result<(BatchState, Footprint), EngineError> {
+) -> Result<(BatchState, Footprint, Vec<Update>), EngineError> {
     let StagedBatch {
         updates,
         base_epoch,
@@ -1191,7 +1228,7 @@ fn settle(
         batch.stats.checkpointed = true;
         batch.stats.shards_touched = batch.floors.len();
         *txn = attempt;
-        return Ok((batch, Footprint::topology()));
+        return Ok((batch, Footprint::topology(), updates));
     };
     let lost_race = seq.conflicts_since(base_epoch, &footprint)
         || applied.iter().any(|fp| footprint.conflicts_with(fp));
@@ -1224,7 +1261,7 @@ fn settle(
         batch.delta.record(&outcome);
         batch.outcomes.push(outcome);
     }
-    Ok((batch, footprint))
+    Ok((batch, footprint, updates))
 }
 
 #[cfg(test)]

@@ -467,6 +467,59 @@ impl IndoorSpace {
         Ok(())
     }
 
+    // ---- wire access (crate-private) ----------------------------------------
+    //
+    // The durability codec (`crate::wire`) serializes the raw arenas —
+    // tombstones included, ids are arena indices — and reconstructs the
+    // space without replaying its construction. These accessors exist so
+    // the arena fields can stay module-private.
+
+    /// The raw partition arena, tombstones included, in id order.
+    pub(crate) fn raw_partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The raw door arena, tombstones included, in id order.
+    pub(crate) fn raw_doors(&self) -> &[Door] {
+        &self.doors
+    }
+
+    /// Rebuilds a space from serialized arenas.
+    ///
+    /// `per_floor` is derived, not stored: walking the arena in id order
+    /// and filing each active partition under its floors reproduces the
+    /// exact per-floor ordering `push_partition`/`retire_partition`
+    /// maintain (pushes happen in id order; retirement preserves relative
+    /// order). `num_floors` *is* stored — the per-floor table never
+    /// shrinks when a top floor's partitions retire, and
+    /// `FloorOutOfSpace` validation depends on its length.
+    pub(crate) fn from_wire_parts(
+        partitions: Vec<Partition>,
+        doors: Vec<Door>,
+        floor_height: f64,
+        stair_walk_factor: f64,
+        num_floors: usize,
+        version: u64,
+    ) -> Self {
+        let mut per_floor: Vec<Vec<PartitionId>> = vec![Vec::new(); num_floors];
+        for p in partitions.iter().filter(|p| p.active) {
+            for f in p.floor_lo..=p.floor_hi {
+                if per_floor.len() <= f as usize {
+                    per_floor.resize(f as usize + 1, Vec::new());
+                }
+                per_floor[f as usize].push(p.id);
+            }
+        }
+        IndoorSpace {
+            partitions,
+            doors,
+            floor_height,
+            stair_walk_factor,
+            per_floor,
+            version,
+        }
+    }
+
     // ---- diagnostics --------------------------------------------------------
 
     /// Active partitions with no doors at all (unreachable by construction).

@@ -21,6 +21,7 @@ pub mod sampler;
 pub mod shards;
 pub mod store;
 pub mod subregion;
+pub mod wire;
 
 pub use error::ObjectError;
 pub use object::{Instance, ObjectId, UncertainObject};

@@ -1,0 +1,184 @@
+//! Durable wire codec for uncertain objects and the object store.
+//!
+//! Instances travel as raw IEEE-754 bits, so a decoded object re-validates
+//! through [`UncertainObject::new`] with *exactly* the weight sum the
+//! original passed with, and every cached quantity (instance bounding box)
+//! is recomputed from identical inputs — the decoded object is
+//! indistinguishable from the original.
+//!
+//! The store codec persists the population in ascending-id order plus the
+//! id-allocation watermark: the allocator is observable state (the engine's
+//! deterministic id allocation for sampled inserts depends on it), so a
+//! recovered store must resume allocation where the original would have.
+
+use crate::object::{Instance, ObjectId, UncertainObject};
+use crate::store::ObjectStore;
+use idq_geom::Circle;
+use idq_model::wire::{put_floor, put_point, take_floor, take_point};
+use idq_storage::codec::{put_f64, put_u64, put_usize, Cursor};
+use idq_storage::StorageError;
+
+pub fn put_object(buf: &mut Vec<u8>, o: &UncertainObject) {
+    put_u64(buf, o.id.0);
+    put_point(buf, o.region.center);
+    put_f64(buf, o.region.radius);
+    put_floor(buf, o.floor);
+    put_usize(buf, o.instances().len());
+    for inst in o.instances() {
+        put_point(buf, inst.position);
+        put_floor(buf, inst.floor);
+        put_f64(buf, inst.weight);
+    }
+}
+
+pub fn take_object(c: &mut Cursor<'_>) -> Result<UncertainObject, StorageError> {
+    let id = ObjectId(c.take_u64("object id")?);
+    let center = take_point(c)?;
+    let radius = c.take_f64("object region radius")?;
+    let floor = take_floor(c)?;
+    let n = c.take_len("object instance count")?;
+    let mut instances = Vec::with_capacity(n);
+    for _ in 0..n {
+        let position = take_point(c)?;
+        let floor = take_floor(c)?;
+        let weight = c.take_f64("instance weight")?;
+        instances.push(Instance {
+            position,
+            floor,
+            weight,
+        });
+    }
+    let at = c.pos();
+    // Re-validation sees the exact bits the original construction saw, so
+    // a faithfully stored object always passes; failure means corruption.
+    UncertainObject::new(id, Circle::new(center, radius), floor, instances).map_err(|_| {
+        StorageError::Decode {
+            what: "uncertain object",
+            offset: at,
+        }
+    })
+}
+
+/// Serialize the whole store: watermark, then objects in ascending-id
+/// order (deterministic bytes for identical stores).
+pub fn put_store(buf: &mut Vec<u8>, store: &ObjectStore) {
+    put_u64(buf, store.id_watermark());
+    put_usize(buf, store.len());
+    for id in store.ids_sorted() {
+        put_object(buf, store.get(id).expect("listed id is present"));
+    }
+}
+
+pub fn take_store(c: &mut Cursor<'_>) -> Result<ObjectStore, StorageError> {
+    let watermark = c.take_u64("store watermark")?;
+    let n = c.take_len("store object count")?;
+    let mut store = ObjectStore::new();
+    for _ in 0..n {
+        let at = c.pos();
+        let object = take_object(c)?;
+        store.insert(object).map_err(|_| StorageError::Decode {
+            what: "store object (duplicate id)",
+            offset: at,
+        })?;
+    }
+    store.restore_id_watermark(watermark);
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idq_geom::Point2;
+    use idq_model::IndoorPoint;
+
+    fn sample_object(id: u64) -> UncertainObject {
+        UncertainObject::with_uniform_weights(
+            ObjectId(id),
+            Circle::new(Point2::new(1.5, -2.25), 6.0),
+            2,
+            vec![
+                Point2::new(1.0, 2.0),
+                Point2::new(0.1 + 0.2, 3.0), // a value with no short decimal form
+                Point2::new(-4.0, 5.5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn object_round_trips_bit_identically() {
+        let o = sample_object(42);
+        let mut buf = Vec::new();
+        put_object(&mut buf, &o);
+        let mut c = Cursor::new(&buf);
+        let back = take_object(&mut c).unwrap();
+        c.finish("object").unwrap();
+        assert_eq!(back.id, o.id);
+        assert_eq!(back.region.center, o.region.center);
+        assert_eq!(back.region.radius.to_bits(), o.region.radius.to_bits());
+        assert_eq!(back.floor, o.floor);
+        assert_eq!(back.instances().len(), o.instances().len());
+        for (a, b) in back.instances().iter().zip(o.instances()) {
+            assert_eq!(a.position.x.to_bits(), b.position.x.to_bits());
+            assert_eq!(a.position.y.to_bits(), b.position.y.to_bits());
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            assert_eq!(a.floor, b.floor);
+        }
+        assert_eq!(back.instance_bbox(), o.instance_bbox());
+    }
+
+    #[test]
+    fn store_round_trips_population_and_watermark() {
+        let mut store = ObjectStore::new();
+        for id in [9u64, 3, 7] {
+            store.insert(sample_object(id)).unwrap();
+        }
+        let minted = store.allocate_id(); // bump the watermark past the ids
+        assert_eq!(minted, ObjectId(10));
+        let mut buf = Vec::new();
+        put_store(&mut buf, &store);
+        let mut c = Cursor::new(&buf);
+        let back = take_store(&mut c).unwrap();
+        c.finish("store").unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.ids_sorted(), store.ids_sorted());
+        assert_eq!(back.id_watermark(), store.id_watermark());
+        for id in back.ids_sorted() {
+            assert_eq!(back.get(id).unwrap().floor, store.get(id).unwrap().floor);
+        }
+    }
+
+    #[test]
+    fn point_objects_and_empty_store_round_trip() {
+        let mut store = ObjectStore::new();
+        store
+            .insert(UncertainObject::point_object(
+                ObjectId(0),
+                IndoorPoint::new(Point2::new(0.0, 0.0), 0),
+            ))
+            .unwrap();
+        let mut buf = Vec::new();
+        put_store(&mut buf, &store);
+        let back = take_store(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back.len(), 1);
+
+        let empty = ObjectStore::new();
+        let mut buf = Vec::new();
+        put_store(&mut buf, &empty);
+        let back = take_store(&mut Cursor::new(&buf)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.id_watermark(), 0);
+    }
+
+    #[test]
+    fn truncated_object_is_a_decode_error() {
+        let mut buf = Vec::new();
+        put_object(&mut buf, &sample_object(1));
+        buf.truncate(buf.len() - 4);
+        let mut c = Cursor::new(&buf);
+        assert!(matches!(
+            take_object(&mut c),
+            Err(StorageError::Decode { .. })
+        ));
+    }
+}

@@ -1,0 +1,59 @@
+//! The pluggable storage abstraction.
+//!
+//! A backend is a flat namespace of append-only blob files — exactly the
+//! shape the WAL (segments) and checkpointer (snapshot blobs) need, and
+//! small enough that an in-memory test double can model crash semantics
+//! byte-accurately. Directory-level durability (making a rename itself
+//! survive power loss) is the backend's responsibility.
+
+use crate::error::StorageError;
+
+/// An open, appendable file.
+///
+/// `append` makes bytes *visible* to a post-crash reader only after a
+/// subsequent [`LogFile::sync`] (or the backend's own policy makes writes
+/// durable); the WAL layers its fsync policy on top of this contract.
+pub trait LogFile: Send + std::fmt::Debug {
+    /// Append bytes at the end of the file.
+    fn append(&mut self, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Force everything appended so far to durable storage.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// Current file length in bytes (including unsynced appends).
+    fn len(&self) -> u64;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A thread-safe namespace of blob files.
+///
+/// All methods take `&self`: backends are shared behind an `Arc` between
+/// the commit path (WAL appends) and the background checkpoint writer.
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
+    /// A human-readable location (directory path, or a test label) used in
+    /// error context.
+    fn label(&self) -> String;
+
+    /// Create `name`, truncating any existing file of that name.
+    fn create(&self, name: &str) -> Result<Box<dyn LogFile>, StorageError>;
+
+    /// Reopen `name` for append, first truncating it to exactly `len`
+    /// bytes. Recovery uses this to discard a torn WAL tail.
+    fn open_at(&self, name: &str, len: u64) -> Result<Box<dyn LogFile>, StorageError>;
+
+    /// Read the full contents of `name`.
+    fn read(&self, name: &str) -> Result<Vec<u8>, StorageError>;
+
+    /// List all file names in the namespace, in unspecified order.
+    fn list(&self) -> Result<Vec<String>, StorageError>;
+
+    /// Delete `name`. Deleting a nonexistent file is an error.
+    fn delete(&self, name: &str) -> Result<(), StorageError>;
+
+    /// Atomically replace `to` with `from`. The implementation must make
+    /// the rename itself durable (directory sync on filesystems).
+    fn rename(&self, from: &str, to: &str) -> Result<(), StorageError>;
+}

@@ -1,0 +1,214 @@
+//! Atomically-published epoch checkpoints.
+//!
+//! A checkpoint file `ckpt-{epoch:016x}.ckpt` holds a full serialized
+//! engine state as of `epoch`:
+//!
+//! ```text
+//! b"IDQCKPT1" | u64 epoch | u64 payload_len | u32 crc32(payload) | payload
+//! ```
+//!
+//! Publication is crash-atomic: the blob is streamed to a `.tmp` name,
+//! synced, then renamed into place — a reader never observes a partial
+//! `.ckpt`, and `.tmp` leftovers from a crashed checkpointer are ignored
+//! (and garbage-collected by the next successful checkpoint).
+//!
+//! [`latest_checkpoint`] walks checkpoints newest-first and returns the
+//! first that validates, so a damaged latest checkpoint degrades to the
+//! previous one instead of failing recovery (older checkpoints are only
+//! deleted *after* a newer one is durably in place).
+
+use std::sync::Arc;
+
+use crate::codec::{crc32, Cursor};
+use crate::error::StorageError;
+use crate::StorageBackend;
+
+const MAGIC: &[u8; 8] = b"IDQCKPT1";
+const HEADER: usize = 8 + 8 + 8 + 4;
+
+/// A decoded, validated checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    pub epoch: u64,
+    pub payload: Vec<u8>,
+}
+
+fn checkpoint_name(epoch: u64) -> String {
+    format!("ckpt-{epoch:016x}.ckpt")
+}
+
+fn tmp_name(epoch: u64) -> String {
+    format!("ckpt-{epoch:016x}.tmp")
+}
+
+fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("ckpt-")?.strip_suffix(".ckpt")?;
+    if rest.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(rest, 16).ok()
+}
+
+/// Stream `payload` as the checkpoint for `epoch` and atomically publish
+/// it. On success, older checkpoints and stale `.tmp` files are removed
+/// (best-effort — a failed cleanup never fails the checkpoint).
+pub fn write_checkpoint(
+    backend: &Arc<dyn StorageBackend>,
+    epoch: u64,
+    payload: &[u8],
+) -> Result<(), StorageError> {
+    let tmp = tmp_name(epoch);
+    let mut file = backend.create(&tmp)?;
+    let mut header = Vec::with_capacity(HEADER);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&epoch.to_le_bytes());
+    header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    header.extend_from_slice(&crc32(payload).to_le_bytes());
+    file.append(&header)?;
+    file.append(payload)?;
+    file.sync()?;
+    drop(file);
+    backend.rename(&tmp, &checkpoint_name(epoch))?;
+
+    for name in backend.list()? {
+        let stale_ckpt = parse_checkpoint_name(&name)
+            .map(|e| e < epoch)
+            .unwrap_or(false);
+        let stale_tmp = name.strip_prefix("ckpt-").is_some() && name.ends_with(".tmp");
+        if stale_ckpt || stale_tmp {
+            let _ = backend.delete(&name);
+        }
+    }
+    Ok(())
+}
+
+fn validate(name: &str, data: &[u8]) -> Result<Checkpoint, StorageError> {
+    let corrupt = |offset: u64, reason: &str| StorageError::Corrupt {
+        path: name.to_string(),
+        offset,
+        reason: reason.to_string(),
+    };
+    if data.len() < HEADER {
+        return Err(corrupt(data.len() as u64, "truncated checkpoint header"));
+    }
+    if &data[..8] != MAGIC {
+        return Err(corrupt(0, "bad checkpoint magic"));
+    }
+    let mut c = Cursor::new(&data[8..HEADER]);
+    let epoch = c.take_u64("checkpoint epoch").expect("header sized");
+    let len = c.take_u64("checkpoint len").expect("header sized");
+    let crc = c.take_u32("checkpoint crc").expect("header sized");
+    let payload = &data[HEADER..];
+    if payload.len() as u64 != len {
+        return Err(corrupt(HEADER as u64, "checkpoint payload length mismatch"));
+    }
+    if crc32(payload) != crc {
+        return Err(corrupt(HEADER as u64, "checkpoint payload crc mismatch"));
+    }
+    if let Some(name_epoch) = parse_checkpoint_name(name) {
+        if name_epoch != epoch {
+            return Err(corrupt(8, "checkpoint epoch does not match file name"));
+        }
+    }
+    Ok(Checkpoint {
+        epoch,
+        payload: payload.to_vec(),
+    })
+}
+
+/// Find the newest checkpoint that passes validation, falling back to
+/// older ones if newer files are damaged. `Ok(None)` means no `.ckpt`
+/// file validates (e.g. a fresh directory).
+pub fn latest_checkpoint(
+    backend: &Arc<dyn StorageBackend>,
+) -> Result<Option<Checkpoint>, StorageError> {
+    let mut candidates: Vec<(u64, String)> = backend
+        .list()?
+        .into_iter()
+        .filter_map(|name| parse_checkpoint_name(&name).map(|epoch| (epoch, name)))
+        .collect();
+    candidates.sort_unstable();
+    for (_, name) in candidates.into_iter().rev() {
+        let data = backend.read(&name)?;
+        if let Ok(ckpt) = validate(&name, &data) {
+            return Ok(Some(ckpt));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemBackend;
+
+    fn arc(b: &MemBackend) -> Arc<dyn StorageBackend> {
+        Arc::new(b.clone())
+    }
+
+    #[test]
+    fn write_and_load_round_trip() {
+        let b = MemBackend::new();
+        write_checkpoint(&arc(&b), 12, b"state@12").unwrap();
+        let ckpt = latest_checkpoint(&arc(&b)).unwrap().unwrap();
+        assert_eq!(ckpt.epoch, 12);
+        assert_eq!(ckpt.payload, b"state@12");
+    }
+
+    #[test]
+    fn newer_checkpoint_wins_and_older_is_removed() {
+        let b = MemBackend::new();
+        write_checkpoint(&arc(&b), 5, b"old").unwrap();
+        write_checkpoint(&arc(&b), 9, b"new").unwrap();
+        let names = b.list().unwrap();
+        assert_eq!(names.len(), 1, "{names:?}");
+        let ckpt = latest_checkpoint(&arc(&b)).unwrap().unwrap();
+        assert_eq!(
+            (ckpt.epoch, ckpt.payload.as_slice()),
+            (9, b"new".as_slice())
+        );
+    }
+
+    #[test]
+    fn damaged_latest_falls_back_to_previous() {
+        let b = MemBackend::new();
+        write_checkpoint(&arc(&b), 5, b"good").unwrap();
+        // Forge a newer checkpoint, then damage its payload.
+        let mut f = b.create(&checkpoint_name(9)).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        bytes.extend_from_slice(&crc32(b"bad").to_le_bytes());
+        bytes.extend_from_slice(b"xxx"); // payload does not match its crc
+        f.append(&bytes).unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let ckpt = latest_checkpoint(&arc(&b)).unwrap().unwrap();
+        assert_eq!(
+            (ckpt.epoch, ckpt.payload.as_slice()),
+            (5, b"good".as_slice())
+        );
+    }
+
+    #[test]
+    fn partial_tmp_is_ignored() {
+        let b = MemBackend::new();
+        write_checkpoint(&arc(&b), 3, b"published").unwrap();
+        let mut f = b.create(&tmp_name(8)).unwrap();
+        f.append(b"half a checkp").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let ckpt = latest_checkpoint(&arc(&b)).unwrap().unwrap();
+        assert_eq!(ckpt.epoch, 3);
+        // The next successful checkpoint garbage-collects the leftover.
+        write_checkpoint(&arc(&b), 10, b"latest").unwrap();
+        assert_eq!(b.list().unwrap(), vec![checkpoint_name(10)]);
+    }
+
+    #[test]
+    fn empty_backend_has_no_checkpoint() {
+        let b = MemBackend::new();
+        assert_eq!(latest_checkpoint(&arc(&b)).unwrap(), None);
+    }
+}

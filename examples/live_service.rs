@@ -8,6 +8,12 @@
 //! perimeter's standing range query current from commit deltas — no
 //! re-query, no caller bookkeeping, no locks across a Dijkstra.
 //!
+//! The engine is opened **durably**: every commit group is written ahead
+//! to an on-disk log before it publishes, and when the last write handle
+//! drops the log is flushed so a restart recovers the final epoch
+//! exactly (see `examples/restartable_service.rs` for the
+//! kill-and-recover version of this scenario).
+//!
 //! ```text
 //! cargo run --release --example live_service
 //! ```
@@ -30,7 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         plan.add_door_between(hall, gate, Point2::new(x0 + 10.0, 12.0))?;
     }
-    let mut engine = IndoorEngine::new(plan.finish()?, EngineConfig::default())?;
+    // Open durably: commits hit the write-ahead log in `data_dir` before
+    // they publish. A fresh directory creates; an existing one recovers
+    // (cleared here so every demo run starts from checked-in baggage).
+    let data_dir = std::env::temp_dir().join("idq-live-service");
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut engine = IndoorEngine::open(
+        &data_dir,
+        plan.finish()?,
+        EngineConfig::default(),
+        DurabilityOptions::default(),
+    )?;
+    println!("durable engine open at {}", data_dir.display());
 
     // Seed passengers along the concourse in one atomic batch.
     let seed_batch: Vec<Update> = (0..24)
@@ -78,7 +95,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             engine.apply_batch(&batch)?;
         }
         Ok(engine.epoch())
-        // `engine` drops here: the writer retires, subscription streams end.
+        // `engine` drops here: the last write handle retires, which drains
+        // the sequencer, flushes the write-ahead log (durable shutdown),
+        // and ends the subscription streams.
     });
 
     let mut readers = Vec::new();
@@ -136,5 +155,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     assert_eq!(perimeter.current(), fresh_ids);
     println!("delta-maintained result verified against a fresh query. ✓");
+
+    // The durable shutdown above flushed every commit: reopening the
+    // directory recovers the final epoch bit-for-bit.
+    let recovered = IndoorEngine::recover_with(
+        std::sync::Arc::new(FileBackend::open(&data_dir)?),
+        EngineConfig::default(),
+        DurabilityOptions::default(),
+    )?;
+    assert_eq!(recovered.epoch(), final_epoch);
+    println!(
+        "restart recovered epoch {} with {} passenger(s). ✓",
+        recovered.epoch(),
+        recovered.snapshot().store().len()
+    );
     Ok(())
 }

@@ -1,0 +1,128 @@
+//! Kill -9 the service mid-stream, restart it, keep going.
+//!
+//! This example demonstrates the crash-recovery contract end to end with
+//! a **real** process kill, not a simulated one: the binary re-executes
+//! itself as a child that opens a durable engine, ingests commits, and
+//! calls [`std::process::abort`] mid-stream — no destructors, no log
+//! flush, no clean shutdown. The parent then reopens the same directory:
+//! recovery loads the newest checkpoint, replays the log suffix in
+//! commit order, and the service resumes exactly at the last durable
+//! epoch, continuing the same update stream as if nothing had happened.
+//!
+//! ```text
+//! cargo run --release --example restartable_service
+//! ```
+
+use indoor_dq::model::IndoorPoint;
+use indoor_dq::prelude::*;
+use std::path::Path;
+
+/// Epoch the child aborts at (after the commit is durable, before any
+/// clean shutdown).
+const ABORT_AT_EPOCH: u64 = 5;
+/// Epochs the recovered parent adds on top.
+const RESUME_EPOCHS: u64 = 4;
+
+fn concourse() -> Result<IndoorSpace, Box<dyn std::error::Error>> {
+    let mut plan = FloorPlanBuilder::new(4.0);
+    let hall = plan.add_named_room("concourse", 0, Rect2::from_bounds(0.0, 0.0, 120.0, 12.0))?;
+    let gate = plan.add_named_room("gate", 0, Rect2::from_bounds(40.0, 12.0, 80.0, 40.0))?;
+    plan.add_door_between(hall, gate, Point2::new(60.0, 12.0))?;
+    Ok(plan.finish()?)
+}
+
+fn open(data_dir: &Path) -> Result<IndoorEngine, Box<dyn std::error::Error>> {
+    // `SyncPolicy::Group` (the default) fsyncs once per commit group, so
+    // everything the child committed survives its abort.
+    Ok(IndoorEngine::open(
+        data_dir,
+        concourse()?,
+        EngineConfig::default(),
+        DurabilityOptions::default(),
+    )?)
+}
+
+/// One deterministic update per epoch: passengers check in one at a time
+/// and shuffle down the concourse.
+fn step(engine: &mut IndoorEngine, i: u64) -> Result<(), EngineError> {
+    engine.apply(Update::InsertObjectAt {
+        center: Point2::new(5.0 + (i as f64) * 9.0, 6.0),
+        floor: 0,
+        radius: 1.5,
+        instances: 16,
+        seed: i,
+    })?;
+    Ok(())
+}
+
+/// The child half: ingest until `ABORT_AT_EPOCH`, then die hard.
+fn run_child(data_dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = open(data_dir)?;
+    for i in 0.. {
+        step(&mut engine, i)?;
+        if engine.epoch() >= ABORT_AT_EPOCH {
+            eprintln!("[child] aborting at epoch {} — no shutdown", engine.epoch());
+            std::process::abort();
+        }
+    }
+    unreachable!()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data_dir = std::env::temp_dir().join("idq-restartable-service");
+    if std::env::var_os("IDQ_RESTARTABLE_CHILD").is_some() {
+        return run_child(&data_dir);
+    }
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    // Phase 1: the service runs in a child process and is killed
+    // mid-stream.
+    let status = std::process::Command::new(std::env::current_exe()?)
+        .env("IDQ_RESTARTABLE_CHILD", "1")
+        .status()?;
+    assert!(!status.success(), "the child is supposed to die");
+    println!("service killed mid-stream (status: {status})");
+
+    // Phase 2: restart. Recovery finds the checkpoint + log the child
+    // left behind and rebuilds the exact world at its last durable epoch.
+    let mut engine = open(&data_dir)?;
+    println!(
+        "recovered epoch {} with {} passenger(s) (checkpoint at epoch {:?})",
+        engine.epoch(),
+        engine.snapshot().store().len(),
+        engine.last_checkpoint_epoch(),
+    );
+    assert_eq!(engine.epoch(), ABORT_AT_EPOCH);
+    assert_eq!(engine.snapshot().store().len() as u64, ABORT_AT_EPOCH);
+
+    // Phase 3: the stream continues where the dead process left off —
+    // same ids, same epochs, same standing queries.
+    let desk = IndoorPoint::new(Point2::new(60.0, 6.0), 0);
+    let mut perimeter = engine
+        .service()
+        .subscribe(Query::Range { q: desk, r: 30.0 })?;
+    for i in 0..RESUME_EPOCHS {
+        step(&mut engine, ABORT_AT_EPOCH + i)?;
+    }
+    let mut absorbed = 0;
+    while absorbed < RESUME_EPOCHS {
+        if let Some(n) = perimeter.wait()? {
+            absorbed += 1;
+            println!(
+                "  [perimeter @ epoch {:>2}] {} change(s)",
+                n.epoch,
+                n.changes.len()
+            );
+        }
+    }
+    assert_eq!(engine.epoch(), ABORT_AT_EPOCH + RESUME_EPOCHS);
+
+    // A manual checkpoint compacts the log so the next restart replays
+    // only what comes after it.
+    let at = engine.checkpoint()?.expect("engine is durable");
+    println!(
+        "resumed through epoch {} and checkpointed at epoch {at}. ✓",
+        engine.epoch()
+    );
+    Ok(())
+}

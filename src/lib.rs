@@ -18,6 +18,8 @@
 //! * [`distance`] — indoor distances and pruning bounds;
 //! * [`index`] — the composite index;
 //! * [`query`] — the iRQ / ikNNQ processors and baselines;
+//! * [`storage`] — the durability substrate (write-ahead log, epoch
+//!   checkpoints, pluggable [`storage::StorageBackend`]s);
 //! * [`core`] — [`core::IndoorEngine`], the integrated public API;
 //! * [`workloads`] — synthetic buildings, objects and query workloads
 //!   reproducing the paper's evaluation setup.
@@ -78,13 +80,15 @@ pub use idq_index as index;
 pub use idq_model as model;
 pub use idq_objects as objects;
 pub use idq_query as query;
+pub use idq_storage as storage;
 pub use idq_workloads as workloads;
 
 /// Convenience re-exports of the types most applications need.
 pub mod prelude {
     pub use idq_core::{
-        EngineConfig, EngineError, IndoorEngine, IndoorService, MonitorExt, Notification, Snapshot,
-        Subscription, Update, UpdateDelta, UpdateOutcome, UpdateReport, UpdateStats, WriteHandle,
+        DurabilityOptions, EngineConfig, EngineError, IndoorEngine, IndoorService, MonitorExt,
+        Notification, Snapshot, Subscription, Update, UpdateDelta, UpdateOutcome, UpdateReport,
+        UpdateStats, WriteHandle,
     };
     pub use idq_geom::{Circle, Point2, Point3, Rect2};
     pub use idq_index::CompositeIndex;
@@ -96,5 +100,6 @@ pub mod prelude {
         KnnResult, MonitorChange, Outcome, Query, QueryOptions, QueryStats, RangeMonitor,
         RangeResult,
     };
+    pub use idq_storage::{FileBackend, MemBackend, StorageBackend, SyncPolicy};
     pub use idq_workloads::{BuildingConfig, ObjectConfig, QueryPointConfig, UpdateStreamConfig};
 }
