@@ -23,9 +23,19 @@
 //! the worker touches is the WAL mutex, briefly, for the truncation.
 //!
 //! A durability failure is **fail-stop**: the failing group reports
-//! [`EngineError::Storage`] to every batch in it and does not publish; a
-//! background checkpoint failure parks its error here and the next
-//! commit surfaces it the same way.
+//! [`EngineError::Storage`] to every batch in it, does not publish, and
+//! *permanently poisons* the attachment — every later commit fails with
+//! the same error. The latch is load-bearing, not just tidy semantics: a
+//! failed append (ENOSPC, EIO, a failed fsync whose bytes still reach
+//! disk through the page cache) may have left records of the
+//! never-published epoch in the log, and because the epoch did not move,
+//! a retried commit would append the *same* epoch again. Recovery groups
+//! consecutive same-epoch records into one atomic batch, so it would
+//! replay updates that were reported as failed to clients. Once poisoned,
+//! no later group can reuse the epoch, and recovery replays at most the
+//! failed group's own (unacknowledged) residue — the documented
+//! recover-*ahead* discrepancy, never divergence. A background checkpoint
+//! failure latches the same way and surfaces on the next commit.
 
 use crate::error::EngineError;
 use crate::state::EngineState;
@@ -71,8 +81,16 @@ struct DurabilityCore {
     last_checkpoint: AtomicU64,
     /// A background checkpoint is in flight (at most one at a time).
     inflight: AtomicBool,
-    /// A background failure waiting to fail-stop the next commit.
-    pending_error: Mutex<Option<EngineError>>,
+    /// Serializes [`DurabilityCore::checkpoint_state`] across the worker
+    /// and blocking callers, so two checkpointers never stream the same
+    /// `.tmp` or interleave publish/GC.
+    checkpoint_lock: Mutex<()>,
+    /// The durability failure that fail-stopped this engine, if any.
+    /// Latched permanently: a failed WAL append may have left records of
+    /// the never-published epoch in the log, so no later commit may run
+    /// (it would reuse that epoch and recovery would replay the failed
+    /// group). Every subsequent [`Durability::log_group`] returns a clone.
+    poisoned: Mutex<Option<EngineError>>,
 }
 
 impl DurabilityCore {
@@ -86,10 +104,14 @@ impl DurabilityCore {
 
     /// Writes one checkpoint of `state` and truncates the log prefix it
     /// covers. Runs on the worker thread *and* on blocking
-    /// [`Durability::checkpoint_now`] callers; the two never corrupt each
-    /// other (checkpoints publish atomically under distinct epoch names,
-    /// newest wins) — at worst a racing pair does redundant work.
+    /// [`Durability::checkpoint_now`] callers; `checkpoint_lock`
+    /// serializes the two (they could otherwise stream the same-epoch
+    /// `.tmp` concurrently, or one's post-publish GC could delete the
+    /// other's in-flight `.tmp` and fail its rename). Blocking a
+    /// checkpoint caller on an in-flight checkpoint never blocks
+    /// committing writers.
     fn checkpoint_state(&self, state: &EngineState) -> Result<u64, EngineError> {
+        let _serialize = self.checkpoint_lock.lock().expect("checkpoint lock");
         let epoch = state.epoch;
         let payload = state.encode_checkpoint();
         write_checkpoint(&self.backend, epoch, &payload)
@@ -141,7 +163,8 @@ impl Durability {
             wal: Mutex::new(wal),
             last_checkpoint: AtomicU64::new(checkpoint_epoch),
             inflight: AtomicBool::new(false),
-            pending_error: Mutex::new(None),
+            checkpoint_lock: Mutex::new(()),
+            poisoned: Mutex::new(None),
         });
         let (tx, rx) = mpsc::channel::<Arc<EngineState>>();
         let worker_core = Arc::clone(&core);
@@ -150,10 +173,12 @@ impl Durability {
             .spawn(move || {
                 while let Ok(state) = rx.recv() {
                     if let Err(e) = worker_core.checkpoint_state(&state) {
-                        *worker_core
-                            .pending_error
+                        // First failure wins; latch it permanently.
+                        worker_core
+                            .poisoned
                             .lock()
-                            .expect("pending-error lock") = Some(e);
+                            .expect("poison lock")
+                            .get_or_insert(e);
                     }
                     worker_core.inflight.store(false, Ordering::SeqCst);
                 }
@@ -173,24 +198,27 @@ impl Durability {
     /// Appends one commit group — one encoded record per batch, all under
     /// `epoch` — durably per the sync policy. Called by the sequencer
     /// leader **before** publishing the epoch; an error means the group
-    /// must not publish. A parked background failure fails this group too
-    /// (fail-stop: once durability is broken, nothing else commits).
+    /// must not publish. Fail-stop: the first failure (an append here, or
+    /// a background checkpoint) poisons the attachment permanently and
+    /// every later group fails with it — a failed append may have left
+    /// this epoch's records in the log, so letting a later group reuse
+    /// the epoch would make recovery replay the failed group.
     pub(crate) fn log_group(&self, epoch: u64, payloads: &[Vec<u8>]) -> Result<(), EngineError> {
-        if let Some(e) = self
-            .core
-            .pending_error
-            .lock()
-            .expect("pending-error lock")
-            .take()
-        {
-            return Err(e);
+        let mut poisoned = self.core.poisoned.lock().expect("poison lock");
+        if let Some(e) = poisoned.as_ref() {
+            return Err(e.clone());
         }
-        self.core
+        let result = self
+            .core
             .wal
             .lock()
             .expect("wal lock")
             .append_commit(epoch, payloads)
-            .map_err(|e| self.core.storage_error(epoch, e))
+            .map_err(|e| self.core.storage_error(epoch, e));
+        if let Err(e) = &result {
+            *poisoned = Some(e.clone());
+        }
+        result
     }
 
     /// Hands `state` to the background worker when a checkpoint is due
@@ -244,8 +272,8 @@ impl Durability {
 impl Drop for Durability {
     fn drop(&mut self) {
         // Closing the channel ends the worker loop; join so an in-flight
-        // checkpoint finishes (or fails into pending_error, where it is
-        // now moot) before the backend handle drops.
+        // checkpoint finishes (or fails into the poison latch, where it
+        // is now moot) before the backend handle drops.
         drop(self.tx.take());
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();

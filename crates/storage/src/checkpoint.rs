@@ -9,8 +9,11 @@
 //!
 //! Publication is crash-atomic: the blob is streamed to a `.tmp` name,
 //! synced, then renamed into place — a reader never observes a partial
-//! `.ckpt`, and `.tmp` leftovers from a crashed checkpointer are ignored
-//! (and garbage-collected by the next successful checkpoint).
+//! `.ckpt`, and `.tmp` leftovers from a crashed checkpointer are ignored.
+//! A successful checkpoint garbage-collects only `.tmp` files of
+//! *strictly older* epochs: a `.tmp` at or above the published epoch may
+//! be another checkpointer's in-flight stream, and deleting it out from
+//! under that writer would fail its rename.
 //!
 //! [`latest_checkpoint`] walks checkpoints newest-first and returns the
 //! first that validates, so a damaged latest checkpoint degrades to the
@@ -49,9 +52,19 @@ fn parse_checkpoint_name(name: &str) -> Option<u64> {
     u64::from_str_radix(rest, 16).ok()
 }
 
+fn parse_tmp_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("ckpt-")?.strip_suffix(".tmp")?;
+    if rest.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(rest, 16).ok()
+}
+
 /// Stream `payload` as the checkpoint for `epoch` and atomically publish
-/// it. On success, older checkpoints and stale `.tmp` files are removed
-/// (best-effort — a failed cleanup never fails the checkpoint).
+/// it. On success, strictly-older checkpoints and strictly-older `.tmp`
+/// leftovers are removed (best-effort — a failed cleanup never fails the
+/// checkpoint). `.tmp` files at or above `epoch` are left alone: they may
+/// be a concurrent checkpointer's in-flight stream.
 pub fn write_checkpoint(
     backend: &Arc<dyn StorageBackend>,
     epoch: u64,
@@ -74,7 +87,7 @@ pub fn write_checkpoint(
         let stale_ckpt = parse_checkpoint_name(&name)
             .map(|e| e < epoch)
             .unwrap_or(false);
-        let stale_tmp = name.strip_prefix("ckpt-").is_some() && name.ends_with(".tmp");
+        let stale_tmp = parse_tmp_name(&name).map(|e| e < epoch).unwrap_or(false);
         if stale_ckpt || stale_tmp {
             let _ = backend.delete(&name);
         }
@@ -204,6 +217,20 @@ mod tests {
         // The next successful checkpoint garbage-collects the leftover.
         write_checkpoint(&arc(&b), 10, b"latest").unwrap();
         assert_eq!(b.list().unwrap(), vec![checkpoint_name(10)]);
+    }
+
+    #[test]
+    fn inflight_newer_tmp_survives_gc() {
+        let b = MemBackend::new();
+        // Another checkpointer is mid-stream on a newer epoch …
+        let mut f = b.create(&tmp_name(20)).unwrap();
+        f.append(b"in flight").unwrap();
+        drop(f);
+        write_checkpoint(&arc(&b), 10, b"published").unwrap();
+        // … its tmp survives the older checkpoint's GC, so its atomic
+        // rename still succeeds afterwards.
+        assert!(b.list().unwrap().contains(&tmp_name(20)));
+        b.rename(&tmp_name(20), &checkpoint_name(20)).unwrap();
     }
 
     #[test]

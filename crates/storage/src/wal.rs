@@ -6,8 +6,11 @@
 //! Each segment holds framed records:
 //!
 //! ```text
-//! u32 payload_len | u32 crc32(epoch_le ++ payload) | u64 epoch | payload
+//! u32 payload_len | u32 crc32(len_le ++ epoch_le ++ payload) | u64 epoch | payload
 //! ```
+//!
+//! The CRC covers the length field too, so a damaged `len` cannot send
+//! the scanner to a bogus frame boundary that happens to re-validate.
 //!
 //! One record is one staged *batch*; a **commit group** is the run of
 //! consecutive records sharing an epoch, appended by a single
@@ -33,6 +36,17 @@
 //! is real corruption, not an interrupted append. After the scan the torn
 //! tail (if any) is physically truncated, all existing segments are
 //! sealed, and appends continue in a fresh segment.
+//!
+//! A genuine torn tail is an interrupted *suffix*: nothing after the
+//! tear point ever reached a durable frame boundary. So before the
+//! final segment's malformed tail is written off as torn, the scanner
+//! looks past the damage for a complete, CRC-valid frame. Finding one
+//! means acknowledged records sit beyond the damage — that is
+//! mid-segment corruption of fsynced data, and it fails recovery with
+//! [`StorageError::Corrupt`] instead of silently discarding the
+//! acknowledged commits after it. (Out-of-order writeback of a never-
+//! synced suffix could in principle trip this too; we prefer a loud
+//! recovery error over silently dropping possibly-acknowledged data.)
 
 use std::sync::Arc;
 
@@ -111,49 +125,71 @@ struct SegmentScan {
     records: Vec<WalRecord>,
     /// Length of the valid prefix; `< data.len()` means a torn tail.
     valid_len: u64,
+    /// Offset of a complete, CRC-valid frame found *past* the first
+    /// malformed byte. `Some` means acknowledged records sit beyond the
+    /// damage: mid-segment corruption, not an interrupted final append.
+    intact_after: Option<u64>,
+}
+
+fn frame_crc(len: usize, epoch: u64, payload: &[u8]) -> u32 {
+    let mut check = crate::codec::Crc32::new();
+    check.update(&(len as u32).to_le_bytes());
+    check.update(&epoch.to_le_bytes());
+    check.update(payload);
+    check.finish()
+}
+
+/// Parse the frame at `pos`, returning `(record, end_offset)` when it is
+/// complete and CRC-valid.
+fn parse_frame(data: &[u8], pos: usize) -> Option<(WalRecord, usize)> {
+    if data.len() - pos < FRAME_HEADER {
+        return None;
+    }
+    let mut c = Cursor::new(&data[pos..pos + FRAME_HEADER]);
+    let len = c.take_u32("frame len").expect("header sized") as usize;
+    let crc = c.take_u32("frame crc").expect("header sized");
+    let epoch = c.take_u64("frame epoch").expect("header sized");
+    let payload_start = pos + FRAME_HEADER;
+    if data.len() - payload_start < len {
+        return None; // incomplete payload
+    }
+    let payload = &data[payload_start..payload_start + len];
+    if frame_crc(len, epoch, payload) != crc {
+        return None; // partially-written or damaged frame
+    }
+    Some((
+        WalRecord {
+            epoch,
+            payload: payload.to_vec(),
+        },
+        payload_start + len,
+    ))
 }
 
 fn scan_segment(data: &[u8]) -> SegmentScan {
     let mut records = Vec::new();
     let mut pos = 0usize;
-    loop {
-        if data.len() - pos < FRAME_HEADER {
-            break;
-        }
-        let mut c = Cursor::new(&data[pos..pos + FRAME_HEADER]);
-        let len = c.take_u32("frame len").expect("header sized") as usize;
-        let crc = c.take_u32("frame crc").expect("header sized");
-        let epoch = c.take_u64("frame epoch").expect("header sized");
-        let payload_start = pos + FRAME_HEADER;
-        if data.len() - payload_start < len {
-            break; // incomplete payload: torn
-        }
-        let payload = &data[payload_start..payload_start + len];
-        let mut check = crate::codec::Crc32::new();
-        check.update(&epoch.to_le_bytes());
-        check.update(payload);
-        if check.finish() != crc {
-            break; // partially-written frame: torn
-        }
-        records.push(WalRecord {
-            epoch,
-            payload: payload.to_vec(),
-        });
-        pos = payload_start + len;
+    while let Some((record, end)) = parse_frame(data, pos) {
+        records.push(record);
+        pos = end;
     }
+    // The frame at `pos` failed; resync byte-by-byte past it looking for
+    // a later frame that still validates (CRC collision odds ~2^-32 make
+    // a false positive negligible). Only runs on damaged segments.
+    let intact_after = (pos + 1..data.len())
+        .find(|&at| parse_frame(data, at).is_some())
+        .map(|at| at as u64);
     SegmentScan {
         records,
         valid_len: pos as u64,
+        intact_after,
     }
 }
 
 fn encode_frame(epoch: u64, payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-    let mut check = crate::codec::Crc32::new();
-    check.update(&epoch.to_le_bytes());
-    check.update(payload);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&check.finish().to_le_bytes());
+    frame.extend_from_slice(&frame_crc(payload.len(), epoch, payload).to_le_bytes());
     frame.extend_from_slice(&epoch.to_le_bytes());
     frame.extend_from_slice(payload);
     frame
@@ -193,6 +229,21 @@ impl Wal {
                 });
             }
             if torn {
+                // An intact frame past the damage means the malformed
+                // bytes are not an interrupted final append — they sit in
+                // front of data that did reach a durable frame boundary.
+                // Truncating here would silently discard those records,
+                // so surface corruption instead.
+                if let Some(at) = scan.intact_after {
+                    return Err(StorageError::Corrupt {
+                        path: name.clone(),
+                        offset: scan.valid_len,
+                        reason: format!(
+                            "malformed frame followed by an intact frame at byte {at}: \
+                             mid-segment corruption, not a torn tail"
+                        ),
+                    });
+                }
                 // Physically discard the torn tail so a later crash cannot
                 // resurrect ambiguous bytes.
                 let mut file = backend.open_at(name, scan.valid_len)?;
@@ -383,6 +434,50 @@ mod tests {
         // The torn bytes are physically gone: a second reopen parses clean.
         let (_, recs) = open_mem(&b, SyncPolicy::Group, 1 << 20);
         assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn mid_segment_len_damage_in_active_segment_is_corruption() {
+        let b = MemBackend::new();
+        let (mut wal, _) = open_mem(&b, SyncPolicy::Group, 1 << 20);
+        wal.append_commit(1, &payloads(&[b"first"])).unwrap();
+        wal.append_commit(2, &payloads(&[b"second"])).unwrap();
+        drop(wal);
+        // Flip a bit in the *len* field of the first frame. The intact
+        // second frame proves this is corruption of acknowledged data,
+        // not a torn tail — truncating would silently drop epoch 2.
+        b.flip_byte(&segment_name(0), 0);
+        let err = Wal::open(Arc::new(b), SyncPolicy::Group, 1 << 20).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn mid_segment_payload_damage_in_active_segment_is_corruption() {
+        let b = MemBackend::new();
+        let (mut wal, _) = open_mem(&b, SyncPolicy::Group, 1 << 20);
+        wal.append_commit(1, &payloads(&[b"first"])).unwrap();
+        wal.append_commit(2, &payloads(&[b"second"])).unwrap();
+        drop(wal);
+        b.flip_byte(&segment_name(0), FRAME_HEADER); // first frame's payload
+        let err = Wal::open(Arc::new(b), SyncPolicy::Group, 1 << 20).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn damage_in_the_final_frame_is_still_a_torn_tail() {
+        let b = MemBackend::new();
+        let (mut wal, _) = open_mem(&b, SyncPolicy::Group, 1 << 20);
+        wal.append_commit(1, &payloads(&[b"keep"])).unwrap();
+        wal.append_commit(2, &payloads(&[b"last"])).unwrap();
+        drop(wal);
+        // Damage the *last* frame's payload: no intact frame follows, so
+        // this parses as an interrupted append and truncates to epoch 1.
+        let name = segment_name(0);
+        let len = b.read(&name).unwrap().len();
+        b.flip_byte(&name, len - 1);
+        let (_, recs) = open_mem(&b, SyncPolicy::Group, 1 << 20);
+        let epochs: Vec<u64> = recs.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![1]);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   swap published it (recovery replays it: logged ⇒ committed);
 //! * `Os`-policy crash (a suffix of acknowledged commits may vanish,
 //!   but recovery still lands on a consistent earlier epoch);
+//! * a group whose WAL fsync fails (bytes possibly persisted anyway):
+//!   the engine fail-stops permanently, the epoch is never reused, and
+//!   recovery never replays a merged/duplicated group;
 //! * kill mid-checkpoint (partial `.tmp`, corrupt forged `.ckpt`):
 //!   recovery falls back to the previous valid checkpoint;
 //! * checkpoint + log-suffix replay with real segment truncation;
@@ -464,6 +467,123 @@ impl StorageBackend for GatedBackend {
     fn rename(&self, from: &str, to: &str) -> Result<(), StorageError> {
         self.inner.rename(from, to)
     }
+}
+
+/// A backend that can make WAL fsyncs fail on demand while still letting
+/// the appended bytes through — the "failed fsync whose data reaches
+/// disk anyway via the page cache" shape of the fail-stop contract.
+#[derive(Debug)]
+struct FlakySyncBackend {
+    inner: MemBackend,
+    fail_wal_sync: Arc<Mutex<bool>>,
+}
+
+#[derive(Debug)]
+struct FlakyLogFile {
+    fail_wal_sync: Arc<Mutex<bool>>,
+    name: String,
+    inner: Box<dyn LogFile>,
+}
+
+impl LogFile for FlakyLogFile {
+    fn append(&mut self, data: &[u8]) -> Result<(), StorageError> {
+        self.inner.append(data)
+    }
+    fn sync(&mut self) -> Result<(), StorageError> {
+        if self.name.starts_with("wal-") && *self.fail_wal_sync.lock().unwrap() {
+            return Err(StorageError::Io {
+                op: "sync",
+                path: self.name.clone(),
+                message: "injected fsync failure".to_string(),
+            });
+        }
+        self.inner.sync()
+    }
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl StorageBackend for FlakySyncBackend {
+    fn label(&self) -> String {
+        "flaky".to_string()
+    }
+    fn create(&self, name: &str) -> Result<Box<dyn LogFile>, StorageError> {
+        Ok(Box::new(FlakyLogFile {
+            fail_wal_sync: Arc::clone(&self.fail_wal_sync),
+            name: name.to_string(),
+            inner: self.inner.create(name)?,
+        }))
+    }
+    fn open_at(&self, name: &str, len: u64) -> Result<Box<dyn LogFile>, StorageError> {
+        self.inner.open_at(name, len)
+    }
+    fn read(&self, name: &str) -> Result<Vec<u8>, StorageError> {
+        self.inner.read(name)
+    }
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        self.inner.list()
+    }
+    fn delete(&self, name: &str) -> Result<(), StorageError> {
+        self.inner.delete(name)
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<(), StorageError> {
+        self.inner.rename(from, to)
+    }
+}
+
+#[test]
+fn failed_group_log_poisons_the_engine_and_never_reuses_the_epoch() {
+    let b = building();
+    let stream = batches(&b, SEED, EPOCHS, 24);
+    let q = queries(&b);
+    let mem = MemBackend::new();
+    let fail = Arc::new(Mutex::new(false));
+    let backend = Arc::new(FlakySyncBackend {
+        inner: mem.clone(),
+        fail_wal_sync: Arc::clone(&fail),
+    });
+    let mut e = IndoorEngine::create_with(
+        backend as Arc<dyn StorageBackend>,
+        b.space.clone(),
+        population(&b, SEED),
+        EngineConfig::default(),
+        DurabilityOptions::default(),
+    )
+    .unwrap();
+    for batch in &stream[..3] {
+        e.apply_batch(batch).unwrap();
+    }
+
+    // Epoch 4's group fsync fails, but its appended bytes went through —
+    // exactly the residue a failed fsync can leave behind.
+    *fail.lock().unwrap() = true;
+    let err = e.apply_batch(&stream[3]).unwrap_err();
+    assert!(matches!(err, EngineError::Storage { .. }), "{err:?}");
+    assert_eq!(e.epoch(), 3, "the failed group must not publish");
+
+    // Durability is now poisoned: even with the fault gone, retrying the
+    // batch must fail — the retry would append epoch 4 *again* on top of
+    // the residue, and recovery (which merges consecutive same-epoch
+    // records into one atomic batch) would replay both as one group.
+    *fail.lock().unwrap() = false;
+    let err = e.apply_batch(&stream[3]).unwrap_err();
+    assert!(matches!(err, EngineError::Storage { .. }), "{err:?}");
+    assert_eq!(e.epoch(), 3, "a poisoned engine must not commit");
+
+    // Power loss now: the never-synced residue vanishes and recovery
+    // lands exactly on the last acknowledged epoch.
+    let r = recover(mem.crashed());
+    assert_eq!(r.epoch(), 3);
+    assert_eq!(digest(&r, &q), digest(&serial_at(&b, SEED, &stream, 3), &q));
+
+    // If the residue *does* reach disk (here: the shutdown flush), it
+    // replays as the one clean group it is — recovery runs ahead of the
+    // failure report, but never diverges and never errors.
+    drop(e);
+    let r = recover(mem.clone());
+    assert_eq!(r.epoch(), 4);
+    assert_eq!(digest(&r, &q), digest(&serial_at(&b, SEED, &stream, 4), &q));
 }
 
 #[test]
