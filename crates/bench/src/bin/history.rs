@@ -1,0 +1,260 @@
+//! History — what bounded epoch retention costs on the ingest path, and
+//! how fast the historical query family answers over a deep ring.
+//!
+//! Two measurements:
+//!
+//! * **ingest** — updates/second for the default batched position-update
+//!   workload with retention **off** (plain engine) versus **on**
+//!   (a `HistoryRecorder` attached). The timed region for the retention
+//!   row includes the recorder drain (`sync()`), so the ratio is the
+//!   honest end-to-end price of keeping history, not just the enqueue
+//!   cost the write path sees.
+//! * **queries** — a second engine at paper scale (10 floors, 20k
+//!   objects, `IDQ_SCALE`d) ingests a 600-wave trajectory stream so the
+//!   ring retains 512+ epochs, then the query family is timed against
+//!   one session: per-object `Trajectory`, `RangeDuring` over 64- and
+//!   512-epoch windows, `KnnAt` and raw epoch reconstruction.
+//!
+//! Emits a `BENCH_history.json` line (and prints it) so successive runs
+//! form a trajectory.
+
+use idq_bench::{scale_from_env, scaled_floors, scaled_objects};
+use idq_core::{EngineConfig, IndoorEngine};
+use idq_history::{HistoryOptions, HistoryRecorder};
+use idq_objects::ObjectId;
+use idq_workloads::{
+    generate_building, generate_objects, generate_query_points, generate_trajectory_stream,
+    generate_update_stream, BuildingConfig, ObjectConfig, PaperDefaults, QueryPointConfig,
+    TrajectoryStreamConfig, UpdateStreamConfig,
+};
+use std::time::Instant;
+
+const BATCH: usize = 1024;
+const WAVES: usize = 600;
+
+fn main() {
+    let scale = scale_from_env();
+    let d = PaperDefaults::default();
+    eprintln!("history: IDQ_SCALE={scale}");
+
+    let floors = scaled_floors(10, scale);
+    let objects = scaled_objects(d.objects, scale);
+    let stream_len = scaled_objects(16_384, scale);
+    let reps: usize = std::env::var("IDQ_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
+    let building =
+        generate_building(&BuildingConfig::with_floors(floors)).expect("generator invariants hold");
+    let store = generate_objects(
+        &building,
+        &ObjectConfig {
+            count: objects,
+            radius: d.radius,
+            instances: 8,
+            seed: 42,
+        },
+    )
+    .expect("population fits the building");
+
+    // ---- ingest: retention off vs on ----------------------------------
+    let stream = generate_update_stream(
+        &building,
+        &store,
+        &UpdateStreamConfig {
+            count: stream_len,
+            moves: 0.90,
+            inserts: 0.05,
+            removes: 0.05,
+            door_events: 0.0,
+            radius: d.radius,
+            instances: 8,
+            seed: 7,
+        },
+    );
+
+    let mut off_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let mut engine = IndoorEngine::with_objects(
+            building.space.clone(),
+            store.clone(),
+            EngineConfig::default(),
+        )
+        .expect("engine builds");
+        let t = Instant::now();
+        for chunk in stream.chunks(BATCH) {
+            engine.apply_batch(chunk).expect("batch applies");
+        }
+        off_ms = off_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let off_ups = stream.len() as f64 / (off_ms / 1e3);
+    eprintln!("history: retention=off {off_ups:10.0} updates/s");
+
+    let mut on_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let mut engine = IndoorEngine::with_objects(
+            building.space.clone(),
+            store.clone(),
+            EngineConfig::default(),
+        )
+        .expect("engine builds");
+        let recorder =
+            HistoryRecorder::attach(&engine, HistoryOptions::default()).expect("fresh engine");
+        let t = Instant::now();
+        for chunk in stream.chunks(BATCH) {
+            engine.apply_batch(chunk).expect("batch applies");
+        }
+        recorder.sync(); // pay the drain inside the timed region
+        on_ms = on_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let on_ups = stream.len() as f64 / (on_ms / 1e3);
+    let on_vs_off = on_ups / off_ups;
+    eprintln!(
+        "history: retention=on  {on_ups:10.0} updates/s ({:.1}% of retention-off)",
+        100.0 * on_vs_off
+    );
+
+    // ---- queries over a deep ring --------------------------------------
+    let waves = generate_trajectory_stream(
+        &building,
+        &store,
+        &TrajectoryStreamConfig {
+            steps: WAVES,
+            move_fraction: 0.05,
+            max_step: 6.0,
+            floor_change: 0.01,
+            seed: 11,
+        },
+    );
+    let mut engine = IndoorEngine::with_objects(
+        building.space.clone(),
+        store.clone(),
+        EngineConfig::default(),
+    )
+    .expect("engine builds");
+    let recorder =
+        HistoryRecorder::attach(&engine, HistoryOptions::default()).expect("fresh engine");
+    let t = Instant::now();
+    let mut wave_updates = 0usize;
+    for wave in &waves {
+        if wave.is_empty() {
+            continue;
+        }
+        wave_updates += wave.len();
+        engine.apply_batch(wave).expect("wave applies");
+    }
+    recorder.sync();
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let stats = recorder.stats();
+    eprintln!(
+        "history: ring built in {build_ms:.0} ms — {} epochs retained ({} keyframes, \
+         {} segments, ~{:.1} MiB)",
+        stats.retained_epochs,
+        stats.keyframes,
+        stats.segments,
+        stats.approx_bytes as f64 / (1 << 20) as f64
+    );
+    let session = recorder.session();
+    let (oldest, newest) = (session.oldest(), session.newest());
+
+    // Trajectory: 50 objects over the deepest 512-epoch window.
+    let deep_from = newest.saturating_sub(511).max(oldest);
+    let t = Instant::now();
+    let mut spans = 0usize;
+    let traced = 50.min(objects) as u64;
+    for o in 0..traced {
+        spans += session
+            .trajectory(ObjectId(o), deep_from, newest)
+            .expect("window retained")
+            .len();
+    }
+    let trajectory_us = t.elapsed().as_secs_f64() * 1e6 / traced as f64;
+    eprintln!(
+        "history: Trajectory over {} epochs: {trajectory_us:9.1} µs/query ({spans} spans total)",
+        newest - deep_from + 1
+    );
+
+    // RangeDuring: 64- and 512-epoch windows at paper radius.
+    let points = generate_query_points(&building, &QueryPointConfig { count: 4, seed: 3 });
+    let mut range_ms = [0f64; 2];
+    for (i, window) in [64u64, 512].iter().enumerate() {
+        let from = newest.saturating_sub(window - 1).max(oldest);
+        let t = Instant::now();
+        for &q in &points {
+            session
+                .range_during(q, d.range_r, from, newest)
+                .expect("window retained");
+        }
+        range_ms[i] = t.elapsed().as_secs_f64() * 1e3 / points.len() as f64;
+        eprintln!(
+            "history: RangeDuring over {:3} epochs: {:9.2} ms/query",
+            newest - from + 1,
+            range_ms[i]
+        );
+    }
+
+    // KnnAt + reconstruction at 8 epochs spread across the window.
+    let samples: Vec<u64> = (0..8).map(|i| oldest + (newest - oldest) * i / 7).collect();
+    let t = Instant::now();
+    for &e in &samples {
+        session.reconstruct(e).expect("window retained");
+    }
+    let reconstruct_ms = t.elapsed().as_secs_f64() * 1e3 / samples.len() as f64;
+    let t = Instant::now();
+    for &e in &samples {
+        session
+            .knn_at(points[0], d.k.min(objects), e)
+            .expect("window retained");
+    }
+    let knn_at_ms = t.elapsed().as_secs_f64() * 1e3 / samples.len() as f64;
+    eprintln!("history: reconstruct {reconstruct_ms:9.2} ms/epoch, KnnAt {knn_at_ms:9.2} ms/query");
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"history\",\"scale\":{},\"floors\":{},\"objects\":{},",
+            "\"updates\":{},\"batch\":{},\"off_ms\":{:.3},\"off_ups\":{:.1},",
+            "\"on_ms\":{:.3},\"on_ups\":{:.1},\"on_vs_off\":{:.4},",
+            "\"waves\":{},\"wave_updates\":{},\"retained_epochs\":{},\"keyframes\":{},",
+            "\"segments\":{},\"approx_mb\":{:.2},",
+            "\"trajectory_us\":{:.2},\"range_during64_ms\":{:.3},\"range_during512_ms\":{:.3},",
+            "\"reconstruct_ms\":{:.3},\"knn_at_ms\":{:.3}}}"
+        ),
+        scale,
+        floors,
+        objects,
+        stream.len(),
+        BATCH,
+        off_ms,
+        off_ups,
+        on_ms,
+        on_ups,
+        on_vs_off,
+        WAVES,
+        wave_updates,
+        stats.retained_epochs,
+        stats.keyframes,
+        stats.segments,
+        stats.approx_bytes as f64 / (1 << 20) as f64,
+        trajectory_us,
+        range_ms[0],
+        range_ms[1],
+        reconstruct_ms,
+        knn_at_ms,
+    );
+    println!("{json}");
+    let appended = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open("BENCH_history.json")
+        .and_then(|mut f| std::io::Write::write_all(&mut f, format!("{json}\n").as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("history: could not append to BENCH_history.json: {e}");
+    }
+    eprintln!(
+        "history: retention-on ingests at {:.1}% of retention-off; {} retained epochs",
+        100.0 * on_vs_off,
+        stats.retained_epochs
+    );
+}

@@ -411,6 +411,20 @@ impl IndoorEngine {
         self.writer.clone()
     }
 
+    /// Attaches a commit-retention sink (at most one per engine): from now
+    /// on every committed epoch is handed to
+    /// [`crate::retention::RetentionSink::record`] right after it
+    /// publishes — the merged group report, a pinned [`Snapshot`] and a
+    /// wall-clock stamp. Returns `false` (and does not attach) when a sink
+    /// is already attached. Attach before spawning concurrent writers:
+    /// commits that race the attachment itself may precede the first
+    /// recorded epoch, and sinks baseline themselves with a snapshot taken
+    /// after attaching (`idq-history`'s `HistoryRecorder::attach` does
+    /// exactly that).
+    pub fn attach_retention(&self, sink: Arc<dyn crate::retention::RetentionSink>) -> bool {
+        self.shared.attach_retention(sink)
+    }
+
     // ---- snapshots (sessions over a consistent read view) ----------------
 
     /// An owned snapshot pinned to the latest committed version, using the

@@ -1,0 +1,65 @@
+//! Commit-retention hook: the write path's tap for history recorders.
+//!
+//! The MVCC engine materializes every epoch-stamped version but, by
+//! itself, forgets them as soon as the last snapshot drops — it can only
+//! answer "where is everything *now*". A [`RetentionSink`] attached via
+//! [`crate::IndoorEngine::attach_retention`] observes every commit group
+//! right after it publishes: the sequencer hands it one [`CommitRecord`]
+//! per epoch — the group's merged [`UpdateReport`], a [`Snapshot`] pinned
+//! to the freshly published version, and a wall-clock stamp.
+//!
+//! The contract mirrors the dispatch engine's never-block discipline:
+//! [`RetentionSink::record`] is called **on the committing leader inside
+//! the serial sequencer section**, so an implementation must only enqueue
+//! (a mutex push, a condvar notify) and return — any real work (delta
+//! compression, trajectory indexing, eviction) belongs on the sink's own
+//! thread. Records arrive in strictly increasing epoch order, exactly one
+//! per committed epoch from the attach point on.
+//!
+//! The canonical implementation is `idq-history`'s `HistoryRecorder`: a
+//! bounded, delta-compressed history ring plus a 3D (x, y, time)
+//! trajectory index and the historical query family served from it.
+
+use crate::snapshot::Snapshot;
+use crate::update::UpdateReport;
+
+/// One committed epoch as the retention hook observes it: the merged
+/// commit-group report (net delta over the whole group), a snapshot pinned
+/// to the published version, and the stamps that order it in time.
+#[derive(Clone, Debug)]
+pub struct CommitRecord {
+    /// The epoch this commit published (strictly increasing, one record
+    /// per committed epoch).
+    pub epoch: u64,
+    /// Wall-clock stamp of the publish, milliseconds since the Unix
+    /// epoch (0 if the system clock is unreadable). Epochs, not wall
+    /// time, are the engine's logical clock — this is metadata for
+    /// presenting trajectories, never for ordering.
+    pub wall_ms: u64,
+    /// The commit group's merged report: concatenated outcomes, the net
+    /// [`crate::UpdateDelta`] and union stats — the same report a
+    /// subscription broadcast carries.
+    pub report: UpdateReport,
+    /// A snapshot pinned to the version this commit published. Holding it
+    /// keeps the version alive; sinks that retain only deltas should drop
+    /// it once the record is compressed.
+    pub snapshot: Snapshot,
+}
+
+/// A consumer of committed epochs, attached once per engine (the same
+/// set-once discipline as the durability layer).
+///
+/// Both methods are called from the write path and must never block:
+/// [`RetentionSink::record`] from the committing leader after each
+/// publish, [`RetentionSink::close`] when the last [`crate::WriteHandle`]
+/// releases (no further records will arrive; the sink's worker should
+/// drain and park).
+pub trait RetentionSink: Send + Sync + std::fmt::Debug {
+    /// Observe one committed epoch. Enqueue-only — the sequencer is
+    /// waiting.
+    fn record(&self, record: CommitRecord);
+
+    /// The write side is done: no further [`RetentionSink::record`] calls
+    /// will ever arrive. Enqueue-only.
+    fn close(&self);
+}

@@ -183,6 +183,10 @@ pub(crate) struct Shared {
     /// once — *after* recovery replay, so replayed commits are not
     /// re-logged — and read lock-free by every committing leader.
     durability: std::sync::OnceLock<Durability>,
+    /// The engine's commit-retention attachment (the history recorder's
+    /// enqueue-only sink), set once and read lock-free by every
+    /// committing leader after each publish.
+    retention: std::sync::OnceLock<std::sync::Arc<dyn crate::retention::RetentionSink>>,
 }
 
 impl Shared {
@@ -199,6 +203,7 @@ impl Shared {
             inbox: Inbox::default(),
             progress: Progress::default(),
             durability: std::sync::OnceLock::new(),
+            retention: std::sync::OnceLock::new(),
         }
     }
 
@@ -215,6 +220,21 @@ impl Shared {
     /// The durability attachment, if this engine is durable.
     pub(crate) fn durability(&self) -> Option<&Durability> {
         self.durability.get()
+    }
+
+    /// Attaches the commit-retention sink (at most once). Returns `false`
+    /// when a sink is already attached — unlike durability, retention is
+    /// attached by user code, so the race is reportable, not a bug.
+    pub(crate) fn attach_retention(
+        &self,
+        sink: std::sync::Arc<dyn crate::retention::RetentionSink>,
+    ) -> bool {
+        self.retention.set(sink).is_ok()
+    }
+
+    /// The commit-retention sink, if one is attached.
+    pub(crate) fn retention(&self) -> Option<&std::sync::Arc<dyn crate::retention::RetentionSink>> {
+        self.retention.get()
     }
 
     /// The current committed version (an `Arc` clone under a brief read
@@ -319,6 +339,12 @@ impl Shared {
             // here (no caller); recovery still sees every synced prefix.
             if let Some(durability) = self.durability() {
                 let _ = durability.flush();
+            }
+            // Retention mirrors dispatch: the write side is provably done,
+            // so the sink's worker can drain its queue and park. Enqueue-
+            // only, like every retention call from the write path.
+            if let Some(sink) = self.retention() {
+                sink.close();
             }
             self.inbox.close();
         }

@@ -81,9 +81,42 @@ impl EngineState {
         }
     }
 
+    /// Assembles a state from bare layers **at a given epoch** with an
+    /// explicit `max_radius` high-water mark — the reconstruction
+    /// constructor: `idq-history` rebuilds retained epochs through this so
+    /// a reconstructed version carries the same epoch stamp, checkpoint
+    /// bytes ([`crate::Snapshot::encode_checkpoint`]) and effective query
+    /// options as the live version the engine once published. Like
+    /// [`EngineState::from_parts`], the store is not scanned: the caller
+    /// supplies the high-water mark it recorded.
+    pub fn from_parts_at(
+        space: Arc<IndoorSpace>,
+        store: Arc<ObjectStore>,
+        index: Arc<CompositeIndex>,
+        options: QueryOptions,
+        max_radius: f64,
+        epoch: u64,
+    ) -> Self {
+        EngineState {
+            space,
+            store,
+            index,
+            options,
+            max_radius,
+            epoch,
+        }
+    }
+
     /// The indoor space of this version.
     pub fn space(&self) -> &IndoorSpace {
         &self.space
+    }
+
+    /// The indoor space of this version, shared — a reference-counted
+    /// handle for callers assembling derived states
+    /// ([`EngineState::from_parts_at`]) without deep-copying the space.
+    pub fn space_arc(&self) -> Arc<IndoorSpace> {
+        Arc::clone(&self.space)
     }
 
     /// The object population of this version.
@@ -101,14 +134,38 @@ impl EngineState {
         self.epoch
     }
 
+    /// The base query options configured at engine construction — the
+    /// input [`EngineState::effective_options`] widens. Reconstruction
+    /// ([`EngineState::from_parts_at`]) takes the base, not the effective
+    /// form, so the widening replays from the recorded `max_radius`.
+    pub fn base_options(&self) -> QueryOptions {
+        self.options
+    }
+
+    /// The largest uncertainty-region radius ever inserted up to this
+    /// version (a high-water mark: monotone across epochs, not derivable
+    /// from the live population).
+    pub fn max_radius(&self) -> f64 {
+        self.max_radius
+    }
+
     /// The effective default query options of this version: the base
     /// options with the subgraph slack widened to the largest uncertainty
     /// region ever inserted.
     pub fn effective_options(&self) -> QueryOptions {
-        let by_radius = QueryOptions::for_max_radius(self.max_radius);
+        Self::effective_options_for(self.options, self.max_radius)
+    }
+
+    /// The widening rule behind [`EngineState::effective_options`], usable
+    /// without a state: base options with the subgraph slack widened to a
+    /// given radius high-water mark. History replay re-derives per-epoch
+    /// effective options through this so reconstructed answers use exactly
+    /// the options the live engine used at that epoch.
+    pub fn effective_options_for(options: QueryOptions, max_radius: f64) -> QueryOptions {
+        let by_radius = QueryOptions::for_max_radius(max_radius);
         QueryOptions {
-            subgraph_slack: self.options.subgraph_slack.max(by_radius.subgraph_slack),
-            ..self.options
+            subgraph_slack: options.subgraph_slack.max(by_radius.subgraph_slack),
+            ..options
         }
     }
 

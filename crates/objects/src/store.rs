@@ -239,6 +239,20 @@ impl ObjectStore {
             .ok_or(ObjectError::UnknownObject(id))
     }
 
+    /// Looks up an object **shared**: the store's own reference-counted
+    /// entry. History retention holds epochs' worth of object states; the
+    /// shared form keeps a retained state one pointer, not a deep copy of
+    /// the instance set, for as long as some version still holds the same
+    /// entry.
+    pub fn get_shared(&self, id: ObjectId) -> Result<Arc<UncertainObject>, ObjectError> {
+        self.shards
+            .find(id)
+            .and_then(|f| self.shards.get(f as Floor))
+            .and_then(|s| s.objects.get(&id))
+            .map(Arc::clone)
+            .ok_or(ObjectError::UnknownObject(id))
+    }
+
     /// Returns `true` if `id` is present.
     pub fn contains(&self, id: ObjectId) -> bool {
         self.shards.find(id).is_some()

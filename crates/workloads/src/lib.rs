@@ -13,6 +13,9 @@
 //! * [`QueryPointConfig`] / [`generate_query_points`] — query workloads;
 //! * [`UpdateStreamConfig`] / [`generate_update_stream`] — mixed typed
 //!   update streams (position reports + door churn) for ingest benchmarks;
+//! * [`TrajectoryStreamConfig`] / [`generate_trajectory_stream`] —
+//!   wave-major bounded random walks for the history ring's trajectory
+//!   and co-movement queries;
 //! * [`SubscriptionSetConfig`] / [`generate_subscription_set`] — standing
 //!   continuous-query fleets for the dispatch engine's routing benchmarks;
 //! * [`experiment`] — timing, statistics and paper-style table printing
@@ -24,6 +27,7 @@ pub mod experiment;
 pub mod objects;
 pub mod queries;
 pub mod subscriptions;
+pub mod trajectories;
 pub mod updates;
 
 pub use building::{generate_building, BuildingConfig, GeneratedBuilding};
@@ -32,4 +36,5 @@ pub use experiment::{mean, percentile, SeriesTable, Stopwatch};
 pub use objects::{generate_objects, sample_one, ObjectConfig};
 pub use queries::{generate_query_points, generate_range_batches, QueryPointConfig};
 pub use subscriptions::{generate_subscription_set, SubscriptionSetConfig};
+pub use trajectories::{generate_trajectory_stream, TrajectoryStreamConfig};
 pub use updates::{generate_update_stream, UpdateStreamConfig};

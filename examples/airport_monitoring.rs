@@ -9,6 +9,13 @@
 //! back through security: walking distance *from* the unit and *to* the
 //! unit differ.
 //!
+//! On top of the live monitoring round, the example attaches a bounded
+//! history ring (`idq-history`) before any passenger moves, scripts a
+//! short journey through the terminal, and then answers after-the-fact
+//! questions — where did the suspect walk, who was ever inside the
+//! perimeter, who moved with them — verifying every reconstructed epoch
+//! bit-for-bit against live snapshots pinned as ground truth.
+//!
 //! ```text
 //! cargo run --release --example airport_monitoring
 //! ```
@@ -46,6 +53,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     plan.add_one_way_door(airside, exit_corr, Point2::new(110.0, 40.0))?;
     plan.add_one_way_door(exit_corr, landside, Point2::new(10.0, 40.0))?;
     let space = plan.finish()?;
+    let rooms = [
+        (landside, "landside"),
+        (airside, "airside"),
+        (checkin, "checkin"),
+        (shops, "shops"),
+        (gate_a, "gate A"),
+        (gate_b, "gate B"),
+        (exit_corr, "exit corridor"),
+    ];
+    let room_name = |p: Option<PartitionId>| {
+        p.and_then(|p| rooms.iter().find(|(id, _)| *id == p))
+            .map_or("?", |(_, n)| n)
+    };
 
     let mut engine = IndoorEngine::new(space, EngineConfig::default())?;
 
@@ -107,10 +127,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(from_pdu > to_pdu);
 
+    // ---- retention: record everything from here on -------------------
+    //
+    // The recorder attaches to the commit path; every epoch the engine
+    // publishes from now on lands in a bounded in-memory ring. We keep a
+    // live snapshot of every epoch as ground truth to verify against.
+    let recorder = HistoryRecorder::attach(
+        &engine,
+        HistoryOptions {
+            keyframe_every: 4,
+            ..HistoryOptions::default()
+        },
+    )?;
+    let mut ground_truth = vec![engine.snapshot()];
+
+    // A scripted journey for passenger 0 — check-in, shops, through
+    // security, gate A — while passenger 1 shadows them step for step
+    // and the others drift around the gates.
+    let suspect = passengers[0];
+    let shadow = passengers[1];
+    let journey: &[&[(ObjectId, f64, f64)]] = &[
+        &[(suspect, 15.0, 10.0), (shadow, 18.0, 12.0)], // both in check-in
+        &[(suspect, 45.0, 10.0), (shadow, 48.0, 8.0)],  // both in shops
+        &[
+            (suspect, 50.0, 30.0),
+            (shadow, 52.0, 28.0),
+            (passengers[3], 70.0, 30.0), // gate A → airside hall
+        ],
+        &[(suspect, 70.0, 30.0), (shadow, 72.0, 32.0)], // through security
+        &[
+            (suspect, 80.0, 10.0),
+            (shadow, 82.0, 12.0),
+            (passengers[3], 100.0, 10.0), // drifts on to gate B
+        ],
+    ];
+    for wave in journey {
+        let updates: Vec<Update> = wave
+            .iter()
+            .map(|&(id, x, y)| Update::MoveObject {
+                id,
+                center: Point2::new(x, y),
+                floor: 0,
+                seed: 7,
+            })
+            .collect();
+        engine.apply_batch(&updates)?;
+        ground_truth.push(engine.snapshot());
+    }
+
     // Emergency drill: security closes. The perimeter from the PDU still
     // covers airside passengers, but the landside guard can no longer
-    // reach it at all.
+    // reach it at all. (A topology change — the ring keyframes it.)
     engine.close_door(security)?;
+    ground_truth.push(engine.snapshot());
     let to_pdu_closed = engine
         .execute(&Query::Distance {
             q: landside_guard,
@@ -132,5 +201,81 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "perimeter check still sees {} airside passenger(s)",
         watch.results.len()
     );
+
+    // ---- after the fact: ask the ring what happened ------------------
+    recorder.sync();
+    let session = recorder.session();
+    let (oldest, newest) = (session.oldest(), session.newest());
+    println!(
+        "\nhistory ring: epochs {oldest}..={newest} retained ({} keyframes)",
+        recorder.stats().keyframes
+    );
+
+    // Ground truth first: every retained epoch must reconstruct to the
+    // exact snapshot the engine published — bit-for-bit.
+    for pinned in &ground_truth {
+        let rebuilt = session.reconstruct(pinned.version())?;
+        assert_eq!(
+            rebuilt.encode_checkpoint(),
+            pinned.encode_checkpoint(),
+            "epoch {} reconstructed differently",
+            pinned.version()
+        );
+    }
+    println!(
+        "verified: all {} epochs reconstruct bit-identical to live snapshots",
+        ground_truth.len()
+    );
+
+    // Where did the suspect walk? The 3D (x, y, time) index returns the
+    // room-by-room trajectory without replaying anything.
+    println!("\npassenger {suspect}'s trajectory:");
+    match session.execute(&HistoryQuery::Trajectory {
+        object: suspect,
+        from: oldest,
+        to: newest,
+    })? {
+        HistoryOutcome::Trajectory(spans) => {
+            for s in &spans {
+                println!(
+                    "  epochs {:>2}..={:<2}  {:13} at ({:.0}, {:.0})",
+                    s.from_epoch,
+                    s.to_epoch,
+                    room_name(s.partition),
+                    s.position.x,
+                    s.position.y
+                );
+            }
+        }
+        other => unreachable!("trajectory query yields trajectory: {other:?}"),
+    }
+
+    // Who was EVER inside the PDU perimeter during the journey?
+    let ever_near = session.range_during(pdu, 30.0, oldest, newest)?;
+    println!("\never inside the 30 m perimeter during epochs {oldest}..={newest}: {ever_near:?}");
+    assert!(
+        ever_near.contains(&suspect),
+        "the suspect passed the PDU on the way to gate A"
+    );
+
+    // Who moved with the suspect? Partition co-residence over the window.
+    let companions = session.together(suspect, oldest, newest, 3)?;
+    println!("\ntravelled with passenger {suspect} (≥ 3 shared epochs):");
+    for c in &companions {
+        println!("  {}  {} shared epochs", c.object, c.shared_epochs);
+    }
+    assert!(
+        companions.iter().any(|c| c.object == shadow),
+        "the shadow co-resided in every room"
+    );
+
+    // And a point-in-time forensic question: who was closest to the PDU
+    // back when the suspect cleared security (two epochs before the end)?
+    let at = newest - 2;
+    let knn = session.knn_at(pdu, 3, at)?;
+    println!("\nclosest to the PDU at epoch {at}:");
+    for hit in &knn.results {
+        println!("  {}  at {:.1} m", hit.object, hit.distance);
+    }
     Ok(())
 }

@@ -21,6 +21,9 @@
 //! * [`storage`] — the durability substrate (write-ahead log, epoch
 //!   checkpoints, pluggable [`storage::StorageBackend`]s);
 //! * [`core`] — [`core::IndoorEngine`], the integrated public API;
+//! * [`history`] — bounded epoch retention, the 3D `(x, y, time)`
+//!   trajectory index and the historical query family
+//!   ([`history::HistoryRecorder`], [`history::HistorySession`]);
 //! * [`workloads`] — synthetic buildings, objects and query workloads
 //!   reproducing the paper's evaluation setup.
 //!
@@ -76,6 +79,7 @@
 pub use idq_core as core;
 pub use idq_distance as distance;
 pub use idq_geom as geom;
+pub use idq_history as history;
 pub use idq_index as index;
 pub use idq_model as model;
 pub use idq_objects as objects;
@@ -91,6 +95,10 @@ pub mod prelude {
         UpdateStats, WriteHandle,
     };
     pub use idq_geom::{Circle, Point2, Point3, Rect2};
+    pub use idq_history::{
+        HistoryError, HistoryOptions, HistoryOutcome, HistoryQuery, HistoryRecorder,
+        HistorySession, HistoryStats,
+    };
     pub use idq_index::CompositeIndex;
     pub use idq_model::{
         Direction, DoorId, FloorPlanBuilder, IndoorPoint, IndoorSpace, PartitionId, PartitionKind,
@@ -101,5 +109,7 @@ pub mod prelude {
         RangeResult,
     };
     pub use idq_storage::{FileBackend, MemBackend, StorageBackend, SyncPolicy};
-    pub use idq_workloads::{BuildingConfig, ObjectConfig, QueryPointConfig, UpdateStreamConfig};
+    pub use idq_workloads::{
+        BuildingConfig, ObjectConfig, QueryPointConfig, TrajectoryStreamConfig, UpdateStreamConfig,
+    };
 }

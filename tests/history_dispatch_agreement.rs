@@ -1,0 +1,113 @@
+//! A standing range subscription and the historical `RangeDuring` walk
+//! over the same window must agree on member sets at every epoch — the
+//! live dispatch path and the after-the-fact history replay are two
+//! routes to the same per-epoch answers.
+
+use indoor_dq::history::{HistoryOptions, HistoryRecorder};
+use indoor_dq::prelude::*;
+use indoor_dq::workloads::{
+    generate_building, generate_objects, generate_query_points, generate_update_stream,
+    GeneratedBuilding,
+};
+use std::collections::BTreeSet;
+
+fn building() -> GeneratedBuilding {
+    generate_building(&BuildingConfig {
+        bands: 2,
+        rooms_per_side: 3,
+        ..BuildingConfig::with_floors(2)
+    })
+    .unwrap()
+}
+
+#[test]
+fn standing_subscription_agrees_with_range_during_at_every_epoch() {
+    let b = building();
+    let store = generate_objects(
+        &b,
+        &ObjectConfig {
+            count: 70,
+            radius: 6.0,
+            instances: 5,
+            seed: 23,
+        },
+    )
+    .unwrap();
+    let stream = generate_update_stream(
+        &b,
+        &store,
+        &UpdateStreamConfig {
+            count: 96,
+            seed: 29,
+            ..UpdateStreamConfig::default()
+        },
+    );
+    let mut engine =
+        IndoorEngine::with_objects(b.space.clone(), store, EngineConfig::default()).unwrap();
+
+    // History and subscriptions both start at epoch 0.
+    let recorder = HistoryRecorder::attach(
+        &engine,
+        HistoryOptions {
+            keyframe_every: 6,
+            ..HistoryOptions::default()
+        },
+    )
+    .unwrap();
+    let service = engine.service();
+    let points = generate_query_points(&b, &QueryPointConfig { count: 3, seed: 31 });
+    let radius = 55.0;
+    let mut subs: Vec<Subscription> = points
+        .iter()
+        .map(|&q| service.subscribe(Query::Range { q, r: radius }).unwrap())
+        .collect();
+
+    let batches: Vec<Vec<Update>> = stream.chunks(6).map(<[Update]>::to_vec).collect();
+    for batch in &batches {
+        engine.apply_batch(batch).unwrap();
+    }
+    service.quiesce();
+    recorder.sync();
+    let session = recorder.session();
+    let newest = session.newest();
+    assert_eq!(newest, batches.len() as u64);
+
+    for (sub, &q) in subs.iter_mut().zip(&points) {
+        // Fold the subscription's routed trajectory into per-epoch
+        // member sets (the dispatcher skips epochs that provably can't
+        // change membership — the carried set stands for those).
+        let mut carried: BTreeSet<ObjectId> = sub.initial().iter().copied().collect();
+        let mut notes = sub.poll().unwrap().into_iter().peekable();
+        let mut by_epoch: Vec<Vec<ObjectId>> = Vec::with_capacity(newest as usize + 1);
+        by_epoch.push(carried.iter().copied().collect());
+        for epoch in 1..=newest {
+            while let Some(n) = notes.peek() {
+                if n.epoch > epoch {
+                    break;
+                }
+                let n = notes.next().unwrap();
+                assert!(!n.lagged, "drained run never coalesces");
+                for (id, change) in &n.changes {
+                    match change {
+                        MonitorChange::Entered => assert!(carried.insert(*id)),
+                        MonitorChange::Left => assert!(carried.remove(id)),
+                        MonitorChange::Unchanged => {
+                            panic!("notifications carry changes only")
+                        }
+                    }
+                }
+            }
+            by_epoch.push(carried.iter().copied().collect());
+        }
+
+        // The historical walk over the same window sees the same sets.
+        let walked = session.range_membership(q, radius, 0, newest).unwrap();
+        assert_eq!(walked.len(), by_epoch.len());
+        for (epoch, members) in walked {
+            assert_eq!(
+                members, by_epoch[epoch as usize],
+                "q={q}: dispatch and history disagree at epoch {epoch}"
+            );
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Equivalence oracle for the history ring (idq-history):
+//!
+//! 1. **Bit-identity** — every retained epoch reconstructs to a snapshot
+//!    whose checkpoint bytes equal the live snapshot pinned when that
+//!    epoch was published;
+//! 2. **RangeDuring** — the historical answer over a window equals the
+//!    union of fresh per-epoch range queries on the pinned live
+//!    snapshots (and the per-epoch membership walk matches epoch by
+//!    epoch);
+//! 3. **Eviction** — a bounded ring never silently serves a
+//!    partially-evicted window: requests below the retention horizon
+//!    fail with the typed `Evicted` error, and everything at or above it
+//!    still answers exactly.
+
+use indoor_dq::history::{HistoryError, HistoryOptions, HistoryRecorder};
+use indoor_dq::prelude::*;
+use indoor_dq::workloads::{
+    generate_building, generate_objects, generate_query_points, generate_update_stream,
+    GeneratedBuilding,
+};
+use proptest::prelude::*;
+
+const BATCH: usize = 6;
+
+fn building() -> GeneratedBuilding {
+    generate_building(&BuildingConfig {
+        bands: 2,
+        rooms_per_side: 3,
+        ..BuildingConfig::with_floors(2)
+    })
+    .unwrap()
+}
+
+fn engine_with_stream(
+    b: &GeneratedBuilding,
+    seed: u64,
+    updates: usize,
+) -> (IndoorEngine, Vec<Vec<Update>>) {
+    let store = generate_objects(
+        b,
+        &ObjectConfig {
+            count: 80,
+            radius: 6.0,
+            instances: 5,
+            seed,
+        },
+    )
+    .unwrap();
+    let stream = generate_update_stream(
+        b,
+        &store,
+        &UpdateStreamConfig {
+            count: updates,
+            seed: seed ^ 0x51C3,
+            ..UpdateStreamConfig::default()
+        },
+    );
+    let batches = stream.chunks(BATCH).map(<[Update]>::to_vec).collect();
+    let engine =
+        IndoorEngine::with_objects(b.space.clone(), store, EngineConfig::default()).unwrap();
+    (engine, batches)
+}
+
+/// Fresh per-epoch range answer on a pinned live snapshot, ascending.
+fn fresh_range(snapshot: &Snapshot, q: IndoorPoint, r: f64) -> Vec<ObjectId> {
+    let outcome = snapshot.execute(&Query::Range { q, r }).unwrap();
+    let mut ids: Vec<ObjectId> = outcome
+        .as_range()
+        .unwrap()
+        .results
+        .iter()
+        .map(|h| h.object)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn reconstruction_and_range_during_match_live_pins(seed in 1u64..400) {
+        let b = building();
+        let (mut engine, batches) = engine_with_stream(&b, seed, 90);
+        let recorder = HistoryRecorder::attach(
+            &engine,
+            HistoryOptions { keyframe_every: 5, ..HistoryOptions::default() },
+        )
+        .unwrap();
+
+        // Commit the stream, pinning the live snapshot of every epoch.
+        let mut live = vec![engine.snapshot()];
+        for batch in &batches {
+            engine.apply_batch(batch).unwrap();
+            live.push(engine.snapshot());
+        }
+        recorder.sync();
+        let session = recorder.session();
+        prop_assert_eq!(session.oldest(), 0);
+        prop_assert_eq!(session.newest(), batches.len() as u64);
+
+        // 1. Bit-identity at every retained epoch.
+        for pinned in &live {
+            let rebuilt = session.reconstruct(pinned.version()).unwrap();
+            prop_assert_eq!(
+                rebuilt.encode_checkpoint(),
+                pinned.encode_checkpoint(),
+                "epoch {} reconstructs differently",
+                pinned.version()
+            );
+        }
+
+        // 2. Historical range answers against per-epoch fresh queries.
+        let queries = generate_query_points(
+            &b,
+            &QueryPointConfig { count: 3, seed: seed ^ 0xAB },
+        );
+        for &q in &queries {
+            for r in [40.0, 90.0] {
+                let walked = session
+                    .range_membership(q, r, 0, session.newest())
+                    .unwrap();
+                prop_assert_eq!(walked.len(), live.len());
+                let mut union: Vec<ObjectId> = Vec::new();
+                for (epoch, members) in &walked {
+                    let fresh = fresh_range(&live[*epoch as usize], q, r);
+                    prop_assert_eq!(
+                        members.clone(),
+                        fresh.clone(),
+                        "membership diverges at epoch {} (q={} r={})",
+                        epoch, q, r
+                    );
+                    union.extend(fresh);
+                }
+                union.sort_unstable();
+                union.dedup();
+                let during = session.range_during(q, r, 0, session.newest()).unwrap();
+                prop_assert_eq!(during, union, "RangeDuring ≠ union of fresh answers");
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_fails_typed_and_never_serves_partial_windows(seed in 1u64..400) {
+        let b = building();
+        let (mut engine, batches) = engine_with_stream(&b, seed, 180);
+        let recorder = HistoryRecorder::attach(
+            &engine,
+            HistoryOptions {
+                max_epochs: 10,
+                keyframe_every: 4,
+                ..HistoryOptions::default()
+            },
+        )
+        .unwrap();
+
+        let mut live = vec![engine.snapshot()];
+        for batch in &batches {
+            engine.apply_batch(batch).unwrap();
+            live.push(engine.snapshot());
+        }
+        recorder.sync();
+        let session = recorder.session();
+        let (oldest, newest) = (session.oldest(), session.newest());
+        prop_assert!(oldest > 0, "30 epochs must overflow a 10-epoch ring");
+        prop_assert_eq!(newest, batches.len() as u64);
+
+        // Every evicted epoch fails typed — reconstruction and windows.
+        for epoch in [0, oldest / 2, oldest - 1] {
+            prop_assert_eq!(
+                session.reconstruct(epoch).unwrap_err(),
+                HistoryError::Evicted { requested: epoch, oldest_retained: oldest }
+            );
+        }
+        let q = generate_query_points(&b, &QueryPointConfig { count: 1, seed })[0];
+        prop_assert!(matches!(
+            session.range_during(q, 60.0, oldest - 1, newest).unwrap_err(),
+            HistoryError::Evicted { requested, .. } if requested == oldest - 1
+        ));
+        prop_assert!(matches!(
+            session.trajectory(ObjectId(0), 0, newest).unwrap_err(),
+            HistoryError::Evicted { requested: 0, .. }
+        ));
+
+        // The surviving window answers exactly — bit-identical
+        // reconstructions and per-epoch agreement with the live pins.
+        for epoch in oldest..=newest {
+            let rebuilt = session.reconstruct(epoch).unwrap();
+            prop_assert_eq!(
+                rebuilt.encode_checkpoint(),
+                live[epoch as usize].encode_checkpoint(),
+                "surviving epoch {} reconstructs differently",
+                epoch
+            );
+        }
+        for (epoch, members) in session.range_membership(q, 60.0, oldest, newest).unwrap() {
+            prop_assert_eq!(
+                members,
+                fresh_range(&live[epoch as usize], q, 60.0),
+                "surviving epoch {} membership diverges",
+                epoch
+            );
+        }
+    }
+}
