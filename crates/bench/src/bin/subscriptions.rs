@@ -48,6 +48,8 @@ const WINDOW: usize = 4;
 const BASELINE_SAMPLE: usize = 2_000;
 /// Commits the broadcast baseline replays.
 const BASELINE_COMMITS: usize = 4;
+/// Registration sample bound for the cache-off (cold) baseline.
+const REGISTER_COLD_SAMPLE: usize = 2_000;
 
 fn scaled_subs(n: usize, scale: f64) -> usize {
     ((n as f64 * scale) as usize).max(10)
@@ -245,6 +247,36 @@ fn main() {
         drop(service);
         drop(e);
 
+        // Cold registration baseline: the same subscriptions against an
+        // engine with the shared distance cache disabled, so every
+        // monitor refresh re-runs its own door expansions. Measured on a
+        // registration sample and extrapolated linearly (registration
+        // cost is per-subscription), because registering the full 100k
+        // fleet without row reuse is exactly the repeated-Dijkstra cost
+        // the cache removes. `register_ms` above is the warm (cache-on)
+        // number: the fleet warms the cache for itself as it registers.
+        let cold_sample = count.min(REGISTER_COLD_SAMPLE);
+        let register_cold_ms = {
+            let e = IndoorEngine::with_objects(
+                building.space.clone(),
+                store.clone(),
+                EngineConfig {
+                    query: idq_query::QueryOptions::default().without_distance_cache(),
+                    ..EngineConfig::default()
+                },
+            )
+            .expect("engine builds");
+            let service = e.service();
+            let t = Instant::now();
+            let cold_subs: Vec<_> = queries[..cold_sample]
+                .iter()
+                .map(|&q| service.subscribe(q).expect("range/knn subscribe"))
+                .collect();
+            let sampled_ms = t.elapsed().as_secs_f64() * 1e3;
+            drop(cold_subs);
+            sampled_ms * (count as f64 / cold_sample as f64)
+        };
+
         // Broadcast baseline: replay the first commits on a fresh engine
         // and absorb each full report into a sample of the same
         // monitors; extrapolate the per-commit cost to the whole fleet.
@@ -291,7 +323,8 @@ fn main() {
         let speedup = broadcast_ms_per_commit / dispatch_ms_per_commit.max(1e-6);
 
         eprintln!(
-            "subscriptions: subs={count:7} register {register_ms:9.1} ms \
+            "subscriptions: subs={count:7} register {register_ms:9.1} ms warm / \
+             {register_cold_ms:9.1} ms cold (cache off, {cold_sample}-sample) \
              (mean footprint {mean_footprint:.1}/{indexed_partitions} partitions, \
              {everything} route-all) | dispatch {dispatch_ms_per_commit:8.3} ms/commit \
              (hit rate {hit_rate:.3}, {:.0} notifications/s) | broadcast \
@@ -300,7 +333,9 @@ fn main() {
         );
         results.push(format!(
             concat!(
-                "{{\"subs\":{},\"register_ms\":{:.3},\"threads\":{},",
+                "{{\"subs\":{},\"register_ms\":{:.3},",
+                "\"register_cold_ms\":{:.3},\"register_cold_sample\":{},",
+                "\"threads\":{},",
                 "\"mean_footprint\":{:.1},\"route_all\":{},\"total_ms\":{:.3},",
                 "\"dispatch_ms_per_commit\":{:.4},\"deliveries\":{},\"skipped\":{},",
                 "\"coalesced\":{},\"hit_rate\":{:.4},\"notifications_per_s\":{:.1},",
@@ -308,6 +343,8 @@ fn main() {
             ),
             count,
             register_ms,
+            register_cold_ms,
+            cold_sample,
             threads,
             mean_footprint,
             everything,

@@ -369,6 +369,13 @@ impl<R> Dispatcher<R> {
     /// (they are already reflected in the monitor's state). Returns the
     /// consumer end of the subscription's bounded mailbox; after
     /// [`Dispatcher::close_all`] the stream comes back already ended.
+    ///
+    /// Registration cost is dominated by the monitor's initial query,
+    /// which since the shared distance cache composes per-door rows
+    /// memoized in the index: bulk registration over a warm cache pays
+    /// each door's expansion once, not once per subscription. The
+    /// monitor's complete door-distance context is built lazily at the
+    /// first incremental update instead of here.
     pub fn register(
         &mut self,
         monitor: StandingMonitor,

@@ -106,6 +106,16 @@ pub fn subregion_bounds(
         lower = lower.min(w + sub.bbox.min_dist(p));
         upper = upper.min(w + sub.bbox.max_dist(p) + z_slack);
     }
+    // Truncation safety: a banded (horizon-restricted) context reports
+    // doors past its horizon as unreachable, and the loop above skips
+    // them — which can push this minimum past what a truncated-away
+    // route actually achieves. Any route leaving the banded region costs
+    // at least the context's exit horizon, so the horizon itself is
+    // always a valid floor for `t_min`: clamp rather than trust an
+    // inflated minimum. (`upper` needs no clamp — dropping routes or
+    // inflating their cost only loosens an upper bound, never
+    // invalidates it. Complete contexts have exit horizon ∞: no-op.)
+    lower = lower.min(dd.exit_horizon());
     SubregionBounds {
         lower,
         upper,

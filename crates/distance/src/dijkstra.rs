@@ -8,11 +8,13 @@
 //! partitions are expanded, exactly as the paper's Phase 2 prescribes
 //! ("the distance calculation only involves the partitions in Rp").
 
+use crate::cache::DoorRow;
 use crate::error::DistanceError;
 use idq_geom::OrdF64;
 use idq_model::{DoorId, DoorsGraph, IndoorPoint, IndoorSpace, PartitionId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 
 /// Sentinel for "no predecessor" in the shortest-path tree.
 const NO_PREV: u32 = u32::MAX;
@@ -125,6 +127,80 @@ impl DoorDistances {
         })
     }
 
+    /// Builds door distances from `q` by **composing per-door expansion
+    /// rows** instead of running a fresh from-`q` Dijkstra: for every
+    /// seed door `d` of `P(q)` (weight `w_d = |q,d|_E`), the row
+    /// supplied by `row_source` (typically [`crate::DistanceCache::row`]
+    /// or a locally expanded [`DoorRow`]) is read *truncated at the
+    /// requested horizon* and folded as
+    /// `dist(v) = min_d (w_d + row_d(v))`.
+    ///
+    /// Rows hold exact full-graph distances, so every composed value is
+    /// an over-estimate of the true distance only through truncation:
+    /// any door whose true distance is at most
+    /// `exit_horizon = min_d w_d + horizon` gets its exact value —
+    /// the winning seed's term survives truncation because its row-local
+    /// part is at most `horizon`. That is the same exactness contract as
+    /// a restricted search, surfaced through [`Self::exit_horizon`].
+    /// Crucially, the result is a pure function of
+    /// `(q, horizon, geometry)` — independent of how wide the supplied
+    /// rows actually are — which is what makes cache reuse bit-exact.
+    ///
+    /// The composed context carries no predecessor tree; [`Self::path_to`]
+    /// returns `None`.
+    pub fn compute_banded(
+        space: &IndoorSpace,
+        graph: &DoorsGraph,
+        q: IndoorPoint,
+        horizon: f64,
+        mut row_source: impl FnMut(&DoorsGraph, DoorId, f64) -> Arc<DoorRow>,
+    ) -> Result<Self, DistanceError> {
+        if graph.door_slots() < space.door_slots() {
+            return Err(DistanceError::StaleGraph {
+                graph_slots: graph.door_slots(),
+                space_slots: space.door_slots(),
+            });
+        }
+        let source_partition = space
+            .partition_at(q)
+            .ok_or(DistanceError::QueryOutsideSpace(q))?;
+
+        let n = graph.door_slots().max(space.door_slots());
+        let mut dist = vec![f64::INFINITY; n];
+        let mut min_w = f64::INFINITY;
+        for &d in space.doors_of(source_partition).unwrap_or(&[]) {
+            if !space.can_leave(d, source_partition) {
+                continue;
+            }
+            let w = space
+                .point_to_door(q, d)
+                .expect("door of the source partition");
+            min_w = min_w.min(w);
+            let row = row_source(graph, d, horizon);
+            for (v, rv) in row.entries_within(horizon) {
+                let nd = w + rv;
+                let v = v as usize;
+                if v < n && nd < dist[v] {
+                    dist[v] = nd;
+                }
+            }
+        }
+
+        let restricted = horizon.is_finite();
+        Ok(DoorDistances {
+            query: q,
+            source_partition,
+            dist,
+            prev: Vec::new(),
+            restricted,
+            exit_horizon: if restricted {
+                min_w + horizon
+            } else {
+                f64::INFINITY
+            },
+        })
+    }
+
     /// The shortest indoor distance from the query point to door `d`
     /// (`∞` if unreachable).
     #[inline]
@@ -146,12 +222,17 @@ impl DoorDistances {
         self.restricted
     }
 
-    /// The exactness horizon of a restricted search: the cheapest cost at
-    /// which any path can leave the candidate set. Every walking cost at
-    /// or below this value is provably equal to its full-graph value — a
-    /// hypothetical shorter path through a non-candidate partition would
-    /// have to spend at least the horizon just to get out. `∞` for
-    /// unrestricted searches and for candidate sets with no exit.
+    /// The exactness horizon of a restricted search: every walking cost
+    /// at or below this value is provably equal to its full-graph value.
+    /// For a candidate-set-restricted search it is the cheapest cost at
+    /// which any path can leave the candidate set — a hypothetical
+    /// shorter path through a non-candidate partition would have to
+    /// spend at least the horizon just to get out. For a
+    /// [`Self::compute_banded`] context it is `min_d w_d + horizon`: a
+    /// door with true distance at or below it is reached through some
+    /// seed whose row-local part fits under the truncation horizon, so
+    /// the composed value is exact. `∞` for unrestricted searches and
+    /// for sources with no exit.
     #[inline]
     pub fn exit_horizon(&self) -> f64 {
         self.exit_horizon
@@ -159,9 +240,11 @@ impl DoorDistances {
 
     /// The door sequence of the shortest path from the query point through
     /// door `d` (inclusive), or `None` if `d` is unreachable. This is the
-    /// `δ` of the paper's `q ⇝δ p` notation.
+    /// `δ` of the paper's `q ⇝δ p` notation. Contexts assembled by
+    /// [`Self::compute_banded`] carry no predecessor tree and always
+    /// return `None`.
     pub fn path_to(&self, d: DoorId) -> Option<Vec<DoorId>> {
-        if !self.reachable(d) {
+        if !self.reachable(d) || self.prev.len() < self.dist.len() {
             return None;
         }
         let mut seq = vec![d];
@@ -247,6 +330,71 @@ mod tests {
         assert!(dd.reachable(doors[0]));
         assert!(dd.reachable(doors[1]));
         assert!(!dd.reachable(doors[2]));
+    }
+
+    #[test]
+    fn banded_composition_matches_full_dijkstra_under_the_horizon() {
+        let (s, g, _, doors) = corridor();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let full = DoorDistances::compute(&s, &g, q).unwrap();
+        let banded = DoorDistances::compute_banded(&s, &g, q, 15.0, |g, d, h| {
+            std::sync::Arc::new(crate::cache::DoorRow::expand(g, d, h))
+        })
+        .unwrap();
+        // exit_horizon = min seed weight (8) + horizon (15) = 23: doors at
+        // 8 and 18 are exact, the door at 28 is beyond the trust bound.
+        assert!(banded.is_restricted());
+        assert!((banded.exit_horizon() - 23.0).abs() < 1e-9);
+        for &d in &doors[..2] {
+            assert_eq!(
+                banded.door_distance(d).to_bits(),
+                full.door_distance(d).to_bits()
+            );
+        }
+        assert!(!banded.reachable(doors[2]));
+        // No predecessor tree on assembled contexts.
+        assert_eq!(banded.path_to(doors[0]), None);
+    }
+
+    #[test]
+    fn banded_composition_with_infinite_horizon_is_complete() {
+        let (s, g, _, doors) = corridor();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let banded = DoorDistances::compute_banded(&s, &g, q, f64::INFINITY, |g, d, h| {
+            std::sync::Arc::new(crate::cache::DoorRow::expand(g, d, h))
+        })
+        .unwrap();
+        assert!(!banded.is_restricted());
+        assert!(banded.exit_horizon().is_infinite());
+        assert!((banded.door_distance(doors[2]) - 28.0).abs() < 1e-9);
+        assert_eq!(banded.reached_count(), 3);
+    }
+
+    #[test]
+    fn banded_composition_is_independent_of_row_width() {
+        // The requested horizon, not the supplied row width, decides what
+        // is read: handing the composition over-wide (complete) rows must
+        // produce bitwise the same context as exact-width rows.
+        let (s, g, _, doors) = corridor();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let exact = DoorDistances::compute_banded(&s, &g, q, 12.0, |g, d, h| {
+            std::sync::Arc::new(crate::cache::DoorRow::expand(g, d, h))
+        })
+        .unwrap();
+        let wide = DoorDistances::compute_banded(&s, &g, q, 12.0, |g, d, _| {
+            std::sync::Arc::new(crate::cache::DoorRow::expand(g, d, f64::INFINITY))
+        })
+        .unwrap();
+        for &d in &doors {
+            assert_eq!(
+                exact.door_distance(d).to_bits(),
+                wide.door_distance(d).to_bits()
+            );
+        }
+        assert_eq!(
+            exact.exit_horizon().to_bits(),
+            wide.exit_horizon().to_bits()
+        );
     }
 
     #[test]

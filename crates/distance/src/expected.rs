@@ -140,13 +140,20 @@ fn subregion_expected(
             let door_pt = space.door_point(door).expect("entry door is active");
             let mut acc = 0.0;
             let mut max_cost = 0.0f64;
+            // Accumulate `w + inner` per instance — the same arithmetic,
+            // in the same order, as the Eq. 4 general path below. The
+            // fast path then agrees *bitwise* with Eq. 4 whenever the
+            // dominant door is every instance's minimiser, so whether the
+            // bisector test fires can never change the value — which is
+            // what keeps banded (cache-composed) and complete evaluations
+            // bit-identical even when truncation changes the entry set.
             for &i in &sub.instance_indices {
                 let inst = &object.instances()[i as usize];
                 let inner = space.intra_distance(door_pt, inst.indoor_point());
-                acc += inst.weight * inner;
+                acc += inst.weight * (w + inner);
                 max_cost = max_cost.max(w + inner);
             }
-            return (w + acc / sub.prob, true, entries.len() > 1, max_cost);
+            return (acc / sub.prob, true, entries.len() > 1, max_cost);
         }
     }
 

@@ -15,9 +15,14 @@
 //! * [`bounds`] — the pruning-bound family: topological upper/lower bounds
 //!   (Lemmas 1–2 / Eq. 7), the topological looser upper bound (Lemma 3),
 //!   the Markov lower bound (Lemma 4), probabilistic bounds (Lemma 5 /
-//!   Eq. 8) and the Table III dispatch.
+//!   Eq. 8) and the Table III dispatch;
+//! * [`cache`] — the shared geometry-keyed [`DistanceCache`]: memoized
+//!   per-door expansion rows composed into query contexts by
+//!   [`DoorDistances::compute_banded`], reused bit-exactly across
+//!   queries, subscriptions, dispatch, and history replay.
 
 pub mod bounds;
+pub mod cache;
 pub mod dijkstra;
 pub mod error;
 pub mod expected;
@@ -27,6 +32,7 @@ pub use bounds::{
     lemma5_bounds, markov_lower, object_bounds, some_path_upper, subregion_bounds, BoundKind,
     ObjectBounds, SharedPathUpper, SubregionBounds,
 };
+pub use cache::{band_for, CacheCounters, DistanceCache, DoorRow, RowFetch};
 pub use dijkstra::DoorDistances;
 pub use error::DistanceError;
 pub use expected::{expected_indoor_distance, DistanceCase, ExpectedDistance};

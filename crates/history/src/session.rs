@@ -140,6 +140,11 @@ impl ReplayState {
         ReplayState {
             space: state.space_arc(),
             store: state.store().clone(),
+            // The index clone shares the keyframe's Arc-owned geometry
+            // *and* its shared distance cache: delta records carry no
+            // topology events, so rows cached by earlier replays (or by
+            // the live engine against the same geometry) stay valid and
+            // serve every historical query over this keyframe's span.
             index: state.index().clone(),
             max_radius: state.max_radius(),
             epoch: state.epoch(),

@@ -16,6 +16,7 @@ use crate::object_layer::ObjectLayer;
 use crate::rtree::{LeafEntry, RTree, SearchStats};
 use crate::skeleton::SkeletonTier;
 use crate::units::{UnitId, UnitStore};
+use idq_distance::DistanceCache;
 use idq_geom::{DecomposeConfig, Mbr3, Rect2};
 use idq_model::{DoorKind, DoorsGraph, IndoorPoint, IndoorSpace, PartitionId, TopologyEvent};
 use idq_objects::{ObjectId, ObjectStore, UncertainObject};
@@ -87,6 +88,12 @@ pub struct CompositeIndex {
     rtree: Arc<RTree>,
     skeleton: Arc<SkeletonTier>,
     graph: Arc<DoorsGraph>,
+    /// Shared memo of per-door Dijkstra rows, valid exactly as long as the
+    /// geometry tiers above it: every topology event retires the whole
+    /// `Arc` (see [`CompositeIndex::apply_topology_deferred`]), so holding
+    /// this cache through an index is proof its rows match the graph —
+    /// pointer identity is validity, no epoch checks on the read path.
+    distance_cache: Arc<DistanceCache>,
     objects: ObjectLayer,
     space_version: u64,
     /// Construction timing, for the Fig. 15(b) experiment.
@@ -150,6 +157,7 @@ impl CompositeIndex {
             rtree: Arc::new(rtree),
             skeleton: Arc::new(skeleton),
             graph: Arc::new(graph),
+            distance_cache: Arc::new(DistanceCache::new()),
             objects: ObjectLayer::new(),
             space_version: space.version(),
             build_stats: stats,
@@ -186,6 +194,15 @@ impl CompositeIndex {
     /// The tree tier.
     pub fn rtree(&self) -> &RTree {
         &self.rtree
+    }
+
+    /// The shared distance cache that travels with this index's geometry.
+    /// Any two index versions for which [`Self::shares_geometry_with`]
+    /// holds also share this cache (object-only commits clone the `Arc`);
+    /// a topology commit retires it wholesale, so rows read through this
+    /// accessor are always consistent with [`Self::doors_graph`].
+    pub fn distance_cache(&self) -> &Arc<DistanceCache> {
+        &self.distance_cache
     }
 
     /// Whether `self` and `other` share **all** object-independent tiers
@@ -256,9 +273,21 @@ impl CompositeIndex {
         let r_partitions = r_partitions.max(r_objects);
         let fh = space.floor_height();
         let q3 = q.at_elevation(fh);
+        // One scratch for the whole retrieval: the skeleton metric's
+        // entrance double loop factors per target floor, and floors
+        // whose best skeleton route already exceeds `r_partitions` are
+        // rejected in O(1) (`min_skeleton_distance_pruned` guarantees
+        // every comparison against thresholds ≤ the screen — here both
+        // `r_partitions` and `r_objects` — decides exactly as the exact
+        // Eq. 10 metric would).
+        let scratch = std::cell::RefCell::new(self.skeleton.scratch(q));
         let metric = |m: &Mbr3| -> f64 {
             if use_skeleton {
-                self.skeleton.min_skeleton_distance(q, fh, m)
+                self.skeleton.min_skeleton_distance_pruned(
+                    &mut scratch.borrow_mut(),
+                    m,
+                    r_partitions,
+                )
             } else {
                 m.min_dist(q3)
             }
@@ -492,6 +521,12 @@ impl CompositeIndex {
             }
         }
         Arc::make_mut(&mut self.graph).apply(space, event);
+        // Geometry changed: retire the distance cache wholesale. Older
+        // index versions keep their own Arc (still valid for *their*
+        // graph); this version starts cold. Done unconditionally here —
+        // both topology entry points funnel through this method — so the
+        // pointer-identity validity invariant needs no epoch bookkeeping.
+        self.distance_cache = Arc::new(DistanceCache::new());
         self.space_version = space.version();
         Ok(skeleton_dirty)
     }

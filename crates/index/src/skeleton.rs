@@ -35,6 +35,19 @@ pub struct Entrance {
     pub position: Point2,
 }
 
+/// Per-query scratch for [`SkeletonTier::min_skeleton_distance_pruned`]:
+/// the factored inner minimum `g[j] = min_i (head_i + M_s2s[i, j])` and
+/// its floor-level lower bound `base = min_j g[j]`, computed lazily per
+/// target floor and reused across every MBR a retrieval evaluates.
+#[derive(Clone, Debug)]
+pub struct SkeletonScratch {
+    q_floor: Floor,
+    q_point: Point2,
+    /// `floors[f] = Some((base, g))` once floor `f` has been seen; `g`
+    /// is aligned with the tier's entrance list for that floor.
+    floors: Vec<Option<(f64, Vec<f64>)>>,
+}
+
 /// The skeleton tier: staircase entrances plus the `M_s2s` matrix.
 #[derive(Clone, Debug, Default)]
 pub struct SkeletonTier {
@@ -159,6 +172,81 @@ impl SkeletonTier {
                 if cand < best {
                     best = cand;
                 }
+            }
+        }
+        best
+    }
+
+    /// Builds a per-query scratch for
+    /// [`Self::min_skeleton_distance_pruned`]. Valid for this tier and
+    /// this `q` only — a topology commit rebuilds the tier, so a scratch
+    /// must never outlive the retrieval it was created for.
+    pub fn scratch(&self, q: IndoorPoint) -> SkeletonScratch {
+        SkeletonScratch {
+            q_floor: q.floor,
+            q_point: q.point,
+            floors: vec![None; self.per_floor.len()],
+        }
+    }
+
+    /// [`Self::min_skeleton_distance`] restructured for a whole
+    /// retrieval: Eq. 10's double loop factors as
+    /// `min_j ((min_i (head_i + M[i,j])) + rectdist_j)` because addition
+    /// is monotone, and the inner minimum `g[j]` depends only on
+    /// `(q, target floor)` — the scratch computes it once per floor and
+    /// every later MBR on that floor pays a single loop. The factored
+    /// value is bit-identical to the double loop (the winning pair runs
+    /// through the same `(head + M) + rect` rounding sequence).
+    ///
+    /// `screen` turns the per-floor floor `base = min_j g[j]` into an
+    /// O(1) rejection: when `base > screen` the method returns `base`
+    /// (a lower bound of the true metric) without touching the MBR.
+    /// Callers must therefore only compare the result against
+    /// thresholds `≤ screen`; every such comparison decides exactly as
+    /// the exact metric would.
+    pub fn min_skeleton_distance_pruned(
+        &self,
+        s: &mut SkeletonScratch,
+        e: &Mbr3,
+        screen: f64,
+    ) -> f64 {
+        if e.covers_floor(s.q_floor) {
+            return e.rect.min_dist(s.q_point);
+        }
+        let target_floor = if s.q_floor < e.floor_lo {
+            e.floor_lo
+        } else {
+            e.floor_hi
+        };
+        let Some(slot) = s.floors.get_mut(target_floor as usize) else {
+            return f64::INFINITY; // no entrances recorded for that floor
+        };
+        let m = self.entrances.len();
+        let (base, g) = slot.get_or_insert_with(|| {
+            let on_target = &self.per_floor[target_floor as usize];
+            let mut g = Vec::with_capacity(on_target.len());
+            for &j in on_target {
+                let mut gj = f64::INFINITY;
+                for &i in self.per_floor.get(s.q_floor as usize).into_iter().flatten() {
+                    let head = s.q_point.dist(self.entrances[i].position);
+                    let v = head + self.matrix[i * m + j];
+                    if v < gj {
+                        gj = v;
+                    }
+                }
+                g.push(gj);
+            }
+            let base = g.iter().copied().fold(f64::INFINITY, f64::min);
+            (base, g)
+        });
+        if *base > screen {
+            return *base;
+        }
+        let mut best = f64::INFINITY;
+        for (k, &j) in self.per_floor[target_floor as usize].iter().enumerate() {
+            let cand = g[k] + rect_min_dist(&e.rect, self.entrances[j].position);
+            if cand < best {
+                best = cand;
             }
         }
         best

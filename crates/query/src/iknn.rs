@@ -56,6 +56,21 @@ fn adaptive_kbound(
                 if !seen.insert(o) {
                     continue;
                 }
+                // Screen before pricing: once k TLUs are banked, an
+                // object whose geometric lower bound (Lemma 6, the same
+                // bound the filtering phase trusts) already exceeds the
+                // running k-th TLU has `TLU ≥ |q,O|_I ≥ lb > kth` — it
+                // cannot improve the heap, so skipping it leaves the
+                // derived kbound bit-identical while saving the
+                // subregion decomposition and path pricing.
+                if best.len() >= k {
+                    let kth = best.peek().expect("non-empty").0;
+                    if let Ok(mbr) = index.object_layer().object_mbr(o) {
+                        if index.min_skeleton_distance(space, q, &mbr) > kth {
+                            continue;
+                        }
+                    }
+                }
                 let obj = store.get(o)?;
                 let hint = crate::pipeline::object_partition_hint(index, o);
                 let subs = Subregions::compute_with_hint(obj, space, &hint)?;
@@ -134,7 +149,6 @@ pub(crate) struct KnnPrep {
     pub k: usize,
     pub kbound: f64,
     pub objects: Vec<ObjectId>,
-    pub partitions: Vec<PartitionId>,
     pub seeds: SubregionCache,
     pub stats: QueryStats,
 }
@@ -179,14 +193,13 @@ pub(crate) fn knn_prep(
         k,
         kbound,
         objects: filtered.objects,
-        partitions: filtered.partitions,
         seeds,
         stats,
     })
 }
 
-/// Phases 3–4 against an evaluation context whose restricted Dijkstra
-/// covers (at least) the prep's candidate partitions. The prep's seed
+/// Phases 3–4 against an evaluation context whose banded door distances
+/// cover (at least) the prep's reach `kbound + slack`. The prep's seed
 /// decompositions must already have been merged into the context's cache.
 pub(crate) fn knn_finish(
     ctx: &mut EvalContext<'_>,
@@ -203,6 +216,10 @@ pub(crate) fn knn_finish(
     let fallbacks_before = ctx.fallbacks;
     let computed_before = ctx.subregions_computed;
     let hits_before = ctx.subregion_cache_hits;
+    let shared_lookups_before = ctx.shared_lookups;
+    let shared_hits_before = ctx.shared_hits;
+    let shared_misses_before = ctx.shared_misses;
+    let shared_evictions_before = ctx.shared_evictions;
 
     // Phase 3: pruning around the k-th smallest upper bound.
     let t = Instant::now();
@@ -216,6 +233,11 @@ pub(crate) fn knn_finish(
         let mut uppers: Vec<f64> = bounds.iter().map(|(_, b)| b.upper).collect();
         uppers.sort_by(f64::total_cmp);
         let ok_upper = uppers[k - 1];
+        // Sound under banding: lower bounds are clamped to the exit
+        // horizon (see `subregion_bounds`) so they never exceed a true
+        // distance, and upper bounds only loosen under truncation — a
+        // pruned object's true distance therefore provably exceeds the
+        // k-th smallest true distance.
         for (o, b) in bounds {
             if b.lower <= ok_upper {
                 to_refine.push(o);
@@ -246,6 +268,13 @@ pub(crate) fn knn_finish(
     stats.full_graph_fallbacks = ctx.fallbacks - fallbacks_before;
     stats.subregions_computed = ctx.subregions_computed - computed_before;
     stats.subregion_cache_hits = ctx.subregion_cache_hits - hits_before;
+    stats.shared_cache_lookups += ctx.shared_lookups - shared_lookups_before;
+    stats.shared_cache_hits += ctx.shared_hits - shared_hits_before;
+    stats.shared_cache_misses += ctx.shared_misses - shared_misses_before;
+    stats.shared_cache_evictions += ctx.shared_evictions - shared_evictions_before;
+    if options.distance_cache {
+        stats.shared_cache_bytes = ctx.index.distance_cache().bytes() as usize;
+    }
 
     Ok(KnnResult {
         results: scored
@@ -271,13 +300,19 @@ pub fn knn_query(
 ) -> Result<KnnResult, QueryError> {
     let mut prep = knn_prep(space, index, store, q, k, options)?;
 
-    // Phase 2: subgraph Dijkstra, seeded with the phase-1 decompositions.
+    // Phase 2: banded door distances truncated at the kbound's reach
+    // (∞ — a complete context — when fewer than k seeds were found),
+    // seeded with the phase-1 decompositions.
     let t = Instant::now();
-    let allowed: HashSet<PartitionId> = prep.partitions.iter().copied().collect();
+    let horizon = prep.kbound + options.subgraph_slack;
     let seeds = std::mem::take(&mut prep.seeds);
-    let mut ctx = EvalContext::new(space, store, index, q, Some(&allowed), seeds)?;
+    let mut ctx = EvalContext::new(space, store, index, q, horizon, options, seeds)?;
     prep.stats.subgraph_ms = t.elapsed().as_secs_f64() * 1e3;
     prep.stats.dijkstras_run = 1;
+    prep.stats.shared_cache_lookups = ctx.shared_lookups;
+    prep.stats.shared_cache_hits = ctx.shared_hits;
+    prep.stats.shared_cache_misses = ctx.shared_misses;
+    prep.stats.shared_cache_evictions = ctx.shared_evictions;
 
     knn_finish(&mut ctx, prep, options)
 }

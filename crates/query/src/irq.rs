@@ -6,9 +6,8 @@ use crate::pipeline::EvalContext;
 use crate::stats::QueryStats;
 use idq_index::CompositeIndex;
 use idq_model::IndoorPoint;
-use idq_model::{IndoorSpace, PartitionId};
+use idq_model::IndoorSpace;
 use idq_objects::{ObjectId, ObjectStore};
-use std::collections::HashSet;
 use std::time::Instant;
 
 /// One qualifying object of a range query.
@@ -41,7 +40,6 @@ pub(crate) struct RangePrep {
     pub q: IndoorPoint,
     pub r: f64,
     pub objects: Vec<ObjectId>,
-    pub partitions: Vec<PartitionId>,
     pub stats: QueryStats,
 }
 
@@ -82,13 +80,12 @@ pub(crate) fn range_prep(
         q,
         r,
         objects: filtered.objects,
-        partitions: filtered.partitions,
         stats,
     })
 }
 
-/// Phases 3–4 against an evaluation context whose restricted Dijkstra
-/// covers (at least) the prep's candidate partitions.
+/// Phases 3–4 against an evaluation context whose banded door distances
+/// cover (at least) the prep's reach `r + slack`.
 pub(crate) fn range_finish(
     ctx: &mut EvalContext<'_>,
     prep: RangePrep,
@@ -103,6 +100,10 @@ pub(crate) fn range_finish(
     let fallbacks_before = ctx.fallbacks;
     let computed_before = ctx.subregions_computed;
     let hits_before = ctx.subregion_cache_hits;
+    let shared_lookups_before = ctx.shared_lookups;
+    let shared_hits_before = ctx.shared_hits;
+    let shared_misses_before = ctx.shared_misses;
+    let shared_evictions_before = ctx.shared_evictions;
 
     // Phase 3: pruning by topological / probabilistic bounds (Table III).
     let t = Instant::now();
@@ -146,6 +147,15 @@ pub(crate) fn range_finish(
     stats.full_graph_fallbacks = ctx.fallbacks - fallbacks_before;
     stats.subregions_computed = ctx.subregions_computed - computed_before;
     stats.subregion_cache_hits = ctx.subregion_cache_hits - hits_before;
+    // Shared-cache traffic this finish caused (lazy full-graph fallbacks);
+    // the context-build traffic was charged by the entry point.
+    stats.shared_cache_lookups += ctx.shared_lookups - shared_lookups_before;
+    stats.shared_cache_hits += ctx.shared_hits - shared_hits_before;
+    stats.shared_cache_misses += ctx.shared_misses - shared_misses_before;
+    stats.shared_cache_evictions += ctx.shared_evictions - shared_evictions_before;
+    if options.distance_cache {
+        stats.shared_cache_bytes = ctx.index.distance_cache().bytes() as usize;
+    }
 
     results.sort_by_key(|h| h.object);
     Ok(RangeResult { results, stats })
@@ -162,19 +172,26 @@ pub fn range_query(
 ) -> Result<RangeResult, QueryError> {
     let mut prep = range_prep(space, index, store, q, r, options)?;
 
-    // Phase 2: subgraph — Dijkstra restricted to the candidate partitions.
+    // Phase 2: subgraph — door distances composed from shared rows,
+    // truncated at the query's reach (the same bound the dual filter
+    // retrieved partitions for).
     let t = Instant::now();
-    let allowed: HashSet<PartitionId> = prep.partitions.iter().copied().collect();
+    let horizon = r + options.subgraph_slack;
     let mut ctx = EvalContext::new(
         space,
         store,
         index,
         q,
-        Some(&allowed),
+        horizon,
+        options,
         crate::pipeline::SubregionCache::new(),
     )?;
     prep.stats.subgraph_ms = t.elapsed().as_secs_f64() * 1e3;
     prep.stats.dijkstras_run = 1;
+    prep.stats.shared_cache_lookups = ctx.shared_lookups;
+    prep.stats.shared_cache_hits = ctx.shared_hits;
+    prep.stats.shared_cache_misses = ctx.shared_misses;
+    prep.stats.shared_cache_evictions = ctx.shared_evictions;
 
     range_finish(&mut ctx, prep, options)
 }

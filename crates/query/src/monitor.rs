@@ -115,7 +115,12 @@ impl RangeMonitor {
         index: &CompositeIndex,
     ) -> Result<&DoorDistances, QueryError> {
         if self.dd.is_none() || self.cached_version != space.version() {
-            self.dd = Some(DoorDistances::compute(space, index.doors_graph(), self.q)?);
+            self.dd = Some(crate::pipeline::complete_dd(
+                space,
+                index,
+                self.q,
+                &self.options,
+            )?);
             self.cached_version = space.version();
         }
         Ok(self.dd.as_ref().expect("just ensured"))
@@ -131,9 +136,12 @@ impl RangeMonitor {
     ) -> Result<Vec<ObjectId>, QueryError> {
         let out = crate::irq::range_query(space, index, store, self.q, self.r, &self.options)?;
         self.inside = out.results.iter().map(|h| h.object).collect();
-        // Re-arm the distance cache for subsequent incremental updates.
+        // Drop the cached distance context; `ensure_dd` rebuilds it
+        // lazily at the first incremental update that needs it. Keeping
+        // the rebuild out of refresh makes registration (and topology
+        // fallback) pay only for the query — a fleet of mostly-idle
+        // monitors never materializes per-monitor distance vectors.
         self.dd = None;
-        self.ensure_dd(space, index)?;
         Ok(self.current())
     }
 
@@ -344,7 +352,12 @@ impl KnnMonitor {
 
     fn ensure_dd(&mut self, space: &IndoorSpace, index: &CompositeIndex) -> Result<(), QueryError> {
         if self.dd.is_none() || self.cached_version != space.version() {
-            self.dd = Some(DoorDistances::compute(space, index.doors_graph(), self.q)?);
+            self.dd = Some(crate::pipeline::complete_dd(
+                space,
+                index,
+                self.q,
+                &self.options,
+            )?);
             self.cached_version = space.version();
         }
         Ok(())
@@ -369,9 +382,10 @@ impl KnnMonitor {
     ) -> Result<Vec<(ObjectId, f64)>, QueryError> {
         let out = crate::iknn::knn_query(space, index, store, self.q, self.k, &self.options)?;
         self.topk = out.results.iter().map(|h| (h.distance, h.object)).collect();
-        // Re-arm the distance cache for subsequent incremental updates.
+        // Drop the cached distance context; `ensure_dd` rebuilds it
+        // lazily at the first incremental update that needs it (see the
+        // range monitor's refresh for the registration-cost rationale).
         self.dd = None;
-        self.ensure_dd(space, index)?;
         Ok(self.ranked())
     }
 

@@ -25,6 +25,19 @@ pub struct QueryOptions {
     /// restricted mode already falls back per-object when truncation is
     /// detectable).
     pub exact_refinement: bool,
+    /// Serve door-distance rows from the shared, service-lifetime
+    /// [`idq_distance::DistanceCache`] that travels with the index's
+    /// geometry (on by default). Turning this off expands rows locally
+    /// per query — **bit-identical results** (both paths compose the
+    /// same truncated rows), just without cross-query reuse. The off
+    /// switch exists for memory-constrained deployments where even the
+    /// bounded cache footprint is unwelcome.
+    pub distance_cache: bool,
+    /// Approximate byte budget of the shared distance cache (default
+    /// 256 MiB). Past the budget, least-recently-used rows are evicted
+    /// at source-door granularity; eviction costs recompute on the next
+    /// touch, never correctness.
+    pub distance_cache_bytes: usize,
 }
 
 impl Default for QueryOptions {
@@ -34,6 +47,8 @@ impl Default for QueryOptions {
             use_pruning: true,
             subgraph_slack: 60.0,
             exact_refinement: false,
+            distance_cache: true,
+            distance_cache_bytes: 256 << 20,
         }
     }
 }
@@ -74,6 +89,15 @@ impl QueryOptions {
     pub fn with_exact_refinement(self) -> Self {
         QueryOptions {
             exact_refinement: true,
+            ..self
+        }
+    }
+
+    /// Disables the shared distance cache (bit-identical results, no
+    /// cross-query reuse) — for memory-constrained deployments.
+    pub fn without_distance_cache(self) -> Self {
+        QueryOptions {
+            distance_cache: false,
             ..self
         }
     }
@@ -122,6 +146,20 @@ impl QueryOptionsBuilder {
         self
     }
 
+    /// Enables/disables the shared distance cache; see
+    /// [`QueryOptions::distance_cache`].
+    pub fn distance_cache(mut self, on: bool) -> Self {
+        self.options.distance_cache = on;
+        self
+    }
+
+    /// Sets the shared distance cache's byte budget; see
+    /// [`QueryOptions::distance_cache_bytes`].
+    pub fn distance_cache_bytes(mut self, bytes: usize) -> Self {
+        self.options.distance_cache_bytes = bytes;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> QueryOptions {
         self.options
@@ -144,6 +182,9 @@ mod tests {
                 .with_exact_refinement()
                 .exact_refinement
         );
+        let o = QueryOptions::default().without_distance_cache();
+        assert!(!o.distance_cache);
+        assert!(QueryOptions::default().distance_cache, "on by default");
     }
 
     #[test]
@@ -153,11 +194,15 @@ mod tests {
             .pruning(false)
             .subgraph_slack(75.0)
             .exact_refinement()
+            .distance_cache(false)
+            .distance_cache_bytes(1 << 20)
             .build();
         assert!(!o.use_skeleton);
         assert!(!o.use_pruning);
         assert_eq!(o.subgraph_slack, 75.0);
         assert!(o.exact_refinement);
+        assert!(!o.distance_cache);
+        assert_eq!(o.distance_cache_bytes, 1 << 20);
         // Untouched knobs keep their defaults; max_radius mirrors
         // for_max_radius.
         assert_eq!(QueryOptions::builder().build(), QueryOptions::default());

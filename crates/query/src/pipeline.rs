@@ -1,14 +1,24 @@
 //! Shared evaluation machinery of the four-phase pipeline: the candidate
-//! evaluation context caching subregions, restricted door distances and
-//! the lazy full-graph fallback.
+//! evaluation context caching subregions, horizon-banded door distances
+//! composed from the shared distance cache, and the lazy full-graph
+//! fallback.
+//!
+//! Since the shared-cache PR, **every** door-distance context here is
+//! assembled by [`DoorDistances::compute_banded`] — a composition of
+//! per-seed-door expansion rows — whether the rows come from the
+//! service-lifetime [`idq_distance::DistanceCache`] (the default) or are
+//! expanded locally (`distance_cache: false`). The two paths run the
+//! same arithmetic on the same row prefixes, which is what makes the
+//! off-switch bit-identical.
 
 use crate::error::QueryError;
 use crate::options::QueryOptions;
-use idq_distance::{expected_indoor_distance, object_bounds, DoorDistances, ObjectBounds};
+use idq_distance::{expected_indoor_distance, object_bounds, DoorDistances, DoorRow, ObjectBounds};
 use idq_index::CompositeIndex;
 use idq_model::{IndoorPoint, IndoorSpace, PartitionId};
 use idq_objects::{ObjectId, ObjectStore, Subregions};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A reusable cache of per-object subregion decompositions.
 ///
@@ -70,32 +80,104 @@ pub(crate) struct EvalContext<'a> {
     pub dd: DoorDistances,
     full_dd: Option<DoorDistances>,
     subregions: SubregionCache,
+    use_shared_cache: bool,
+    cache_budget: usize,
     /// Number of refinements that needed the full-graph fallback.
     pub fallbacks: usize,
     /// Decompositions computed by this context (cache misses).
     pub subregions_computed: usize,
     /// Decompositions served from the cache.
     pub subregion_cache_hits: usize,
+    /// Shared-distance-cache row lookups issued by this context.
+    pub shared_lookups: usize,
+    /// ... of which were served by a resident row.
+    pub shared_hits: usize,
+    /// ... of which had to expand a row.
+    pub shared_misses: usize,
+    /// Rows the budget evicted while this context was filling the cache.
+    pub shared_evictions: usize,
+}
+
+/// Assembles a door-distance context at `horizon` by composing per-door
+/// rows — from the shared cache when `use_shared` is set, freshly
+/// expanded otherwise. Both paths read rows truncated at the requested
+/// horizon, so the result is a pure function of `(q, horizon, geometry)`
+/// and the on/off switch is bit-neutral. `counters` accumulates
+/// `(lookups, hits, misses, evictions)`.
+fn assemble_dd(
+    space: &IndoorSpace,
+    index: &CompositeIndex,
+    q: IndoorPoint,
+    horizon: f64,
+    use_shared: bool,
+    budget: usize,
+    counters: &mut (usize, usize, usize, usize),
+) -> Result<DoorDistances, QueryError> {
+    let graph = index.doors_graph();
+    Ok(if use_shared {
+        let cache = index.distance_cache();
+        DoorDistances::compute_banded(space, graph, q, horizon, |g, d, h| {
+            let (row, fetch) = cache.row(g, d, h, budget);
+            counters.0 += 1;
+            if fetch.hit {
+                counters.1 += 1;
+            } else {
+                counters.2 += 1;
+            }
+            counters.3 += fetch.evicted;
+            row
+        })?
+    } else {
+        // Cache off: expand rows locally at exactly the requested
+        // horizon. Same composition, same truncated reads — bitwise the
+        // same context, minus the memoization.
+        DoorDistances::compute_banded(space, graph, q, horizon, |g, d, h| {
+            Arc::new(DoorRow::expand(g, d, h))
+        })?
+    })
+}
+
+/// A complete (infinite-horizon) door-distance context for callers
+/// outside the four-phase pipeline — monitors and other unrestricted
+/// consumers. Honors `options.distance_cache`; per-query counters are
+/// dropped (the cache's own global counters still tick).
+pub(crate) fn complete_dd(
+    space: &IndoorSpace,
+    index: &CompositeIndex,
+    q: IndoorPoint,
+    options: &QueryOptions,
+) -> Result<DoorDistances, QueryError> {
+    let mut counters = (0, 0, 0, 0);
+    assemble_dd(
+        space,
+        index,
+        q,
+        f64::INFINITY,
+        options.distance_cache,
+        options.distance_cache_bytes,
+        &mut counters,
+    )
 }
 
 impl<'a> EvalContext<'a> {
-    /// Builds the context, running the subgraph-phase Dijkstra restricted
-    /// to `allowed` (or the full graph when `None`). `cache` seeds the
-    /// subregion store — pass `SubregionCache::new()` when nothing was
-    /// decomposed yet.
+    /// Builds the context, assembling door distances truncated at
+    /// `horizon` (pass `f64::INFINITY` for a complete context) from the
+    /// shared distance cache per `options`. `cache` seeds the subregion
+    /// store — pass `SubregionCache::new()` when nothing was decomposed
+    /// yet.
     pub fn new(
         space: &'a IndoorSpace,
         store: &'a ObjectStore,
         index: &'a CompositeIndex,
         q: IndoorPoint,
-        allowed: Option<&HashSet<PartitionId>>,
+        horizon: f64,
+        options: &QueryOptions,
         cache: SubregionCache,
     ) -> Result<Self, QueryError> {
-        let graph = index.doors_graph();
-        let dd = match allowed {
-            Some(a) => DoorDistances::compute_restricted(space, graph, q, a)?,
-            None => DoorDistances::compute(space, graph, q)?,
-        };
+        let use_shared = options.distance_cache;
+        let budget = options.distance_cache_bytes;
+        let mut counters = (0, 0, 0, 0);
+        let dd = assemble_dd(space, index, q, horizon, use_shared, budget, &mut counters)?;
         Ok(EvalContext {
             space,
             store,
@@ -104,9 +186,15 @@ impl<'a> EvalContext<'a> {
             dd,
             full_dd: None,
             subregions: cache,
+            use_shared_cache: use_shared,
+            cache_budget: budget,
             fallbacks: 0,
             subregions_computed: 0,
             subregion_cache_hits: 0,
+            shared_lookups: counters.0,
+            shared_hits: counters.1,
+            shared_misses: counters.2,
+            shared_evictions: counters.3,
         })
     }
 
@@ -142,11 +230,20 @@ impl<'a> EvalContext<'a> {
 
     fn full_dd(&mut self) -> Result<&DoorDistances, QueryError> {
         if self.full_dd.is_none() {
-            self.full_dd = Some(DoorDistances::compute(
+            let mut counters = (0, 0, 0, 0);
+            self.full_dd = Some(assemble_dd(
                 self.space,
-                self.index.doors_graph(),
+                self.index,
                 self.q,
+                f64::INFINITY,
+                self.use_shared_cache,
+                self.cache_budget,
+                &mut counters,
             )?);
+            self.shared_lookups += counters.0;
+            self.shared_hits += counters.1;
+            self.shared_misses += counters.2;
+            self.shared_evictions += counters.3;
         }
         Ok(self.full_dd.as_ref().expect("just set"))
     }
@@ -167,10 +264,10 @@ impl<'a> EvalContext<'a> {
     /// (no path escaping the candidate set can undercut any instance
     /// cost). Otherwise the value is recomputed against the full graph.
     /// Every returned refinement value therefore equals the full-graph
-    /// expected distance bit for bit, independent of how the restriction
-    /// was chosen — which is what makes batched execution (whose shared
-    /// context restricts to the *union* of a group's candidate
-    /// partitions) return the same answers as single-issue execution.
+    /// expected distance bit for bit, independent of how the horizon was
+    /// chosen — which is what makes batched execution (whose shared
+    /// context is truncated at the *maximum* of a group's reaches)
+    /// return the same answers as single-issue execution.
     pub fn refine_with_threshold(
         &mut self,
         id: ObjectId,
@@ -264,125 +361,136 @@ mod tests {
     fn threshold_fallback_recovers_truncated_paths() {
         let (space, store, index) = setup();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
-        // Restrict to the source partition only: the object is unreachable
-        // in the subgraph.
-        let allowed: HashSet<PartitionId> = HashSet::new();
-        let mut ctx = EvalContext::new(
+        // A 5 m horizon truncates the rows before the second door (10 m
+        // from the first): the object in r2 is unreachable in the banded
+        // context.
+        let opts = QueryOptions::default();
+        let mut ctx =
+            EvalContext::new(&space, &store, &index, q, 5.0, &opts, SubregionCache::new()).unwrap();
+        let b = ctx.bounds(ObjectId(1)).unwrap();
+        assert!(b.upper.is_infinite(), "banded bounds see no path");
+        // Threshold refinement falls back to the full graph.
+        let v = ctx.refine_with_threshold(ObjectId(1), 30.0, &opts).unwrap();
+        assert!(v.is_finite());
+        assert_eq!(ctx.fallbacks, 1);
+        // The full value matches a complete context, bit for bit.
+        let mut full = EvalContext::new(
             &space,
             &store,
             &index,
             q,
-            Some(&allowed),
+            f64::INFINITY,
+            &opts,
             SubregionCache::new(),
         )
         .unwrap();
-        let b = ctx.bounds(ObjectId(1)).unwrap();
-        assert!(b.upper.is_infinite(), "restricted bounds see no path");
-        // Threshold refinement falls back to the full graph.
-        let v = ctx
-            .refine_with_threshold(ObjectId(1), 30.0, &QueryOptions::default())
-            .unwrap();
-        assert!(v.is_finite());
-        assert_eq!(ctx.fallbacks, 1);
-        // The full value matches an unrestricted context.
-        let mut full =
-            EvalContext::new(&space, &store, &index, q, None, SubregionCache::new()).unwrap();
         let fv = full
-            .refine_with_threshold(ObjectId(1), 30.0, &QueryOptions::default())
+            .refine_with_threshold(ObjectId(1), 30.0, &opts)
             .unwrap();
-        assert!((v - fv).abs() < 1e-9);
+        assert_eq!(v.to_bits(), fv.to_bits());
     }
 
     #[test]
     fn exact_refinement_option_uses_full_graph() {
         let (space, store, index) = setup();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
-        let allowed: HashSet<PartitionId> = HashSet::new();
-        let mut ctx = EvalContext::new(
-            &space,
-            &store,
-            &index,
-            q,
-            Some(&allowed),
-            SubregionCache::new(),
-        )
-        .unwrap();
         let opts = QueryOptions::default().with_exact_refinement();
+        let mut ctx =
+            EvalContext::new(&space, &store, &index, q, 5.0, &opts, SubregionCache::new()).unwrap();
         let v = ctx.refine_with_threshold(ObjectId(1), 0.0, &opts).unwrap();
         assert!(v.is_finite());
     }
 
     #[test]
     fn inflated_but_accepted_values_fall_back_to_exact() {
-        // Two routes from q (room A) to the object (room B): a short
-        // corridor S and a long corridor L. Restricting to {A, L, B}
-        // inflates the value (30 m via L) while the truth is 20 m via S.
-        // The inflated value sits below the threshold, so the pre-horizon
-        // code would have returned it; the exit-horizon check (the escape
-        // into S costs only 5 m) forces the full-graph fallback, keeping
-        // refinement values restriction-independent.
+        // Three rooms: A spans the south, B and C split the north. The
+        // object sits in C just above the B/C wall. The cheap route runs
+        // through B (door dAB at (10,10), then dBC at (50,15)); a direct
+        // but far door dAC at (90,10) also enters C. A 30 m horizon
+        // truncates every row before dBC (≈40 m from both seeds), so the
+        // banded context reaches C only through dAC and *inflates* the
+        // object's value (≈120 m vs ≈49 m truth) — finitely, and below a
+        // generous threshold. The exit-horizon check (min seed weight 5 +
+        // horizon 30 = 35) rejects the inflated acceptance and forces the
+        // full-graph fallback, keeping refinement horizon-independent.
         let mut b = FloorPlanBuilder::new(4.0);
         let a = b
-            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 100.0, 10.0))
             .unwrap();
-        let s = b
-            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+        let rb = b
+            .add_room(0, Rect2::from_bounds(0.0, 10.0, 50.0, 20.0))
             .unwrap();
-        let bb = b
-            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+        let rc = b
+            .add_room(0, Rect2::from_bounds(50.0, 10.0, 100.0, 20.0))
             .unwrap();
-        let l = b
-            .add_room(0, Rect2::from_bounds(0.0, 10.0, 30.0, 20.0))
-            .unwrap();
-        b.add_door_between(a, s, Point2::new(10.0, 5.0)).unwrap();
-        b.add_door_between(s, bb, Point2::new(20.0, 5.0)).unwrap();
-        b.add_door_between(a, l, Point2::new(5.0, 10.0)).unwrap();
-        b.add_door_between(l, bb, Point2::new(25.0, 10.0)).unwrap();
+        b.add_door_between(a, rb, Point2::new(10.0, 10.0)).unwrap(); // dAB
+        b.add_door_between(a, rc, Point2::new(90.0, 10.0)).unwrap(); // dAC
+        b.add_door_between(rb, rc, Point2::new(50.0, 15.0)).unwrap(); // dBC
         let space = b.finish().unwrap();
         let mut store = ObjectStore::new();
         store
             .insert(UncertainObject::point_object(
                 ObjectId(1),
-                idq_model::IndoorPoint::new(Point2::new(25.0, 5.0), 0),
+                idq_model::IndoorPoint::new(Point2::new(51.0, 11.0), 0),
             ))
             .unwrap();
         let index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
-        let q = IndoorPoint::new(Point2::new(5.0, 5.0), 0);
+        let q = IndoorPoint::new(Point2::new(10.0, 5.0), 0);
+        let opts = QueryOptions::default();
 
-        let allowed: HashSet<PartitionId> = [a, l, bb].into_iter().collect();
         let mut ctx = EvalContext::new(
             &space,
             &store,
             &index,
             q,
-            Some(&allowed),
+            30.0,
+            &opts,
             SubregionCache::new(),
         )
         .unwrap();
         assert!(
-            ctx.dd.exit_horizon() <= 5.0 + 1e-9,
-            "escape into S is cheap"
+            (ctx.dd.exit_horizon() - 35.0).abs() < 1e-9,
+            "trust bound = min seed weight (5) + horizon (30)"
         );
         let v = ctx
-            .refine_with_threshold(ObjectId(1), 50.0, &QueryOptions::default())
+            .refine_with_threshold(ObjectId(1), 200.0, &opts)
             .unwrap();
         assert_eq!(ctx.fallbacks, 1, "inexact-but-under-threshold falls back");
-        let mut full =
-            EvalContext::new(&space, &store, &index, q, None, SubregionCache::new()).unwrap();
+        let mut full = EvalContext::new(
+            &space,
+            &store,
+            &index,
+            q,
+            f64::INFINITY,
+            &opts,
+            SubregionCache::new(),
+        )
+        .unwrap();
         assert!(full.dd.exit_horizon().is_infinite());
         let fv = full
-            .refine_with_threshold(ObjectId(1), 50.0, &QueryOptions::default())
+            .refine_with_threshold(ObjectId(1), 200.0, &opts)
             .unwrap();
         assert_eq!(v.to_bits(), fv.to_bits(), "refined value is exact");
-        assert!((v - 20.0).abs() < 1e-9, "true route through S: {v}");
+        // Truth: q → dAB (5) → dBC (√(40²+5²)) → object (√17).
+        let truth = 5.0 + 1625f64.sqrt() + 17f64.sqrt();
+        assert!((v - truth).abs() < 1e-9, "true route through B: {v}");
     }
 
     #[test]
     fn cache_counters_track_hits_and_misses() {
         let (space, store, index) = setup();
         let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
-        let mut ctx =
-            EvalContext::new(&space, &store, &index, q, None, SubregionCache::new()).unwrap();
+        let opts = QueryOptions::default();
+        let mut ctx = EvalContext::new(
+            &space,
+            &store,
+            &index,
+            q,
+            f64::INFINITY,
+            &opts,
+            SubregionCache::new(),
+        )
+        .unwrap();
         ctx.subregions_of(ObjectId(1)).unwrap();
         assert_eq!(ctx.subregions_computed, 1);
         ctx.bounds(ObjectId(1)).unwrap();
@@ -395,9 +503,67 @@ mod tests {
         seeded.insert(ObjectId(1), subs);
         assert_eq!(seeded.len(), 1);
         assert!(!seeded.is_empty());
-        let mut ctx = EvalContext::new(&space, &store, &index, q, None, seeded).unwrap();
+        let mut ctx =
+            EvalContext::new(&space, &store, &index, q, f64::INFINITY, &opts, seeded).unwrap();
         ctx.subregions_of(ObjectId(1)).unwrap();
         assert_eq!(ctx.subregions_computed, 0);
         assert_eq!(ctx.subregion_cache_hits, 1);
+    }
+
+    #[test]
+    fn shared_cache_counters_and_off_switch() {
+        let (space, store, index) = setup();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let opts = QueryOptions::default();
+        // Fresh index: the first context misses once per seed door.
+        let ctx = EvalContext::new(
+            &space,
+            &store,
+            &index,
+            q,
+            f64::INFINITY,
+            &opts,
+            SubregionCache::new(),
+        )
+        .unwrap();
+        assert!(ctx.shared_lookups >= 1);
+        assert_eq!(ctx.shared_misses, ctx.shared_lookups);
+        assert_eq!(ctx.shared_hits, 0);
+        // Same query point again: every row is resident now.
+        let ctx2 = EvalContext::new(
+            &space,
+            &store,
+            &index,
+            q,
+            f64::INFINITY,
+            &opts,
+            SubregionCache::new(),
+        )
+        .unwrap();
+        assert_eq!(ctx2.shared_hits, ctx2.shared_lookups);
+        assert_eq!(ctx2.shared_misses, 0);
+        // Off switch: no lookups at all, identical distances.
+        let off = QueryOptions::default().without_distance_cache();
+        let ctx3 = EvalContext::new(
+            &space,
+            &store,
+            &index,
+            q,
+            f64::INFINITY,
+            &off,
+            SubregionCache::new(),
+        )
+        .unwrap();
+        assert_eq!(ctx3.shared_lookups, 0);
+        assert_eq!(
+            ctx3.shared_hits + ctx3.shared_misses + ctx3.shared_evictions,
+            0
+        );
+        for d in space.doors() {
+            assert_eq!(
+                ctx3.dd.door_distance(d.id).to_bits(),
+                ctx2.dd.door_distance(d.id).to_bits()
+            );
+        }
     }
 }

@@ -3,19 +3,20 @@
 //!
 //! [`execute`] evaluates one query; [`execute_batch`] evaluates a slice of
 //! queries and **groups them by query point and floor**: every group
-//! shares one evaluation context, i.e. one restricted door-distance
-//! Dijkstra (the subgraph phase) and one subregion-decomposition cache —
-//! the two artefacts [`crate::RangeMonitor`] already identified as the
-//! dominant reusable cost. The group's restricted Dijkstra runs over the
-//! *union* of the members' candidate partitions, so each member sees at
-//! least the partitions its own filtering phase retrieved. Batched and
+//! shares one evaluation context, i.e. one banded door-distance assembly
+//! (the subgraph phase, composed from the shared
+//! [`idq_distance::DistanceCache`] rows) and one subregion-decomposition
+//! cache — the two artefacts [`crate::RangeMonitor`] already identified
+//! as the dominant reusable cost. The group's context is truncated at the
+//! *maximum* of the members' reaches, so each member sees at least the
+//! horizon its own filtering phase retrieved partitions for. Batched and
 //! single-issue execution return bit-identical results because every
-//! refinement value is restriction-independent: the pipeline returns a
-//! restricted value only when it is provably exact (at or below the
-//! subgraph's [`exit horizon`](idq_distance::DoorDistances::exit_horizon))
-//! and falls back to the full graph otherwise, and bound certifications
-//! below the query radius cannot differ between any two sound
-//! restrictions that cover the filtering retrieval ball.
+//! refinement value is horizon-independent: the pipeline returns a banded
+//! value only when it is provably exact (at or below the context's
+//! [`exit horizon`](idq_distance::DoorDistances::exit_horizon)) and falls
+//! back to the full graph otherwise, and bound certifications below the
+//! query radius cannot differ between any two sound horizons that cover
+//! the filtering retrieval ball.
 //!
 //! Reuse is observable through [`QueryStats`]: within a batch only the
 //! query that builds a group's context has `dijkstras_run == 1`; every
@@ -29,9 +30,9 @@ use crate::pipeline::{EvalContext, SubregionCache};
 use crate::stats::QueryStats;
 use idq_distance::{indoor_distance, shortest_path};
 use idq_index::CompositeIndex;
-use idq_model::{DoorId, IndoorPoint, IndoorSpace, PartitionId};
+use idq_model::{DoorId, IndoorPoint, IndoorSpace};
 use idq_objects::ObjectStore;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// A typed query against one consistent view of the indoor world.
@@ -291,10 +292,12 @@ impl Prepped {
         }
     }
 
-    fn partitions(&self) -> &[PartitionId] {
+    /// How far this member's evaluation needs exact distances: the reach
+    /// the filtering phase retrieved candidates for.
+    fn reach(&self, options: &QueryOptions) -> f64 {
         match self {
-            Prepped::Range(p) => &p.partitions,
-            Prepped::Knn(p) => &p.partitions,
+            Prepped::Range(p) => p.r + options.subgraph_slack,
+            Prepped::Knn(p) => p.kbound + options.subgraph_slack,
         }
     }
 
@@ -314,8 +317,8 @@ impl Prepped {
 /// reuse counters (`dijkstras_run`, `context_reuses`,
 /// `subregion_cache_hits`) differ. The filtering phase still runs per
 /// query — it is cheap and determines each query's candidates — while the
-/// group shares the restricted Dijkstra (run over the union of the
-/// members' candidate partitions) and the subregion cache.
+/// group shares the banded door-distance context (truncated at the
+/// maximum of the members' reaches) and the subregion cache.
 ///
 /// Errors abort the whole batch: queries are validated during their
 /// filtering phase, so an invalid radius or `k = 0` anywhere surfaces
@@ -375,29 +378,29 @@ pub fn execute_batch(
         }
     }
 
-    // Phases 2–4 per group: one restricted Dijkstra over the union of the
-    // members' candidate partitions, one shared subregion cache.
+    // Phases 2–4 per group: one banded context truncated at the maximum
+    // of the members' reaches, one shared subregion cache.
     for members in groups {
         let q = prepped[members[0]]
             .as_ref()
             .expect("grouped queries are prepped")
             .query_point();
 
-        // Union of candidate partitions, plus the kNN seed decompositions.
-        let mut allowed: HashSet<PartitionId> = HashSet::new();
+        // Maximum reach across the group, plus the kNN seed decompositions.
+        let mut horizon = 0.0f64;
         let mut cache = SubregionCache::new();
         for &i in &members {
             let p = prepped[i].as_mut().expect("grouped queries are prepped");
-            allowed.extend(p.partitions().iter().copied());
+            horizon = horizon.max(p.reach(options));
             if let Prepped::Knn(k) = p {
                 cache.merge(std::mem::take(&mut k.seeds));
             }
         }
 
-        // The context build (the restricted Dijkstra) is charged to the
-        // group's first member; the rest record a reuse.
+        // The context build (the banded row composition) is charged to
+        // the group's first member; the rest record a reuse.
         let t = Instant::now();
-        let mut ctx = EvalContext::new(space, store, index, q, Some(&allowed), cache)?;
+        let mut ctx = EvalContext::new(space, store, index, q, horizon, options, cache)?;
         let build_ms = t.elapsed().as_secs_f64() * 1e3;
         for (j, &i) in members.iter().enumerate() {
             let p = prepped[i].as_mut().expect("grouped queries are prepped");
@@ -405,6 +408,12 @@ pub fn execute_batch(
             if j == 0 {
                 stats.subgraph_ms = build_ms;
                 stats.dijkstras_run = 1;
+                // Build-time shared-cache traffic is charged here too;
+                // finish-phase traffic is drained per member.
+                stats.shared_cache_lookups = ctx.shared_lookups;
+                stats.shared_cache_hits = ctx.shared_hits;
+                stats.shared_cache_misses = ctx.shared_misses;
+                stats.shared_cache_evictions = ctx.shared_evictions;
             } else {
                 stats.context_reuses = 1;
             }

@@ -44,6 +44,19 @@ pub struct QueryStats {
     /// Subregion decompositions found already cached (pre-seeded by the
     /// kNN seed phase or left behind by earlier queries of the group).
     pub subregion_cache_hits: usize,
+    /// Shared-distance-cache row lookups this query issued (context
+    /// build + lazy full-graph fallbacks). Always
+    /// `shared_cache_hits + shared_cache_misses`.
+    pub shared_cache_lookups: usize,
+    /// Lookups served by a resident row of the shared distance cache.
+    pub shared_cache_hits: usize,
+    /// Lookups that expanded (and cached) a fresh row.
+    pub shared_cache_misses: usize,
+    /// Rows the shared cache's byte budget evicted during this query.
+    pub shared_cache_evictions: usize,
+    /// Approximate resident bytes of the shared distance cache after the
+    /// query — a gauge, not a per-query delta (0 when the cache is off).
+    pub shared_cache_bytes: usize,
 }
 
 impl QueryStats {
@@ -90,6 +103,12 @@ impl QueryStats {
         self.context_reuses += other.context_reuses;
         self.subregions_computed += other.subregions_computed;
         self.subregion_cache_hits += other.subregion_cache_hits;
+        self.shared_cache_lookups += other.shared_cache_lookups;
+        self.shared_cache_hits += other.shared_cache_hits;
+        self.shared_cache_misses += other.shared_cache_misses;
+        self.shared_cache_evictions += other.shared_cache_evictions;
+        // A gauge: keep the latest observation rather than summing.
+        self.shared_cache_bytes = other.shared_cache_bytes;
     }
 
     /// Divides all counters/timings by `n` (averaging helper).
@@ -116,7 +135,44 @@ impl QueryStats {
             context_reuses: self.context_reuses / n,
             subregions_computed: self.subregions_computed / n,
             subregion_cache_hits: self.subregion_cache_hits / n,
+            shared_cache_lookups: self.shared_cache_lookups / n,
+            shared_cache_hits: self.shared_cache_hits / n,
+            shared_cache_misses: self.shared_cache_misses / n,
+            shared_cache_evictions: self.shared_cache_evictions / n,
+            shared_cache_bytes: self.shared_cache_bytes,
         }
+    }
+}
+
+impl std::fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "phases[filter {:.3} ms, subgraph {:.3} ms, prune {:.3} ms, refine {:.3} ms] \
+             candidates[{} of {}] bounds[accepted {} pruned {} refined {}] \
+             dijkstra[runs {} reuses {} fallbacks {}] \
+             subregions[computed {} hits {}] \
+             shared-cache[lookups {} hits {} misses {} evictions {} ~{} B]",
+            self.filtering_ms,
+            self.subgraph_ms,
+            self.pruning_ms,
+            self.refinement_ms,
+            self.candidates_after_filter,
+            self.total_objects,
+            self.accepted_by_bounds,
+            self.pruned_by_bounds,
+            self.refined,
+            self.dijkstras_run,
+            self.context_reuses,
+            self.full_graph_fallbacks,
+            self.subregions_computed,
+            self.subregion_cache_hits,
+            self.shared_cache_lookups,
+            self.shared_cache_hits,
+            self.shared_cache_misses,
+            self.shared_cache_evictions,
+            self.shared_cache_bytes,
+        )
     }
 }
 
@@ -155,5 +211,74 @@ mod tests {
         let avg = a.scale_down(2);
         assert_eq!(avg.filtering_ms, 2.0);
         assert_eq!(avg.refined, 3);
+    }
+
+    #[test]
+    fn shared_cache_counters_are_self_consistent() {
+        use idq_geom::{Circle, Point2, Rect2};
+        use idq_index::{CompositeIndex, IndexConfig};
+        use idq_model::{FloorPlanBuilder, IndoorPoint};
+        use idq_objects::{ObjectId, ObjectStore, UncertainObject};
+
+        let mut b = FloorPlanBuilder::new(4.0);
+        let r0 = b
+            .add_room(0, Rect2::from_bounds(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        let r1 = b
+            .add_room(0, Rect2::from_bounds(10.0, 0.0, 20.0, 10.0))
+            .unwrap();
+        let r2 = b
+            .add_room(0, Rect2::from_bounds(20.0, 0.0, 30.0, 10.0))
+            .unwrap();
+        b.add_door_between(r0, r1, Point2::new(10.0, 5.0)).unwrap();
+        b.add_door_between(r1, r2, Point2::new(20.0, 5.0)).unwrap();
+        let space = b.finish().unwrap();
+        let mut store = ObjectStore::new();
+        store
+            .insert(
+                UncertainObject::with_uniform_weights(
+                    ObjectId(1),
+                    Circle::new(Point2::new(25.0, 5.0), 2.0),
+                    0,
+                    vec![Point2::new(24.0, 5.0), Point2::new(26.0, 5.0)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let index = CompositeIndex::build(&space, &store, IndexConfig::default()).unwrap();
+        let q = IndoorPoint::new(Point2::new(2.0, 5.0), 0);
+        let opts = crate::QueryOptions::default();
+
+        let cold = crate::range_query(&space, &index, &store, q, 30.0, &opts)
+            .unwrap()
+            .stats;
+        assert_eq!(
+            cold.shared_cache_hits + cold.shared_cache_misses,
+            cold.shared_cache_lookups,
+            "hits + misses == lookups"
+        );
+        assert!(cold.shared_cache_lookups >= 1);
+        assert!(cold.shared_cache_misses >= 1, "fresh cache must miss");
+        assert!(cold.shared_cache_bytes > 0);
+
+        let warm = crate::range_query(&space, &index, &store, q, 30.0, &opts)
+            .unwrap()
+            .stats;
+        assert_eq!(
+            warm.shared_cache_hits + warm.shared_cache_misses,
+            warm.shared_cache_lookups
+        );
+        assert!(warm.shared_cache_hits >= 1, "second run reuses rows");
+        assert_eq!(warm.shared_cache_misses, 0);
+
+        // Display carries the shared-cache segment, and accumulate keeps
+        // the invariant.
+        assert!(warm.to_string().contains("shared-cache["));
+        let mut sum = cold;
+        sum.accumulate(&warm);
+        assert_eq!(
+            sum.shared_cache_hits + sum.shared_cache_misses,
+            sum.shared_cache_lookups
+        );
     }
 }
